@@ -1,0 +1,180 @@
+// Command bench regenerates the paper's evaluation: every figure panel
+// of Blelloch, Fineman and Shun (SPAA 2012) plus the theory-validation
+// and ablation tables described in DESIGN.md.
+//
+// Usage:
+//
+//	bench -experiment all                       # everything, default scale
+//	bench -experiment fig1 -graph rmat          # one figure, one input
+//	bench -experiment fig3 -threads 1,2,4,8
+//	bench -shrink 5                             # smaller inputs (2^-5 of paper size)
+//	bench -n 1000000 -m 5000000                 # explicit sizes
+//
+// Experiments: fig1 (MIS prefix sweep), fig2 (MM prefix sweep), fig3
+// (MIS thread scaling), fig4 (MM thread scaling), luby-ratio, theory,
+// ablation, spanning, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig1|fig2|fig3|fig4|luby-ratio|theory|ablation|spanning|orders|all")
+		graphKind  = flag.String("graph", "both", "random|rmat|both")
+		shrink     = flag.Uint("shrink", 5, "scale workloads to 2^-shrink of paper size (0 = paper size)")
+		n          = flag.Int("n", 0, "override vertex count (0 = use -shrink)")
+		m          = flag.Int("m", 0, "override edge count (0 = use -shrink)")
+		seed       = flag.Uint64("seed", 42, "generator/permutation seed")
+		reps       = flag.Int("reps", 3, "timing repetitions (median reported)")
+		threads    = flag.String("threads", "1,2,4", "comma-separated GOMAXPROCS values for fig3/fig4")
+		fracs      = flag.String("fracs", "", "comma-separated prefix fractions for fig1/fig2 (default: built-in sweep)")
+		prefixFrac = flag.Float64("prefix", 0, "prefix fraction for fig3/fig4 (0 = default)")
+	)
+	flag.Parse()
+
+	workloads := buildWorkloads(*graphKind, *shrink, *n, *m, *seed)
+	threadList, err := parseInts(*threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: bad -threads: %v\n", err)
+		os.Exit(2)
+	}
+	fracList, err := parseFloats(*fracs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: bad -fracs: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("# %s\n\n", bench.Env())
+	run := func(name string, enabled bool, f func()) {
+		if !enabled {
+			return
+		}
+		fmt.Printf("### experiment %s\n\n", name)
+		f()
+	}
+	want := func(names ...string) bool {
+		if *experiment == "all" {
+			return true
+		}
+		for _, n := range names {
+			if n == *experiment {
+				return true
+			}
+		}
+		return false
+	}
+
+	run("fig1 (MIS prefix sweep)", want("fig1"), func() {
+		for _, w := range workloads {
+			fmt.Println(bench.MISPrefixSweep(bench.SweepConfig{Workload: w, Fracs: fracList, Reps: *reps}))
+		}
+	})
+	run("fig2 (MM prefix sweep)", want("fig2"), func() {
+		for _, w := range workloads {
+			fmt.Println(bench.MMPrefixSweep(bench.SweepConfig{Workload: w, Fracs: fracList, Reps: *reps}))
+		}
+	})
+	run("fig3 (MIS thread scaling)", want("fig3"), func() {
+		for _, w := range workloads {
+			fmt.Println(bench.MISThreadScaling(bench.ThreadConfig{
+				Workload: w, Threads: threadList, PrefixFrac: *prefixFrac, Reps: *reps,
+			}))
+		}
+	})
+	run("fig4 (MM thread scaling)", want("fig4"), func() {
+		for _, w := range workloads {
+			fmt.Println(bench.MMThreadScaling(bench.ThreadConfig{
+				Workload: w, Threads: threadList, PrefixFrac: *prefixFrac, Reps: *reps,
+			}))
+		}
+	})
+	run("luby-ratio (in-text claim)", want("luby-ratio"), func() {
+		for _, w := range workloads {
+			fmt.Println(bench.LubyWorkRatio(w, *reps))
+		}
+	})
+	run("theory (Theorem 3.5, Lemmas 3.1/3.3/4.3)", want("theory"), func() {
+		theoryN := 4 * (1_000_000 >> *shrink)
+		fmt.Println(bench.TheoryDependenceLength(nil, 10, *seed))
+		fmt.Println(bench.TheoryPrefixPath(theoryN, 10, *seed))
+		fmt.Println(bench.TheoryDegreeReduction(theoryN, 10, *seed))
+		fmt.Println(bench.TheoryPrefixSparsity(theoryN, 10, *seed))
+	})
+	run("ablation (AB1 pointer, AB2 algorithms)", want("ablation"), func() {
+		for _, w := range workloads {
+			fmt.Println(bench.AblationPointer(w, *reps))
+			fmt.Println(bench.AblationAlgorithms(w, *reps))
+		}
+	})
+	run("spanning (Section 7 extension)", want("spanning"), func() {
+		for _, w := range workloads {
+			fmt.Println(bench.SpanningForestExperiment(w, *reps))
+		}
+	})
+	run("orders (random vs structured priority orders)", want("orders"), func() {
+		fmt.Println(bench.OrderSensitivity(1_000_000>>*shrink, *seed))
+	})
+}
+
+func buildWorkloads(kind string, shrink uint, n, m int, seed uint64) []bench.Workload {
+	kinds := []string{"random", "rmat"}
+	switch kind {
+	case "both":
+	case "random", "rmat":
+		kinds = []string{kind}
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown -graph %q\n", kind)
+		os.Exit(2)
+	}
+	var out []bench.Workload
+	for _, k := range kinds {
+		w := bench.DefaultScale(k, shrink)
+		if n > 0 {
+			w.N = n
+		}
+		if m > 0 {
+			w.M = m
+		}
+		w.Seed = seed
+		out = append(out, w)
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

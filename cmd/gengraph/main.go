@@ -1,0 +1,107 @@
+// Command gengraph generates the paper's input graphs (and the library's
+// structured test graphs) and writes them in the PBBS AdjacencyGraph
+// text format or the library's binary format.
+//
+// Usage:
+//
+//	gengraph -kind random -n 1000000 -m 5000000 -o random.adj
+//	gengraph -kind rmat -logn 20 -m 5000000 -format binary -o rmat.bin
+//	gengraph -kind grid -rows 1000 -cols 1000 -o grid.adj
+//	gengraph -kind random -n 1000 -m 5000 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "random", "random|rmat|grid|torus|complete|star|path|cycle|tree|bipartite|regular")
+		n      = flag.Int("n", 1_000_000, "vertex count (random, star, path, cycle, tree, complete, regular)")
+		m      = flag.Int("m", 5_000_000, "edge count (random, rmat, bipartite)")
+		logn   = flag.Int("logn", 20, "log2 vertex count (rmat)")
+		rows   = flag.Int("rows", 1000, "rows (grid, torus)")
+		cols   = flag.Int("cols", 1000, "cols (grid, torus)")
+		left   = flag.Int("left", 1000, "left part size (bipartite)")
+		right  = flag.Int("right", 1000, "right part size (bipartite)")
+		degree = flag.Int("degree", 8, "target degree (regular)")
+		seed   = flag.Uint64("seed", 42, "generator seed")
+		format = flag.String("format", "adjacency", "adjacency|edges|binary")
+		out    = flag.String("o", "-", "output file (- for stdout)")
+		stats  = flag.Bool("stats", false, "print graph statistics to stderr")
+	)
+	flag.Parse()
+
+	g, err := build(*kind, *n, *m, *logn, *rows, *cols, *left, *right, *degree, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+		os.Exit(2)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "%s\n", graph.Stats(g))
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "gengraph: close: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "adjacency":
+		err = graph.WriteAdjacency(w, g)
+	case "edges":
+		err = graph.WriteEdgeArray(w, g)
+	case "binary":
+		err = graph.WriteBinary(w, g)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func build(kind string, n, m, logn, rows, cols, left, right, degree int, seed uint64) (*graph.Graph, error) {
+	switch kind {
+	case "random":
+		return graph.Random(n, m, seed), nil
+	case "rmat":
+		return graph.RMat(logn, m, seed, graph.DefaultRMatOptions()), nil
+	case "grid":
+		return graph.Grid2D(rows, cols), nil
+	case "torus":
+		return graph.Torus2D(rows, cols), nil
+	case "complete":
+		return graph.Complete(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "tree":
+		return graph.RandomTree(n, seed), nil
+	case "bipartite":
+		return graph.RandomBipartite(left, right, m, seed), nil
+	case "regular":
+		return graph.NearRegular(n, degree, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}

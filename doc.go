@@ -1,0 +1,39 @@
+// Package greedy (module repro) is a Go reproduction of Blelloch,
+// Fineman and Shun, "Greedy Sequential Maximal Independent Set and
+// Matching are Parallel on Average" (SPAA 2012, arXiv:1202.3205).
+//
+// The paper's observation: the familiar sequential greedy algorithms for
+// maximal independent set (MIS) and maximal matching (MM) — scan the
+// items in a fixed random order, accept an item unless an earlier
+// accepted neighbor forbids it — have only polylogarithmic sequential
+// depth on average. Running the iterations "as early as their
+// dependencies allow" therefore yields parallel algorithms that are
+// simultaneously fast and deterministic: for a fixed priority order they
+// return bit-identical results at any thread count, namely the
+// lexicographically-first solution the sequential algorithm defines.
+//
+// This package is the stable facade over the implementation packages:
+//
+//   - MaximalIndependentSet and MaximalMatching run the paper's
+//     algorithms with functional options selecting the algorithm
+//     (sequential, prefix-based, root-set, fully parallel, or Luby's
+//     baseline), the prefix size (the work/parallelism dial of the
+//     paper's Figure 1), and the random seed.
+//   - SpanningForest is the paper's §7 extension: the same prefix
+//     technique applied to greedy spanning forest.
+//   - Graph constructors (NewGraph, RandomGraph, RMatGraph) and the
+//     verifiers used in the paper's methodology are re-exported.
+//
+// Quick start:
+//
+//	g := greedy.RandomGraph(1_000_000, 5_000_000, 42)
+//	res := greedy.MaximalIndependentSet(g, greedy.WithSeed(7))
+//	fmt.Println(res.Size(), res.Stats)
+//
+// The internal packages hold the substance: internal/core (MIS,
+// priority-DAG analyzers), internal/matching (MM), internal/spanning,
+// internal/reservations (the deterministic-reservations framework),
+// internal/graph (CSR graphs, generators, I/O), internal/parallel
+// (fork-join primitives) and internal/bench (the experiment harness
+// reproducing every figure; see cmd/bench and EXPERIMENTS.md).
+package greedy

@@ -1,0 +1,244 @@
+package greedy
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/spanning"
+)
+
+// Re-exported graph types: the facade and the internal packages share
+// representations, so no conversion costs are ever paid.
+type (
+	// Graph is an immutable undirected graph in CSR form.
+	Graph = graph.Graph
+	// Edge is an undirected edge {U, V}.
+	Edge = graph.Edge
+	// EdgeList is the edge-array view used by the matching algorithms.
+	EdgeList = graph.EdgeList
+	// Vertex indexes a vertex.
+	Vertex = graph.Vertex
+	// Order is a priority permutation (the paper's pi).
+	Order = core.Order
+	// MISResult is the outcome of a maximal independent set run.
+	MISResult = core.Result
+	// MMResult is the outcome of a maximal matching run.
+	MMResult = matching.Result
+	// SFResult is the outcome of a spanning forest run.
+	SFResult = spanning.Result
+	// Stats holds the machine-independent cost counters (rounds,
+	// attempts, edge inspections) the paper plots.
+	Stats = core.Stats
+)
+
+// Graph constructors.
+
+// NewGraph builds a simple undirected graph on n vertices from an edge
+// list; self loops are dropped and duplicates merged.
+func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// RandomGraph returns the paper's first experimental input family: a
+// uniform sparse random graph with n vertices and m edges.
+func RandomGraph(n, m int, seed uint64) *Graph { return graph.Random(n, m, seed) }
+
+// RMatGraph returns the paper's second input family: an rMat graph with
+// 2^logN vertices, m edges and power-law degrees.
+func RMatGraph(logN, m int, seed uint64) *Graph {
+	return graph.RMat(logN, m, seed, graph.DefaultRMatOptions())
+}
+
+// NewRandomOrder returns a uniformly random priority order on n items,
+// deterministic in (n, seed).
+func NewRandomOrder(n int, seed uint64) Order { return core.NewRandomOrder(n, seed) }
+
+// Algorithm selects an implementation strategy.
+type Algorithm int
+
+const (
+	// AlgoPrefix is the paper's experimental algorithm (Algorithm 3):
+	// prefix-based speculative execution, the default.
+	AlgoPrefix Algorithm = iota
+	// AlgoSequential is the greedy sequential algorithm (Algorithm 1).
+	AlgoSequential
+	// AlgoRootSet is the linear-work root-set implementation (Lemma
+	// 4.2 for MIS, Lemma 5.3 for MM).
+	AlgoRootSet
+	// AlgoParallel is Algorithm 2/4: the full input processed as one
+	// prefix every round.
+	AlgoParallel
+	// AlgoLuby is Luby's Algorithm A (MIS only); unlike the others it
+	// does not return the lexicographically-first answer.
+	AlgoLuby
+)
+
+type config struct {
+	algorithm  Algorithm
+	seed       uint64
+	order      *Order
+	prefixFrac float64
+	prefixSize int
+	grain      int
+	pointered  bool
+}
+
+// An Option configures the solver entry points.
+type Option func(*config)
+
+// WithAlgorithm selects the implementation (default AlgoPrefix).
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algorithm = a } }
+
+// WithSeed sets the seed from which the priority order is derived
+// (default 1). Two runs with the same graph and seed return identical
+// results for every deterministic algorithm at any thread count.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithOrder fixes an explicit priority order instead of deriving one
+// from the seed.
+func WithOrder(ord Order) Option { return func(c *config) { c.order = &ord } }
+
+// WithPrefixFrac sets the prefix size as a fraction of the input — the
+// work/parallelism dial of the paper's Figure 1. 1.0 is maximally
+// parallel; values around 0.005 are near the running-time optimum.
+func WithPrefixFrac(frac float64) Option { return func(c *config) { c.prefixFrac = frac } }
+
+// WithPrefixSize sets an absolute prefix size (overrides WithPrefixFrac).
+func WithPrefixSize(size int) Option { return func(c *config) { c.prefixSize = size } }
+
+// WithGrain sets the parallel-loop grain size (default 256, as in the
+// paper).
+func WithGrain(grain int) Option { return func(c *config) { c.grain = grain } }
+
+// WithPointer enables the Lemma 4.1 parent-pointer optimization in the
+// prefix-based MIS.
+func WithPointer() Option { return func(c *config) { c.pointered = true } }
+
+func buildConfig(opts []Option) config {
+	c := config{seed: 1}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+func (c config) orderFor(n int) Order {
+	if c.order != nil {
+		if c.order.Len() != n {
+			panic("greedy: WithOrder length does not match input size")
+		}
+		return *c.order
+	}
+	return core.NewRandomOrder(n, c.seed)
+}
+
+// MaximalIndependentSet computes an MIS of g. With the default options
+// it runs the paper's prefix-based algorithm under a random order
+// derived from seed 1 and returns the lexicographically-first MIS for
+// that order.
+func MaximalIndependentSet(g *Graph, opts ...Option) *MISResult {
+	c := buildConfig(opts)
+	ord := c.orderFor(g.NumVertices())
+	coreOpt := core.Options{
+		PrefixFrac: c.prefixFrac,
+		PrefixSize: c.prefixSize,
+		Grain:      c.grain,
+		Pointered:  c.pointered,
+	}
+	switch c.algorithm {
+	case AlgoSequential:
+		return core.SequentialMIS(g, ord)
+	case AlgoRootSet:
+		return core.RootSetMIS(g, ord, coreOpt)
+	case AlgoParallel:
+		return core.ParallelMIS(g, ord, coreOpt)
+	case AlgoLuby:
+		return core.LubyMIS(g, c.seed, coreOpt)
+	default:
+		return core.PrefixMIS(g, ord, coreOpt)
+	}
+}
+
+// MaximalMatching computes a maximal matching of g; the priority order
+// is over g's canonical edge list.
+func MaximalMatching(g *Graph, opts ...Option) *MMResult {
+	return MaximalMatchingEdges(g.EdgeList(), opts...)
+}
+
+// MaximalMatchingEdges computes a maximal matching of an explicit edge
+// list.
+func MaximalMatchingEdges(el EdgeList, opts ...Option) *MMResult {
+	c := buildConfig(opts)
+	ord := c.orderFor(el.NumEdges())
+	opt := matching.Options{
+		PrefixFrac: c.prefixFrac,
+		PrefixSize: c.prefixSize,
+		Grain:      c.grain,
+	}
+	switch c.algorithm {
+	case AlgoSequential:
+		return matching.SequentialMM(el, ord)
+	case AlgoRootSet:
+		return matching.RootSetMM(el, ord, opt)
+	case AlgoParallel:
+		return matching.ParallelMM(el, ord, opt)
+	case AlgoLuby:
+		panic("greedy: Luby's algorithm applies to MIS only")
+	default:
+		return matching.PrefixMM(el, ord, opt)
+	}
+}
+
+// SpanningForest computes a greedy spanning forest of g — the §7
+// extension. AlgoSequential runs the union-find scan and returns the
+// lexicographically-first forest. The default runs the prefix-based
+// deterministic-reservations version with PBBS one-root semantics
+// (spanning.PrefixSFRelaxed): the forest is valid and deterministic for
+// a fixed order and prefix at any thread count, but is not necessarily
+// the sequential one — reproducing the sequential forest in parallel
+// (spanning.PrefixSF) serializes on hub components, the honest finding
+// of this reproduction's §7 experiment (see EXPERIMENTS.md).
+func SpanningForest(g *Graph, opts ...Option) *SFResult {
+	c := buildConfig(opts)
+	el := g.EdgeList()
+	ord := c.orderFor(el.NumEdges())
+	if c.algorithm == AlgoSequential {
+		return spanning.SequentialSF(el, ord)
+	}
+	return spanning.PrefixSFRelaxed(el, ord, spanning.Options{
+		PrefixFrac: c.prefixFrac,
+		PrefixSize: c.prefixSize,
+		Grain:      c.grain,
+	})
+}
+
+// Verifiers, re-exported for callers that want the paper's checks.
+
+// IsMaximalIndependentSet reports whether inSet is independent and
+// maximal in g.
+func IsMaximalIndependentSet(g *Graph, inSet []bool) bool {
+	return core.IsMaximalIndependentSet(g, inSet)
+}
+
+// IsMaximalMatching reports whether inMatching is a maximal matching of
+// el.
+func IsMaximalMatching(el EdgeList, inMatching []bool) bool {
+	return matching.IsMaximalMatching(el, inMatching)
+}
+
+// VerifyLexFirstMIS checks that result is exactly the sequential greedy
+// MIS under ord.
+func VerifyLexFirstMIS(g *Graph, ord Order, result *MISResult) error {
+	return core.VerifyLexFirst(g, ord, result)
+}
+
+// VerifyLexFirstMM checks that result is exactly the sequential greedy
+// matching under ord.
+func VerifyLexFirstMM(el EdgeList, ord Order, result *MMResult) error {
+	return matching.VerifyLexFirst(el, ord, result)
+}
+
+// DependenceLength returns the dependence length of (g, ord): the number
+// of rounds Algorithm 2 needs, which Theorem 3.5 bounds by O(log^2 n)
+// w.h.p. for random orders.
+func DependenceLength(g *Graph, ord Order) int {
+	return core.DependenceSteps(g, ord).Steps
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Small workloads keep harness unit tests fast; the real sizes are
+// exercised by cmd/bench and the root bench_test.go.
+func smallRandom() Workload { return Workload{Kind: "random", N: 5000, M: 25000, Seed: 7} }
+func smallRMat() Workload   { return Workload{Kind: "rmat", N: 1 << 12, M: 20000, Seed: 7} }
+
+func TestTableString(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Headers: []string{"a", "longheader"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	s := tab.String()
+	for _, want := range []string{"demo", "longheader", "333", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMedianTime(t *testing.T) {
+	d := MedianTime(3, func() { time.Sleep(time.Millisecond) })
+	if d < 500*time.Microsecond {
+		t.Errorf("median = %v, suspiciously small", d)
+	}
+	if MedianTime(0, func() {}) < 0 {
+		t.Error("negative duration")
+	}
+}
+
+func TestWorkloadBuild(t *testing.T) {
+	g := smallRandom().Build()
+	if g.NumVertices() != 5000 || g.NumEdges() != 25000 {
+		t.Errorf("random workload built %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	r := smallRMat().Build()
+	if r.NumVertices() != 1<<12 || r.NumEdges() != 20000 {
+		t.Errorf("rmat workload built %d/%d", r.NumVertices(), r.NumEdges())
+	}
+}
+
+func TestDefaultScale(t *testing.T) {
+	w := DefaultScale("random", 0)
+	if w.N != 10_000_000 || w.M != 50_000_000 {
+		t.Errorf("paper-size random workload = %+v", w)
+	}
+	w4 := DefaultScale("rmat", 4)
+	if w4.N != 1<<20 {
+		t.Errorf("rmat shrink-4 n = %d, want 2^20", w4.N)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind accepted")
+		}
+	}()
+	DefaultScale("nope", 0)
+}
+
+func TestMISPrefixSweepRuns(t *testing.T) {
+	tab := MISPrefixSweep(SweepConfig{
+		Workload: smallRandom(),
+		Fracs:    []float64{1e-3, 0.1, 1.0},
+		Reps:     1,
+	})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// work/N at the largest prefix must be >= work at the smallest.
+	if tab.Rows[0][2] > tab.Rows[2][2] && !strings.Contains(tab.Rows[0][2], "e") {
+		t.Errorf("work did not grow with prefix: %v vs %v", tab.Rows[0][2], tab.Rows[2][2])
+	}
+}
+
+func TestMMPrefixSweepRuns(t *testing.T) {
+	tab := MMPrefixSweep(SweepConfig{
+		Workload: smallRandom(),
+		Fracs:    []float64{1e-2, 1.0},
+		Reps:     1,
+	})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestThreadScalingRuns(t *testing.T) {
+	tab := MISThreadScaling(ThreadConfig{
+		Workload: smallRandom(),
+		Threads:  []int{1, 2},
+		Reps:     1,
+	})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	mm := MMThreadScaling(ThreadConfig{
+		Workload: smallRandom(),
+		Threads:  []int{1, 2},
+		Reps:     1,
+	})
+	if len(mm.Rows) != 2 {
+		t.Fatalf("mm rows = %d", len(mm.Rows))
+	}
+}
+
+func TestLubyWorkRatioRuns(t *testing.T) {
+	tab := LubyWorkRatio(smallRandom(), 1)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTheoryTablesRun(t *testing.T) {
+	dep := TheoryDependenceLength([]int{1000, 4000}, 10, 3)
+	if len(dep.Rows) != 2 {
+		t.Fatalf("dependence rows = %d", len(dep.Rows))
+	}
+	pp := TheoryPrefixPath(4000, 10, 3)
+	if len(pp.Rows) == 0 {
+		t.Fatal("prefix path table empty")
+	}
+	dr := TheoryDegreeReduction(4000, 10, 3)
+	if len(dr.Rows) == 0 {
+		t.Fatal("degree reduction table empty")
+	}
+	ps := TheoryPrefixSparsity(4000, 10, 3)
+	if len(ps.Rows) == 0 {
+		t.Fatal("sparsity table empty")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	ab1 := AblationPointer(smallRandom(), 1)
+	if len(ab1.Rows) == 0 {
+		t.Fatal("pointer ablation empty")
+	}
+	ab2 := AblationAlgorithms(smallRandom(), 1)
+	if len(ab2.Rows) < 8 {
+		t.Fatalf("algorithm ablation rows = %d", len(ab2.Rows))
+	}
+	sf := SpanningForestExperiment(smallRandom(), 1)
+	if len(sf.Rows) < 2 {
+		t.Fatal("spanning forest table too small")
+	}
+}
+
+func TestEnvNonEmpty(t *testing.T) {
+	if !strings.Contains(Env(), "gomaxprocs") {
+		t.Errorf("Env() = %q", Env())
+	}
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// TheoryDependenceLength validates Theorem 3.5 (and Lemma 5.1 for MM)
+// empirically: the dependence length of the priority DAG under a random
+// order grows like O(log^2 n) for sparse random graphs. The table
+// reports the measured dependence length against log2(n)^2 across a
+// range of sizes, for both MIS (vertices) and MM (edges).
+func TheoryDependenceLength(sizes []int, avgDeg int, seed uint64) Table {
+	if len(sizes) == 0 {
+		sizes = []int{10_000, 40_000, 160_000, 640_000}
+	}
+	t := Table{
+		Title:   fmt.Sprintf("Theorem 3.5: dependence length vs n (random G(n, %d*n/2 edges... avg deg %d)) [%s]", avgDeg, avgDeg, Env()),
+		Headers: []string{"n", "m", "misDepLen", "mmDepLen", "log2(n)^2", "mis/log^2", "longestPath"},
+		Notes: []string{
+			"paper: dependence length is O(log^2 n) w.h.p. for any graph under a random order",
+			"mis/log^2 staying bounded (and far below 1 here) as n grows is the polylog signature",
+		},
+	}
+	for _, n := range sizes {
+		m := avgDeg * n / 2
+		g := graph.Random(n, m, seed+uint64(n))
+		ord := core.NewRandomOrder(n, seed+uint64(n)+1)
+		info := core.DependenceSteps(g, ord)
+
+		el := g.EdgeList()
+		mmOrd := core.NewRandomOrder(el.NumEdges(), seed+uint64(n)+2)
+		mmInfo := matching.DependenceSteps(el, mmOrd)
+
+		lg := math.Log2(float64(n))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", m),
+			fmt.Sprintf("%d", info.Steps),
+			fmt.Sprintf("%d", mmInfo.Steps),
+			fmtFloat(lg * lg),
+			fmtFloat(float64(info.Steps) / (lg * lg)),
+			fmt.Sprintf("%d", core.LongestPath(g, ord)),
+		})
+	}
+	return t
+}
+
+// TheoryPrefixPath validates Lemma 3.3 / Corollary 3.4: for a graph of
+// maximum degree d, a randomly ordered prefix of size about n/d induces
+// a priority DAG whose longest path is O(log n).
+func TheoryPrefixPath(n, avgDeg int, seed uint64) Table {
+	m := avgDeg * n / 2
+	g := graph.Random(n, m, seed)
+	ord := core.NewRandomOrder(n, seed+1)
+	d := g.MaxDegree()
+	t := Table{
+		Title:   fmt.Sprintf("Lemma 3.3/Cor 3.4: longest path in delta-prefix priority DAG (n=%d, m=%d, maxdeg=%d)", n, m, d),
+		Headers: []string{"prefixSize", "prefix*d/n", "longestPath", "log2(n)"},
+		Notes: []string{
+			"paper: a (1/d)-prefix has longest path O(log n / log log n); an O(log(n)/d)-prefix has O(log n)",
+		},
+	}
+	lg := math.Log2(float64(n))
+	for _, mult := range []float64{0.25, 0.5, 1, 2, 4, 8, 16} {
+		p := int(mult * float64(n) / float64(d))
+		if p < 1 {
+			p = 1
+		}
+		if p > n {
+			p = n
+		}
+		lp := core.PrefixLongestPath(g, ord, p)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p),
+			fmtFloat(mult),
+			fmt.Sprintf("%d", lp),
+			fmtFloat(lg),
+		})
+	}
+	return t
+}
+
+// TheoryDegreeReduction validates Lemma 3.1 / Corollary 3.2: after
+// processing an (l/d)-prefix, the remaining vertices have degree at
+// most d w.h.p. The table processes successively larger prefixes and
+// reports the maximum remaining degree against the predicted halving
+// schedule.
+func TheoryDegreeReduction(n, avgDeg int, seed uint64) Table {
+	m := avgDeg * n / 2
+	g := graph.Random(n, m, seed)
+	ord := core.NewRandomOrder(n, seed+1)
+	delta := g.MaxDegree()
+	lg := math.Log2(float64(n))
+	t := Table{
+		Title:   fmt.Sprintf("Lemma 3.1/Cor 3.2: max remaining degree after prefix (n=%d, m=%d, Delta=%d)", n, m, delta),
+		Headers: []string{"round i", "targetDeg Delta/2^i", "prefixSize", "maxRemainingDeg", "ok"},
+		Notes: []string{
+			"prefix for round i has size ~ c*2^i*log(n)*n/Delta (c=1 here); 'ok' = measured <= target",
+		},
+	}
+	cum := 0
+	for i := 0; ; i++ {
+		target := delta >> uint(i)
+		if target == 0 {
+			break
+		}
+		size := int(float64(int(1)<<uint(i)) * lg * float64(n) / float64(delta))
+		cum += size
+		if cum > n {
+			cum = n
+		}
+		got := core.MaxDegreeAfterPrefix(g, ord, cum)
+		ok := "yes"
+		if got > target {
+			ok = "NO"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", target),
+			fmt.Sprintf("%d", cum),
+			fmt.Sprintf("%d", got),
+			ok,
+		})
+		if cum == n || got == 0 {
+			break
+		}
+	}
+	return t
+}
+
+// TheoryPrefixSparsity validates Lemmas 4.3/4.4: a (k/d)-prefix has
+// O(k|P|) internal edges and O(k|P|) vertices with at least one internal
+// edge, so small prefixes are nearly independent sets.
+func TheoryPrefixSparsity(n, avgDeg int, seed uint64) Table {
+	m := avgDeg * n / 2
+	g := graph.Random(n, m, seed)
+	ord := core.NewRandomOrder(n, seed+1)
+	d := g.MaxDegree()
+	t := Table{
+		Title:   fmt.Sprintf("Lemmas 4.3/4.4: internal edges of a (k/d)-prefix (n=%d, m=%d, maxdeg=%d)", n, m, d),
+		Headers: []string{"k", "prefixSize", "internalEdges", "edges/|P|", "verticesWithInternal", "withInternal/|P|"},
+		Notes: []string{
+			"paper: expected internal edges <= k|P|, vertices with an internal edge <= 2k|P|",
+		},
+	}
+	for _, k := range []float64{0.0625, 0.125, 0.25, 0.5, 1, 2, 4} {
+		p := int(k * float64(n) / float64(d))
+		if p < 1 {
+			p = 1
+		}
+		if p > n {
+			p = n
+		}
+		edges, withInternal := core.PrefixInternalEdges(g, ord, p)
+		t.Rows = append(t.Rows, []string{
+			fmtFloat(k),
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%d", edges),
+			fmtFloat(float64(edges) / float64(p)),
+			fmt.Sprintf("%d", withInternal),
+			fmtFloat(float64(withInternal) / float64(p)),
+		})
+	}
+	return t
+}

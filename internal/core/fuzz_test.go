@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzMISEquivalence is the determinism invariant as a fuzz target: for
+// arbitrary small graphs, seeds and prefix sizes, every parallel MIS
+// variant must reproduce the sequential greedy answer bit-for-bit.
+// Run with `go test -fuzz=FuzzMISEquivalence ./internal/core`.
+func FuzzMISEquivalence(f *testing.F) {
+	f.Add(uint8(10), uint16(20), uint64(1), uint8(4))
+	f.Add(uint8(2), uint16(1), uint64(9), uint8(1))
+	f.Add(uint8(60), uint16(400), uint64(3), uint8(255))
+	f.Fuzz(func(t *testing.T, rawN uint8, rawM uint16, seed uint64, rawPrefix uint8) {
+		n := int(rawN)%64 + 2
+		maxM := n * (n - 1) / 2
+		m := int(rawM) % (maxM + 1)
+		g := graph.Random(n, m, seed)
+		ord := NewRandomOrder(n, seed^0xfeed)
+		want := SequentialMIS(g, ord)
+		if !IsMaximalIndependentSet(g, want.InSet) {
+			t.Fatal("sequential answer is not a maximal independent set")
+		}
+		prefix := int(rawPrefix)%n + 1
+		for _, got := range []*Result{
+			PrefixMIS(g, ord, Options{PrefixSize: prefix, Grain: 3}),
+			PrefixMIS(g, ord, Options{PrefixSize: prefix, Pointered: true}),
+			RootSetMIS(g, ord, Options{Grain: 3}),
+			ParallelMIS(g, ord, Options{}),
+		} {
+			if !got.Equal(want) {
+				t.Fatalf("n=%d m=%d prefix=%d: parallel MIS diverged from sequential", n, m, prefix)
+			}
+		}
+		if got := DependenceSteps(g, ord); got.Steps > LongestPath(g, ord) {
+			t.Fatal("dependence length exceeds the longest priority-DAG path")
+		}
+	})
+}

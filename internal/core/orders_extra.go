@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// This file provides structured (non-random) priority orders. The
+// paper's theorem needs the order to be random: for adversarial orders
+// the lexicographically-first MIS is P-complete, so some order must
+// make the dependence length linear. These constructions make that
+// contrast measurable (see the order-sensitivity experiment in
+// internal/bench): random orders give polylog dependence length on
+// every family, while structured orders can blow it up to Theta(n).
+
+// DegreeOrder returns the order that ranks vertices by degree —
+// ascending (low-degree first) or descending — breaking ties by vertex
+// id. Degree-based greedy orders are common MIS heuristics (they tend
+// to produce larger independent sets) but void the paper's depth
+// guarantee.
+func DegreeOrder(g *graph.Graph, ascending bool) Order {
+	n := g.NumVertices()
+	order := rng.Identity(n)
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			if ascending {
+				return di < dj
+			}
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	return FromOrder(order)
+}
+
+// BFSOrder returns the breadth-first visit order from the given root,
+// continuing from the lowest-id unvisited vertex for further
+// components. BFS orders correlate neighbor priorities strongly — the
+// kind of structure that defeats the random-order analysis.
+func BFSOrder(g *graph.Graph, root graph.Vertex) Order {
+	n := g.NumVertices()
+	order := make([]int32, 0, n)
+	visited := make([]bool, n)
+	queue := make([]graph.Vertex, 0, 1024)
+	visit := func(start graph.Vertex) {
+		if visited[start] {
+			return
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			order = append(order, v)
+			for _, u := range g.Neighbors(v) {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	if n > 0 {
+		if root < 0 || int(root) >= n {
+			root = 0
+		}
+		visit(root)
+		for v := 0; v < n; v++ {
+			visit(graph.Vertex(v))
+		}
+	}
+	return FromOrder(order)
+}
+
+// Reverse returns the order with all priorities flipped: the last item
+// becomes the first.
+func Reverse(ord Order) Order {
+	n := ord.Len()
+	rev := make([]int32, n)
+	for r, v := range ord.Order {
+		rev[n-1-r] = v
+	}
+	return FromOrder(rev)
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// parentsCSR holds, for each vertex, its neighbors that are earlier in
+// the priority order (its parents in the priority DAG). The paper's
+// linear-work implementation assumes "the neighbors of a vertex have
+// been pre-partitioned into their parents (higher priorities) and
+// children (lower priorities)"; this structure is that partition. The
+// complementary children lists are obtained from the graph by filtering
+// on rank, or built explicitly by childrenCSR.
+type parentsCSR struct {
+	offsets []int64
+	items   []int32
+}
+
+func (p *parentsCSR) of(v int32) []int32 {
+	return p.items[p.offsets[v]:p.offsets[v+1]]
+}
+
+// buildParents builds the parent lists in O(n + m) work. Within each
+// list, parents appear in adjacency (vertex id) order; the algorithms
+// that use them do not require priority order.
+func buildParents(g *graph.Graph, ord Order) *parentsCSR {
+	n := g.NumVertices()
+	rank := ord.Rank
+	counts := make([]int64, n+1)
+	parallel.For(n, 1024, func(i int) {
+		v := int32(i)
+		rv := rank[v]
+		c := int64(0)
+		for _, u := range g.Neighbors(v) {
+			if rank[u] < rv {
+				c++
+			}
+		}
+		counts[i] = c
+	})
+	offsets := make([]int64, n+1)
+	total := parallel.ExclusiveScan(offsets[:n], counts[:n], 1024)
+	offsets[n] = total
+	items := make([]int32, total)
+	parallel.For(n, 1024, func(i int) {
+		v := int32(i)
+		rv := rank[v]
+		pos := offsets[i]
+		for _, u := range g.Neighbors(v) {
+			if rank[u] < rv {
+				items[pos] = u
+				pos++
+			}
+		}
+	})
+	return &parentsCSR{offsets: offsets, items: items}
+}
+
+// buildChildren builds the child lists (later neighbors), the mirror of
+// buildParents.
+func buildChildren(g *graph.Graph, ord Order) *parentsCSR {
+	n := g.NumVertices()
+	rank := ord.Rank
+	counts := make([]int64, n+1)
+	parallel.For(n, 1024, func(i int) {
+		v := int32(i)
+		rv := rank[v]
+		c := int64(0)
+		for _, u := range g.Neighbors(v) {
+			if rank[u] > rv {
+				c++
+			}
+		}
+		counts[i] = c
+	})
+	offsets := make([]int64, n+1)
+	total := parallel.ExclusiveScan(offsets[:n], counts[:n], 1024)
+	offsets[n] = total
+	items := make([]int32, total)
+	parallel.For(n, 1024, func(i int) {
+		v := int32(i)
+		rv := rank[v]
+		pos := offsets[i]
+		for _, u := range g.Neighbors(v) {
+			if rank[u] > rv {
+				items[pos] = u
+				pos++
+			}
+		}
+	})
+	return &parentsCSR{offsets: offsets, items: items}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// PrefixMIS computes the lexicographically-first MIS of g under ord with
+// the paper's Algorithm 3 / Theorem 4.5: the prefix-based algorithm used
+// in all of the paper's experiments. Each round takes the earliest (up
+// to) prefix-size unresolved vertices as the active window and runs one
+// step of Algorithm 2 on it: every active vertex checks its earlier
+// neighbors against the state at the start of the round, vertices whose
+// earlier neighbors are all out join the MIS, vertices with an earlier
+// MIS neighbor drop out, and the rest retry in the next round together
+// with newly admitted vertices.
+//
+// Rounds are strictly synchronous — the check phase reads only statuses
+// written in previous rounds, and the update phase writes each vertex's
+// own status — so the result is the sequential greedy MIS for any prefix
+// size and thread count, and no atomics are needed at all (the fork-join
+// barrier between phases is the only synchronization). One deliberate
+// fidelity note: like the PBBS implementation the paper measures,
+// discarded vertices discover their accepted neighbor by checking, one
+// round after it is admitted, so the executed round count for a full
+// prefix lies between the dependence length and twice the dependence
+// length plus one; RootSetMIS implements the idealized "remove roots
+// and their children in the same step" semantics and its step count
+// equals the dependence length exactly.
+//
+// The prefix size trades work for parallelism (the subject of Figure 1):
+// prefix 1 is the sequential algorithm (Attempts = n, Rounds = n); the
+// full prefix is Algorithm 2 (Rounds = dependence length, maximum
+// redundant work).
+func PrefixMIS(g *graph.Graph, ord Order, opt Options) *Result {
+	n := g.NumVertices()
+	if ord.Len() != n {
+		panic("core: order size does not match graph")
+	}
+	status := make([]int32, n)
+	prefix := opt.prefixFor(n)
+	grain := opt.grain()
+	rank := ord.Rank
+
+	var parents *parentsCSR
+	var ptr []int32
+	if opt.Pointered {
+		parents = buildParents(g, ord)
+		ptr = make([]int32, n)
+	}
+
+	stats := Stats{PrefixSize: prefix}
+	active := make([]int32, 0, prefix)
+	outcome := make([]int32, prefix)
+	nextRank := 0
+	resolved := 0
+	var inspections atomic.Int64
+
+	for resolved < n {
+		// Refill the window with the earliest unresolved vertices.
+		for len(active) < prefix && nextRank < n {
+			active = append(active, ord.Order[nextRank])
+			nextRank++
+		}
+		stats.Rounds++
+		stats.Attempts += int64(len(active))
+		outcome = outcome[:len(active)]
+
+		// Check phase: decide each active vertex against the statuses
+		// of the previous rounds. Statuses are not written here, so the
+		// reads are stable and race-free.
+		if opt.Pointered {
+			parallel.ForRange(len(active), grain, func(lo, hi int) {
+				var local int64
+				for i := lo; i < hi; i++ {
+					var insp int64
+					outcome[i], insp = checkPointered(active[i], status, parents, ptr)
+					local += insp
+				}
+				inspections.Add(local)
+			})
+		} else {
+			parallel.ForRange(len(active), grain, func(lo, hi int) {
+				var local int64
+				for i := lo; i < hi; i++ {
+					var insp int64
+					outcome[i], insp = checkScratch(g, active[i], rank, status)
+					local += insp
+				}
+				inspections.Add(local)
+			})
+		}
+
+		// Update phase: apply the decisions. Each vertex writes only its
+		// own status.
+		parallel.ForRange(len(active), grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if outcome[i] != statusUndecided {
+					status[active[i]] = outcome[i]
+				}
+			}
+		})
+
+		before := len(active)
+		active = parallel.PackInPlace(active, grain, func(i int) bool {
+			return outcome[i] == statusUndecided
+		})
+		// PackInPlace consumed outcome[i] positions aligned with the old
+		// active; reset capacity view for the next round.
+		resolved += before - len(active)
+		if opt.OnRound != nil {
+			opt.OnRound(stats.Rounds, before, before-len(active))
+		}
+	}
+	stats.EdgeInspections = inspections.Load()
+	return newResult(status, stats)
+}
+
+// checkScratch decides vertex v by scanning all of its earlier neighbors
+// (the PBBS-style check the paper measures): if any earlier neighbor is
+// in the MIS, v is out; if all are out, v is in; otherwise v stays
+// undecided and is retried next round. Returns the decision and the
+// number of neighbor inspections performed.
+func checkScratch(g *graph.Graph, v int32, rank []int32, status []int32) (int32, int64) {
+	rv := rank[v]
+	sawUndecided := false
+	var inspections int64
+	for _, u := range g.Neighbors(v) {
+		if rank[u] >= rv {
+			continue
+		}
+		inspections++
+		switch status[u] {
+		case statusIn:
+			return statusOut, inspections
+		case statusUndecided:
+			sawUndecided = true
+		}
+	}
+	if sawUndecided {
+		return statusUndecided, inspections
+	}
+	return statusIn, inspections
+}
+
+// checkPointered is checkScratch with the parent-pointer optimization of
+// Lemma 4.1: the scan resumes at the first parent that blocked the
+// previous attempt, charging each skipped (dead) parent once. This caps
+// total check work at O(m) regardless of the number of retries, at the
+// cost of building the parent lists up front.
+func checkPointered(v int32, status []int32, parents *parentsCSR, ptr []int32) (int32, int64) {
+	ps := parents.of(v)
+	i := ptr[v]
+	var inspections int64
+	for int(i) < len(ps) {
+		inspections++
+		switch status[ps[i]] {
+		case statusOut:
+			i++
+		case statusIn:
+			ptr[v] = i
+			return statusOut, inspections
+		default: // undecided: stall here and retry next round
+			ptr[v] = i
+			return statusUndecided, inspections
+		}
+	}
+	ptr[v] = i
+	return statusIn, inspections
+}
+
+// ParallelMIS is Algorithm 2: the prefix-based algorithm run with the
+// full remaining input as the prefix, i.e. every undecided vertex is
+// attempted every round. Its Rounds statistic is exactly the dependence
+// length of the priority DAG, the quantity Theorem 3.5 bounds by
+// O(log^2 n).
+func ParallelMIS(g *graph.Graph, ord Order, opt Options) *Result {
+	opt.PrefixSize = g.NumVertices()
+	if opt.PrefixSize == 0 {
+		opt.PrefixSize = 1
+	}
+	return PrefixMIS(g, ord, opt)
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"repro/internal/graph"
+)
+
+// This file contains exact O(n + m) analyzers for the priority-DAG
+// quantities the paper's theory section bounds. They process vertices in
+// priority order, so every earlier neighbor is already resolved when a
+// vertex is reached — a sequential sweep that computes exactly what the
+// parallel execution would do without running it.
+
+// DependenceInfo is the per-vertex outcome of the dependence analysis.
+type DependenceInfo struct {
+	// Steps is the dependence length: the number of iterations Algorithm
+	// 2 needs (Theorem 3.5: O(log Delta log n) w.h.p. for random orders).
+	Steps int
+	// RemoveStep[v] is the 1-based step at which Algorithm 2 removes v
+	// from the priority DAG (accepting it into the MIS or discarding it
+	// as a neighbor of an accepted vertex).
+	RemoveStep []int32
+	// InSet[v] reports whether v belongs to the lexicographically-first
+	// MIS — a byproduct that doubles as a reference implementation.
+	InSet []bool
+}
+
+// DependenceSteps simulates Algorithm 2 analytically: processing
+// vertices in priority order, a vertex enters the MIS one step after its
+// last-removed earlier neighbor is gone, and a discarded vertex leaves
+// at the step its first (earliest-accepted) MIS neighbor enters. The
+// maximum removal step is the dependence length.
+func DependenceSteps(g *graph.Graph, ord Order) DependenceInfo {
+	n := g.NumVertices()
+	if ord.Len() != n {
+		panic("core: order size does not match graph")
+	}
+	rank := ord.Rank
+	removeStep := make([]int32, n)
+	inSet := make([]bool, n)
+	steps := int32(0)
+	const inf = int32(1<<31 - 1)
+	for r := 0; r < n; r++ {
+		v := ord.Order[r]
+		rv := rank[v]
+		maxRemove := int32(0)
+		firstIn := inf
+		for _, u := range g.Neighbors(v) {
+			if rank[u] >= rv {
+				continue
+			}
+			if inSet[u] && removeStep[u] < firstIn {
+				firstIn = removeStep[u]
+			}
+			if removeStep[u] > maxRemove {
+				maxRemove = removeStep[u]
+			}
+		}
+		if firstIn != inf {
+			// v is knocked out at the step its earliest MIS neighbor is
+			// accepted.
+			removeStep[v] = firstIn
+		} else {
+			inSet[v] = true
+			removeStep[v] = maxRemove + 1
+		}
+		if removeStep[v] > steps {
+			steps = removeStep[v]
+		}
+	}
+	return DependenceInfo{Steps: int(steps), RemoveStep: removeStep, InSet: inSet}
+}
+
+// LongestPath returns the length (number of vertices) of the longest
+// directed path in the priority DAG of (g, ord). The paper notes this
+// upper-bounds the dependence length but can be much larger: on the
+// complete graph it is n while the dependence length is O(1).
+func LongestPath(g *graph.Graph, ord Order) int {
+	n := g.NumVertices()
+	rank := ord.Rank
+	level := make([]int32, n)
+	best := int32(0)
+	for r := 0; r < n; r++ {
+		v := ord.Order[r]
+		rv := rank[v]
+		l := int32(1)
+		for _, u := range g.Neighbors(v) {
+			if rank[u] < rv && level[u]+1 > l {
+				l = level[u] + 1
+			}
+		}
+		level[v] = l
+		if l > best {
+			best = l
+		}
+	}
+	return int(best)
+}
+
+// PrefixLongestPath returns the length of the longest directed path in
+// the priority DAG induced by the first prefixSize vertices of the
+// order — the quantity bounded by Lemma 3.3 / Corollary 3.4 (O(log n)
+// for an O(log(n)/d)-prefix of a degree-<=d graph).
+func PrefixLongestPath(g *graph.Graph, ord Order, prefixSize int) int {
+	n := g.NumVertices()
+	if prefixSize > n {
+		prefixSize = n
+	}
+	rank := ord.Rank
+	level := make([]int32, n)
+	best := int32(0)
+	for r := 0; r < prefixSize; r++ {
+		v := ord.Order[r]
+		rv := rank[v]
+		l := int32(1)
+		for _, u := range g.Neighbors(v) {
+			if rank[u] < rv && level[u]+1 > l {
+				l = level[u] + 1
+			}
+		}
+		level[v] = l
+		if l > best {
+			best = l
+		}
+	}
+	return int(best)
+}
+
+// MaxDegreeAfterPrefix computes the maximum degree of the graph that
+// remains after the first prefixSize vertices are fully processed: the
+// MIS of the prefix is computed, and the prefix plus all neighbors of
+// its MIS members are removed (one round of Algorithm 3). Lemma 3.1
+// shows this is at most d w.h.p. once the prefix has size l*n/d.
+func MaxDegreeAfterPrefix(g *graph.Graph, ord Order, prefixSize int) int {
+	n := g.NumVertices()
+	if prefixSize > n {
+		prefixSize = n
+	}
+	rank := ord.Rank
+	// Sequential greedy over the prefix only.
+	status := make([]int32, n)
+	for r := 0; r < prefixSize; r++ {
+		v := ord.Order[r]
+		if status[v] != statusUndecided {
+			continue
+		}
+		status[v] = statusIn
+		for _, u := range g.Neighbors(v) {
+			if status[u] == statusUndecided {
+				status[u] = statusOut
+			}
+		}
+	}
+	// Remaining vertices: outside the prefix and not adjacent to the
+	// prefix's MIS. (Vertices marked out are removed; undecided prefix
+	// vertices cannot exist because the prefix was fully processed.)
+	removed := make([]bool, n)
+	for r := 0; r < prefixSize; r++ {
+		removed[ord.Order[r]] = true
+	}
+	for v := 0; v < n; v++ {
+		if status[v] == statusOut {
+			removed[v] = true
+		}
+	}
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if removed[v] {
+			continue
+		}
+		d := 0
+		for _, u := range g.Neighbors(int32(v)) {
+			if !removed[u] {
+				d++
+			}
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	_ = rank
+	return maxDeg
+}
+
+// PrefixInternalEdges counts the edges with both endpoints in the first
+// prefixSize vertices of the order — the "internal edges" of Lemma 4.3,
+// expected O(k|P|) for a (k/d)-prefix of a degree-<=d graph.
+func PrefixInternalEdges(g *graph.Graph, ord Order, prefixSize int) (edges int64, verticesWithInternal int) {
+	n := g.NumVertices()
+	if prefixSize > n {
+		prefixSize = n
+	}
+	inPrefix := make([]bool, n)
+	for r := 0; r < prefixSize; r++ {
+		inPrefix[ord.Order[r]] = true
+	}
+	for r := 0; r < prefixSize; r++ {
+		v := ord.Order[r]
+		has := false
+		for _, u := range g.Neighbors(v) {
+			if inPrefix[u] {
+				edges++
+				has = true
+			}
+		}
+		if has {
+			verticesWithInternal++
+		}
+	}
+	return edges / 2, verticesWithInternal
+}

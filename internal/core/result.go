@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Vertex statuses shared by all MIS implementations. A status is
+// monotone: it moves from undecided to exactly one of in/out and never
+// changes again — the invariant that makes the optimistic parallel
+// attempts safe (a vertex only enters the MIS after observing final
+// "out" for every earlier neighbor).
+const (
+	statusUndecided int32 = 0
+	statusIn        int32 = 1
+	statusOut       int32 = 2
+)
+
+// Stats records machine-independent cost measures of a run, the
+// quantities plotted by the paper's Figures 1 and 2.
+type Stats struct {
+	// Rounds is the number of outer-loop rounds: prefixes taken by the
+	// prefix-based algorithm (one per round, failed iterates retried),
+	// steps of the step-synchronous algorithms, or rounds of Luby. The
+	// paper uses it as the (inverse) parallelism estimate in Figures
+	// 1(b)/1(e). A sequential run has Rounds == number of items.
+	Rounds int64
+	// Attempts is the total number of iterate-processings summed over
+	// rounds, the paper's "total work" (Figures 1(a)/1(d)): a sequential
+	// run attempts each item exactly once, so Attempts == items; parallel
+	// runs retry failed iterates and so do more work.
+	Attempts int64
+	// EdgeInspections counts neighbor-status reads, a finer-grained work
+	// measure reported alongside Attempts.
+	EdgeInspections int64
+	// PrefixSize is the resolved prefix size used by prefix-based runs
+	// (0 for the other algorithms).
+	PrefixSize int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("rounds=%d attempts=%d inspections=%d prefix=%d",
+		s.Rounds, s.Attempts, s.EdgeInspections, s.PrefixSize)
+}
+
+// Result is the outcome of an MIS computation.
+type Result struct {
+	// InSet[v] reports whether vertex v is in the independent set.
+	InSet []bool
+	// Set lists the members of the independent set in increasing vertex
+	// order.
+	Set []graph.Vertex
+	// Stats are the cost counters of the run.
+	Stats Stats
+}
+
+func newResult(status []int32, stats Stats) *Result {
+	n := len(status)
+	in := make([]bool, n)
+	parallel.For(n, 4096, func(i int) {
+		in[i] = status[i] == statusIn
+	})
+	set := parallel.PackIndex(n, 4096, func(i int) bool { return in[i] })
+	return &Result{InSet: in, Set: set, Stats: stats}
+}
+
+// Size returns the number of vertices in the set.
+func (r *Result) Size() int { return len(r.Set) }
+
+// Equal reports whether two results select exactly the same set.
+func (r *Result) Equal(other *Result) bool {
+	if len(r.Set) != len(other.Set) {
+		return false
+	}
+	for i := range r.Set {
+		if r.Set[i] != other.Set[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Options configures the parallel MIS algorithms.
+type Options struct {
+	// PrefixSize fixes the number of iterates examined per round of the
+	// prefix-based algorithm. If zero, PrefixFrac is used instead.
+	PrefixSize int
+	// PrefixFrac sets the prefix size as a fraction of the input size.
+	// If both PrefixSize and PrefixFrac are zero, DefaultPrefixFrac is
+	// used. PrefixFrac = 1 processes the whole remaining input each
+	// round (maximum parallelism, maximum redundant work); prefix size 1
+	// degenerates to the sequential algorithm.
+	PrefixFrac float64
+	// Grain is the parallel-loop grain size; 0 means
+	// parallel.DefaultGrain (256, as in the paper).
+	Grain int
+	// Pointered enables the parent-pointer optimization of Lemma 4.1:
+	// each iterate resumes scanning its earlier neighbors where the
+	// previous attempt stalled instead of rescanning from scratch. The
+	// default (false) matches the PBBS implementation the paper measures
+	// and its work curve.
+	Pointered bool
+	// OnRound, if non-nil, is called after every round of the
+	// prefix-based algorithms with the 1-based round number, the number
+	// of iterates attempted, and the number resolved. It exposes the
+	// per-round profile (how failed iterates accumulate at large
+	// prefixes) at no cost when unset.
+	OnRound func(round int64, attempted, resolved int)
+}
+
+// DefaultPrefixFrac is the default prefix fraction, chosen near the
+// running-time optimum the paper observes (prefix/input between 1e-3
+// and 1e-2 on both inputs).
+const DefaultPrefixFrac = 0.005
+
+func (o Options) prefixFor(n int) int {
+	p := o.PrefixSize
+	if p <= 0 {
+		frac := o.PrefixFrac
+		if frac <= 0 {
+			frac = DefaultPrefixFrac
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		p = int(frac * float64(n))
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+func (o Options) grain() int {
+	if o.Grain <= 0 {
+		return parallel.DefaultGrain
+	}
+	return o.Grain
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// Edge is an undirected edge between vertices U and V. The canonical
+// form has U < V; builders accept either orientation.
+type Edge struct {
+	U, V Vertex
+}
+
+// Canonical returns the edge with endpoints ordered U < V.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not v. It panics if v is not
+// an endpoint.
+func (e Edge) Other(v Vertex) Vertex {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", v, e))
+}
+
+// FromEdges builds a simple undirected graph on n vertices from an edge
+// list. Self loops are dropped and duplicate edges (in either
+// orientation) are merged. Endpoints must lie in [0, n).
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	canon := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge %v out of range [0,%d)", e, n)
+		}
+		if e.U == e.V {
+			continue // drop self loop
+		}
+		canon = append(canon, e.Canonical())
+	}
+	sort.Slice(canon, func(i, j int) bool {
+		if canon[i].U != canon[j].U {
+			return canon[i].U < canon[j].U
+		}
+		return canon[i].V < canon[j].V
+	})
+	// Deduplicate in place.
+	w := 0
+	for i, e := range canon {
+		if i == 0 || e != canon[i-1] {
+			canon[w] = e
+			w++
+		}
+	}
+	canon = canon[:w]
+	return fromCanonicalEdges(n, canon), nil
+}
+
+// MustFromEdges is FromEdges but panics on error; convenient in tests
+// and generators where inputs are known valid.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// fromCanonicalEdges builds a Graph from edges already canonical
+// (U < V), sorted and deduplicated.
+func fromCanonicalEdges(n int, edges []Edge) *Graph {
+	degrees := make([]int64, n+1)
+	for _, e := range edges {
+		degrees[e.U]++
+		degrees[e.V]++
+	}
+	offsets := make([]int64, n+1)
+	total := parallel.ExclusiveScan(offsets[:n], degrees[:n], 4096)
+	offsets[n] = total
+	adj := make([]Vertex, total)
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range edges {
+		adj[cursor[e.U]] = e.V
+		cursor[e.U]++
+		adj[cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	g := &Graph{offsets: offsets, adj: adj}
+	g.sortAdjacency()
+	return g
+}
+
+// sortAdjacency sorts every neighbor list ascending, in parallel over
+// vertices.
+func (g *Graph) sortAdjacency() {
+	n := g.NumVertices()
+	parallel.For(n, 512, func(i int) {
+		nbrs := g.adj[g.offsets[i]:g.offsets[i+1]]
+		if len(nbrs) > 1 {
+			sort.Slice(nbrs, func(a, b int) bool { return nbrs[a] < nbrs[b] })
+		}
+	})
+}
+
+// FromAdjacency builds a graph directly from CSR arrays. offsets must
+// have length n+1 with offsets[0] == 0 and offsets[n] == len(adj); the
+// arrays are copied. The input must already describe a symmetric simple
+// graph; Validate is run and its error returned if it does not.
+func FromAdjacency(offsets []int64, adj []Vertex) (*Graph, error) {
+	if len(offsets) == 0 {
+		return &Graph{}, nil
+	}
+	g := &Graph{
+		offsets: append([]int64(nil), offsets...),
+		adj:     append([]Vertex(nil), adj...),
+	}
+	g.sortAdjacency()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Empty returns the graph with n vertices and no edges.
+func Empty(n int) *Graph {
+	return &Graph{offsets: make([]int64, n+1)}
+}

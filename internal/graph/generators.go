@@ -1,0 +1,309 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// Random returns a uniform sparse random graph with n vertices and m
+// distinct undirected edges (the G(n,m) model). This is the paper's
+// first experimental input ("a sparse random graph with 10^7 vertices
+// and 5x10^7 edges"), here parameterized so the harness can scale it to
+// the host machine. It panics if m exceeds the number of possible edges.
+func Random(n, m int, seed uint64) *Graph {
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(m) > maxEdges {
+		panic(fmt.Sprintf("graph: Random(%d, %d) requests more than %d possible edges", n, m, maxEdges))
+	}
+	if n <= 1 || m == 0 {
+		return Empty(n)
+	}
+	x := rng.NewXoshiro256(seed)
+	sample := func(count int, out []uint64) []uint64 {
+		for i := 0; i < count; i++ {
+			u := x.Int31n(int32(n))
+			v := x.Int31n(int32(n))
+			for v == u {
+				v = x.Int31n(int32(n))
+			}
+			if u > v {
+				u, v = v, u
+			}
+			out = append(out, uint64(u)*uint64(n)+uint64(v))
+		}
+		return out
+	}
+	keys := sample(m, make([]uint64, 0, m+m/16+64))
+	keys = dedupSortedKeys(keys)
+	for len(keys) < m {
+		// Top up the shortfall caused by duplicate samples; for sparse
+		// graphs this loop runs once or twice with tiny batches.
+		short := m - len(keys)
+		keys = sample(2*short+16, keys)
+		keys = dedupSortedKeys(keys)
+	}
+	keys = keys[:m]
+	return graphFromKeys(n, keys)
+}
+
+func dedupSortedKeys(keys []uint64) []uint64 {
+	parallel.SortUint64(keys)
+	w := 0
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			keys[w] = k
+			w++
+		}
+	}
+	return keys[:w]
+}
+
+// graphFromKeys builds a graph from sorted, deduplicated edge keys
+// u*n+v with u < v.
+func graphFromKeys(n int, keys []uint64) *Graph {
+	edges := make([]Edge, len(keys))
+	parallel.For(len(keys), 4096, func(i int) {
+		k := keys[i]
+		edges[i] = Edge{U: Vertex(k / uint64(n)), V: Vertex(k % uint64(n))}
+	})
+	return fromCanonicalEdges(n, edges)
+}
+
+// RMatOptions configures the R-MAT recursive generator of Chakrabarti,
+// Zhan and Faloutsos (SIAM SDM 2004), the paper's second experimental
+// input. A, B and C are the probabilities of the top-left, top-right and
+// bottom-left quadrants; the bottom-right gets the remainder. The
+// defaults (0.5, 0.1, 0.1, leaving 0.3) are the ones used by the PBBS
+// inputs and produce the power-law degree distribution the paper
+// mentions.
+type RMatOptions struct {
+	A, B, C float64
+}
+
+// DefaultRMatOptions returns the PBBS rMat parameters.
+func DefaultRMatOptions() RMatOptions {
+	return RMatOptions{A: 0.5, B: 0.1, C: 0.1}
+}
+
+// RMat returns an rMat graph with 2^logN vertices and m distinct
+// undirected edges (self loops and duplicates are discarded and
+// resampled). The generator is fully deterministic in (logN, m, seed):
+// the quadrant choices for edge i are drawn from a hash of (seed, i,
+// level), so the edge set does not depend on scheduling.
+func RMat(logN, m int, seed uint64, opt RMatOptions) *Graph {
+	if logN < 0 || logN > 30 {
+		panic(fmt.Sprintf("graph: RMat logN=%d out of range [0,30]", logN))
+	}
+	n := 1 << uint(logN)
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(m) > maxEdges {
+		panic(fmt.Sprintf("graph: RMat(2^%d, %d) requests more than %d possible edges", logN, m, maxEdges))
+	}
+	if n <= 1 || m == 0 {
+		return Empty(n)
+	}
+	if opt.A <= 0 && opt.B <= 0 && opt.C <= 0 {
+		opt = DefaultRMatOptions()
+	}
+	// Cumulative quadrant thresholds scaled to 2^53 for integer
+	// comparison against hash bits.
+	const scale = 1 << 53
+	tA := uint64(opt.A * scale)
+	tB := tA + uint64(opt.B*scale)
+	tC := tB + uint64(opt.C*scale)
+
+	drawEdge := func(i uint64) (Vertex, Vertex) {
+		var u, v uint32
+		for level := 0; level < logN; level++ {
+			h := rng.Hash3(seed, i, uint64(level)) >> 11 // 53 random bits
+			u <<= 1
+			v <<= 1
+			switch {
+			case h < tA:
+				// top-left: both bits 0
+			case h < tB:
+				v |= 1 // top-right
+			case h < tC:
+				u |= 1 // bottom-left
+			default:
+				u |= 1
+				v |= 1 // bottom-right
+			}
+		}
+		return Vertex(u), Vertex(v)
+	}
+
+	keys := make([]uint64, 0, m+m/4+64)
+	var counter uint64
+	for len(keys) < m {
+		need := m - len(keys)
+		batch := need + need/4 + 64
+		for i := 0; i < batch; i++ {
+			u, v := drawEdge(counter)
+			counter++
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			keys = append(keys, uint64(u)*uint64(n)+uint64(v))
+		}
+		keys = dedupSortedKeys(keys)
+	}
+	keys = keys[:m]
+	return graphFromKeys(n, keys)
+}
+
+// Grid2D returns the rows x cols grid graph: vertex r*cols+c is adjacent
+// to its horizontal and vertical neighbors. Grids are a standard
+// bounded-degree adversarial-structure input for MIS.
+func Grid2D(rows, cols int) *Graph {
+	edges := make([]Edge, 0, 2*rows*cols)
+	id := func(r, c int) Vertex { return Vertex(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{U: id(r, c), V: id(r+1, c)})
+			}
+		}
+	}
+	return MustFromEdges(rows*cols, edges)
+}
+
+// Torus2D returns the rows x cols torus (grid with wraparound). Every
+// vertex has degree exactly 4 when rows, cols >= 3.
+func Torus2D(rows, cols int) *Graph {
+	edges := make([]Edge, 0, 2*rows*cols)
+	id := func(r, c int) Vertex { return Vertex(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			edges = append(edges, Edge{U: id(r, c), V: id(r, (c+1)%cols)})
+			edges = append(edges, Edge{U: id(r, c), V: id((r+1)%rows, c)})
+		}
+	}
+	return MustFromEdges(rows*cols, edges)
+}
+
+// Complete returns the complete graph K_n. The paper uses K_n as the
+// example where the longest path in the priority DAG is Omega(n) but the
+// dependence length is O(1).
+func Complete(n int) *Graph {
+	edges := make([]Edge, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, Edge{U: Vertex(u), V: Vertex(v)})
+		}
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Star returns the star K_{1,n-1} with center 0, the extreme
+// high-degree-skew input.
+func Star(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{U: 0, V: Vertex(v)})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Path returns the path 0-1-...-(n-1), the graph whose priority DAG can
+// have the longest chains among bounded-degree graphs.
+func Path(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, Edge{U: Vertex(v), V: Vertex(v + 1)})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Cycle returns the cycle on n vertices.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		return Path(n)
+	}
+	edges := make([]Edge, 0, n)
+	for v := 0; v < n; v++ {
+		edges = append(edges, Edge{U: Vertex(v), V: Vertex((v + 1) % n)})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// CompleteBipartite returns K_{a,b} with parts [0,a) and [a,a+b).
+func CompleteBipartite(a, b int) *Graph {
+	edges := make([]Edge, 0, a*b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			edges = append(edges, Edge{U: Vertex(u), V: Vertex(a + v)})
+		}
+	}
+	return MustFromEdges(a+b, edges)
+}
+
+// RandomBipartite returns a random bipartite graph with parts of size a
+// and b and m distinct edges; useful for the switch-scheduling example
+// where maximal matchings drive a crossbar.
+func RandomBipartite(a, b, m int, seed uint64) *Graph {
+	maxEdges := int64(a) * int64(b)
+	if int64(m) > maxEdges {
+		panic(fmt.Sprintf("graph: RandomBipartite(%d,%d,%d) exceeds %d possible edges", a, b, m, maxEdges))
+	}
+	x := rng.NewXoshiro256(seed)
+	keys := make([]uint64, 0, m+m/8+16)
+	for len(keys) < m {
+		need := m - len(keys)
+		for i := 0; i < need+need/4+16; i++ {
+			u := uint64(x.Intn(a))
+			v := uint64(x.Intn(b))
+			keys = append(keys, u*uint64(b)+v)
+		}
+		keys = dedupSortedKeys(keys)
+	}
+	keys = keys[:m]
+	edges := make([]Edge, len(keys))
+	for i, k := range keys {
+		edges[i] = Edge{U: Vertex(k / uint64(b)), V: Vertex(uint64(a) + k%uint64(b))}
+	}
+	return MustFromEdges(a+b, edges)
+}
+
+// RandomTree returns a uniform-attachment random tree: vertex i >= 1
+// attaches to a parent chosen uniformly from [0, i).
+func RandomTree(n int, seed uint64) *Graph {
+	x := rng.NewXoshiro256(seed)
+	edges := make([]Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		p := Vertex(x.Intn(v))
+		edges = append(edges, Edge{U: p, V: Vertex(v)})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// NearRegular returns a graph where every vertex has degree close to d,
+// built as the union of ceil(d/2) random Hamiltonian cycles (duplicate
+// edges merged, so degrees can fall slightly below d). It approximates a
+// random d-regular graph well enough for degree-uniformity experiments;
+// it is not a uniform sample from d-regular graphs.
+func NearRegular(n, d int, seed uint64) *Graph {
+	if d >= n {
+		panic(fmt.Sprintf("graph: NearRegular degree %d >= n %d", d, n))
+	}
+	cycles := (d + 1) / 2
+	edges := make([]Edge, 0, cycles*n)
+	for c := 0; c < cycles; c++ {
+		p := rng.Perm(n, rng.Hash2(seed, uint64(c)))
+		for i := 0; i < n; i++ {
+			u, v := p[i], p[(i+1)%n]
+			if u != v {
+				edges = append(edges, Edge{U: u, V: v})
+			}
+		}
+	}
+	return MustFromEdges(n, edges)
+}

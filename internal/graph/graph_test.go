@@ -1,0 +1,541 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := Empty(0)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Errorf("Empty(0) = %v", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Empty(0).Validate() = %v", err)
+	}
+	g5 := Empty(5)
+	if g5.NumVertices() != 5 || g5.NumEdges() != 0 || g5.MaxDegree() != 0 {
+		t.Errorf("Empty(5) wrong: %v", g5)
+	}
+	if err := g5.Validate(); err != nil {
+		t.Errorf("Empty(5).Validate() = %v", err)
+	}
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("cycle4: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	for v := Vertex(0); v < 4; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Error("HasEdge wrong on cycle4")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromEdgesDropsSelfLoopsAndDuplicates(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1}, {1, 0}, {0, 0}, {1, 2}, {1, 2}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("m = %d, want 2 after dedup", g.NumEdges())
+	}
+	if g.HasEdge(0, 0) {
+		t.Error("self loop survived")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromEdgesOutOfRange(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{0, 5}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := FromEdges(-1, nil); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestEdgesCanonicalRoundTrip(t *testing.T) {
+	g := Random(200, 600, 42)
+	edges := g.Edges()
+	if len(edges) != 600 {
+		t.Fatalf("Edges() returned %d, want 600", len(edges))
+	}
+	for i, e := range edges {
+		if e.U >= e.V {
+			t.Fatalf("edge %d = %v not canonical", i, e)
+		}
+		if i > 0 {
+			prev := edges[i-1]
+			if prev.U > e.U || (prev.U == e.U && prev.V >= e.V) {
+				t.Fatalf("edges not sorted at %d: %v then %v", i, prev, e)
+			}
+		}
+	}
+	g2, err := FromEdges(g.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Errorf("round trip lost edges: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(Vertex(v)) != g2.Degree(Vertex(v)) {
+			t.Fatalf("round trip changed degree of %d", v)
+		}
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{U: 3, V: 7}
+	if e.Other(3) != 7 || e.Other(7) != 3 {
+		t.Error("Other wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Other on non-endpoint did not panic")
+		}
+	}()
+	e.Other(5)
+}
+
+func TestFromAdjacency(t *testing.T) {
+	// Triangle as raw CSR.
+	offsets := []int64{0, 2, 4, 6}
+	adj := []Vertex{1, 2, 0, 2, 0, 1}
+	g, err := FromAdjacency(offsets, adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("triangle m = %d", g.NumEdges())
+	}
+	// Asymmetric input must be rejected.
+	if _, err := FromAdjacency([]int64{0, 1, 1}, []Vertex{1}); err == nil {
+		t.Error("asymmetric adjacency accepted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := Random(50, 100, 7)
+	c := g.Clone()
+	coff, _ := c.Raw()
+	coff[0] = 999 // corrupt the clone
+	goff, _ := g.Raw()
+	if goff[0] == 999 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestRandomGraphProperties(t *testing.T) {
+	const n, m = 1000, 5000
+	g := Random(n, m, 123)
+	if g.NumVertices() != n {
+		t.Errorf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() != m {
+		t.Errorf("m = %d, want %d", g.NumEdges(), m)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Mean degree should be 2m/n = 10.
+	if avg := g.AvgDegree(); avg < 9.9 || avg > 10.1 {
+		t.Errorf("avg degree = %v, want 10", avg)
+	}
+}
+
+func TestRandomGraphDeterministicAcrossCalls(t *testing.T) {
+	a := Random(500, 2000, 99)
+	b := Random(500, 2000, 99)
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("Random not deterministic at edge %d", i)
+		}
+	}
+	c := Random(500, 2000, 100)
+	diff := false
+	ec := c.Edges()
+	for i := range ea {
+		if ea[i] != ec[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomGraphDense(t *testing.T) {
+	// Request every possible edge: must terminate and produce K_n.
+	g := Random(30, 30*29/2, 5)
+	if g.NumEdges() != 30*29/2 {
+		t.Errorf("dense random: m = %d", g.NumEdges())
+	}
+	if g.MaxDegree() != 29 {
+		t.Errorf("dense random: maxdeg = %d", g.MaxDegree())
+	}
+}
+
+func TestRandomGraphPanicsOnImpossible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Random with too many edges did not panic")
+		}
+	}()
+	Random(4, 100, 1)
+}
+
+func TestRMatProperties(t *testing.T) {
+	g := RMat(12, 20000, 77, DefaultRMatOptions())
+	if g.NumVertices() != 1<<12 {
+		t.Errorf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 20000 {
+		t.Errorf("m = %d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Power-law skew: the max degree should far exceed the mean.
+	mean := g.AvgDegree()
+	if float64(g.MaxDegree()) < 5*mean {
+		t.Errorf("rMat does not look skewed: max=%d mean=%.1f", g.MaxDegree(), mean)
+	}
+}
+
+func TestRMatDeterministic(t *testing.T) {
+	a := RMat(10, 3000, 5, DefaultRMatOptions())
+	b := RMat(10, 3000, 5, DefaultRMatOptions())
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("rMat edge counts differ across identical calls")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("rMat not deterministic at edge %d", i)
+		}
+	}
+}
+
+func TestRMatMoreSkewedThanRandom(t *testing.T) {
+	rmat := RMat(13, 40000, 3, DefaultRMatOptions())
+	rand := Random(1<<13, 40000, 3)
+	if rmat.MaxDegree() <= rand.MaxDegree() {
+		t.Errorf("expected rMat max degree (%d) > random max degree (%d)",
+			rmat.MaxDegree(), rand.MaxDegree())
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(4, 5)
+	if g.NumVertices() != 20 {
+		t.Errorf("n = %d", g.NumVertices())
+	}
+	// Grid edges: 4*(5-1) horizontal + (4-1)*5 vertical = 16+15 = 31.
+	if g.NumEdges() != 31 {
+		t.Errorf("m = %d, want 31", g.NumEdges())
+	}
+	if g.MaxDegree() != 4 {
+		t.Errorf("maxdeg = %d, want 4", g.MaxDegree())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorus2D(t *testing.T) {
+	g := Torus2D(4, 5)
+	if g.NumEdges() != 40 {
+		t.Errorf("torus m = %d, want 40", g.NumEdges())
+	}
+	for v := 0; v < 20; v++ {
+		if g.Degree(Vertex(v)) != 4 {
+			t.Fatalf("torus degree(%d) = %d, want 4", v, g.Degree(Vertex(v)))
+		}
+	}
+}
+
+func TestCompleteStarPathCycle(t *testing.T) {
+	k := Complete(6)
+	if k.NumEdges() != 15 || k.MaxDegree() != 5 {
+		t.Errorf("K6: m=%d maxdeg=%d", k.NumEdges(), k.MaxDegree())
+	}
+	s := Star(10)
+	if s.NumEdges() != 9 || s.Degree(0) != 9 || s.Degree(5) != 1 {
+		t.Errorf("Star(10) wrong")
+	}
+	p := Path(5)
+	if p.NumEdges() != 4 || p.Degree(0) != 1 || p.Degree(2) != 2 {
+		t.Errorf("Path(5) wrong")
+	}
+	c := Cycle(5)
+	if c.NumEdges() != 5 || c.Degree(0) != 2 {
+		t.Errorf("Cycle(5) wrong")
+	}
+	if Cycle(2).NumEdges() != 1 {
+		t.Errorf("Cycle(2) should degrade to an edge")
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.NumVertices() != 7 || g.NumEdges() != 12 {
+		t.Errorf("K(3,4): n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	// No edges within parts.
+	for u := Vertex(0); u < 3; u++ {
+		for v := u + 1; v < 3; v++ {
+			if g.HasEdge(u, v) {
+				t.Errorf("edge inside left part: %d-%d", u, v)
+			}
+		}
+	}
+}
+
+func TestRandomBipartite(t *testing.T) {
+	g := RandomBipartite(50, 60, 400, 11)
+	if g.NumVertices() != 110 || g.NumEdges() != 400 {
+		t.Errorf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		left := e.U < 50
+		right := e.V >= 50
+		if !left || !right {
+			t.Fatalf("non-bipartite edge %v", e)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	g := RandomTree(500, 9)
+	if g.NumEdges() != 499 {
+		t.Errorf("tree m = %d, want 499", g.NumEdges())
+	}
+	comps, largest := components(g)
+	if comps != 1 || largest != 500 {
+		t.Errorf("tree components = %d (largest %d), want 1 connected", comps, largest)
+	}
+}
+
+func TestNearRegular(t *testing.T) {
+	g := NearRegular(200, 6, 13)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(g)
+	if st.Max > 6 {
+		t.Errorf("NearRegular(200, 6) max degree %d > 6", st.Max)
+	}
+	if st.Mean < 5.0 {
+		t.Errorf("NearRegular(200, 6) mean degree %.2f too low", st.Mean)
+	}
+}
+
+func TestGeneratorsValidateQuick(t *testing.T) {
+	f := func(rawN uint8, rawM uint16, seed uint64) bool {
+		n := int(rawN%60) + 2
+		maxM := n * (n - 1) / 2
+		m := int(rawM) % (maxM + 1)
+		g := Random(n, m, seed)
+		return g.Validate() == nil && g.NumEdges() == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(6)
+	sub, mapping := InducedSubgraph(g, []Vertex{1, 3, 5})
+	if sub.NumVertices() != 3 || sub.NumEdges() != 3 {
+		t.Errorf("induced K3: n=%d m=%d", sub.NumVertices(), sub.NumEdges())
+	}
+	if len(mapping) != 3 || mapping[0] != 1 || mapping[1] != 3 || mapping[2] != 5 {
+		t.Errorf("mapping = %v", mapping)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Induced subgraph of a path by its endpoints has no edges.
+	p := Path(5)
+	sub2, _ := InducedSubgraph(p, []Vertex{0, 4})
+	if sub2.NumEdges() != 0 {
+		t.Errorf("induced endpoints: m = %d", sub2.NumEdges())
+	}
+}
+
+func TestInducedSubgraphPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate vertex accepted")
+		}
+	}()
+	InducedSubgraph(Complete(3), []Vertex{0, 0})
+}
+
+func TestEdgeInducedSubgraph(t *testing.T) {
+	g := Complete(5)
+	sub := EdgeInducedSubgraph(g, []Edge{{0, 1}, {2, 3}})
+	if sub.NumVertices() != 5 || sub.NumEdges() != 2 {
+		t.Errorf("edge-induced: n=%d m=%d", sub.NumVertices(), sub.NumEdges())
+	}
+}
+
+func TestLineGraphTriangle(t *testing.T) {
+	// L(K3) = K3.
+	lg, el := LineGraph(Complete(3))
+	if lg.NumVertices() != 3 || lg.NumEdges() != 3 {
+		t.Errorf("L(K3): n=%d m=%d, want 3 and 3", lg.NumVertices(), lg.NumEdges())
+	}
+	if el.NumEdges() != 3 {
+		t.Errorf("edge list size %d", el.NumEdges())
+	}
+}
+
+func TestLineGraphPath(t *testing.T) {
+	// L(P_n) = P_{n-1}.
+	lg, _ := LineGraph(Path(6))
+	if lg.NumVertices() != 5 || lg.NumEdges() != 4 {
+		t.Errorf("L(P6): n=%d m=%d, want 5 and 4", lg.NumVertices(), lg.NumEdges())
+	}
+}
+
+func TestLineGraphStar(t *testing.T) {
+	// L(K_{1,k}) = K_k.
+	lg, _ := LineGraph(Star(5))
+	if lg.NumVertices() != 4 || lg.NumEdges() != 6 {
+		t.Errorf("L(Star5): n=%d m=%d, want K4", lg.NumVertices(), lg.NumEdges())
+	}
+}
+
+func TestLineGraphSizeMatches(t *testing.T) {
+	g := Random(100, 300, 21)
+	lg, _ := LineGraph(g)
+	v, e := LineGraphSize(g)
+	if int64(lg.NumVertices()) != v || int64(lg.NumEdges()) != e {
+		t.Errorf("LineGraphSize = (%d,%d), actual (%d,%d)", v, e, lg.NumVertices(), lg.NumEdges())
+	}
+}
+
+func TestIncidence(t *testing.T) {
+	g := Complete(4)
+	el := g.EdgeList()
+	inc := BuildIncidence(el)
+	for v := Vertex(0); v < 4; v++ {
+		ids := inc.Incident(v)
+		if len(ids) != 3 {
+			t.Fatalf("vertex %d has %d incident edges, want 3", v, len(ids))
+		}
+		for _, id := range ids {
+			e := el.Edges[id]
+			if e.U != v && e.V != v {
+				t.Fatalf("edge %v listed as incident to %d", e, v)
+			}
+		}
+	}
+}
+
+func TestSortIncidenceByPriority(t *testing.T) {
+	g := Random(80, 400, 31)
+	el := g.EdgeList()
+	inc := BuildIncidence(el)
+	rank := rng.Perm(el.NumEdges(), 8)
+	SortIncidenceByPriority(inc, rank)
+	for v := 0; v < el.N; v++ {
+		ids := inc.Incident(Vertex(v))
+		for i := 1; i < len(ids); i++ {
+			if rank[ids[i-1]] > rank[ids[i]] {
+				t.Fatalf("vertex %d incident list not sorted by rank at %d", v, i)
+			}
+		}
+	}
+}
+
+func TestEdgeListValidate(t *testing.T) {
+	good := EdgeList{N: 3, Edges: []Edge{{0, 1}, {1, 2}}}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	loop := EdgeList{N: 3, Edges: []Edge{{1, 1}}}
+	if err := loop.Validate(); err == nil {
+		t.Error("self loop accepted")
+	}
+	oob := EdgeList{N: 3, Edges: []Edge{{0, 9}}}
+	if err := oob.Validate(); err == nil {
+		t.Error("out of range accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := Star(11) // center degree 10, leaves degree 1
+	s := Stats(g)
+	if s.Max != 10 || s.Min != 1 || s.ConnectedComps != 1 || s.LargestComponent != 11 {
+		t.Errorf("star stats wrong: %+v", s)
+	}
+	if s.DegeneracyEstimate != 1 {
+		t.Errorf("star degeneracy = %d, want 1", s.DegeneracyEstimate)
+	}
+	k := Complete(5)
+	ks := Stats(k)
+	if ks.DegeneracyEstimate != 4 {
+		t.Errorf("K5 degeneracy = %d, want 4", ks.DegeneracyEstimate)
+	}
+	e := Empty(4)
+	es := Stats(e)
+	if es.ConnectedComps != 4 || es.IsolatedVertices != 4 {
+		t.Errorf("empty stats wrong: %+v", es)
+	}
+	if Stats(Empty(0)).N != 0 {
+		t.Error("Stats on the 0-vertex graph failed")
+	}
+	_ = s.String() // must not panic
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := DegreeHistogram(Star(5))
+	if h[4] != 1 || h[1] != 4 {
+		t.Errorf("star histogram = %v", h)
+	}
+}
+
+func TestComponentsDisconnected(t *testing.T) {
+	// Two triangles.
+	g := MustFromEdges(6, []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}})
+	c, largest := components(g)
+	if c != 2 || largest != 3 {
+		t.Errorf("components = %d largest = %d", c, largest)
+	}
+}
+
+func BenchmarkRandomGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Random(100000, 500000, uint64(i))
+	}
+}
+
+func BenchmarkRMat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = RMat(17, 500000, uint64(i), DefaultRMatOptions())
+	}
+}

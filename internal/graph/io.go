@@ -1,0 +1,259 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file implements graph serialization in three formats:
+//
+//   - The PBBS "AdjacencyGraph" text format used by the problem-based
+//     benchmark suite the paper's implementation ships with: a header
+//     line, n, m, then n offsets and m directed-arc targets. Because our
+//     graphs are symmetric, m here is the number of directed arcs (2x
+//     the undirected edge count).
+//   - The PBBS "EdgeArray" text format: a header line followed by one
+//     "u v" pair per line.
+//   - A compact little-endian binary format for fast round trips.
+
+const (
+	adjacencyHeader = "AdjacencyGraph"
+	edgeArrayHeader = "EdgeArray"
+	binaryMagic     = uint64(0x47534d4953303031) // "GSMIS001"
+)
+
+// WriteAdjacency writes g to w in the PBBS AdjacencyGraph text format.
+func WriteAdjacency(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	n := g.NumVertices()
+	if _, err := fmt.Fprintf(bw, "%s\n%d\n%d\n", adjacencyHeader, n, len(g.adj)); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 20)
+	for v := 0; v < n; v++ {
+		buf = strconv.AppendInt(buf[:0], g.offsets[v], 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	for _, u := range g.adj {
+		buf = strconv.AppendInt(buf[:0], int64(u), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAdjacency parses a graph in the PBBS AdjacencyGraph text format.
+// The input must describe a symmetric simple graph (every arc paired
+// with its reverse, no self loops); Validate is applied to the result.
+func ReadAdjacency(r io.Reader) (*Graph, error) {
+	sc := newTokenScanner(r)
+	header, err := sc.token()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if header != adjacencyHeader {
+		return nil, fmt.Errorf("graph: bad header %q, want %q", header, adjacencyHeader)
+	}
+	n, err := sc.int()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading n: %w", err)
+	}
+	arcs, err := sc.int()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading m: %w", err)
+	}
+	if n < 0 || arcs < 0 {
+		return nil, fmt.Errorf("graph: negative sizes n=%d m=%d", n, arcs)
+	}
+	offsets := make([]int64, n+1)
+	for v := 0; v < int(n); v++ {
+		o, err := sc.int()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading offset %d: %w", v, err)
+		}
+		if o < 0 || o > arcs {
+			return nil, fmt.Errorf("graph: offset %d = %d out of range [0,%d]", v, o, arcs)
+		}
+		offsets[v] = o
+	}
+	offsets[n] = arcs
+	adj := make([]Vertex, arcs)
+	for i := 0; i < int(arcs); i++ {
+		t, err := sc.int()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading arc %d: %w", i, err)
+		}
+		if t < 0 || t >= n {
+			return nil, fmt.Errorf("graph: arc target %d out of range [0,%d)", t, n)
+		}
+		adj[i] = Vertex(t)
+	}
+	g := &Graph{offsets: offsets, adj: adj}
+	g.sortAdjacency()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteEdgeArray writes the canonical undirected edge list of g in the
+// PBBS EdgeArray text format.
+func WriteEdgeArray(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%s\n", edgeArrayHeader); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeArray parses a PBBS EdgeArray file into a graph with n =
+// 1 + the largest endpoint mentioned.
+func ReadEdgeArray(r io.Reader) (*Graph, error) {
+	sc := newTokenScanner(r)
+	header, err := sc.token()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if header != edgeArrayHeader {
+		return nil, fmt.Errorf("graph: bad header %q, want %q", header, edgeArrayHeader)
+	}
+	var edges []Edge
+	maxV := int64(-1)
+	for {
+		u, err := sc.int()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", len(edges), err)
+		}
+		v, err := sc.int()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", len(edges), err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: negative endpoint in edge %d", len(edges))
+		}
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+		edges = append(edges, Edge{U: Vertex(u), V: Vertex(v)})
+	}
+	return FromEdges(int(maxV+1), edges)
+}
+
+// WriteBinary writes g in the library's compact binary format: magic,
+// n, arc count, offsets, and 32-bit adjacency, all little-endian.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	n := g.NumVertices()
+	hdr := []uint64{binaryMagic, uint64(n), uint64(len(g.adj))}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format written by WriteBinary and
+// validates the result.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [3]uint64
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("graph: bad binary magic %#x", hdr[0])
+	}
+	n, arcs := int(hdr[1]), int(hdr[2])
+	if n < 0 || arcs < 0 {
+		return nil, fmt.Errorf("graph: bad binary sizes n=%d arcs=%d", n, arcs)
+	}
+	g := &Graph{
+		offsets: make([]int64, n+1),
+		adj:     make([]Vertex, arcs),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
+		return nil, fmt.Errorf("graph: reading binary offsets: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.adj); err != nil {
+		return nil, fmt.Errorf("graph: reading binary adjacency: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// tokenScanner reads whitespace-separated tokens without per-token
+// allocation beyond the token itself.
+type tokenScanner struct {
+	br *bufio.Reader
+}
+
+func newTokenScanner(r io.Reader) *tokenScanner {
+	return &tokenScanner{br: bufio.NewReaderSize(r, 1<<20)}
+}
+
+func (sc *tokenScanner) token() (string, error) {
+	// Skip whitespace.
+	var c byte
+	var err error
+	for {
+		c, err = sc.br.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		if c != ' ' && c != '\n' && c != '\r' && c != '\t' {
+			break
+		}
+	}
+	tok := []byte{c}
+	for {
+		c, err = sc.br.ReadByte()
+		if err == io.EOF {
+			return string(tok), nil
+		}
+		if err != nil {
+			return "", err
+		}
+		if c == ' ' || c == '\n' || c == '\r' || c == '\t' {
+			return string(tok), nil
+		}
+		tok = append(tok, c)
+	}
+}
+
+func (sc *tokenScanner) int() (int64, error) {
+	tok, err := sc.token()
+	if err != nil {
+		return 0, err
+	}
+	v, perr := strconv.ParseInt(tok, 10, 64)
+	if perr != nil {
+		return 0, fmt.Errorf("bad integer token %q: %w", tok, perr)
+	}
+	return v, nil
+}

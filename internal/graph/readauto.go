@@ -1,0 +1,27 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ReadAuto parses a graph from r, auto-detecting the format by its
+// header: the PBBS "AdjacencyGraph" or "EdgeArray" text formats, or the
+// library's binary format. It is the reader behind the cmd tools, which
+// accept any of the three interchangeably.
+func ReadAuto(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head, err := br.Peek(len(adjacencyHeader))
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("graph: sniffing format: %w", err)
+	}
+	switch {
+	case len(head) >= len(adjacencyHeader) && string(head) == adjacencyHeader:
+		return ReadAdjacency(br)
+	case len(head) >= len(edgeArrayHeader) && string(head[:len(edgeArrayHeader)]) == edgeArrayHeader:
+		return ReadEdgeArray(br)
+	default:
+		return ReadBinary(br)
+	}
+}

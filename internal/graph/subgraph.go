@@ -1,0 +1,62 @@
+package graph
+
+import "repro/internal/parallel"
+
+// InducedSubgraph returns the subgraph of g induced by the given
+// vertices (G[U] in the paper's notation: the vertices of U and every
+// edge with both endpoints in U), together with the mapping from new
+// vertex ids to original ids. Duplicate vertices in the input are an
+// error expressed by panic, as this is an internal programming mistake.
+func InducedSubgraph(g *Graph, vertices []Vertex) (*Graph, []Vertex) {
+	n := g.NumVertices()
+	remap := make([]int32, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, v := range vertices {
+		if remap[v] != -1 {
+			panic("graph: InducedSubgraph given duplicate vertex")
+		}
+		remap[v] = int32(i)
+	}
+	k := len(vertices)
+	counts := make([]int64, k+1)
+	parallel.For(k, 1024, func(i int) {
+		c := int64(0)
+		for _, u := range g.Neighbors(vertices[i]) {
+			if remap[u] != -1 {
+				c++
+			}
+		}
+		counts[i] = c
+	})
+	offsets := make([]int64, k+1)
+	total := parallel.ExclusiveScan(offsets[:k], counts[:k], 1024)
+	offsets[k] = total
+	adj := make([]Vertex, total)
+	parallel.For(k, 1024, func(i int) {
+		pos := offsets[i]
+		for _, u := range g.Neighbors(vertices[i]) {
+			if w := remap[u]; w != -1 {
+				adj[pos] = w
+				pos++
+			}
+		}
+	})
+	sub := &Graph{offsets: offsets, adj: adj}
+	sub.sortAdjacency()
+	mapping := append([]Vertex(nil), vertices...)
+	return sub, mapping
+}
+
+// EdgeInducedSubgraph returns the subgraph G[E'] containing exactly the
+// given edges and all n original vertices (matching the paper's
+// edge-induced subgraph, which keeps incident vertices; we keep the full
+// vertex set so vertex ids are stable).
+func EdgeInducedSubgraph(g *Graph, edges []Edge) *Graph {
+	sub, err := FromEdges(g.NumVertices(), edges)
+	if err != nil {
+		panic("graph: EdgeInducedSubgraph given out-of-range edge: " + err.Error())
+	}
+	return sub
+}

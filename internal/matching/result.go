@@ -1,0 +1,124 @@
+// Package matching implements the paper's maximal matching (MM)
+// algorithms: the sequential greedy algorithm over a random edge order,
+// the prefix-based parallel algorithm (Algorithm 4 executed on prefixes
+// via deterministic reservations), the linear-work root-set
+// implementation with mmCheck on priority-sorted incident-edge lists
+// (Lemma 5.3), a reference reduction through MIS on the line graph
+// (Lemma 5.1), and an exact dependence-length analyzer.
+//
+// All deterministic algorithms are parameterized by a core.Order over
+// edge identifiers and return exactly the matching the sequential greedy
+// algorithm produces for that order, at any thread count and prefix
+// size.
+package matching
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Edge statuses; monotone undecided -> {in, out} exactly once.
+const (
+	statusUndecided int32 = 0
+	statusIn        int32 = 1
+	statusOut       int32 = 2
+)
+
+// unmatched marks a vertex with no mate.
+const unmatched int32 = -1
+
+// Stats reuses the core counters: Rounds, Attempts (the paper's "total
+// work" for MM, with a sequential run attempting each edge once),
+// EdgeInspections and PrefixSize.
+type Stats = core.Stats
+
+// Result is the outcome of a maximal matching computation.
+type Result struct {
+	// InMatching[e] reports whether edge e (an index into the EdgeList)
+	// is part of the matching.
+	InMatching []bool
+	// Mate[v] is the vertex matched to v, or -1 if v is unmatched.
+	Mate []int32
+	// Pairs lists the matched edges in increasing edge-id order.
+	Pairs []graph.Edge
+	// Stats are the cost counters of the run.
+	Stats Stats
+}
+
+func newResult(el graph.EdgeList, status []int32, stats Stats) *Result {
+	m := el.NumEdges()
+	in := make([]bool, m)
+	parallel.For(m, 4096, func(i int) {
+		in[i] = status[i] == statusIn
+	})
+	mate := make([]int32, el.N)
+	for i := range mate {
+		mate[i] = unmatched
+	}
+	ids := parallel.PackIndex(m, 4096, func(i int) bool { return in[i] })
+	pairs := make([]graph.Edge, len(ids))
+	for i, id := range ids {
+		e := el.Edges[id]
+		pairs[i] = e
+		mate[e.U] = e.V
+		mate[e.V] = e.U
+	}
+	return &Result{InMatching: in, Mate: mate, Pairs: pairs, Stats: stats}
+}
+
+// Size returns the number of matched edges.
+func (r *Result) Size() int { return len(r.Pairs) }
+
+// Equal reports whether two results select exactly the same edge set.
+func (r *Result) Equal(other *Result) bool {
+	if len(r.InMatching) != len(other.InMatching) {
+		return false
+	}
+	for i := range r.InMatching {
+		if r.InMatching[i] != other.InMatching[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Options configures the parallel matching algorithms; the fields mirror
+// core.Options (PrefixSize/PrefixFrac apply to the number of edges).
+type Options struct {
+	PrefixSize int
+	PrefixFrac float64
+	Grain      int
+	// OnRound, if non-nil, is called after every round of PrefixMM with
+	// the 1-based round number, the number of edges attempted, and the
+	// number resolved.
+	OnRound func(round int64, attempted, resolved int)
+}
+
+func (o Options) prefixFor(m int) int {
+	p := o.PrefixSize
+	if p <= 0 {
+		frac := o.PrefixFrac
+		if frac <= 0 {
+			frac = core.DefaultPrefixFrac
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		p = int(frac * float64(m))
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > m {
+		p = m
+	}
+	return p
+}
+
+func (o Options) grain() int {
+	if o.Grain <= 0 {
+		return parallel.DefaultGrain
+	}
+	return o.Grain
+}

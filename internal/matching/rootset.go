@@ -1,0 +1,183 @@
+package matching
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// RootSetMM computes the lexicographically-first maximal matching with
+// the linear-work implementation of Lemma 5.3. Each vertex keeps its
+// incident edges sorted by priority; an edge is "ready" when it is the
+// highest-priority remaining edge at both endpoints (a root of the edge
+// priority DAG). Each step matches the ready edges, lazily deletes their
+// neighboring edges, and runs mmCheck on the far endpoints of deleted
+// edges to discover the next ready set. Every incident-list entry is
+// skipped past at most once, so total work is O(n + m); the number of
+// steps is exactly the dependence length of the edge priority DAG.
+func RootSetMM(el graph.EdgeList, ord core.Order, opt Options) *Result {
+	m := el.NumEdges()
+	if ord.Len() != m {
+		panic("matching: order size does not match edge list")
+	}
+	grain := opt.grain()
+
+	// O(m) bucket-sorted incidence: every per-vertex list is already in
+	// priority order (the paper's Lemma 5.3 preprocessing).
+	inc := graph.BuildIncidenceByPriority(el, ord.Order)
+
+	status := make([]int32, m)
+	mate := make([]int32, el.N)
+	for i := range mate {
+		mate[i] = unmatched
+	}
+	// vptr[v] indexes the first not-yet-skipped entry of v's sorted
+	// incident list (lazy deletion).
+	vptr := make([]int32, el.N)
+	// claimed[e] dedups ready-edge discovery: an edge can be found ready
+	// from both endpoints simultaneously.
+	claimed := make([]int32, m)
+	// checkStamp[v] ensures each far endpoint is checked once per step.
+	checkStamp := make([]int32, el.N)
+	for i := range checkStamp {
+		checkStamp[i] = -1
+	}
+
+	stats := Stats{}
+	var inspections atomic.Int64
+
+	// Initial ready set: edges that head both endpoints' lists.
+	frontier := parallel.PackIndex(m, grain, func(i int) bool {
+		e := int32(i)
+		edge := el.Edges[e]
+		u := inc.Incident(edge.U)
+		v := inc.Incident(edge.V)
+		return len(u) > 0 && u[0] == e && len(v) > 0 && v[0] == e
+	})
+
+	resolved := 0
+	for resolved < m {
+		if len(frontier) == 0 {
+			panic("matching: RootSetMM frontier empty with unresolved edges")
+		}
+		step := int32(stats.Rounds)
+		stats.Rounds++
+		stats.Attempts += int64(len(frontier))
+
+		// Phase 1: match ready edges and lazily delete their neighbors.
+		// killedFar[i] collects, for frontier edge i, the far endpoints
+		// of the edges its matching deleted.
+		killedFar := make([][]int32, len(frontier))
+		var decidedDelta atomic.Int64
+		parallel.ForRange(len(frontier), grain, func(lo, hi int) {
+			var local, decided int64
+			for i := lo; i < hi; i++ {
+				e := frontier[i]
+				edge := el.Edges[e]
+				atomic.StoreInt32(&status[e], statusIn)
+				atomic.StoreInt32(&mate[edge.U], edge.V)
+				atomic.StoreInt32(&mate[edge.V], edge.U)
+				decided++
+				var far []int32
+				for _, endpoint := range [2]int32{edge.U, edge.V} {
+					ids := inc.Incident(endpoint)
+					local += int64(len(ids))
+					for _, f := range ids {
+						if f == e {
+							continue
+						}
+						if atomic.CompareAndSwapInt32(&status[f], statusUndecided, statusOut) {
+							decided++
+							far = append(far, el.Edges[f].Other(endpoint))
+						}
+					}
+				}
+				killedFar[i] = far
+			}
+			inspections.Add(local)
+			decidedDelta.Add(decided)
+		})
+		resolved += int(decidedDelta.Load())
+
+		// Phase 2: mmCheck the far endpoints; each check may surface one
+		// newly ready edge.
+		var mu sync.Mutex
+		var chunks [][]int32
+		parallel.ForRange(len(frontier), grain, func(lo, hi int) {
+			var local int64
+			var found []int32
+			for i := lo; i < hi; i++ {
+				for _, z := range killedFar[i] {
+					old := atomic.LoadInt32(&checkStamp[z])
+					if old == step || !atomic.CompareAndSwapInt32(&checkStamp[z], old, step) {
+						continue // another worker already checks z this step
+					}
+					ready, insp := mmCheck(z, el, inc, status, vptr)
+					local += insp
+					if ready >= 0 && atomic.CompareAndSwapInt32(&claimed[ready], 0, 1) {
+						found = append(found, ready)
+					}
+				}
+			}
+			inspections.Add(local)
+			if len(found) > 0 {
+				mu.Lock()
+				chunks = append(chunks, found)
+				mu.Unlock()
+			}
+		})
+		total := 0
+		for _, ch := range chunks {
+			total += len(ch)
+		}
+		next := make([]int32, 0, total)
+		for _, ch := range chunks {
+			next = append(next, ch...)
+		}
+		frontier = next
+	}
+	stats.EdgeInspections = inspections.Load()
+	return newResult(el, status, stats)
+}
+
+// mmCheck is the two-phase check of Lemma 5.2 on vertex z: advance past
+// deleted incident edges to find the highest-priority remaining edge t
+// (charging skipped entries to their deletion), then verify that t also
+// heads the remaining list of its other endpoint. It returns t's id if
+// so and -1 otherwise. Only the per-step claimant of z writes vptr[z];
+// the read-only scan of the other endpoint uses its pointer merely as a
+// hint.
+func mmCheck(z int32, el graph.EdgeList, inc graph.Incidence, status []int32, vptr []int32) (ready int32, inspections int64) {
+	ids := inc.Incident(z)
+	i := atomic.LoadInt32(&vptr[z])
+	for int(i) < len(ids) {
+		inspections++
+		if atomic.LoadInt32(&status[ids[i]]) == statusUndecided {
+			break
+		}
+		i++
+	}
+	atomic.StoreInt32(&vptr[z], i)
+	if int(i) == len(ids) {
+		return -1, inspections
+	}
+	t := ids[i]
+	// Phase two: is t also the top remaining edge at its other endpoint?
+	w := el.Edges[t].Other(z)
+	wids := inc.Incident(w)
+	j := atomic.LoadInt32(&vptr[w])
+	for int(j) < len(wids) {
+		inspections++
+		if atomic.LoadInt32(&status[wids[j]]) == statusUndecided {
+			if wids[j] == t {
+				return t, inspections
+			}
+			return -1, inspections
+		}
+		j++
+	}
+	return -1, inspections
+}

@@ -1,0 +1,435 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForRangeCoversExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 255, 256, 257, 1000, 100000} {
+		for _, grain := range []int{0, 1, 7, 256, 100001} {
+			hits := make([]int32, n)
+			ForRange(n, grain, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("ForRange(n=%d, grain=%d) bad range [%d,%d)", n, grain, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("ForRange(n=%d, grain=%d): index %d visited %d times", n, grain, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForCoversExactlyOnce(t *testing.T) {
+	const n = 50000
+	hits := make([]int32, n)
+	For(n, 64, func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("For: index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForNegativeAndZero(t *testing.T) {
+	called := false
+	For(0, 10, func(i int) { called = true })
+	For(-5, 10, func(i int) { called = true })
+	if called {
+		t.Error("For called body for non-positive n")
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c int32
+	Do(
+		func() { atomic.AddInt32(&a, 1) },
+		func() { atomic.AddInt32(&b, 1) },
+		func() { atomic.AddInt32(&c, 1) },
+	)
+	if a != 1 || b != 1 || c != 1 {
+		t.Errorf("Do did not run every function: %d %d %d", a, b, c)
+	}
+	Do() // must not panic
+	ran := false
+	Do(func() { ran = true })
+	if !ran {
+		t.Error("Do with one function did not run it")
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 1000, 65537} {
+		got := Reduce(n, 128, 0, func(lo, hi int) int {
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += i
+			}
+			return s
+		}, func(a, b int) int { return a + b })
+		want := n * (n - 1) / 2
+		if n <= 0 {
+			want = 0
+		}
+		if got != want {
+			t.Errorf("Reduce sum n=%d: got %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestReduceDeterministicOrderNonCommutative(t *testing.T) {
+	// String concatenation is associative but not commutative; the result
+	// must be identical across runs and equal to the sequential result.
+	const n = 2000
+	leaf := func(lo, hi int) string {
+		s := ""
+		for i := lo; i < hi; i++ {
+			s += string(rune('a' + i%26))
+		}
+		return s
+	}
+	comb := func(a, b string) string { return a + b }
+	want := leaf(0, n)
+	for trial := 0; trial < 5; trial++ {
+		if got := Reduce(n, 64, "", leaf, comb); got != want {
+			t.Fatalf("Reduce non-commutative result differs from sequential on trial %d", trial)
+		}
+	}
+}
+
+func TestSumInt64(t *testing.T) {
+	got := SumInt64(1000, 32, func(i int) int64 { return int64(i) * 2 })
+	if want := int64(999 * 1000); got != want {
+		t.Errorf("SumInt64 = %d, want %d", got, want)
+	}
+}
+
+func TestMaxInt64(t *testing.T) {
+	vals := []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	got := MaxInt64(len(vals), 2, -1, func(i int) int64 { return vals[i] })
+	if got != 9 {
+		t.Errorf("MaxInt64 = %d, want 9", got)
+	}
+	if got := MaxInt64(0, 2, -7, nil); got != -7 {
+		t.Errorf("MaxInt64 empty = %d, want identity -7", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	got := Count(1000, 64, func(i int) bool { return i%3 == 0 })
+	if want := 334; got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+}
+
+func seqExclusive(src []int64) ([]int64, int64) {
+	dst := make([]int64, len(src))
+	var acc int64
+	for i, v := range src {
+		dst[i] = acc
+		acc += v
+	}
+	return dst, acc
+}
+
+func TestExclusiveScanMatchesSequentialQuick(t *testing.T) {
+	f := func(raw []int16, grain uint8) bool {
+		src := make([]int64, len(raw))
+		for i, v := range raw {
+			src[i] = int64(v)
+		}
+		want, wantTotal := seqExclusive(src)
+		dst := make([]int64, len(src))
+		total := ExclusiveScan(dst, src, int(grain%64))
+		if total != wantTotal {
+			return false
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExclusiveScanLarge(t *testing.T) {
+	const n = 300000
+	src := make([]int64, n)
+	for i := range src {
+		src[i] = int64(i % 7)
+	}
+	want, wantTotal := seqExclusive(src)
+	dst := make([]int64, n)
+	total := ExclusiveScan(dst, src, 128)
+	if total != wantTotal {
+		t.Fatalf("total = %d, want %d", total, wantTotal)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestExclusiveScanInPlace(t *testing.T) {
+	src := []int64{1, 2, 3, 4, 5}
+	total := ExclusiveScan(src, src, 2)
+	want := []int64{0, 1, 3, 6, 10}
+	if total != 15 {
+		t.Errorf("total = %d, want 15", total)
+	}
+	for i := range want {
+		if src[i] != want[i] {
+			t.Errorf("in-place scan[%d] = %d, want %d", i, src[i], want[i])
+		}
+	}
+}
+
+func TestInclusiveScan(t *testing.T) {
+	src := []int32{1, 2, 3, 4}
+	dst := make([]int32, 4)
+	total := InclusiveScan(dst, src, 2)
+	want := []int32{1, 3, 6, 10}
+	if total != 10 {
+		t.Errorf("total = %d, want 10", total)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("inclusive scan[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	const n = 123457
+	big := make([]int64, n)
+	for i := range big {
+		big[i] = 1
+	}
+	out := make([]int64, n)
+	if got := InclusiveScan(out, big, 100); got != n {
+		t.Errorf("inclusive total = %d, want %d", got, n)
+	}
+	for i := range out {
+		if out[i] != int64(i+1) {
+			t.Fatalf("inclusive[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestScanEmpty(t *testing.T) {
+	if got := ExclusiveScan[int64](nil, nil, 0); got != 0 {
+		t.Errorf("empty exclusive scan total = %d", got)
+	}
+	if got := InclusiveScan[int64](nil, nil, 0); got != 0 {
+		t.Errorf("empty inclusive scan total = %d", got)
+	}
+}
+
+func TestPackMatchesFilterQuick(t *testing.T) {
+	f := func(raw []int32, grain uint8) bool {
+		keep := func(i int) bool { return raw[i]%2 == 0 }
+		got := Pack(raw, int(grain%64), keep)
+		var want []int32
+		for i, v := range raw {
+			if keep(i) {
+				want = append(want, v)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackLargeKeepsOrder(t *testing.T) {
+	const n = 200000
+	src := make([]int32, n)
+	for i := range src {
+		src[i] = int32(i)
+	}
+	got := Pack(src, 64, func(i int) bool { return i%5 == 0 })
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("Pack broke order at %d: %d then %d", i, got[i-1], got[i])
+		}
+	}
+	if len(got) != n/5 {
+		t.Errorf("Pack kept %d, want %d", len(got), n/5)
+	}
+}
+
+func TestPackInPlace(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 70000} {
+		src := make([]int32, n)
+		for i := range src {
+			src[i] = int32(i)
+		}
+		got := PackInPlace(src, 64, func(i int) bool { return i%3 == 1 })
+		idx := 0
+		for i := 0; i < n; i++ {
+			if i%3 == 1 {
+				if got[idx] != int32(i) {
+					t.Fatalf("n=%d PackInPlace[%d] = %d, want %d", n, idx, got[idx], i)
+				}
+				idx++
+			}
+		}
+		if idx != len(got) {
+			t.Fatalf("n=%d PackInPlace length %d, want %d", n, len(got), idx)
+		}
+	}
+}
+
+func TestPackIndex(t *testing.T) {
+	got := PackIndex(10, 3, func(i int) bool { return i%2 == 1 })
+	want := []int32{1, 3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("PackIndex = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PackIndex = %v, want %v", got, want)
+		}
+	}
+	if got := PackIndex(0, 1, nil); len(got) != 0 {
+		t.Errorf("PackIndex(0) = %v", got)
+	}
+}
+
+func TestWriteMin32(t *testing.T) {
+	var x int32 = 100
+	if !WriteMin32(&x, 50) {
+		t.Error("WriteMin32(100->50) reported no write")
+	}
+	if x != 50 {
+		t.Errorf("x = %d, want 50", x)
+	}
+	if WriteMin32(&x, 70) {
+		t.Error("WriteMin32(50->70) reported a write")
+	}
+	if x != 50 {
+		t.Errorf("x = %d, want 50", x)
+	}
+	if WriteMin32(&x, 50) {
+		t.Error("WriteMin32 equal value reported a write")
+	}
+}
+
+func TestWriteMinConcurrentIsMinimum(t *testing.T) {
+	var x int32 = 1 << 30
+	const writers = 8
+	const perWriter = 1000
+	done := make(chan struct{}, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < perWriter; i++ {
+				WriteMin32(&x, int32(w*perWriter+i+1))
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+	if x != 1 {
+		t.Errorf("concurrent WriteMin32 final = %d, want 1", x)
+	}
+}
+
+func TestWriteMin64AndMax32(t *testing.T) {
+	var y int64 = 10
+	if !WriteMin64(&y, -5) || y != -5 {
+		t.Errorf("WriteMin64 failed: y=%d", y)
+	}
+	var z int32 = 10
+	if !WriteMax32(&z, 20) || z != 20 {
+		t.Errorf("WriteMax32 failed: z=%d", z)
+	}
+	if WriteMax32(&z, 15) {
+		t.Error("WriteMax32(20->15) reported a write")
+	}
+}
+
+func TestWriteOnce32(t *testing.T) {
+	var x int32 = -1
+	if !WriteOnce32(&x, -1, 7) {
+		t.Error("first WriteOnce32 lost")
+	}
+	if WriteOnce32(&x, -1, 9) {
+		t.Error("second WriteOnce32 won")
+	}
+	if x != 7 {
+		t.Errorf("x = %d, want 7", x)
+	}
+}
+
+func TestPrimitivesUnderSingleProc(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	var sum int64
+	For(1000, 16, func(i int) { sum += int64(i) }) // safe: sequential when P=1
+	if sum != 499500 {
+		t.Errorf("For under GOMAXPROCS=1 sum = %d", sum)
+	}
+	src := []int64{5, 4, 3}
+	dst := make([]int64, 3)
+	if total := ExclusiveScan(dst, src, 1); total != 12 {
+		t.Errorf("scan under GOMAXPROCS=1 total = %d", total)
+	}
+}
+
+func BenchmarkForRange1M(b *testing.B) {
+	data := make([]int64, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ForRange(len(data), DefaultGrain, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				data[j]++
+			}
+		})
+	}
+}
+
+func BenchmarkExclusiveScan1M(b *testing.B) {
+	src := make([]int64, 1<<20)
+	for i := range src {
+		src[i] = int64(i % 3)
+	}
+	dst := make([]int64, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExclusiveScan(dst, src, DefaultGrain)
+	}
+}
+
+func BenchmarkPack1M(b *testing.B) {
+	src := make([]int32, 1<<20)
+	for i := range src {
+		src[i] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Pack(src, DefaultGrain, func(j int) bool { return src[j]%2 == 0 })
+	}
+}

@@ -1,0 +1,156 @@
+// Package reservations implements the deterministic reservations
+// framework ("speculative_for") of Blelloch, Fineman, Gibbons and Shun,
+// "Internally deterministic parallel algorithms can be fast" (PPoPP
+// 2012) — reference [2] of the paper reproduced by this repository, and
+// the programming abstraction its experimental code is built on.
+//
+// The framework runs the iterations of a sequential loop speculatively
+// in rounds. Each round takes a prefix of the unfinished iterates (the
+// earliest ones), runs a two-phase reserve/commit protocol on them in
+// parallel, and retries the iterates that lost their reservations.
+// Because the prefix always consists of the earliest unfinished
+// iterates, and an iterate only succeeds when it cannot conflict with
+// any earlier one, the loop produces exactly the result of its
+// sequential execution — "internal determinism" — for any prefix size
+// and any schedule.
+//
+// The core and matching packages contain direct, tuned implementations
+// of the MIS and MM loops; this package expresses the same algorithms
+// against the generic framework (see MISStepper and MMStepper) both as
+// executable documentation of the mechanism and as an ablation subject.
+package reservations
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// Outcome is the result of the reserve phase for one iterate.
+type Outcome int8
+
+const (
+	// Drop means the iterate resolved during reserve and needs no
+	// commit (e.g. an MIS vertex discovering an earlier in-neighbor).
+	Drop Outcome = iota
+	// TryCommit means the iterate placed its reservations and should
+	// run the commit phase this round.
+	TryCommit
+	// Retry means the iterate is blocked on an earlier undecided
+	// iterate and must be retried in a later round without committing.
+	Retry
+)
+
+// Stepper defines one speculative loop body. Indices passed to the
+// methods are iterate identifiers in sequential order: iterate 0 is the
+// one the sequential loop would run first. Reserve and Commit must be
+// safe to call concurrently for distinct iterates; the framework
+// guarantees Reserve of a round completes (with a barrier) before any
+// Commit of that round, and Commit before any Reset.
+type Stepper interface {
+	// Reserve inspects state and places idempotent reservations
+	// (priority write-min) for iterate i.
+	Reserve(i int32) Outcome
+	// Commit checks the reservations of iterate i and applies its
+	// effect; it returns true when the iterate is finished and false
+	// when it must be retried.
+	Commit(i int32) bool
+}
+
+// Resetter is an optional extension for steppers whose reservations
+// must be cleared between rounds (e.g. matching's per-vertex bids).
+// Reset runs after the commit phase for every iterate that reserved.
+type Resetter interface {
+	Reset(i int32)
+}
+
+// Options configures SpeculativeFor.
+type Options struct {
+	// Prefix is the number of iterates attempted per round; 0 means the
+	// whole input (maximum speculation).
+	Prefix int
+	// Grain is the parallel-loop grain; 0 means parallel.DefaultGrain.
+	Grain int
+}
+
+// Stats reports the cost of a SpeculativeFor run.
+type Stats struct {
+	Rounds   int64 // rounds executed (1 for a fully parallel conflict-free loop)
+	Attempts int64 // iterate-attempts summed over rounds (sequential = n)
+}
+
+// SpeculativeFor runs iterates [0, n) of s to completion and returns
+// the round/attempt statistics.
+func SpeculativeFor(s Stepper, n int, opt Options) Stats {
+	prefix := opt.Prefix
+	if prefix <= 0 || prefix > n {
+		prefix = n
+	}
+	if prefix < 1 {
+		prefix = 1
+	}
+	grain := opt.Grain
+	if grain <= 0 {
+		grain = parallel.DefaultGrain
+	}
+	resetter, hasReset := s.(Resetter)
+
+	stats := Stats{}
+	active := make([]int32, 0, prefix)
+	outcomes := make([]Outcome, prefix)
+	next := int32(0)
+	remaining := n
+
+	for remaining > 0 {
+		for len(active) < prefix && int(next) < n {
+			active = append(active, next)
+			next++
+		}
+		stats.Rounds++
+		stats.Attempts += int64(len(active))
+		outcomes = outcomes[:len(active)]
+
+		parallel.ForRange(len(active), grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				outcomes[i] = s.Reserve(active[i])
+			}
+		})
+
+		var done atomic.Int64
+		parallel.ForRange(len(active), grain, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				switch outcomes[i] {
+				case Drop:
+					local++
+				case TryCommit:
+					if s.Commit(active[i]) {
+						local++
+					} else {
+						outcomes[i] = Retry
+					}
+				}
+			}
+			done.Add(local)
+		})
+
+		if hasReset {
+			parallel.ForRange(len(active), grain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if outcomes[i] != Drop {
+						resetter.Reset(active[i])
+					}
+				}
+			})
+		}
+
+		keep := make([]bool, len(active))
+		for i := range keep {
+			keep[i] = outcomes[i] == Retry
+		}
+		before := len(active)
+		active = parallel.PackInPlace(active, grain, func(i int) bool { return keep[i] })
+		remaining -= before - len(active)
+	}
+	return stats
+}

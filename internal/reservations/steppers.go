@@ -1,0 +1,150 @@
+package reservations
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Vertex/edge statuses used by the example steppers.
+const (
+	undecided int32 = 0
+	accepted  int32 = 1
+	rejected  int32 = 2
+)
+
+// MISStepper expresses greedy MIS as a speculative loop: iterate r is
+// the vertex with priority rank r, and the loop body of the sequential
+// algorithm ("if no earlier neighbor is in the set, join it") becomes a
+// reserve that inspects earlier neighbors and a trivial commit. It needs
+// no reservations at all — monotone statuses suffice — which makes MIS
+// the simplest instantiation of the framework.
+type MISStepper struct {
+	g      *graph.Graph
+	ord    core.Order
+	status []int32
+}
+
+// NewMISStepper prepares a stepper over g and ord.
+func NewMISStepper(g *graph.Graph, ord core.Order) *MISStepper {
+	return &MISStepper{g: g, ord: ord, status: make([]int32, g.NumVertices())}
+}
+
+// Reserve implements Stepper.
+func (s *MISStepper) Reserve(i int32) Outcome {
+	v := s.ord.Order[i]
+	rv := s.ord.Rank[v]
+	sawUndecided := false
+	for _, u := range s.g.Neighbors(v) {
+		if s.ord.Rank[u] >= rv {
+			continue
+		}
+		switch atomic.LoadInt32(&s.status[u]) {
+		case accepted:
+			atomic.StoreInt32(&s.status[v], rejected)
+			return Drop
+		case undecided:
+			sawUndecided = true
+		}
+	}
+	if sawUndecided {
+		return Retry
+	}
+	return TryCommit
+}
+
+// Commit implements Stepper.
+func (s *MISStepper) Commit(i int32) bool {
+	atomic.StoreInt32(&s.status[s.ord.Order[i]], accepted)
+	return true
+}
+
+// InSet returns the computed independent set membership by vertex.
+func (s *MISStepper) InSet() []bool {
+	in := make([]bool, len(s.status))
+	for v, st := range s.status {
+		in[v] = st == accepted
+	}
+	return in
+}
+
+// MMStepper expresses greedy maximal matching as a speculative loop with
+// true reservations: each edge bids for its two endpoints with a
+// priority write-min and commits only when it holds both — the
+// textbook use of the reserve/commit protocol.
+type MMStepper struct {
+	el     graph.EdgeList
+	ord    core.Order
+	status []int32
+	mate   []int32
+	reserv []int32
+}
+
+const maxRank = int32(1<<31 - 1)
+
+// NewMMStepper prepares a stepper over el and ord.
+func NewMMStepper(el graph.EdgeList, ord core.Order) *MMStepper {
+	m := el.NumEdges()
+	s := &MMStepper{
+		el:     el,
+		ord:    ord,
+		status: make([]int32, m),
+		mate:   make([]int32, el.N),
+		reserv: make([]int32, el.N),
+	}
+	for i := range s.mate {
+		s.mate[i] = -1
+	}
+	for i := range s.reserv {
+		s.reserv[i] = maxRank
+	}
+	return s
+}
+
+// Reserve implements Stepper.
+func (s *MMStepper) Reserve(i int32) Outcome {
+	e := s.ord.Order[i]
+	edge := s.el.Edges[e]
+	if atomic.LoadInt32(&s.mate[edge.U]) != -1 || atomic.LoadInt32(&s.mate[edge.V]) != -1 {
+		atomic.StoreInt32(&s.status[e], rejected)
+		return Drop
+	}
+	parallel.WriteMin32(&s.reserv[edge.U], i)
+	parallel.WriteMin32(&s.reserv[edge.V], i)
+	return TryCommit
+}
+
+// Commit implements Stepper.
+func (s *MMStepper) Commit(i int32) bool {
+	e := s.ord.Order[i]
+	edge := s.el.Edges[e]
+	if atomic.LoadInt32(&s.reserv[edge.U]) != i || atomic.LoadInt32(&s.reserv[edge.V]) != i {
+		return false
+	}
+	atomic.StoreInt32(&s.status[e], accepted)
+	atomic.StoreInt32(&s.mate[edge.U], edge.V)
+	atomic.StoreInt32(&s.mate[edge.V], edge.U)
+	return true
+}
+
+// Reset implements Resetter: clear this round's bids.
+func (s *MMStepper) Reset(i int32) {
+	edge := s.el.Edges[s.ord.Order[i]]
+	atomic.StoreInt32(&s.reserv[edge.U], maxRank)
+	atomic.StoreInt32(&s.reserv[edge.V], maxRank)
+}
+
+// InMatching returns the computed matching membership by edge id.
+func (s *MMStepper) InMatching() []bool {
+	in := make([]bool, len(s.status))
+	for e, st := range s.status {
+		in[e] = st == accepted
+	}
+	return in
+}
+
+var _ Stepper = (*MISStepper)(nil)
+var _ Stepper = (*MMStepper)(nil)
+var _ Resetter = (*MMStepper)(nil)

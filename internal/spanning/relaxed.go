@@ -1,0 +1,134 @@
+package spanning
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/unionfind"
+)
+
+// PrefixSFRelaxed computes a spanning forest with the PBBS-style
+// one-root reservation: an edge reserves only the root it would link
+// (the larger root id, hung under the smaller), so any number of edges
+// can attach distinct subtrees to the same hub component in one round.
+//
+// The tradeoff against PrefixSF is precise and worth stating, because it
+// is the honest answer to the paper's §7 conjecture for spanning
+// forests:
+//
+//   - PrefixSF reserves BOTH roots, which forces the exact
+//     lexicographically-first forest (sequential equivalence) but
+//     serializes attachments to a hub component — one tree edge per
+//     round can win the hub's reservation, so on graphs whose union
+//     structure funnels through a giant component the round count
+//     degenerates toward Theta(n) and the parallelism evaporates.
+//   - PrefixSFRelaxed commits every edge that wins its single written
+//     root. The result is still a valid spanning forest (same
+//     components as the input, no cycles: links always hang the larger
+//     root under the smaller, so parent ids strictly decrease), and it
+//     is deterministic for a fixed order AND fixed prefix size — every
+//     rerun and every thread count gives the same forest — but it is
+//     not necessarily the forest the sequential loop picks, and
+//     different prefix sizes may pick different (equally valid)
+//     forests. This is exactly the semantics of the PBBS spanning
+//     forest built on deterministic reservations.
+func PrefixSFRelaxed(el graph.EdgeList, ord core.Order, opt Options) *Result {
+	m := el.NumEdges()
+	if ord.Len() != m {
+		panic("spanning: order size does not match edge list")
+	}
+	const maxRank = int32(1<<31 - 1)
+	grain := opt.Grain
+	if grain <= 0 {
+		grain = parallel.DefaultGrain
+	}
+	prefix := opt.prefixFor(m)
+	rank := ord.Rank
+
+	dsu := unionfind.NewConcurrent(el.N)
+	in := make([]bool, m)
+	status := make([]int32, m) // 0 undecided, 1 in, 2 out
+	reserv := make([]int32, el.N)
+	for i := range reserv {
+		reserv[i] = maxRank
+	}
+	// Root snapshots from the reserve phase: child is the root that
+	// would be written (larger id), target the root it hangs under.
+	child := make([]int32, m)
+	target := make([]int32, m)
+
+	stats := Stats{PrefixSize: prefix}
+	var inspections atomic.Int64
+	active := make([]int32, 0, prefix)
+	nextRank := 0
+	resolved := 0
+
+	for resolved < m {
+		for len(active) < prefix && nextRank < m {
+			active = append(active, ord.Order[nextRank])
+			nextRank++
+		}
+		stats.Rounds++
+		stats.Attempts += int64(len(active))
+
+		// Reserve: find roots; drop cycle edges; bid on the root that
+		// would be overwritten.
+		parallel.ForRange(len(active), grain, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				e := active[i]
+				edge := el.Edges[e]
+				ru := dsu.Find(edge.U)
+				rv := dsu.Find(edge.V)
+				local += 2
+				if ru == rv {
+					atomic.StoreInt32(&status[e], 2)
+					continue
+				}
+				if ru < rv {
+					ru, rv = rv, ru
+				}
+				child[e], target[e] = ru, rv
+				parallel.WriteMin32(&reserv[ru], rank[e])
+			}
+			inspections.Add(local)
+		})
+
+		// Commit: the winner of each written root links it. Distinct
+		// winners write distinct roots, so links never race; hanging
+		// larger under smaller keeps the structure a forest.
+		parallel.ForRange(len(active), grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := active[i]
+				if atomic.LoadInt32(&status[e]) != 0 {
+					continue
+				}
+				if atomic.LoadInt32(&reserv[child[e]]) == rank[e] {
+					dsu.Link(child[e], target[e])
+					in[e] = true
+					atomic.StoreInt32(&status[e], 1)
+				}
+			}
+		})
+
+		// Reset this round's bids.
+		parallel.ForRange(len(active), grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := active[i]
+				if atomic.LoadInt32(&status[e]) != 2 {
+					atomic.StoreInt32(&reserv[child[e]], maxRank)
+				}
+			}
+		})
+
+		before := len(active)
+		active = parallel.PackInPlace(active, grain, func(i int) bool {
+			return status[active[i]] == 0
+		})
+		resolved += before - len(active)
+	}
+	stats.EdgeInspections = inspections.Load()
+	return newResult(el, in, stats)
+}

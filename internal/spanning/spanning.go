@@ -1,0 +1,248 @@
+// Package spanning implements greedy spanning forest, the extension the
+// paper's conclusion proposes ("we believe that our approach can be
+// applied to sequential greedy algorithms for other problems (e.g.
+// spanning forest)"). The sequential algorithm scans edges in a random
+// priority order and keeps every edge that joins two different
+// components; the parallel version runs the same loop speculatively on
+// prefixes with deterministic reservations over component roots, and
+// returns exactly the sequential forest for any prefix size and
+// schedule.
+package spanning
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/unionfind"
+)
+
+// Stats reuses the core counters (Rounds, Attempts, EdgeInspections,
+// PrefixSize) with the same conventions as MIS/MM.
+type Stats = core.Stats
+
+// Result is the outcome of a spanning forest computation.
+type Result struct {
+	// InForest[e] reports whether edge e is a forest (tree) edge.
+	InForest []bool
+	// Edges lists the forest edges in increasing edge-id order.
+	Edges []graph.Edge
+	// Stats are the run's cost counters.
+	Stats Stats
+}
+
+// Size returns the number of forest edges.
+func (r *Result) Size() int { return len(r.Edges) }
+
+// Equal reports whether two results select the same edge set.
+func (r *Result) Equal(other *Result) bool {
+	if len(r.InForest) != len(other.InForest) {
+		return false
+	}
+	for i := range r.InForest {
+		if r.InForest[i] != other.InForest[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func newResult(el graph.EdgeList, in []bool, stats Stats) *Result {
+	ids := parallel.PackIndex(len(in), 4096, func(i int) bool { return in[i] })
+	edges := make([]graph.Edge, len(ids))
+	for i, id := range ids {
+		edges[i] = el.Edges[id]
+	}
+	return &Result{InForest: in, Edges: edges, Stats: stats}
+}
+
+// SequentialSF computes the greedy spanning forest of el under ord with
+// a union-find over the edges in priority order; the kept edges form
+// the lexicographically-first spanning forest.
+func SequentialSF(el graph.EdgeList, ord core.Order) *Result {
+	m := el.NumEdges()
+	if ord.Len() != m {
+		panic("spanning: order size does not match edge list")
+	}
+	dsu := unionfind.NewDSU(el.N)
+	in := make([]bool, m)
+	for r := 0; r < m; r++ {
+		e := ord.Order[r]
+		edge := el.Edges[e]
+		if dsu.Union(edge.U, edge.V) {
+			in[e] = true
+		}
+	}
+	return newResult(el, in, Stats{
+		Rounds:          int64(m),
+		Attempts:        int64(m),
+		EdgeInspections: 2 * int64(m),
+	})
+}
+
+// Options configures PrefixSF; the fields mirror matching.Options.
+type Options struct {
+	PrefixSize int
+	PrefixFrac float64
+	Grain      int
+}
+
+func (o Options) prefixFor(m int) int {
+	p := o.PrefixSize
+	if p <= 0 {
+		frac := o.PrefixFrac
+		if frac <= 0 {
+			frac = core.DefaultPrefixFrac
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		p = int(frac * float64(m))
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > m {
+		p = m
+	}
+	return p
+}
+
+// PrefixSF computes the lexicographically-first spanning forest with
+// prefix-based deterministic reservations. Each round, every active
+// edge finds the current roots of its endpoints; an edge whose roots
+// coincide is a cycle edge and resolves to out. Otherwise it bids for
+// BOTH roots with a priority write-min and commits — linking the
+// larger root under the smaller, which keeps the union forest acyclic —
+// only if it holds both. Reserving both roots is what makes the result
+// equal to the sequential forest: an earlier unresolved edge incident
+// to either component always outbids a later one, so a later edge can
+// never steal a union that would change an earlier edge's fate.
+func PrefixSF(el graph.EdgeList, ord core.Order, opt Options) *Result {
+	m := el.NumEdges()
+	if ord.Len() != m {
+		panic("spanning: order size does not match edge list")
+	}
+	const maxRank = int32(1<<31 - 1)
+	grain := opt.Grain
+	if grain <= 0 {
+		grain = parallel.DefaultGrain
+	}
+	prefix := opt.prefixFor(m)
+	rank := ord.Rank
+
+	dsu := unionfind.NewConcurrent(el.N)
+	in := make([]bool, m)
+	status := make([]int32, m) // 0 undecided, 1 in, 2 out
+	reserv := make([]int32, el.N)
+	for i := range reserv {
+		reserv[i] = maxRank
+	}
+	// Per-edge root snapshot from the reserve phase, reused by commit.
+	rootU := make([]int32, m)
+	rootV := make([]int32, m)
+
+	stats := Stats{PrefixSize: prefix}
+	var inspections atomic.Int64
+	active := make([]int32, 0, prefix)
+	nextRank := 0
+	resolved := 0
+
+	for resolved < m {
+		for len(active) < prefix && nextRank < m {
+			active = append(active, ord.Order[nextRank])
+			nextRank++
+		}
+		stats.Rounds++
+		stats.Attempts += int64(len(active))
+
+		// Reserve: find roots; drop cycle edges; bid on both roots.
+		parallel.ForRange(len(active), grain, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				e := active[i]
+				edge := el.Edges[e]
+				ru := dsu.Find(edge.U)
+				rv := dsu.Find(edge.V)
+				local += 2
+				if ru == rv {
+					atomic.StoreInt32(&status[e], 2)
+					continue
+				}
+				rootU[e], rootV[e] = ru, rv
+				parallel.WriteMin32(&reserv[ru], rank[e])
+				parallel.WriteMin32(&reserv[rv], rank[e])
+			}
+			inspections.Add(local)
+		})
+
+		// Commit: an edge holding both roots links them (larger root id
+		// under smaller, so parent ids strictly decrease along links and
+		// the structure stays a forest even across concurrent commits,
+		// which necessarily touch disjoint root pairs).
+		parallel.ForRange(len(active), grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := active[i]
+				if atomic.LoadInt32(&status[e]) != 0 {
+					continue
+				}
+				re := rank[e]
+				ru, rv := rootU[e], rootV[e]
+				if atomic.LoadInt32(&reserv[ru]) == re && atomic.LoadInt32(&reserv[rv]) == re {
+					if ru < rv {
+						dsu.Link(rv, ru)
+					} else {
+						dsu.Link(ru, rv)
+					}
+					in[e] = true
+					atomic.StoreInt32(&status[e], 1)
+				}
+			}
+		})
+
+		// Reset this round's bids.
+		parallel.ForRange(len(active), grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := active[i]
+				if rootU[e] != rootV[e] {
+					atomic.StoreInt32(&reserv[rootU[e]], maxRank)
+					atomic.StoreInt32(&reserv[rootV[e]], maxRank)
+				}
+			}
+		})
+
+		before := len(active)
+		active = parallel.PackInPlace(active, grain, func(i int) bool {
+			return status[active[i]] == 0
+		})
+		resolved += before - len(active)
+	}
+	stats.EdgeInspections = inspections.Load()
+	return newResult(el, in, stats)
+}
+
+// IsForest reports whether the selected edges contain no cycle.
+func IsForest(el graph.EdgeList, inForest []bool) bool {
+	dsu := unionfind.NewDSU(el.N)
+	for e, in := range inForest {
+		if in && !dsu.Union(el.Edges[e].U, el.Edges[e].V) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSpanning reports whether the selected edges connect everything the
+// full edge set connects (same components).
+func IsSpanning(el graph.EdgeList, inForest []bool) bool {
+	full := unionfind.NewDSU(el.N)
+	sel := unionfind.NewDSU(el.N)
+	for e, edge := range el.Edges {
+		full.Union(edge.U, edge.V)
+		if inForest[e] {
+			sel.Union(edge.U, edge.V)
+		}
+	}
+	return full.Components() == sel.Components()
+}
