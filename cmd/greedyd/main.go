@@ -1,0 +1,68 @@
+// Command greedyd serves the library's graph algorithms over HTTP: a
+// graph registry (upload or server-side generation) and an async job
+// engine running MIS, maximal matching and spanning forest jobs on a
+// bounded worker pool, with idempotency-key deduplication of identical
+// deterministic computations.
+//
+// Usage:
+//
+//	greedyd -addr :8080 -cache-bytes 1073741824 -workers 0 -ttl 15m
+//
+// See README.md for the API and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheBytes = flag.Int64("cache-bytes", 1<<30, "graph registry byte budget (<0: unlimited)")
+		workers    = flag.Int("workers", 0, "job worker pool size (0: GOMAXPROCS)")
+		queueDepth = flag.Int("queue-depth", 4096, "maximum queued jobs")
+		ttl        = flag.Duration("ttl", 15*time.Minute, "finished-job retention")
+		maxUpload  = flag.Int64("max-upload-bytes", 512<<20, "maximum graph upload size")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		CacheBytes:     *cacheBytes,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		ResultTTL:      *ttl,
+		MaxUploadBytes: *maxUpload,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("greedyd: listening on %s (cache %d bytes, workers %d)", *addr, *cacheBytes, *workers)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("greedyd: %v", err)
+	}
+	log.Printf("greedyd: shut down")
+}

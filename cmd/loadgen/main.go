@@ -1,0 +1,202 @@
+// Command loadgen drives closed-loop mixed MIS/MM/SF traffic against a
+// running greedyd and reports throughput and latency percentiles. Each
+// worker repeatedly submits a job for a random (problem, seed) pair
+// drawn from a bounded pool — so a configurable fraction of traffic
+// hits the daemon's idempotency cache, as deterministic traffic would
+// in production — then polls until the job finishes.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8080 -duration 10s -concurrency 8
+//	loadgen -addr http://localhost:8080 -gen rmat -n 131072 -m 1000000
+//	loadgen -addr http://localhost:8080 -job-seeds 1000000   # ~all unique
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "greedyd base URL")
+		gen         = flag.String("gen", "random", "graph family: random|rmat (internal/bench workload kinds)")
+		n           = flag.Int("n", 100_000, "vertex count of the generated graph")
+		m           = flag.Int("m", 500_000, "edge count of the generated graph")
+		shrink      = flag.Int("shrink", -1, "if >= 0, use the paper's workload scaled by 2^-shrink instead of -n/-m")
+		graphSeed   = flag.Uint64("graph-seed", 42, "generator seed")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		concurrency = flag.Int("concurrency", 8, "closed-loop workers")
+		problems    = flag.String("problems", "mis,mm,sf", "comma-separated problem mix")
+		algorithm   = flag.String("algorithm", "prefix", "algorithm for every job")
+		jobSeeds    = flag.Int("job-seeds", 16, "size of the job-seed pool (larger = fewer dedup hits)")
+		prefixFrac  = flag.Float64("prefix", 0, "prefix fraction for prefix jobs (0 = library default)")
+		rngSeed     = flag.Int64("rng-seed", 1, "client-side traffic shuffle seed")
+		poll        = flag.Duration("poll", time.Millisecond, "job status poll interval")
+	)
+	flag.Parse()
+
+	if *jobSeeds < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -job-seeds must be >= 1")
+		os.Exit(2)
+	}
+	if *concurrency < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -concurrency must be >= 1")
+		os.Exit(2)
+	}
+	mix := strings.Split(*problems, ",")
+	for _, p := range mix {
+		if _, err := service.ParseProblem(strings.TrimSpace(p)); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	w := bench.Workload{Kind: *gen, N: *n, M: *m, Seed: *graphSeed}
+	if *shrink >= 0 {
+		w = bench.DefaultScale(*gen, uint(*shrink))
+	}
+
+	client := &service.Client{BaseURL: strings.TrimRight(*addr, "/")}
+	ctx := context.Background()
+
+	gresp, err := client.Generate(ctx, service.GenSpec{
+		Generator: w.Kind, N: w.N, M: w.M, Seed: w.Seed, Label: w.String(),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: generating %s: %v\n", w, err)
+		os.Exit(1)
+	}
+	fmt.Printf("loadgen: workload %s -> graph %s (n=%d m=%d, %d bytes, deduped=%v)\n",
+		w, gresp.ID, gresp.N, gresp.M, gresp.Bytes, gresp.Deduped)
+
+	before, err := client.Metrics(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: metrics: %v\n", err)
+		os.Exit(1)
+	}
+
+	type sample struct {
+		problem string
+		latency time.Duration
+	}
+	var (
+		mu       sync.Mutex
+		samples  []sample
+		failures int
+	)
+	started := time.Now()
+	deadline := started.Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *concurrency; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*rngSeed + int64(worker)))
+			for time.Now().Before(deadline) {
+				problem := strings.TrimSpace(mix[rng.Intn(len(mix))])
+				seed := uint64(rng.Intn(*jobSeeds))
+				start := time.Now()
+				resp, err := client.Submit(ctx, service.JobRequest{
+					GraphID:    gresp.ID,
+					Problem:    problem,
+					Algorithm:  *algorithm,
+					Seed:       seed,
+					PrefixFrac: *prefixFrac,
+				})
+				if err != nil {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					continue
+				}
+				st := resp.JobStatus
+				if st.State != service.StateDone && st.State != service.StateFailed {
+					st, err = client.Wait(ctx, st.ID, *poll)
+					if err != nil {
+						mu.Lock()
+						failures++
+						mu.Unlock()
+						continue
+					}
+				}
+				lat := time.Since(start)
+				mu.Lock()
+				if st.State == service.StateDone {
+					samples = append(samples, sample{problem: problem, latency: lat})
+				} else {
+					failures++
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Measured wall time, not the nominal -duration: workers finish
+	// their in-flight job after the deadline, and throughput must not
+	// be overstated by dividing by the shorter nominal window.
+	elapsed := time.Since(started)
+
+	after, err := client.Metrics(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: metrics: %v\n", err)
+		os.Exit(1)
+	}
+
+	total := len(samples)
+	rate := float64(total) / elapsed.Seconds()
+	fmt.Printf("loadgen: %d jobs ok, %d failed in %v -> %.1f jobs/s (%d workers)\n",
+		total, failures, elapsed.Round(time.Millisecond), rate, *concurrency)
+	submitted := after.Jobs.Submitted - before.Jobs.Submitted
+	dedup := after.Jobs.DedupHits - before.Jobs.DedupHits
+	executed := after.Jobs.Executed - before.Jobs.Executed
+	pct := 0.0
+	if submitted > 0 {
+		pct = 100 * float64(dedup) / float64(submitted)
+	}
+	fmt.Printf("loadgen: server saw %d submissions, %d dedup hits (%.1f%%), %d executions\n",
+		submitted, dedup, pct, executed)
+
+	byProblem := map[string][]time.Duration{}
+	var all []time.Duration
+	for _, s := range samples {
+		byProblem[s.problem] = append(byProblem[s.problem], s.latency)
+		all = append(all, s.latency)
+	}
+	printLine := func(name string, lats []time.Duration) {
+		if len(lats) == 0 {
+			return
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(lats)-1))
+			return lats[i]
+		}
+		fmt.Printf("loadgen: %-5s n=%-6d p50=%-10v p90=%-10v p99=%-10v max=%v\n",
+			name, len(lats), q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+			q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+	printLine("all", all)
+	names := make([]string, 0, len(byProblem))
+	for p := range byProblem {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		printLine(p, byProblem[p])
+	}
+
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	greedy "repro"
 	"repro/internal/core"
 	"repro/internal/graph"
 )
@@ -43,22 +44,25 @@ func main() {
 	ord := core.NewRandomOrder(g.NumVertices(), *seed+1)
 	opt := core.Options{PrefixFrac: *prefix, Pointered: *pointered}
 
+	algo, err := greedy.ParseAlgorithm(*algorithm)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mis: %v\n", err)
+		os.Exit(2)
+	}
+
 	start := time.Now()
 	var res *core.Result
-	switch *algorithm {
-	case "sequential":
+	switch algo {
+	case greedy.AlgoSequential:
 		res = core.SequentialMIS(g, ord)
-	case "parallel":
+	case greedy.AlgoParallel:
 		res = core.ParallelMIS(g, ord, opt)
-	case "rootset":
+	case greedy.AlgoRootSet:
 		res = core.RootSetMIS(g, ord, opt)
-	case "prefix":
-		res = core.PrefixMIS(g, ord, opt)
-	case "luby":
+	case greedy.AlgoLuby:
 		res = core.LubyMIS(g, *seed+9, opt)
 	default:
-		fmt.Fprintf(os.Stderr, "mis: unknown algorithm %q\n", *algorithm)
-		os.Exit(2)
+		res = core.PrefixMIS(g, ord, opt)
 	}
 	elapsed := time.Since(start)
 
@@ -74,7 +78,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mis: VERIFICATION FAILED: not a maximal independent set")
 			os.Exit(1)
 		}
-		if *algorithm != "luby" {
+		if algo != greedy.AlgoLuby {
 			if err := core.VerifyLexFirst(g, ord, res); err != nil {
 				fmt.Fprintf(os.Stderr, "mis: VERIFICATION FAILED: %v\n", err)
 				os.Exit(1)

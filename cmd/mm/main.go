@@ -13,6 +13,7 @@ import (
 	"os"
 	"time"
 
+	greedy "repro"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matching"
@@ -41,20 +42,26 @@ func main() {
 	ord := core.NewRandomOrder(el.NumEdges(), *seed+2)
 	opt := matching.Options{PrefixFrac: *prefix}
 
+	algo, err := greedy.ParseAlgorithm(*algorithm)
+	if err != nil || algo == greedy.AlgoLuby {
+		if err == nil {
+			err = fmt.Errorf("greedy: Luby's algorithm applies to MIS only")
+		}
+		fmt.Fprintf(os.Stderr, "mm: %v\n", err)
+		os.Exit(2)
+	}
+
 	start := time.Now()
 	var res *matching.Result
-	switch *algorithm {
-	case "sequential":
+	switch algo {
+	case greedy.AlgoSequential:
 		res = matching.SequentialMM(el, ord)
-	case "parallel":
+	case greedy.AlgoParallel:
 		res = matching.ParallelMM(el, ord, opt)
-	case "rootset":
+	case greedy.AlgoRootSet:
 		res = matching.RootSetMM(el, ord, opt)
-	case "prefix":
-		res = matching.PrefixMM(el, ord, opt)
 	default:
-		fmt.Fprintf(os.Stderr, "mm: unknown algorithm %q\n", *algorithm)
-		os.Exit(2)
+		res = matching.PrefixMM(el, ord, opt)
 	}
 	elapsed := time.Since(start)
 

@@ -1,6 +1,8 @@
 package greedy
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matching"
@@ -71,6 +73,45 @@ const (
 	AlgoLuby
 )
 
+// String returns the canonical lower-case name of a, the inverse of
+// ParseAlgorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoPrefix:
+		return "prefix"
+	case AlgoSequential:
+		return "sequential"
+	case AlgoRootSet:
+		return "rootset"
+	case AlgoParallel:
+		return "parallel"
+	case AlgoLuby:
+		return "luby"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm maps a canonical algorithm name (as produced by
+// Algorithm.String and accepted by the cmd tools) to its Algorithm
+// value. The empty string selects the default, AlgoPrefix.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "", "prefix":
+		return AlgoPrefix, nil
+	case "sequential", "seq":
+		return AlgoSequential, nil
+	case "rootset":
+		return AlgoRootSet, nil
+	case "parallel":
+		return AlgoParallel, nil
+	case "luby":
+		return AlgoLuby, nil
+	default:
+		return AlgoPrefix, fmt.Errorf("greedy: unknown algorithm %q (want sequential|parallel|rootset|prefix|luby)", s)
+	}
+}
+
 type config struct {
 	algorithm  Algorithm
 	seed       uint64
@@ -118,6 +159,62 @@ func buildConfig(opts []Option) config {
 		o(&c)
 	}
 	return c
+}
+
+// Plan is the resolved configuration an option list denotes: the
+// algorithm, seed and tuning knobs after defaults are applied. Because
+// every deterministic algorithm returns bit-identical results for a
+// fixed (graph, Plan) at any thread count, a Plan is a valid cache or
+// idempotency key for a computation — the property the service layer
+// relies on to deduplicate submissions. An explicit WithOrder is not
+// representable in a Plan (orders are not serializable values) and is
+// reported by ExplicitOrder.
+type Plan struct {
+	Algorithm  Algorithm
+	Seed       uint64
+	PrefixFrac float64
+	PrefixSize int
+	Grain      int
+	Pointered  bool
+	// ExplicitOrder reports that WithOrder was supplied; such a
+	// configuration must not be used as a dedup key.
+	ExplicitOrder bool
+}
+
+// ResolvePlan applies opts over the defaults and returns the resulting
+// Plan — the exact option→configuration mapping the solver entry points
+// use internally.
+func ResolvePlan(opts ...Option) Plan {
+	c := buildConfig(opts)
+	return Plan{
+		Algorithm:     c.algorithm,
+		Seed:          c.seed,
+		PrefixFrac:    c.prefixFrac,
+		PrefixSize:    c.prefixSize,
+		Grain:         c.grain,
+		Pointered:     c.pointered,
+		ExplicitOrder: c.order != nil,
+	}
+}
+
+// Options converts p back to an option list accepted by the solver
+// entry points. ResolvePlan(p.Options()...) round-trips every field
+// except ExplicitOrder.
+func (p Plan) Options() []Option {
+	opts := []Option{WithAlgorithm(p.Algorithm), WithSeed(p.Seed)}
+	if p.PrefixFrac != 0 {
+		opts = append(opts, WithPrefixFrac(p.PrefixFrac))
+	}
+	if p.PrefixSize != 0 {
+		opts = append(opts, WithPrefixSize(p.PrefixSize))
+	}
+	if p.Grain != 0 {
+		opts = append(opts, WithGrain(p.Grain))
+	}
+	if p.Pointered {
+		opts = append(opts, WithPointer())
+	}
+	return opts
 }
 
 func (c config) orderFor(n int) Order {
@@ -197,8 +294,14 @@ func MaximalMatchingEdges(el EdgeList, opts ...Option) *MMResult {
 // (spanning.PrefixSF) serializes on hub components, the honest finding
 // of this reproduction's §7 experiment (see EXPERIMENTS.md).
 func SpanningForest(g *Graph, opts ...Option) *SFResult {
+	return SpanningForestEdges(g.EdgeList(), opts...)
+}
+
+// SpanningForestEdges computes a greedy spanning forest of an explicit
+// edge list, for callers that already hold the edge-array view (e.g.
+// the service layer, which caches it per graph).
+func SpanningForestEdges(el EdgeList, opts ...Option) *SFResult {
 	c := buildConfig(opts)
-	el := g.EdgeList()
 	ord := c.orderFor(el.NumEdges())
 	if c.algorithm == AlgoSequential {
 		return spanning.SequentialSF(el, ord)

@@ -104,11 +104,6 @@ func TestReadAutoAllFormats(t *testing.T) {
 	}
 }
 
-func TestReadAutoRejectsGarbage(t *testing.T) {
-	if _, err := ReadAuto(bytes.NewReader([]byte("not a graph at all"))); err == nil {
-		t.Error("garbage accepted")
-	}
-	if _, err := ReadAuto(bytes.NewReader(nil)); err == nil {
-		t.Error("empty input accepted")
-	}
-}
+// ReadAuto's rejection of malformed input is covered in
+// readauto_test.go, which also asserts the error wraps
+// ErrUnknownFormat.

@@ -2,26 +2,63 @@ package graph
 
 import (
 	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
 
+// ErrUnknownFormat is returned by ReadAuto when the input matches none
+// of the three supported graph formats.
+var ErrUnknownFormat = errors.New("graph: unrecognized format (want PBBS AdjacencyGraph, PBBS EdgeArray, or GSMIS binary)")
+
 // ReadAuto parses a graph from r, auto-detecting the format by its
 // header: the PBBS "AdjacencyGraph" or "EdgeArray" text formats, or the
-// library's binary format. It is the reader behind the cmd tools, which
-// accept any of the three interchangeably.
+// library's binary format. It is the reader behind the cmd tools and
+// the service ingest path, which accept any of the three
+// interchangeably.
+//
+// Detection is by exact sniff rather than fallback: a text header must
+// be the whole first token (so "AdjacencyGraphX" is rejected, not
+// misparsed), the binary format is recognized by its 8-byte magic, and
+// anything else — including empty input — fails with ErrUnknownFormat
+// instead of a misleading downstream parse error.
 func ReadAuto(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	head, err := br.Peek(len(adjacencyHeader))
+	// The longest sniff we need is the adjacency header plus one byte
+	// to confirm the token ends there.
+	head, err := br.Peek(len(adjacencyHeader) + 1)
 	if err != nil && err != io.EOF {
 		return nil, fmt.Errorf("graph: sniffing format: %w", err)
 	}
-	switch {
-	case len(head) >= len(adjacencyHeader) && string(head) == adjacencyHeader:
-		return ReadAdjacency(br)
-	case len(head) >= len(edgeArrayHeader) && string(head[:len(edgeArrayHeader)]) == edgeArrayHeader:
-		return ReadEdgeArray(br)
-	default:
-		return ReadBinary(br)
+	if len(head) == 0 {
+		return nil, fmt.Errorf("graph: empty input: %w", ErrUnknownFormat)
 	}
+	switch {
+	case isTextHeader(head, adjacencyHeader):
+		return ReadAdjacency(br)
+	case isTextHeader(head, edgeArrayHeader):
+		return ReadEdgeArray(br)
+	case len(head) >= 8 && binary.LittleEndian.Uint64(head) == binaryMagic:
+		return ReadBinary(br)
+	default:
+		return nil, ErrUnknownFormat
+	}
+}
+
+// isTextHeader reports whether head starts with the given header token
+// followed by end-of-input or whitespace (i.e. the header is the whole
+// first token).
+func isTextHeader(head []byte, header string) bool {
+	if len(head) < len(header) || string(head[:len(header)]) != header {
+		return false
+	}
+	if len(head) == len(header) {
+		return true
+	}
+	switch head[len(header)] {
+	case ' ', '\t', '\r', '\n':
+		return true
+	}
+	return false
 }

@@ -37,13 +37,21 @@ func SortUint64(keys []uint64) {
 			continue
 		}
 
-		// Phase 1: per-block digit histograms.
+		// Phase 1: per-block digit histograms. The whole offset matrix
+		// must be re-zeroed every pass: when the counting loop degrades
+		// to a single sequential chunk (GOMAXPROCS=1 or n <= grain)
+		// only block 0 is visited, and blocks 1..blocks-1 would
+		// otherwise carry stale scan offsets from the previous pass
+		// into phase 2. The reset is itself parallel so it does not
+		// become a serial fraction of the pass on many-core runs.
+		ForRange(blocks, 16, func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				counts[b] = [radix]int64{}
+			}
+		})
 		ForRange(n, grain, func(lo, hi int) {
 			b := lo / grain
 			c := &counts[b]
-			for i := range c {
-				c[i] = 0
-			}
 			for i := lo; i < hi; i++ {
 				c[(src[i]>>shift)&(radix-1)]++
 			}

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a minimal Go client for the greedyd HTTP API, shared by
+// cmd/loadgen, the examples, and the end-to-end tests.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes an error body into a Go error.
+func apiError(resp *http.Response) error {
+	var body errorBody
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		return fmt.Errorf("service: %s (HTTP %d)", body.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("service: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) (int, error) {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, apiError(resp)
+	}
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, apiError(resp)
+	}
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Generate asks the server to build and register a graph.
+func (c *Client) Generate(ctx context.Context, spec GenSpec) (GraphResponse, error) {
+	var out GraphResponse
+	_, err := c.postJSON(ctx, "/v1/graphs", spec, &out)
+	return out, err
+}
+
+// Upload ingests a serialized graph (any supported format).
+func (c *Client) Upload(ctx context.Context, body io.Reader) (GraphResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/graphs", body)
+	if err != nil {
+		return GraphResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return GraphResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return GraphResponse{}, apiError(resp)
+	}
+	var out GraphResponse
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Submit submits a job.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (JobResponse, error) {
+	var out JobResponse
+	_, err := c.postJSON(ctx, "/v1/jobs", req, &out)
+	return out, err
+}
+
+// Status fetches a job's status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var out JobStatus
+	_, err := c.getJSON(ctx, "/v1/jobs/"+id, &out)
+	return out, err
+}
+
+// Result fetches the raw result payload of a done job. The boolean
+// reports whether the job is done; when false the returned bytes are
+// nil and the caller should poll again.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		raw, err := io.ReadAll(resp.Body)
+		return raw, true, err
+	case http.StatusAccepted:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	default:
+		return nil, false, apiError(resp)
+	}
+}
+
+// Wait polls a job until it finishes (done or failed) or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 2 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Metrics fetches the metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (Snapshot, error) {
+	var out Snapshot
+	_, err := c.getJSON(ctx, "/v1/metrics", &out)
+	return out, err
+}

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestE2ELoadgenSmoke is a miniature of cmd/loadgen: closed-loop
+// workers drive mixed MIS/MM/SF traffic with a small seed pool against
+// the real HTTP stack, so dedup hits, executions, and polling all
+// happen concurrently. Run with -race.
+func TestE2ELoadgenSmoke(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	gr, err := c.Generate(ctx, GenSpec{Generator: "random", N: 5000, M: 20000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers    = 4
+		jobsPerWkr = 25
+		seedPool   = 3
+	)
+	problems := []string{"mis", "mm", "sf"}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		finished int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < jobsPerWkr; i++ {
+				req := JobRequest{
+					GraphID:   gr.ID,
+					Problem:   problems[rng.Intn(len(problems))],
+					Algorithm: "prefix",
+					Seed:      uint64(rng.Intn(seedPool)),
+				}
+				sub, err := c.Submit(ctx, req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				st, err := c.Wait(ctx, sub.ID, time.Millisecond)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if st.State != StateDone {
+					t.Errorf("worker %d job %d failed: %s", w, i, st.Error)
+					return
+				}
+				mu.Lock()
+				finished++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if finished != workers*jobsPerWkr {
+		t.Fatalf("finished %d of %d jobs", finished, workers*jobsPerWkr)
+	}
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Jobs.Submitted != workers*jobsPerWkr {
+		t.Fatalf("submitted %d, want %d", snap.Jobs.Submitted, workers*jobsPerWkr)
+	}
+	// At most 3 problems x 3 seeds distinct specs can execute; the other
+	// ~91 submissions must be dedup hits.
+	maxExec := int64(len(problems) * seedPool)
+	if snap.Jobs.Executed > maxExec {
+		t.Fatalf("executed %d, want <= %d (dedup broken)", snap.Jobs.Executed, maxExec)
+	}
+	if snap.Jobs.DedupHits != snap.Jobs.Submitted-snap.Jobs.Executed {
+		t.Fatalf("dedup accounting off: %+v", snap.Jobs)
+	}
+
+	// Every duplicate of one spec must serve byte-identical results.
+	a, err := c.Submit(ctx, JobRequest{GraphID: gr.ID, Problem: "mis", Algorithm: "prefix", Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, a.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	raw1, _, err := c.Result(ctx, a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, _, err := c.Result(ctx, a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("re-reads of one result differ")
+	}
+}

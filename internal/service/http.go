@@ -1,0 +1,223 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"mime"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+
+	greedy "repro"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/graphs            ingest: JSON generation request, or a raw
+//	                           graph body in any supported format
+//	GET  /v1/graphs            list resident graphs
+//	GET  /v1/graphs/{id}       metadata of one graph
+//	POST /v1/jobs              submit a job (idempotent per spec key)
+//	GET  /v1/jobs/{id}         job status
+//	GET  /v1/jobs/{id}/result  result payload of a done job
+//	GET  /v1/metrics           metrics snapshot
+//	GET  /healthz              liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleGraphCreate)
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
+	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGraphGet)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// errorBody is the uniform error response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// GraphResponse is the body returned by graph ingestion.
+type GraphResponse struct {
+	GraphInfo
+	Deduped bool `json:"deduped"`
+}
+
+func (s *Service) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == "application/json" {
+		var spec GenSpec
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad generation request: %w", err))
+			return
+		}
+		info, deduped, err := s.Generate(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrGraphTooLarge) {
+				// Same mapping as the raw-upload path below, so clients
+				// can key capacity handling off one status code.
+				code = http.StatusInsufficientStorage
+			}
+			writeError(w, code, err)
+			return
+		}
+		code := http.StatusCreated
+		if deduped {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, GraphResponse{GraphInfo: info, Deduped: deduped})
+		return
+	}
+
+	// Raw upload in any of the three formats, auto-detected.
+	g, err := graph.ReadAuto(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, err)
+		return
+	}
+	info, deduped, err := s.registry.Add(g, strings.TrimSpace(r.URL.Query().Get("label")))
+	if err != nil {
+		writeError(w, http.StatusInsufficientStorage, err)
+		return
+	}
+	code := http.StatusCreated
+	if deduped {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, GraphResponse{GraphInfo: info, Deduped: deduped})
+}
+
+func (s *Service) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	list := s.registry.List()
+	sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Service) handleGraphGet(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrGraphNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// JobRequest is the body of POST /v1/jobs.
+type JobRequest struct {
+	GraphID    string  `json:"graph_id"`
+	Problem    string  `json:"problem"`
+	Algorithm  string  `json:"algorithm,omitempty"` // default "prefix"
+	Seed       uint64  `json:"seed"`
+	PrefixFrac float64 `json:"prefix_frac,omitempty"`
+	PrefixSize int     `json:"prefix_size,omitempty"`
+}
+
+// JobResponse is the body returned by job submission.
+type JobResponse struct {
+	JobStatus
+	Deduped bool `json:"deduped"`
+}
+
+func (s *Service) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job request: %w", err))
+		return
+	}
+	problem, err := ParseProblem(req.Problem)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	algo, err := greedy.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := JobSpec{
+		GraphID:    req.GraphID,
+		Problem:    problem,
+		Algorithm:  algo,
+		Seed:       req.Seed,
+		PrefixFrac: req.PrefixFrac,
+		PrefixSize: req.PrefixSize,
+	}
+	st, deduped, err := s.engine.Submit(spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrGraphNotFound):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if deduped {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, JobResponse{JobStatus: st, Deduped: deduped})
+}
+
+func (s *Service) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.engine.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	raw, st, err := s.engine.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	switch st.State {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(raw)
+	case StateFailed:
+		writeJSON(w, http.StatusUnprocessableEntity, st)
+	default:
+		// Not finished: return the status with 202 so clients can poll.
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,551 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	greedy "repro"
+	"repro/internal/graph"
+)
+
+// Problem names a computation the service can run.
+type Problem string
+
+// The three problems of the paper: maximal independent set, maximal
+// matching, and the §7 spanning forest extension.
+const (
+	ProblemMIS Problem = "mis"
+	ProblemMM  Problem = "mm"
+	ProblemSF  Problem = "sf"
+)
+
+// ParseProblem validates a problem name.
+func ParseProblem(s string) (Problem, error) {
+	switch Problem(s) {
+	case ProblemMIS, ProblemMM, ProblemSF:
+		return Problem(s), nil
+	default:
+		return "", fmt.Errorf("service: unknown problem %q (want mis|mm|sf)", s)
+	}
+}
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Job engine errors.
+var (
+	ErrQueueFull   = errors.New("service: job queue full")
+	ErrJobNotFound = errors.New("service: job not found (unknown id or expired)")
+	ErrClosed      = errors.New("service: engine closed")
+)
+
+// JobSpec identifies a deterministic computation: which graph, which
+// problem, and the resolved algorithm configuration. Two jobs with
+// equal specs produce bit-identical results (the paper's determinism
+// guarantee), which is why Key is a sound idempotency key.
+type JobSpec struct {
+	GraphID    string           `json:"graph_id"`
+	Problem    Problem          `json:"problem"`
+	Algorithm  greedy.Algorithm `json:"-"`
+	Seed       uint64           `json:"seed"`
+	PrefixFrac float64          `json:"prefix_frac,omitempty"`
+	PrefixSize int              `json:"prefix_size,omitempty"`
+}
+
+// Key returns the idempotency key (graphID, problem, algorithm, seed,
+// prefix): submissions with equal keys are deduplicated into one
+// execution.
+func (s JobSpec) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%d|%g|%d",
+		s.GraphID, s.Problem, s.Algorithm, s.Seed, s.PrefixFrac, s.PrefixSize)
+}
+
+// Validate rejects specs no algorithm can run.
+func (s JobSpec) Validate() error {
+	if _, err := ParseProblem(string(s.Problem)); err != nil {
+		return err
+	}
+	if s.Algorithm == greedy.AlgoLuby && s.Problem != ProblemMIS {
+		return fmt.Errorf("service: algorithm %q applies to MIS only", s.Algorithm)
+	}
+	// The spanning-forest facade implements only the sequential scan
+	// and the prefix-based algorithm; accepting other names would run
+	// prefix while reporting a different algorithm in the payload and
+	// split one computation across several dedup keys.
+	if s.Problem == ProblemSF && s.Algorithm != greedy.AlgoPrefix && s.Algorithm != greedy.AlgoSequential {
+		return fmt.Errorf("service: spanning forest supports algorithms prefix|sequential, not %q", s.Algorithm)
+	}
+	if s.PrefixFrac < 0 || s.PrefixFrac > 1 {
+		return fmt.Errorf("service: prefix_frac %g outside [0,1]", s.PrefixFrac)
+	}
+	if s.PrefixSize < 0 {
+		return fmt.Errorf("service: negative prefix_size %d", s.PrefixSize)
+	}
+	return nil
+}
+
+// Job is one tracked computation. Fields other than ID and Spec are
+// guarded by the engine mutex.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	state       JobState
+	err         string
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	result      []byte // marshaled ResultPayload, set once on success
+
+	handle *Handle // pin on the input graph from submit to completion
+}
+
+// JobStatus is the public JSON view of a job.
+type JobStatus struct {
+	ID          string    `json:"job_id"`
+	GraphID     string    `json:"graph_id"`
+	Problem     Problem   `json:"problem"`
+	Algorithm   string    `json:"algorithm"`
+	Seed        uint64    `json:"seed"`
+	PrefixFrac  float64   `json:"prefix_frac,omitempty"`
+	PrefixSize  int       `json:"prefix_size,omitempty"`
+	State       JobState  `json:"state"`
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	QueueMS     float64   `json:"queue_ms,omitempty"`
+	RunMS       float64   `json:"run_ms,omitempty"`
+}
+
+// ResultPayload is the JSON body served by GET /v1/jobs/{id}/result.
+// It is marshaled exactly once per execution, so every read of a
+// deduplicated job returns byte-identical bytes.
+type ResultPayload struct {
+	JobID     string       `json:"job_id"`
+	GraphID   string       `json:"graph_id"`
+	Problem   Problem      `json:"problem"`
+	Algorithm string       `json:"algorithm"`
+	Seed      uint64       `json:"seed"`
+	N         int          `json:"n"`
+	M         int          `json:"m"`
+	Size      int          `json:"size"`
+	Checksum  string       `json:"checksum"`
+	Stats     greedy.Stats `json:"stats"`
+	RunMS     float64      `json:"run_ms"`
+	// Members is the selected set: vertex ids for MIS, edge endpoint
+	// pairs for MM and SF. Omitted above memberCap entries (Checksum
+	// still commits to the full membership).
+	Members        []int32    `json:"members,omitempty"`
+	MemberPairs    [][2]int32 `json:"member_pairs,omitempty"`
+	MembersOmitted bool       `json:"members_omitted,omitempty"`
+}
+
+// memberCap bounds the membership list embedded in a result payload.
+const memberCap = 1 << 20
+
+// Engine runs jobs on a bounded worker pool with idempotency-key
+// deduplication and a TTL result store.
+type Engine struct {
+	reg     *Registry
+	metrics *Metrics
+	ttl     time.Duration
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	byKey  map[string]*Job
+	closed bool
+
+	queue  chan *Job
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	nextID atomic.Int64
+}
+
+// EngineConfig configures an Engine.
+type EngineConfig struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued jobs; 0 means 4096.
+	QueueDepth int
+	// ResultTTL is how long finished jobs are retained; 0 means 15m.
+	ResultTTL time.Duration
+}
+
+// NewEngine starts an engine over reg. metrics may be nil.
+func NewEngine(reg *Registry, metrics *Metrics, cfg EngineConfig) *Engine {
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 4096
+	}
+	ttl := cfg.ResultTTL
+	if ttl <= 0 {
+		ttl = 15 * time.Minute
+	}
+	e := &Engine{
+		reg:     reg,
+		metrics: metrics,
+		ttl:     ttl,
+		jobs:    make(map[string]*Job),
+		byKey:   make(map[string]*Job),
+		queue:   make(chan *Job, depth),
+		stop:    make(chan struct{}),
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	e.wg.Add(1)
+	go e.janitor()
+	return e
+}
+
+// Submit registers a job for spec. If a queued, running, or completed
+// job with the same idempotency key exists, that job is returned with
+// deduped = true and no new execution happens. Failed jobs are not
+// dedup targets: resubmitting retries.
+func (e *Engine) Submit(spec JobSpec) (JobStatus, bool, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, false, err
+	}
+	key := spec.Key()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return JobStatus{}, false, ErrClosed
+	}
+	if prior, ok := e.byKey[key]; ok && prior.state != StateFailed {
+		st := e.statusLocked(prior)
+		e.mu.Unlock()
+		e.metrics.jobSubmitted(true)
+		return st, true, nil
+	}
+	e.mu.Unlock()
+
+	// Pin the graph for the job's whole lifetime: from this point until
+	// completion the registry cannot evict it.
+	h, err := e.reg.Acquire(spec.GraphID)
+	if err != nil {
+		return JobStatus{}, false, err
+	}
+
+	job := &Job{
+		ID:          "j" + strconv.FormatInt(e.nextID.Add(1), 10),
+		Spec:        spec,
+		state:       StateQueued,
+		submittedAt: time.Now(),
+		handle:      h,
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		h.Release()
+		return JobStatus{}, false, ErrClosed
+	}
+	// Re-check the key: a racing submit may have won while we acquired.
+	if prior, ok := e.byKey[key]; ok && prior.state != StateFailed {
+		st := e.statusLocked(prior)
+		e.mu.Unlock()
+		h.Release()
+		e.metrics.jobSubmitted(true)
+		return st, true, nil
+	}
+	select {
+	case e.queue <- job:
+	default:
+		e.mu.Unlock()
+		h.Release()
+		return JobStatus{}, false, ErrQueueFull
+	}
+	e.jobs[job.ID] = job
+	e.byKey[key] = job
+	st := e.statusLocked(job)
+	e.mu.Unlock()
+	e.metrics.jobSubmitted(false)
+	return st, false, nil
+}
+
+// Status returns the current state of a job.
+func (e *Engine) Status(id string) (JobStatus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	job, ok := e.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrJobNotFound, id)
+	}
+	return e.statusLocked(job), nil
+}
+
+// Result returns the marshaled result payload of a done job, or the
+// job's status when it is not done yet (second return) so callers can
+// distinguish pending from missing.
+func (e *Engine) Result(id string) ([]byte, JobStatus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	job, ok := e.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, fmt.Errorf("%w: %q", ErrJobNotFound, id)
+	}
+	st := e.statusLocked(job)
+	if job.state != StateDone {
+		return nil, st, nil
+	}
+	return job.result, st, nil
+}
+
+func (e *Engine) statusLocked(job *Job) JobStatus {
+	st := JobStatus{
+		ID:          job.ID,
+		GraphID:     job.Spec.GraphID,
+		Problem:     job.Spec.Problem,
+		Algorithm:   job.Spec.Algorithm.String(),
+		Seed:        job.Spec.Seed,
+		PrefixFrac:  job.Spec.PrefixFrac,
+		PrefixSize:  job.Spec.PrefixSize,
+		State:       job.state,
+		Error:       job.err,
+		SubmittedAt: job.submittedAt,
+	}
+	if !job.startedAt.IsZero() {
+		st.QueueMS = float64(job.startedAt.Sub(job.submittedAt)) / float64(time.Millisecond)
+	}
+	if !job.finishedAt.IsZero() && !job.startedAt.IsZero() {
+		st.RunMS = float64(job.finishedAt.Sub(job.startedAt)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+// stateCounts returns the number of resident jobs in each state.
+func (e *Engine) stateCounts() (queued, running, done, failed int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, j := range e.jobs {
+		switch j.state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		case StateDone:
+			done++
+		case StateFailed:
+			failed++
+		}
+	}
+	return
+}
+
+// Close drains no further work: queued jobs are abandoned (their graph
+// pins released), workers and the janitor are stopped. Safe to call
+// once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stop)
+	close(e.queue)
+	e.wg.Wait()
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for job := range e.queue {
+		select {
+		case <-e.stop:
+			job.handle.Release()
+			continue
+		default:
+		}
+		e.run(job)
+	}
+}
+
+// run executes one job and records its outcome.
+func (e *Engine) run(job *Job) {
+	e.mu.Lock()
+	job.state = StateRunning
+	job.startedAt = time.Now()
+	e.mu.Unlock()
+
+	payload, err := e.execute(job)
+
+	now := time.Now()
+	e.mu.Lock()
+	job.finishedAt = now
+	if err != nil {
+		job.state = StateFailed
+		job.err = err.Error()
+	} else {
+		payload.RunMS = float64(now.Sub(job.startedAt)) / float64(time.Millisecond)
+		payload.JobID = job.ID
+		raw, merr := json.Marshal(payload)
+		if merr != nil {
+			job.state = StateFailed
+			job.err = merr.Error()
+		} else {
+			job.state = StateDone
+			job.result = raw
+		}
+	}
+	run := job.finishedAt.Sub(job.startedAt)
+	e2e := job.finishedAt.Sub(job.submittedAt)
+	failed := job.state == StateFailed
+	e.mu.Unlock()
+
+	job.handle.Release()
+	e.metrics.jobFinished(job.Spec.Problem, failed, run, e2e)
+}
+
+// execute runs the computation; panics in the algorithm layers are
+// converted to job failures rather than taking down the daemon.
+func (e *Engine) execute(job *Job) (payload ResultPayload, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: job panicked: %v", r)
+		}
+	}()
+	h := job.handle
+	g := h.Graph()
+	plan := greedy.Plan{
+		Algorithm:  job.Spec.Algorithm,
+		Seed:       job.Spec.Seed,
+		PrefixFrac: job.Spec.PrefixFrac,
+		PrefixSize: job.Spec.PrefixSize,
+	}
+	opts := plan.Options()
+	payload = ResultPayload{
+		GraphID:   h.ID(),
+		Problem:   job.Spec.Problem,
+		Algorithm: plan.Algorithm.String(),
+		Seed:      plan.Seed,
+		N:         g.NumVertices(),
+		M:         g.NumEdges(),
+	}
+	switch job.Spec.Problem {
+	case ProblemMIS:
+		res := greedy.MaximalIndependentSet(g, opts...)
+		payload.Size = res.Size()
+		payload.Checksum = membershipChecksum(res.InSet)
+		payload.Stats = res.Stats
+		if len(res.Set) <= memberCap {
+			payload.Members = res.Set
+		} else {
+			payload.MembersOmitted = true
+		}
+	case ProblemMM:
+		res := greedy.MaximalMatchingEdges(h.EdgeList(), opts...)
+		payload.Size = res.Size()
+		payload.Checksum = membershipChecksum(res.InMatching)
+		payload.Stats = res.Stats
+		if len(res.Pairs) <= memberCap/2 {
+			payload.MemberPairs = pairsOf(res.Pairs)
+		} else {
+			payload.MembersOmitted = true
+		}
+	case ProblemSF:
+		res := greedy.SpanningForestEdges(h.EdgeList(), opts...)
+		payload.Size = res.Size()
+		payload.Checksum = membershipChecksum(res.InForest)
+		payload.Stats = res.Stats
+		if len(res.Edges) <= memberCap/2 {
+			payload.MemberPairs = pairsOf(res.Edges)
+		} else {
+			payload.MembersOmitted = true
+		}
+	default:
+		return payload, fmt.Errorf("service: unknown problem %q", job.Spec.Problem)
+	}
+	return payload, nil
+}
+
+func pairsOf(edges []graph.Edge) [][2]int32 {
+	out := make([][2]int32, len(edges))
+	for i, e := range edges {
+		out[i] = [2]int32{e.U, e.V}
+	}
+	return out
+}
+
+// membershipChecksum commits to a full membership vector with FNV-1a,
+// so clients can compare results across submissions without shipping
+// the whole set. The vector is hashed in chunks rather than one
+// interface call per element: this runs once per executed job over up
+// to n elements and sits on the worker hot path.
+func membershipChecksum(in []bool) string {
+	h := fnv.New64a()
+	buf := make([]byte, 0, 1<<14)
+	for _, x := range in {
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		buf = append(buf, b)
+		if len(buf) == cap(buf) {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	h.Write(buf)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// janitor reaps finished jobs past the TTL.
+func (e *Engine) janitor() {
+	defer e.wg.Done()
+	period := e.ttl / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > time.Minute {
+		period = time.Minute
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-e.ttl)
+			reaped := 0
+			e.mu.Lock()
+			for id, j := range e.jobs {
+				if (j.state == StateDone || j.state == StateFailed) && j.finishedAt.Before(cutoff) {
+					delete(e.jobs, id)
+					if e.byKey[j.Spec.Key()] == j {
+						delete(e.byKey, j.Spec.Key())
+					}
+					reaped++
+				}
+			}
+			e.mu.Unlock()
+			if reaped > 0 {
+				e.metrics.jobsReaped(reaped)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBounds are the upper bounds (seconds) of the latency histogram
+// buckets, log-spaced from 100µs to 10s; the last bucket is unbounded.
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram. It is not safe for
+// concurrent use; Metrics serializes access.
+type histogram struct {
+	counts []int64 // len(latencyBounds)+1; last bucket is +Inf
+	sum    float64
+	count  int64
+	max    float64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBounds)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBounds, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.count++
+	if seconds > h.max {
+		h.max = seconds
+	}
+}
+
+// quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the containing bucket, in seconds.
+func (h *histogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBounds[i-1]
+			}
+			hi := h.max
+			if i < len(latencyBounds) && latencyBounds[i] < hi {
+				hi = latencyBounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// HistogramSnapshot is the JSON view of one latency histogram.
+type HistogramSnapshot struct {
+	Count   int64     `json:"count"`
+	MeanMS  float64   `json:"mean_ms"`
+	P50MS   float64   `json:"p50_ms"`
+	P90MS   float64   `json:"p90_ms"`
+	P99MS   float64   `json:"p99_ms"`
+	MaxMS   float64   `json:"max_ms"`
+	Bounds  []float64 `json:"bucket_upper_bounds_ms"`
+	Buckets []int64   `json:"bucket_counts"`
+}
+
+// Metrics aggregates the service counters surfaced by /v1/metrics.
+type Metrics struct {
+	mu sync.Mutex
+
+	jobsSubmitted int64
+	dedupHits     int64
+	jobsExecuted  int64
+	jobsFailed    int64
+	jobsExpired   int64
+
+	registryHits      int64 // Add or Acquire found an existing resident graph
+	registryMisses    int64 // Acquire of an unknown id
+	registryEvictions int64
+
+	latency map[Problem]*histogram // measured over execution (run) time
+	e2e     map[Problem]*histogram // measured from submission to completion
+}
+
+// NewMetrics returns an empty metrics aggregator.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		latency: make(map[Problem]*histogram),
+		e2e:     make(map[Problem]*histogram),
+	}
+}
+
+func (m *Metrics) jobSubmitted(dedup bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsSubmitted++
+	if dedup {
+		m.dedupHits++
+	}
+}
+
+func (m *Metrics) jobFinished(p Problem, failed bool, run, endToEnd time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if failed {
+		m.jobsFailed++
+		return
+	}
+	m.jobsExecuted++
+	h := m.latency[p]
+	if h == nil {
+		h = newHistogram()
+		m.latency[p] = h
+	}
+	h.observe(run.Seconds())
+	h2 := m.e2e[p]
+	if h2 == nil {
+		h2 = newHistogram()
+		m.e2e[p] = h2
+	}
+	h2.observe(endToEnd.Seconds())
+}
+
+func (m *Metrics) jobsReaped(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsExpired += int64(n)
+}
+
+func (m *Metrics) registryEvent(hits, misses, evictions int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.registryHits += hits
+	m.registryMisses += misses
+	m.registryEvictions += evictions
+}
+
+// JobCounters is the jobs section of a metrics snapshot.
+type JobCounters struct {
+	Submitted int64 `json:"submitted"`
+	DedupHits int64 `json:"dedup_hits"`
+	Executed  int64 `json:"executed"`
+	Failed    int64 `json:"failed"`
+	Expired   int64 `json:"expired"`
+	Queued    int64 `json:"queued"`
+	Running   int64 `json:"running"`
+	Done      int64 `json:"done"`
+	FailedNow int64 `json:"failed_resident"`
+}
+
+// RegistryCounters is the registry section of a metrics snapshot.
+type RegistryCounters struct {
+	Graphs        int   `json:"graphs"`
+	Pinned        int   `json:"pinned"`
+	BytesResident int64 `json:"bytes_resident"`
+	ByteBudget    int64 `json:"byte_budget"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+}
+
+// Snapshot is the full /v1/metrics response.
+type Snapshot struct {
+	Jobs       JobCounters                   `json:"jobs"`
+	Registry   RegistryCounters              `json:"registry"`
+	RunLatency map[Problem]HistogramSnapshot `json:"run_latency"`
+	E2ELatency map[Problem]HistogramSnapshot `json:"e2e_latency"`
+}
+
+func snapshotHistogram(h *histogram) HistogramSnapshot {
+	boundsMS := make([]float64, len(latencyBounds))
+	for i, b := range latencyBounds {
+		boundsMS[i] = b * 1000
+	}
+	mean := 0.0
+	if h.count > 0 {
+		mean = h.sum / float64(h.count)
+	}
+	return HistogramSnapshot{
+		Count:   h.count,
+		MeanMS:  mean * 1000,
+		P50MS:   h.quantile(0.50) * 1000,
+		P90MS:   h.quantile(0.90) * 1000,
+		P99MS:   h.quantile(0.99) * 1000,
+		MaxMS:   h.max * 1000,
+		Bounds:  boundsMS,
+		Buckets: append([]int64(nil), h.counts...),
+	}
+}
+
+// snapshot captures the counters; job-state gauges and registry gauges
+// are filled in by the Service, which owns those structures.
+func (m *Metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Jobs: JobCounters{
+			Submitted: m.jobsSubmitted,
+			DedupHits: m.dedupHits,
+			Executed:  m.jobsExecuted,
+			Failed:    m.jobsFailed,
+			Expired:   m.jobsExpired,
+		},
+		Registry: RegistryCounters{
+			Hits:      m.registryHits,
+			Misses:    m.registryMisses,
+			Evictions: m.registryEvictions,
+		},
+		RunLatency: make(map[Problem]HistogramSnapshot, len(m.latency)),
+		E2ELatency: make(map[Problem]HistogramSnapshot, len(m.e2e)),
+	}
+	for p, h := range m.latency {
+		s.RunLatency[p] = snapshotHistogram(h)
+	}
+	for p, h := range m.e2e {
+		s.E2ELatency[p] = snapshotHistogram(h)
+	}
+	return s
+}

@@ -1,0 +1,285 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Registry errors.
+var (
+	// ErrGraphNotFound is returned when an id names no resident graph
+	// (never ingested, or evicted).
+	ErrGraphNotFound = errors.New("service: graph not found (unknown id or evicted)")
+	// ErrGraphTooLarge is returned when a single graph exceeds the whole
+	// byte budget.
+	ErrGraphTooLarge = errors.New("service: graph larger than the registry byte budget")
+)
+
+// GraphInfo is the public metadata of a registered graph.
+type GraphInfo struct {
+	ID       string    `json:"id"`
+	Label    string    `json:"label,omitempty"`
+	N        int       `json:"n"`
+	M        int       `json:"m"`
+	Bytes    int64     `json:"bytes"`
+	Refs     int       `json:"refs"`
+	AddedAt  time.Time `json:"added_at"`
+	LastUsed time.Time `json:"last_used"`
+}
+
+// regEntry is one resident graph. The graph itself is immutable; the
+// bookkeeping fields are guarded by the registry mutex. The edge-list
+// view (needed by MM and SF jobs) is derived lazily once and cached,
+// so repeated matching jobs on the same graph do not pay the O(m)
+// derivation each run.
+type regEntry struct {
+	info  GraphInfo
+	g     *graph.Graph
+	clock uint64 // LRU tick of the last Acquire
+
+	elOnce  sync.Once
+	el      graph.EdgeList
+	elBytes int64
+}
+
+// Registry is the graph store behind the service: content-addressed
+// ingest, byte-budgeted LRU eviction, and ref-count pinning so a graph
+// with queued or running jobs is never evicted. All methods are safe
+// for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	budget   int64
+	resident int64
+	clock    uint64
+	entries  map[string]*regEntry
+	metrics  *Metrics
+}
+
+// NewRegistry returns a registry with the given byte budget (<= 0 means
+// unlimited). metrics may be nil.
+func NewRegistry(budget int64, metrics *Metrics) *Registry {
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	return &Registry{
+		budget:  budget,
+		entries: make(map[string]*regEntry),
+		metrics: metrics,
+	}
+}
+
+// GraphID returns the content-addressed id of g: a truncated sha256 of
+// its CSR arrays. Two ingests of the same graph — whether uploaded in
+// different formats or regenerated from the same (generator, n, m,
+// seed) — map to the same id, so the registry deduplicates storage for
+// free. A cryptographic hash matters here: ids route jobs to graphs,
+// so a client able to craft a colliding upload could make the service
+// answer from the wrong graph.
+func GraphID(g *graph.Graph) string {
+	offsets, adj := g.Raw()
+	h := sha256.New()
+	buf := make([]byte, 0, 1<<16)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(len(offsets)))
+	h.Write(tmp[:])
+	for _, o := range offsets {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(o))
+		buf = append(buf, tmp[:]...)
+		if len(buf) >= 1<<16 {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	for _, v := range adj {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(v))
+		buf = append(buf, tmp[:4]...)
+		if len(buf) >= 1<<16 {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	h.Write(buf)
+	sum := h.Sum(nil)
+	return "g" + hex.EncodeToString(sum[:16])
+}
+
+// graphBytes estimates the resident size of a graph's CSR arrays.
+func graphBytes(g *graph.Graph) int64 {
+	offsets, adj := g.Raw()
+	return int64(len(offsets))*8 + int64(len(adj))*4
+}
+
+// Add ingests g under its content id and returns its metadata. The
+// second result reports whether the graph was already resident (a
+// registry hit). Adding may evict least-recently-used unpinned graphs
+// to fit the budget; if every resident graph is pinned the budget is
+// allowed to overshoot rather than fail in-flight jobs.
+func (r *Registry) Add(g *graph.Graph, label string) (GraphInfo, bool, error) {
+	id := GraphID(g)
+	bytes := graphBytes(g)
+	if r.budget > 0 && bytes > r.budget {
+		return GraphInfo{}, false, fmt.Errorf("%w: %d bytes > budget %d", ErrGraphTooLarge, bytes, r.budget)
+	}
+	now := time.Now()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[id]; ok {
+		e.clock = r.tickLocked()
+		e.info.LastUsed = now
+		r.metrics.registryEvent(1, 0, 0)
+		return e.info, true, nil
+	}
+	r.evictLocked(bytes)
+	e := &regEntry{
+		info: GraphInfo{
+			ID:       id,
+			Label:    label,
+			N:        g.NumVertices(),
+			M:        g.NumEdges(),
+			Bytes:    bytes,
+			AddedAt:  now,
+			LastUsed: now,
+		},
+		g:     g,
+		clock: r.tickLocked(),
+	}
+	r.entries[id] = e
+	r.resident += bytes
+	return e.info, false, nil
+}
+
+// tickLocked advances the LRU clock; callers hold r.mu.
+func (r *Registry) tickLocked() uint64 {
+	r.clock++
+	return r.clock
+}
+
+// evictLocked evicts least-recently-used unpinned graphs until incoming
+// more bytes fit the budget. Pinned graphs (Refs > 0) are never
+// touched, so the budget can transiently overshoot when all residents
+// are in use; callers hold r.mu.
+func (r *Registry) evictLocked(incoming int64) {
+	if r.budget <= 0 {
+		return
+	}
+	for r.resident+incoming > r.budget {
+		var victim *regEntry
+		for _, e := range r.entries {
+			if e.info.Refs > 0 {
+				continue
+			}
+			if victim == nil || e.clock < victim.clock {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // everything pinned: overshoot rather than break jobs
+		}
+		delete(r.entries, victim.info.ID)
+		r.resident -= victim.info.Bytes + victim.elBytes
+		r.metrics.registryEvent(0, 0, 1)
+	}
+}
+
+// Handle is a pinned reference to a resident graph. While any handle is
+// outstanding the graph cannot be evicted. Release must be called
+// exactly once.
+type Handle struct {
+	r    *Registry
+	e    *regEntry
+	once sync.Once
+}
+
+// Graph returns the pinned graph.
+func (h *Handle) Graph() *graph.Graph { return h.e.g }
+
+// ID returns the pinned graph's id.
+func (h *Handle) ID() string { return h.e.info.ID }
+
+// EdgeList returns the graph's canonical edge-list view, deriving and
+// caching it on first use. Safe for concurrent use.
+func (h *Handle) EdgeList() graph.EdgeList {
+	e := h.e
+	e.elOnce.Do(func() {
+		e.el = e.g.EdgeList()
+		elBytes := int64(len(e.el.Edges)) * 8
+		e.elBytes = elBytes
+		h.r.mu.Lock()
+		h.r.resident += elBytes
+		h.r.mu.Unlock()
+	})
+	return e.el
+}
+
+// Release unpins the graph. Idempotent.
+func (h *Handle) Release() {
+	h.once.Do(func() {
+		h.r.mu.Lock()
+		h.e.info.Refs--
+		h.r.mu.Unlock()
+	})
+}
+
+// Acquire pins the graph with the given id and returns a handle to it.
+func (r *Registry) Acquire(id string) (*Handle, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		r.metrics.registryEvent(0, 1, 0)
+		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, id)
+	}
+	e.info.Refs++
+	e.clock = r.tickLocked()
+	e.info.LastUsed = time.Now()
+	r.metrics.registryEvent(1, 0, 0)
+	return &Handle{r: r, e: e}, nil
+}
+
+// Get returns the metadata of a resident graph.
+func (r *Registry) Get(id string) (GraphInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return GraphInfo{}, false
+	}
+	return e.info, true
+}
+
+// List returns the metadata of every resident graph.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]GraphInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.info)
+	}
+	return out
+}
+
+// counters returns the registry gauges for a metrics snapshot.
+func (r *Registry) counters() RegistryCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pinned := 0
+	for _, e := range r.entries {
+		if e.info.Refs > 0 {
+			pinned++
+		}
+	}
+	return RegistryCounters{
+		Graphs:        len(r.entries),
+		Pinned:        pinned,
+		BytesResident: r.resident,
+		ByteBudget:    r.budget,
+	}
+}

@@ -1,0 +1,208 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testGraph(t *testing.T, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	return graph.Random(n, 4*n, seed)
+}
+
+func TestRegistryContentAddressing(t *testing.T) {
+	r := NewRegistry(0, nil)
+	g := testGraph(t, 1000, 1)
+	info1, dup1, err := r.Add(g, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup1 {
+		t.Fatal("first add reported as duplicate")
+	}
+	// A structurally identical graph built separately dedups.
+	info2, dup2, err := r.Add(testGraph(t, 1000, 1), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup2 || info2.ID != info1.ID {
+		t.Fatalf("identical graph not deduplicated: %v vs %v (dup=%v)", info2.ID, info1.ID, dup2)
+	}
+	// A different graph gets a different id.
+	info3, _, err := r.Add(testGraph(t, 1000, 2), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info3.ID == info1.ID {
+		t.Fatal("distinct graphs share an id")
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	g := testGraph(t, 1000, 1)
+	per := graphBytes(g)
+	r := NewRegistry(3*per, nil) // room for exactly three graphs
+
+	var ids []string
+	for s := uint64(1); s <= 4; s++ {
+		info, _, err := r.Add(testGraph(t, 1000, s), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+		// Touch the first graph so seed 2 is the LRU when seed 4 arrives.
+		if s == 3 {
+			h, err := r.Acquire(ids[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Release()
+		}
+	}
+	if _, ok := r.Get(ids[1]); ok {
+		t.Fatal("LRU graph (seed 2) survived eviction")
+	}
+	if _, ok := r.Get(ids[3]); !ok {
+		t.Fatal("newest graph missing")
+	}
+}
+
+func TestRegistryPinnedNeverEvicted(t *testing.T) {
+	g := testGraph(t, 1000, 1)
+	per := graphBytes(g)
+	r := NewRegistry(2*per, nil)
+
+	info, _, err := r.Add(g, "pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Acquire(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flood the registry far past its budget: the pinned graph must
+	// survive every eviction pass.
+	for s := uint64(10); s < 20; s++ {
+		if _, _, err := r.Add(testGraph(t, 1000, s), ""); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := r.Get(info.ID); !ok {
+			t.Fatalf("pinned graph evicted after add %d", s)
+		}
+	}
+	h.Release()
+	// Unpinned now: one more add pushes it out (it is the LRU).
+	if _, _, err := r.Add(testGraph(t, 1000, 99), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(info.ID); ok {
+		t.Fatal("released LRU graph not evicted")
+	}
+}
+
+func TestRegistryTooLarge(t *testing.T) {
+	r := NewRegistry(100, nil)
+	_, _, err := r.Add(testGraph(t, 1000, 1), "")
+	if err == nil {
+		t.Fatal("oversized graph accepted")
+	}
+}
+
+// TestRegistryEvictionRefcountRace hammers Acquire/Release against
+// budget-pressured Adds; run with -race. The invariant: a graph is
+// never evicted while a handle on it is outstanding, so every pinned
+// access must see the graph resident.
+func TestRegistryEvictionRefcountRace(t *testing.T) {
+	g := testGraph(t, 500, 1)
+	per := graphBytes(g)
+	r := NewRegistry(2*per, nil)
+	info, _, err := r.Add(g, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 300
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+
+	// Pinners: acquire the hot graph, use it, release.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				h, err := r.Acquire(info.ID)
+				if err != nil {
+					// The hot graph may be evicted between a release
+					// and the next acquire; re-add it and continue.
+					if _, _, aerr := r.Add(testGraph(t, 500, 1), "hot"); aerr != nil {
+						errs <- aerr
+						return
+					}
+					continue
+				}
+				if _, ok := r.Get(info.ID); !ok {
+					errs <- fmt.Errorf("worker %d: pinned graph not resident at iter %d", w, i)
+					h.Release()
+					return
+				}
+				if h.Graph().NumVertices() != 500 {
+					errs <- fmt.Errorf("worker %d: pinned graph corrupted", w)
+					h.Release()
+					return
+				}
+				h.Release()
+			}
+		}(w)
+	}
+	// Evictor: keep adding fresh graphs so the budget stays saturated.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, _, err := r.Add(testGraph(t, 500, uint64(100+i%7)), ""); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestHandleEdgeListCachedAndAccounted(t *testing.T) {
+	r := NewRegistry(0, nil)
+	info, _, err := r.Add(testGraph(t, 1000, 1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := r.Acquire(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Release()
+	before := r.counters().BytesResident
+	el1 := h1.EdgeList()
+	after := r.counters().BytesResident
+	if after <= before {
+		t.Fatalf("edge list bytes not accounted: %d -> %d", before, after)
+	}
+	h2, err := r.Acquire(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	el2 := h2.EdgeList()
+	if &el1.Edges[0] != &el2.Edges[0] {
+		t.Fatal("edge list not cached across handles")
+	}
+	if r.counters().BytesResident != after {
+		t.Fatal("edge list double-accounted")
+	}
+}

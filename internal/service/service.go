@@ -1,0 +1,164 @@
+// Package service is the serving layer over the reproduction's
+// algorithm library: a graph registry (upload or server-side
+// generation, content-addressed, LRU byte budget with ref-count
+// pinning), an async job engine for MIS / maximal matching / spanning
+// forest computations with idempotency-key deduplication, and a
+// standard-library HTTP/JSON API.
+//
+// The design leans on the paper's central property: for a fixed
+// (graph, order) every deterministic algorithm returns bit-identical
+// results at any thread count. A job is therefore fully described by
+// the key (graphID, problem, algorithm, seed, prefix), duplicate
+// submissions can share one execution, and results can be cached and
+// compared by checksum.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Config configures a Service.
+type Config struct {
+	// CacheBytes is the registry byte budget; 0 means 1 GiB, negative
+	// means unlimited.
+	CacheBytes int64
+	// Workers is the job worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds queued jobs; 0 means 4096.
+	QueueDepth int
+	// ResultTTL is how long finished jobs are retained; 0 means 15m.
+	ResultTTL time.Duration
+	// MaxUploadBytes bounds a graph upload request body; 0 means 512 MiB.
+	MaxUploadBytes int64
+	// MaxGenVertices and MaxGenEdges bound server-side generation
+	// requests; 0 means 1<<27 vertices and 1<<28 edges.
+	MaxGenVertices int
+	MaxGenEdges    int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 1 << 30
+	}
+	if c.CacheBytes < 0 {
+		c.CacheBytes = 0 // Registry convention: <= 0 is unlimited.
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 512 << 20
+	}
+	if c.MaxGenVertices <= 0 {
+		c.MaxGenVertices = 1 << 27
+	}
+	if c.MaxGenEdges <= 0 {
+		c.MaxGenEdges = 1 << 28
+	}
+	return c
+}
+
+// Service ties the registry, job engine and metrics together.
+type Service struct {
+	cfg      Config
+	metrics  *Metrics
+	registry *Registry
+	engine   *Engine
+}
+
+// New starts a service.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	reg := NewRegistry(cfg.CacheBytes, m)
+	eng := NewEngine(reg, m, EngineConfig{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		ResultTTL:  cfg.ResultTTL,
+	})
+	return &Service{cfg: cfg, metrics: m, registry: reg, engine: eng}
+}
+
+// Registry exposes the graph registry (used by tests and embedders).
+func (s *Service) Registry() *Registry { return s.registry }
+
+// Engine exposes the job engine (used by tests and embedders).
+func (s *Service) Engine() *Engine { return s.engine }
+
+// Close stops the worker pool and janitor.
+func (s *Service) Close() { s.engine.Close() }
+
+// Snapshot assembles the full metrics view, including the state gauges
+// owned by the engine and registry.
+func (s *Service) Snapshot() Snapshot {
+	snap := s.metrics.snapshot()
+	q, r, d, f := s.engine.stateCounts()
+	snap.Jobs.Queued, snap.Jobs.Running, snap.Jobs.Done, snap.Jobs.FailedNow = q, r, d, f
+	reg := s.registry.counters()
+	reg.Hits = snap.Registry.Hits
+	reg.Misses = snap.Registry.Misses
+	reg.Evictions = snap.Registry.Evictions
+	snap.Registry = reg
+	return snap
+}
+
+// GenSpec is a server-side graph generation request.
+type GenSpec struct {
+	Generator string `json:"generator"` // "random" or "rmat"
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	Seed      uint64 `json:"seed"`
+	Label     string `json:"label,omitempty"`
+}
+
+// Generate builds the requested graph with the paper's generators and
+// registers it. The second result reports whether the graph was
+// already resident.
+func (s *Service) Generate(spec GenSpec) (GraphInfo, bool, error) {
+	if spec.N <= 0 || spec.M < 0 {
+		return GraphInfo{}, false, fmt.Errorf("service: bad generation sizes n=%d m=%d", spec.N, spec.M)
+	}
+	if spec.N > s.cfg.MaxGenVertices || spec.M > s.cfg.MaxGenEdges {
+		return GraphInfo{}, false, fmt.Errorf("service: generation request n=%d m=%d exceeds limits n<=%d m<=%d",
+			spec.N, spec.M, s.cfg.MaxGenVertices, s.cfg.MaxGenEdges)
+	}
+	var g *graph.Graph
+	label := spec.Label
+	switch spec.Generator {
+	case "random", "":
+		if err := checkEdgeBudget(spec.N, spec.M); err != nil {
+			return GraphInfo{}, false, err
+		}
+		g = graph.Random(spec.N, spec.M, spec.Seed)
+		if label == "" {
+			label = fmt.Sprintf("random(n=%d,m=%d,seed=%d)", spec.N, spec.M, spec.Seed)
+		}
+	case "rmat":
+		logN := 0
+		for 1<<logN < spec.N {
+			logN++
+		}
+		// rMat rounds the vertex count up to a power of two; the edge
+		// budget must hold for the rounded count the generator uses.
+		if err := checkEdgeBudget(1<<logN, spec.M); err != nil {
+			return GraphInfo{}, false, err
+		}
+		g = graph.RMat(logN, spec.M, spec.Seed, graph.DefaultRMatOptions())
+		if label == "" {
+			label = fmt.Sprintf("rmat(logn=%d,m=%d,seed=%d)", logN, spec.M, spec.Seed)
+		}
+	default:
+		return GraphInfo{}, false, fmt.Errorf("service: unknown generator %q (want random|rmat)", spec.Generator)
+	}
+	return s.registry.Add(g, label)
+}
+
+// checkEdgeBudget converts the generators' m-exceeds-possible-edges
+// panic into a client error before a remote request can reach it.
+func checkEdgeBudget(n, m int) error {
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(m) > maxEdges {
+		return fmt.Errorf("service: m=%d exceeds the %d possible edges on %d vertices", m, maxEdges, n)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package greedy_test
+
+import (
+	"testing"
+
+	greedy "repro"
+)
+
+func TestParseAlgorithmRoundTrip(t *testing.T) {
+	for _, a := range []greedy.Algorithm{
+		greedy.AlgoPrefix, greedy.AlgoSequential, greedy.AlgoRootSet,
+		greedy.AlgoParallel, greedy.AlgoLuby,
+	} {
+		got, err := greedy.ParseAlgorithm(a.String())
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if got != a {
+			t.Fatalf("round trip %v -> %q -> %v", a, a.String(), got)
+		}
+	}
+	if _, err := greedy.ParseAlgorithm("frobnicate"); err == nil {
+		t.Fatal("bad algorithm name accepted")
+	}
+	if a, err := greedy.ParseAlgorithm(""); err != nil || a != greedy.AlgoPrefix {
+		t.Fatalf("empty name: got %v, %v; want default prefix", a, err)
+	}
+}
+
+func TestResolvePlanDefaultsAndRoundTrip(t *testing.T) {
+	def := greedy.ResolvePlan()
+	if def.Algorithm != greedy.AlgoPrefix || def.Seed != 1 || def.ExplicitOrder {
+		t.Fatalf("bad default plan: %+v", def)
+	}
+	p := greedy.ResolvePlan(
+		greedy.WithAlgorithm(greedy.AlgoRootSet),
+		greedy.WithSeed(99),
+		greedy.WithPrefixFrac(0.01),
+		greedy.WithGrain(512),
+		greedy.WithPointer(),
+	)
+	want := greedy.Plan{Algorithm: greedy.AlgoRootSet, Seed: 99, PrefixFrac: 0.01, Grain: 512, Pointered: true}
+	if p != want {
+		t.Fatalf("resolved plan %+v, want %+v", p, want)
+	}
+	if back := greedy.ResolvePlan(p.Options()...); back != want {
+		t.Fatalf("plan options round trip %+v, want %+v", back, want)
+	}
+	ord := greedy.NewRandomOrder(10, 1)
+	if !greedy.ResolvePlan(greedy.WithOrder(ord)).ExplicitOrder {
+		t.Fatal("explicit order not flagged")
+	}
+}
+
+// TestPlanIsSoundDedupKey is the service-layer contract: equal plans on
+// the same graph give bit-identical results even across algorithms'
+// thread-count variation (exercised elsewhere), while different seeds
+// give different results with overwhelming probability.
+func TestPlanIsSoundDedupKey(t *testing.T) {
+	g := greedy.RandomGraph(2000, 10000, 5)
+	p := greedy.ResolvePlan(greedy.WithSeed(7))
+	r1 := greedy.MaximalIndependentSet(g, p.Options()...)
+	r2 := greedy.MaximalIndependentSet(g, p.Options()...)
+	if !r1.Equal(r2) {
+		t.Fatal("same plan, different results")
+	}
+	r3 := greedy.MaximalIndependentSet(g, greedy.ResolvePlan(greedy.WithSeed(8)).Options()...)
+	if r1.Equal(r3) {
+		t.Fatal("different seeds produced identical MIS (suspicious)")
+	}
+}
