@@ -1,15 +1,23 @@
 // Command loadgen drives closed-loop mixed MIS/MM/SF traffic against a
-// running greedyd and reports throughput and latency percentiles. Each
-// worker repeatedly submits a job for a random (problem, seed) pair
-// drawn from a bounded pool — so a configurable fraction of traffic
-// hits the daemon's idempotency cache, as deterministic traffic would
-// in production — then polls until the job finishes.
+// running greedyd and reports throughput, latency percentiles, and the
+// server's allocation cost per executed job. Each worker repeatedly
+// submits a job for a random (problem, seed) pair drawn from a bounded
+// pool — so a configurable fraction of traffic hits the daemon's
+// idempotency cache, as deterministic traffic would in production —
+// then polls until the job finishes.
+//
+// With -cancel-demo it instead demonstrates job cancellation: it
+// submits a deliberately long-running job on a large graph, waits for
+// the daemon to report round progress, issues DELETE /v1/jobs/{id},
+// and measures how long the running job takes to acknowledge the
+// cancellation (bounded by one round of the algorithm).
 //
 // Usage:
 //
 //	loadgen -addr http://localhost:8080 -duration 10s -concurrency 8
 //	loadgen -addr http://localhost:8080 -gen rmat -n 131072 -m 1000000
 //	loadgen -addr http://localhost:8080 -job-seeds 1000000   # ~all unique
+//	loadgen -addr http://localhost:8080 -cancel-demo -n 2000000 -m 10000000
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	greedy "repro"
 	"repro/internal/bench"
 	"repro/internal/service"
 )
@@ -43,8 +52,25 @@ func main() {
 		prefixFrac  = flag.Float64("prefix", 0, "prefix fraction for prefix jobs (0 = library default)")
 		rngSeed     = flag.Int64("rng-seed", 1, "client-side traffic shuffle seed")
 		poll        = flag.Duration("poll", time.Millisecond, "job status poll interval")
+		cancelDemo  = flag.Bool("cancel-demo", false, "run the cancellation demonstration instead of load")
 	)
 	flag.Parse()
+
+	algo, err := greedy.ParseAlgorithm(*algorithm)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	client := &service.Client{BaseURL: strings.TrimRight(*addr, "/")}
+	ctx := context.Background()
+
+	if *cancelDemo {
+		if err := runCancelDemo(ctx, client, *n, *m, *graphSeed, *poll); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: cancel demo: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jobSeeds < 1 {
 		fmt.Fprintln(os.Stderr, "loadgen: -job-seeds must be >= 1")
@@ -66,9 +92,6 @@ func main() {
 	if *shrink >= 0 {
 		w = bench.DefaultScale(*gen, uint(*shrink))
 	}
-
-	client := &service.Client{BaseURL: strings.TrimRight(*addr, "/")}
-	ctx := context.Background()
 
 	gresp, err := client.Generate(ctx, service.GenSpec{
 		Generator: w.Kind, N: w.N, M: w.M, Seed: w.Seed, Label: w.String(),
@@ -108,11 +131,9 @@ func main() {
 				seed := uint64(rng.Intn(*jobSeeds))
 				start := time.Now()
 				resp, err := client.Submit(ctx, service.JobRequest{
-					GraphID:    gresp.ID,
-					Problem:    problem,
-					Algorithm:  *algorithm,
-					Seed:       seed,
-					PrefixFrac: *prefixFrac,
+					GraphID: gresp.ID,
+					Problem: problem,
+					Plan:    greedy.Plan{Algorithm: algo, Seed: seed, PrefixFrac: *prefixFrac},
 				})
 				if err != nil {
 					mu.Lock()
@@ -166,6 +187,13 @@ func main() {
 	}
 	fmt.Printf("loadgen: server saw %d submissions, %d dedup hits (%.1f%%), %d executions\n",
 		submitted, dedup, pct, executed)
+	if executed > 0 {
+		mallocs := after.Runtime.Mallocs - before.Runtime.Mallocs
+		allocBytes := after.Runtime.TotalAllocBytes - before.Runtime.TotalAllocBytes
+		gcs := after.Runtime.NumGC - before.Runtime.NumGC
+		fmt.Printf("loadgen: server allocation: %.0f mallocs/executed job, %.0f KiB/executed job, %d GCs (per-worker Solver reuse)\n",
+			float64(mallocs)/float64(executed), float64(allocBytes)/1024/float64(executed), gcs)
+	}
 
 	byProblem := map[string][]time.Duration{}
 	var all []time.Duration
@@ -199,4 +227,73 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// runCancelDemo submits one long-running job (the prefix algorithm
+// with a tiny absolute prefix on a large random graph keeps a worker
+// busy for a while while checking cancellation at every round
+// boundary), waits until the daemon reports it running, cancels it,
+// and reports how long the round loop took to acknowledge.
+func runCancelDemo(ctx context.Context, client *service.Client, n, m int, seed uint64, poll time.Duration) error {
+	gresp, err := client.Generate(ctx, service.GenSpec{Generator: "random", N: n, M: m, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("generating graph: %w", err)
+	}
+	fmt.Printf("loadgen: cancel demo on graph %s (n=%d m=%d)\n", gresp.ID, gresp.N, gresp.M)
+
+	// A tiny absolute prefix makes the prefix algorithm take ~n/prefix
+	// rounds: long overall, yet each round is microseconds, so the
+	// one-round cancellation bound predicts near-immediate abort.
+	sub, err := client.Submit(ctx, service.JobRequest{
+		GraphID: gresp.ID,
+		Problem: "mis",
+		Plan:    greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: 1, PrefixSize: 2},
+	})
+	if err != nil {
+		return fmt.Errorf("submitting job: %w", err)
+	}
+	fmt.Printf("loadgen: submitted long job %s (prefix_size=2 => ~n/2 rounds)\n", sub.ID)
+
+	// Wait until it is actually running and has made round progress.
+	deadline := time.Now().Add(30 * time.Second)
+	var st service.JobStatus
+	for {
+		st, err = client.Status(ctx, sub.ID)
+		if err != nil {
+			return err
+		}
+		if st.State == service.StateRunning && st.Progress != nil && st.Progress.Rounds > 0 {
+			break
+		}
+		if st.State == service.StateDone || st.State == service.StateFailed {
+			return fmt.Errorf("job finished before it could be cancelled (state %s); use a larger -n/-m", st.State)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job never started running")
+		}
+		time.Sleep(poll)
+	}
+	fmt.Printf("loadgen: job running, progress: rounds=%d attempted=%d resolved=%d inspections=%d\n",
+		st.Progress.Rounds, st.Progress.Attempted, st.Progress.Resolved, st.Progress.EdgeInspections)
+
+	cancelAt := time.Now()
+	if _, err := client.Cancel(ctx, sub.ID); err != nil {
+		return fmt.Errorf("DELETE: %w", err)
+	}
+	final, err := client.Wait(ctx, sub.ID, poll)
+	if err != nil {
+		return err
+	}
+	ack := time.Since(cancelAt)
+	if final.State != service.StateCancelled {
+		return fmt.Errorf("job ended %s, want cancelled", final.State)
+	}
+	rounds := int64(0)
+	if final.Progress != nil {
+		rounds = final.Progress.Rounds
+	}
+	fmt.Printf("loadgen: DELETE acknowledged in %v (state=%s after %d rounds, run_ms=%.1f)\n",
+		ack.Round(time.Microsecond), final.State, rounds, final.RunMS)
+	fmt.Printf("loadgen: cancel demo ok: a running job aborted within one round\n")
+	return nil
 }

@@ -1,19 +1,27 @@
 // Command mis computes a maximal independent set of a graph with any of
 // the library's algorithms and reports the result and its cost counters.
 // The input is a graph file (PBBS AdjacencyGraph, EdgeArray, or the
-// library's binary format, auto-detected) or a generated graph.
+// library's binary format, auto-detected) or a generated graph. It runs
+// on the Solver API: Ctrl-C cancels a long run within one round, and
+// -progress streams the per-round profile (the paper's Figure 1
+// quantities) to stderr as the run advances.
 //
 // Usage:
 //
 //	mis -in graph.adj -algorithm prefix -prefix 0.01
 //	mis -gen random -n 100000 -m 500000 -algorithm rootset
 //	mis -gen rmat -n 65536 -m 500000 -algorithm luby -verify
+//	mis -n 10000000 -m 50000000 -progress
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	greedy "repro"
@@ -32,6 +40,7 @@ func main() {
 		prefix    = flag.Float64("prefix", 0, "prefix fraction for the prefix algorithm (0 = default)")
 		pointered = flag.Bool("pointered", false, "use the Lemma 4.1 parent-pointer optimization")
 		verify    = flag.Bool("verify", false, "verify maximality (and lex-first equality for deterministic algorithms)")
+		progress  = flag.Bool("progress", false, "stream per-round stats to stderr")
 		quiet     = flag.Bool("q", false, "print only the summary line")
 	)
 	flag.Parse()
@@ -41,8 +50,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mis: %v\n", err)
 		os.Exit(2)
 	}
-	ord := core.NewRandomOrder(g.NumVertices(), *seed+1)
-	opt := core.Options{PrefixFrac: *prefix, Pointered: *pointered}
 
 	algo, err := greedy.ParseAlgorithm(*algorithm)
 	if err != nil {
@@ -50,21 +57,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	start := time.Now()
-	var res *core.Result
-	switch algo {
-	case greedy.AlgoSequential:
-		res = core.SequentialMIS(g, ord)
-	case greedy.AlgoParallel:
-		res = core.ParallelMIS(g, ord, opt)
-	case greedy.AlgoRootSet:
-		res = core.RootSetMIS(g, ord, opt)
-	case greedy.AlgoLuby:
-		res = core.LubyMIS(g, *seed+9, opt)
-	default:
-		res = core.PrefixMIS(g, ord, opt)
+	// Ctrl-C / SIGTERM cancels the run within one round instead of
+	// killing the process mid-computation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ord := core.NewRandomOrder(g.NumVertices(), *seed+1)
+	opts := []greedy.Option{
+		greedy.WithAlgorithm(algo),
+		greedy.WithOrder(ord),
+		greedy.WithPrefixFrac(*prefix),
+		// Luby ignores the order and derives fresh priorities from the
+		// seed; +9 keeps parity with the seeds used by cmd/bench.
+		greedy.WithSeed(*seed + 9),
 	}
+	if *pointered {
+		opts = append(opts, greedy.WithPointer())
+	}
+	if *progress {
+		opts = append(opts, greedy.WithRoundObserver(func(ri greedy.RoundInfo) {
+			fmt.Fprintf(os.Stderr, "round %6d: prefix=%d attempted=%d accepted=%d inspections=%d\n",
+				ri.Round, ri.PrefixSize, ri.Attempted, ri.Accepted, ri.EdgeInspections)
+		}))
+	}
+
+	solver := greedy.NewSolver()
+	start := time.Now()
+	res, err := solver.MIS(ctx, g, opts...)
 	elapsed := time.Since(start)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "mis: cancelled after %v\n", elapsed)
+			os.Exit(130)
+		}
+		fmt.Fprintf(os.Stderr, "mis: %v\n", err)
+		os.Exit(1)
+	}
 
 	if !*quiet {
 		fmt.Printf("graph: n=%d m=%d maxdeg=%d\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())

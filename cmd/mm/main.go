@@ -1,5 +1,7 @@
 // Command mm computes a maximal matching of a graph with any of the
 // library's algorithms and reports the result and its cost counters.
+// It runs on the Solver API: Ctrl-C cancels a long run within one
+// round, and -progress streams the per-round profile to stderr.
 //
 // Usage:
 //
@@ -8,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	greedy "repro"
@@ -29,6 +35,7 @@ func main() {
 		algorithm = flag.String("algorithm", "prefix", "sequential|parallel|rootset|prefix")
 		prefix    = flag.Float64("prefix", 0, "prefix fraction (0 = default)")
 		verify    = flag.Bool("verify", false, "verify maximality and lex-first equality")
+		progress  = flag.Bool("progress", false, "stream per-round stats to stderr")
 		quiet     = flag.Bool("q", false, "print only the summary line")
 	)
 	flag.Parse()
@@ -40,30 +47,45 @@ func main() {
 	}
 	el := g.EdgeList()
 	ord := core.NewRandomOrder(el.NumEdges(), *seed+2)
-	opt := matching.Options{PrefixFrac: *prefix}
 
 	algo, err := greedy.ParseAlgorithm(*algorithm)
-	if err != nil || algo == greedy.AlgoLuby {
-		if err == nil {
-			err = fmt.Errorf("greedy: Luby's algorithm applies to MIS only")
-		}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "mm: %v\n", err)
 		os.Exit(2)
 	}
 
-	start := time.Now()
-	var res *matching.Result
-	switch algo {
-	case greedy.AlgoSequential:
-		res = matching.SequentialMM(el, ord)
-	case greedy.AlgoParallel:
-		res = matching.ParallelMM(el, ord, opt)
-	case greedy.AlgoRootSet:
-		res = matching.RootSetMM(el, ord, opt)
-	default:
-		res = matching.PrefixMM(el, ord, opt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := []greedy.Option{
+		greedy.WithAlgorithm(algo),
+		greedy.WithOrder(ord),
+		greedy.WithPrefixFrac(*prefix),
 	}
+	if *progress {
+		opts = append(opts, greedy.WithRoundObserver(func(ri greedy.RoundInfo) {
+			fmt.Fprintf(os.Stderr, "round %6d: prefix=%d attempted=%d accepted=%d inspections=%d\n",
+				ri.Round, ri.PrefixSize, ri.Attempted, ri.Accepted, ri.EdgeInspections)
+		}))
+	}
+
+	solver := greedy.NewSolver()
+	start := time.Now()
+	res, err := solver.MM(ctx, el, opts...)
 	elapsed := time.Since(start)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintf(os.Stderr, "mm: cancelled after %v\n", elapsed)
+			os.Exit(130)
+		case errors.Is(err, greedy.ErrLubyMatching):
+			fmt.Fprintf(os.Stderr, "mm: %v\n", err)
+			os.Exit(2)
+		default:
+			fmt.Fprintf(os.Stderr, "mm: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if !*quiet {
 		fmt.Printf("graph: n=%d m=%d maxdeg=%d\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())

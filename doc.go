@@ -12,28 +12,65 @@
 // return bit-identical results at any thread count, namely the
 // lexicographically-first solution the sequential algorithm defines.
 //
-// This package is the stable facade over the implementation packages:
+// # The Solver API
 //
-//   - MaximalIndependentSet and MaximalMatching run the paper's
-//     algorithms with functional options selecting the algorithm
-//     (sequential, prefix-based, root-set, fully parallel, or Luby's
-//     baseline), the prefix size (the work/parallelism dial of the
-//     paper's Figure 1), and the random seed.
-//   - SpanningForest is the paper's §7 extension: the same prefix
-//     technique applied to greedy spanning forest.
-//   - Graph constructors (NewGraph, RandomGraph, RMatGraph) and the
-//     verifiers used in the paper's methodology are re-exported.
+// The facade's primary entry point is the Solver, built for callers
+// that run many computations (benchmark sweeps, serving workers):
 //
-// Quick start:
+//	solver := greedy.NewSolver(greedy.WithSeed(7))
+//	res, err := solver.MIS(ctx, g)                    // cancellable
+//	mm, err := solver.MM(ctx, g.EdgeList())
+//	sf, err := solver.SF(ctx, g.EdgeList())
+//
+// A Solver owns a reusable Workspace: the per-run arrays (frontier,
+// status flags, reservations, priority orders) are allocated once,
+// sized up lazily, and reused across runs on same-or-smaller inputs —
+// results stay bit-identical to fresh-memory runs while steady-state
+// allocation drops to little more than the returned Result. A Solver
+// is not safe for concurrent use; keep one per goroutine.
+//
+// Every Solver method takes a context, checked once per round of the
+// round-synchronous algorithms (the hot inner loops never see it), so
+// cancelling aborts a long run within one round and returns ctx.Err().
+// WithRoundObserver streams per-round statistics (RoundInfo: round
+// index, prefix size, accepted count, edge inspections — the paper's
+// Figure 1 quantities) as the run progresses. Configuration mistakes
+// (AlgoLuby for matching, a mismatched WithOrder) come back as errors,
+// not panics.
+//
+// # One-shot helpers
+//
+// The original free functions remain as thin wrappers over an internal
+// Solver pool, for quick scripts and tests:
 //
 //	g := greedy.RandomGraph(1_000_000, 5_000_000, 42)
 //	res := greedy.MaximalIndependentSet(g, greedy.WithSeed(7))
 //	fmt.Println(res.Size(), res.Stats)
 //
+// Migration from the free functions to the Solver API:
+//
+//	MaximalIndependentSet(g, opts...)  ->  solver.MIS(ctx, g, opts...)
+//	MaximalMatching(g, opts...)        ->  solver.MM(ctx, g.EdgeList(), opts...)
+//	MaximalMatchingEdges(el, opts...)  ->  solver.MM(ctx, el, opts...)
+//	SpanningForest(g, opts...)         ->  solver.SF(ctx, g.EdgeList(), opts...)
+//	SpanningForestEdges(el, opts...)   ->  solver.SF(ctx, el, opts...)
+//
+// The wrappers preserve the historical panic-on-misuse behavior; the
+// Solver methods return those conditions as errors (ErrLubyMatching,
+// ErrOrderSize, ErrSpanningAlgorithm).
+//
+// # Plans
+//
+// A Plan is the resolved, serializable form of an option list and
+// round-trips through JSON with canonical algorithm names — the wire
+// form the service layer uses for job submission and deduplication.
+//
 // The internal packages hold the substance: internal/core (MIS,
 // priority-DAG analyzers), internal/matching (MM), internal/spanning,
 // internal/reservations (the deterministic-reservations framework),
 // internal/graph (CSR graphs, generators, I/O), internal/parallel
-// (fork-join primitives) and internal/bench (the experiment harness
-// reproducing every figure; see cmd/bench and EXPERIMENTS.md).
+// (fork-join primitives), internal/service (the greedyd serving layer
+// with cancellable jobs and live progress) and internal/bench (the
+// experiment harness reproducing every figure; see cmd/bench and
+// EXPERIMENTS.md).
 package greedy

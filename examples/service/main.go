@@ -1,7 +1,8 @@
 // Example service boots an in-process greedyd, ingests a graph two
 // ways (server-side generation and a binary upload of the same graph),
 // submits duplicate MIS jobs to show idempotency-key deduplication,
-// and prints the metrics snapshot the daemon exposes at /v1/metrics.
+// cancels a long-running job mid-run via DELETE /v1/jobs/{id}, and
+// prints the metrics snapshot the daemon exposes at /v1/metrics.
 package main
 
 import (
@@ -47,7 +48,7 @@ func main() {
 
 	// Submit the same deterministic job twice: one execution, two
 	// byte-identical results.
-	req := service.JobRequest{GraphID: gen.ID, Problem: "mis", Algorithm: "prefix", Seed: 7}
+	req := service.JobRequest{GraphID: gen.ID, Problem: "mis", Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: 7}}
 	first, err := client.Submit(ctx, req)
 	if err != nil {
 		log.Fatal(err)
@@ -71,11 +72,55 @@ func main() {
 	}
 	fmt.Printf("results byte-identical: %v (%d bytes)\n", bytes.Equal(raw1, raw2), len(raw1))
 
+	// Cancellation: on a larger graph, a tiny prefix makes the job take
+	// ~n/2 rounds; the DELETE below aborts the round loop within one
+	// round and the job ends in state "cancelled", its worker
+	// immediately free again.
+	bigGraph, err := client.Generate(ctx, service.GenSpec{Generator: "random", N: 1_000_000, M: 2_000_000, Seed: 43})
+	if err != nil {
+		log.Fatal(err)
+	}
+	long, err := client.Submit(ctx, service.JobRequest{
+		GraphID: bigGraph.ID, Problem: "mis",
+		Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: 1, PrefixSize: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	running := false
+	for {
+		st, err := client.Status(ctx, long.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.State == service.StateRunning && st.Progress != nil && st.Progress.Rounds > 0 {
+			fmt.Printf("long job %s running: rounds=%d attempted=%d\n",
+				long.ID, st.Progress.Rounds, st.Progress.Attempted)
+			running = true
+			break
+		}
+		if st.State == service.StateDone || st.State == service.StateFailed {
+			fmt.Printf("long job %s finished before cancellation (state %s)\n", long.ID, st.State)
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if running {
+		if _, err := client.Cancel(ctx, long.ID); err != nil {
+			log.Fatal(err)
+		}
+		final, err := client.Wait(ctx, long.ID, time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("long job after DELETE: state=%s run_ms=%.1f\n", final.State, final.RunMS)
+	}
+
 	snap, err := client.Metrics(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("metrics: submitted=%d dedup_hits=%d executed=%d graphs=%d resident=%dB\n",
-		snap.Jobs.Submitted, snap.Jobs.DedupHits, snap.Jobs.Executed,
+	fmt.Printf("metrics: submitted=%d dedup_hits=%d executed=%d cancelled=%d graphs=%d resident=%dB\n",
+		snap.Jobs.Submitted, snap.Jobs.DedupHits, snap.Jobs.Executed, snap.Jobs.Cancelled,
 		snap.Registry.Graphs, snap.Registry.BytesResident)
 }

@@ -1,6 +1,7 @@
 package greedy
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -120,6 +121,7 @@ type config struct {
 	prefixSize int
 	grain      int
 	pointered  bool
+	observer   func(RoundInfo)
 }
 
 // An Option configures the solver entry points.
@@ -217,41 +219,23 @@ func (p Plan) Options() []Option {
 	return opts
 }
 
-func (c config) orderFor(n int) Order {
-	if c.order != nil {
-		if c.order.Len() != n {
-			panic("greedy: WithOrder length does not match input size")
-		}
-		return *c.order
-	}
-	return core.NewRandomOrder(n, c.seed)
-}
-
 // MaximalIndependentSet computes an MIS of g. With the default options
 // it runs the paper's prefix-based algorithm under a random order
 // derived from seed 1 and returns the lexicographically-first MIS for
 // that order.
+//
+// It is a thin wrapper over a pooled Solver, kept for one-shot callers;
+// it panics on configuration errors a Solver would return (a mismatched
+// WithOrder). Long-lived callers should hold a Solver: it exposes
+// cancellation and reuses its workspace deterministically.
 func MaximalIndependentSet(g *Graph, opts ...Option) *MISResult {
-	c := buildConfig(opts)
-	ord := c.orderFor(g.NumVertices())
-	coreOpt := core.Options{
-		PrefixFrac: c.prefixFrac,
-		PrefixSize: c.prefixSize,
-		Grain:      c.grain,
-		Pointered:  c.pointered,
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	res, err := s.MIS(context.Background(), g, opts...)
+	if err != nil {
+		panic(err)
 	}
-	switch c.algorithm {
-	case AlgoSequential:
-		return core.SequentialMIS(g, ord)
-	case AlgoRootSet:
-		return core.RootSetMIS(g, ord, coreOpt)
-	case AlgoParallel:
-		return core.ParallelMIS(g, ord, coreOpt)
-	case AlgoLuby:
-		return core.LubyMIS(g, c.seed, coreOpt)
-	default:
-		return core.PrefixMIS(g, ord, coreOpt)
-	}
+	return res
 }
 
 // MaximalMatching computes a maximal matching of g; the priority order
@@ -261,27 +245,16 @@ func MaximalMatching(g *Graph, opts ...Option) *MMResult {
 }
 
 // MaximalMatchingEdges computes a maximal matching of an explicit edge
-// list.
+// list. Like MaximalIndependentSet it wraps a pooled Solver and panics
+// on configuration errors (AlgoLuby, mismatched WithOrder).
 func MaximalMatchingEdges(el EdgeList, opts ...Option) *MMResult {
-	c := buildConfig(opts)
-	ord := c.orderFor(el.NumEdges())
-	opt := matching.Options{
-		PrefixFrac: c.prefixFrac,
-		PrefixSize: c.prefixSize,
-		Grain:      c.grain,
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	res, err := s.MM(context.Background(), el, opts...)
+	if err != nil {
+		panic(err)
 	}
-	switch c.algorithm {
-	case AlgoSequential:
-		return matching.SequentialMM(el, ord)
-	case AlgoRootSet:
-		return matching.RootSetMM(el, ord, opt)
-	case AlgoParallel:
-		return matching.ParallelMM(el, ord, opt)
-	case AlgoLuby:
-		panic("greedy: Luby's algorithm applies to MIS only")
-	default:
-		return matching.PrefixMM(el, ord, opt)
-	}
+	return res
 }
 
 // SpanningForest computes a greedy spanning forest of g — the §7
@@ -299,18 +272,17 @@ func SpanningForest(g *Graph, opts ...Option) *SFResult {
 
 // SpanningForestEdges computes a greedy spanning forest of an explicit
 // edge list, for callers that already hold the edge-array view (e.g.
-// the service layer, which caches it per graph).
+// the service layer, which caches it per graph). Like the other free
+// functions it wraps a pooled Solver and panics on configuration
+// errors (an unsupported algorithm, mismatched WithOrder).
 func SpanningForestEdges(el EdgeList, opts ...Option) *SFResult {
-	c := buildConfig(opts)
-	ord := c.orderFor(el.NumEdges())
-	if c.algorithm == AlgoSequential {
-		return spanning.SequentialSF(el, ord)
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	res, err := s.SF(context.Background(), el, opts...)
+	if err != nil {
+		panic(err)
 	}
-	return spanning.PrefixSFRelaxed(el, ord, spanning.Options{
-		PrefixFrac: c.prefixFrac,
-		PrefixSize: c.prefixSize,
-		Grain:      c.grain,
-	})
+	return res
 }
 
 // Verifiers, re-exported for callers that want the paper's checks.

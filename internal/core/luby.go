@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -26,9 +27,27 @@ import (
 // lexicographically-first MIS. Ties are broken by vertex id; with 64-bit
 // priorities they are vanishingly rare.
 func LubyMIS(g *graph.Graph, seed uint64, opt Options) *Result {
+	res, err := LubyMISCtx(context.Background(), g, seed, opt)
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// LubyMISCtx is LubyMIS with cooperative cancellation (ctx is checked
+// once per round) and workspace reuse of the status array. The
+// per-round compacted subgraphs are still allocated fresh: they shrink
+// geometrically, and pooling them would pin the largest round's
+// footprint for the pool's lifetime.
+func LubyMISCtx(ctx context.Context, g *graph.Graph, seed uint64, opt Options) (*Result, error) {
 	n := g.NumVertices()
 	grain := opt.grain()
-	status := make([]int32, n)
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
+	}
+	status := Grow32(&ws.status, n)
+	Fill32(status, statusUndecided)
 
 	// Current subgraph in CSR form over the live vertices. live holds
 	// original vertex ids; adjacency stores original ids too, filtered
@@ -47,8 +66,12 @@ func LubyMIS(g *graph.Graph, seed uint64, opt Options) *Result {
 
 	stats := Stats{}
 	var inspections atomic.Int64
+	var prevInspections int64
 
 	for len(live) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		round := uint64(stats.Rounds)
 		stats.Rounds++
 		stats.Attempts += int64(len(live))
@@ -124,8 +147,18 @@ func LubyMIS(g *graph.Graph, seed uint64, opt Options) *Result {
 				}
 			}
 		})
+		if opt.OnRound != nil {
+			cur := inspections.Load()
+			opt.OnRound(RoundStat{
+				Round:       stats.Rounds,
+				Attempted:   len(live),
+				Resolved:    len(live) - len(newLive),
+				Inspections: cur - prevInspections,
+			})
+			prevInspections = cur
+		}
 		live, offsets, adj = newLive, newOffsets, newAdj
 	}
 	stats.EdgeInspections = inspections.Load()
-	return newResult(status, stats)
+	return newResult(status, stats), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -35,11 +36,28 @@ import (
 // full prefix is Algorithm 2 (Rounds = dependence length, maximum
 // redundant work).
 func PrefixMIS(g *graph.Graph, ord Order, opt Options) *Result {
+	res, err := PrefixMISCtx(context.Background(), g, ord, opt)
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// PrefixMISCtx is PrefixMIS with cooperative cancellation: ctx is
+// checked once per round (the hot inner loops never see it), so a
+// cancelled context aborts the run within one round and returns
+// ctx.Err(). Pooled buffers come from opt.Workspace when set.
+func PrefixMISCtx(ctx context.Context, g *graph.Graph, ord Order, opt Options) (*Result, error) {
 	n := g.NumVertices()
 	if ord.Len() != n {
 		panic("core: order size does not match graph")
 	}
-	status := make([]int32, n)
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
+	}
+	status := Grow32(&ws.status, n)
+	Fill32(status, statusUndecided)
 	prefix := opt.prefixFor(n)
 	grain := opt.grain()
 	rank := ord.Rank
@@ -48,17 +66,22 @@ func PrefixMIS(g *graph.Graph, ord Order, opt Options) *Result {
 	var ptr []int32
 	if opt.Pointered {
 		parents = buildParents(g, ord)
-		ptr = make([]int32, n)
+		ptr = Grow32(&ws.ptr, n)
+		Fill32(ptr, 0)
 	}
 
 	stats := Stats{PrefixSize: prefix}
-	active := make([]int32, 0, prefix)
-	outcome := make([]int32, prefix)
+	active := GrowActive(&ws.active, prefix)
+	outcome := Grow32(&ws.outcome, prefix)
 	nextRank := 0
 	resolved := 0
 	var inspections atomic.Int64
+	var prevInspections int64
 
 	for resolved < n {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Refill the window with the earliest unresolved vertices.
 		for len(active) < prefix && nextRank < n {
 			active = append(active, ord.Order[nextRank])
@@ -111,11 +134,19 @@ func PrefixMIS(g *graph.Graph, ord Order, opt Options) *Result {
 		// active; reset capacity view for the next round.
 		resolved += before - len(active)
 		if opt.OnRound != nil {
-			opt.OnRound(stats.Rounds, before, before-len(active))
+			cur := inspections.Load()
+			opt.OnRound(RoundStat{
+				Round:       stats.Rounds,
+				Prefix:      prefix,
+				Attempted:   before,
+				Resolved:    before - len(active),
+				Inspections: cur - prevInspections,
+			})
+			prevInspections = cur
 		}
 	}
 	stats.EdgeInspections = inspections.Load()
-	return newResult(status, stats)
+	return newResult(status, stats), nil
 }
 
 // checkScratch decides vertex v by scanning all of its earlier neighbors
@@ -177,9 +208,19 @@ func checkPointered(v int32, status []int32, parents *parentsCSR, ptr []int32) (
 // length of the priority DAG, the quantity Theorem 3.5 bounds by
 // O(log^2 n).
 func ParallelMIS(g *graph.Graph, ord Order, opt Options) *Result {
+	res, err := ParallelMISCtx(context.Background(), g, ord, opt)
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// ParallelMISCtx is ParallelMIS with cooperative cancellation and
+// workspace reuse (see PrefixMISCtx).
+func ParallelMISCtx(ctx context.Context, g *graph.Graph, ord Order, opt Options) (*Result, error) {
 	opt.PrefixSize = g.NumVertices()
 	if opt.PrefixSize == 0 {
 		opt.PrefixSize = 1
 	}
-	return PrefixMIS(g, ord, opt)
+	return PrefixMISCtx(ctx, g, ord, opt)
 }

@@ -103,11 +103,38 @@ type Options struct {
 	// and its work curve.
 	Pointered bool
 	// OnRound, if non-nil, is called after every round of the
-	// prefix-based algorithms with the 1-based round number, the number
-	// of iterates attempted, and the number resolved. It exposes the
-	// per-round profile (how failed iterates accumulate at large
-	// prefixes) at no cost when unset.
-	OnRound func(round int64, attempted, resolved int)
+	// round-synchronous algorithms (prefix-based, root-set, Luby) with
+	// that round's statistics. It exposes the per-round profile (how
+	// failed iterates accumulate at large prefixes) at no cost when
+	// unset. The callback runs on the round loop's goroutine, between
+	// rounds; it must not block for long.
+	OnRound func(RoundStat)
+	// Workspace, if non-nil, supplies pooled per-run buffers reused
+	// across runs (see Workspace). nil means allocate fresh buffers.
+	Workspace *Workspace
+}
+
+// RoundStat describes one completed round of a round-synchronous
+// algorithm, passed to Options.OnRound. Summed over a run, Attempted is
+// the paper's total work (Figure 1(a)/1(d)), the number of callbacks is
+// Rounds (Figure 1(b)/1(e)), and Inspections is the edge-inspection
+// work measure — so an observer sees the paper's Figure 1 quantities
+// accumulate live.
+type RoundStat struct {
+	// Round is the 1-based round index.
+	Round int64
+	// Prefix is the resolved prefix (window) size of the run: the
+	// maximum number of iterates attempted per round (0 for algorithms
+	// without a prefix window).
+	Prefix int
+	// Attempted is the number of iterates processed this round.
+	Attempted int
+	// Resolved is the number of iterates that reached their final
+	// status (accepted into the solution or ruled out) this round.
+	Resolved int
+	// Inspections is the number of neighbor/endpoint status reads
+	// performed this round.
+	Inspections int64
 }
 
 // DefaultPrefixFrac is the default prefix fraction, chosen near the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -18,6 +19,16 @@ import (
 // of steps equals the dependence length of the priority DAG exactly,
 // which Theorem 3.5 bounds by O(log^2 n) w.h.p. for random orders.
 func RootSetMIS(g *graph.Graph, ord Order, opt Options) *Result {
+	res, err := RootSetMISCtx(context.Background(), g, ord, opt)
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// RootSetMISCtx is RootSetMIS with cooperative cancellation (ctx is
+// checked once per step) and workspace reuse.
+func RootSetMISCtx(ctx context.Context, g *graph.Graph, ord Order, opt Options) (*Result, error) {
 	n := g.NumVertices()
 	if ord.Len() != n {
 		panic("core: order size does not match graph")
@@ -26,21 +37,26 @@ func RootSetMIS(g *graph.Graph, ord Order, opt Options) *Result {
 	parents := buildParents(g, ord)
 	children := buildChildren(g, ord)
 
-	status := make([]int32, n)
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
+	}
+	status := Grow32(&ws.status, n)
+	Fill32(status, statusUndecided)
 	// ptr[v] indexes the first not-yet-skipped parent of v; parents
 	// before it are known dead (lazy deletion, Lemma 4.1).
-	ptr := make([]int32, n)
+	ptr := Grow32(&ws.ptr, n)
+	Fill32(ptr, 0)
 	// claimStamp[v] records the last step at which some neighbor claimed
 	// the right to misCheck v. This is the concurrent-write
 	// deduplication of Lemma 4.2 ("whichever write succeeds is
 	// responsible for the check"): per step, at most one worker checks v.
-	claimStamp := make([]int32, n)
-	for i := range claimStamp {
-		claimStamp[i] = -1
-	}
+	claimStamp := Grow32(&ws.claim, n)
+	Fill32(claimStamp, -1)
 
 	stats := Stats{}
 	var inspections atomic.Int64
+	var prevInspections int64
 
 	// Initial roots: vertices with no parents at all.
 	frontier := parallel.PackIndex(n, grain, func(i int) bool {
@@ -49,6 +65,9 @@ func RootSetMIS(g *graph.Graph, ord Order, opt Options) *Result {
 
 	undecided := n
 	for undecided > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if len(frontier) == 0 {
 			panic("core: RootSetMIS frontier empty with undecided vertices")
 		}
@@ -128,10 +147,20 @@ func RootSetMIS(g *graph.Graph, ord Order, opt Options) *Result {
 		for _, ch := range chunks {
 			next = append(next, ch...)
 		}
+		if opt.OnRound != nil {
+			cur := inspections.Load()
+			opt.OnRound(RoundStat{
+				Round:       stats.Rounds,
+				Attempted:   len(frontier),
+				Resolved:    int(decidedThisStep.Load()),
+				Inspections: cur - prevInspections,
+			})
+			prevInspections = cur
+		}
 		frontier = next
 	}
 	stats.EdgeInspections = inspections.Load()
-	return newResult(status, stats)
+	return newResult(status, stats), nil
 }
 
 // misCheck is the operation of Lemma 4.1: scan v's remaining parents,

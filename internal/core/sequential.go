@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/graph"
+import (
+	"context"
+
+	"repro/internal/graph"
+)
 
 // SequentialMIS computes the lexicographically-first MIS of g under ord
 // with the paper's Algorithm 1: scan vertices in priority order; add a
@@ -12,13 +16,41 @@ import "repro/internal/graph"
 // implementation's work and round count both equal the input size);
 // EdgeInspections counts the neighbor scans of accepted vertices.
 func SequentialMIS(g *graph.Graph, ord Order) *Result {
+	res, err := SequentialMISCtx(context.Background(), g, ord, Options{})
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// seqCancelMask paces the cancellation checks of the sequential scans:
+// ctx.Err() is consulted every seqCancelMask+1 iterations, so a
+// cancelled context aborts within a few thousand O(1) iterations —
+// well inside the issue-of-one-round bound the parallel loops honor.
+const seqCancelMask = 1<<12 - 1
+
+// SequentialMISCtx is SequentialMIS with cooperative cancellation and
+// workspace reuse. The priority scan checks ctx every few thousand
+// vertices, so cancellation is honored promptly without slowing the
+// O(n + m) loop measurably.
+func SequentialMISCtx(ctx context.Context, g *graph.Graph, ord Order, opt Options) (*Result, error) {
 	n := g.NumVertices()
 	if ord.Len() != n {
 		panic("core: order size does not match graph")
 	}
-	status := make([]int32, n)
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
+	}
+	status := Grow32(&ws.status, n)
+	Fill32(status, statusUndecided)
 	var inspections int64
 	for r := 0; r < n; r++ {
+		if r&seqCancelMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		v := ord.Order[r]
 		if status[v] != statusUndecided {
 			continue
@@ -36,5 +68,5 @@ func SequentialMIS(g *graph.Graph, ord Order) *Result {
 		Rounds:          int64(n),
 		Attempts:        int64(n),
 		EdgeInspections: inspections,
-	})
+	}), nil
 }

@@ -10,11 +10,16 @@ func TestOnRoundTraceConsistency(t *testing.T) {
 	g, ord := randomGraphAndOrder(2000, 10000, 13)
 	var rounds []int64
 	var attempted, resolved []int
-	res := PrefixMIS(g, ord, Options{PrefixFrac: 0.05, OnRound: func(r int64, a, d int) {
-		rounds = append(rounds, r)
-		attempted = append(attempted, a)
-		resolved = append(resolved, d)
+	var inspections int64
+	res := PrefixMIS(g, ord, Options{PrefixFrac: 0.05, OnRound: func(rs RoundStat) {
+		rounds = append(rounds, rs.Round)
+		attempted = append(attempted, rs.Attempted)
+		resolved = append(resolved, rs.Resolved)
+		inspections += rs.Inspections
 	}})
+	if inspections != res.Stats.EdgeInspections {
+		t.Errorf("trace inspections %d != stats inspections %d", inspections, res.Stats.EdgeInspections)
+	}
 	if int64(len(rounds)) != res.Stats.Rounds {
 		t.Fatalf("trace has %d rounds, stats say %d", len(rounds), res.Stats.Rounds)
 	}
@@ -47,7 +52,7 @@ func TestOnRoundTraceConsistency(t *testing.T) {
 func TestOnRoundNilIsDefault(t *testing.T) {
 	g, ord := randomGraphAndOrder(500, 2500, 14)
 	a := PrefixMIS(g, ord, Options{PrefixFrac: 0.1})
-	b := PrefixMIS(g, ord, Options{PrefixFrac: 0.1, OnRound: func(int64, int, int) {}})
+	b := PrefixMIS(g, ord, Options{PrefixFrac: 0.1, OnRound: func(RoundStat) {}})
 	if !a.Equal(b) || a.Stats != b.Stats {
 		t.Error("OnRound changed the computation")
 	}
@@ -59,8 +64,8 @@ func TestOnRoundFullPrefixProfile(t *testing.T) {
 	// is exhausted).
 	g, ord := randomGraphAndOrder(3000, 15000, 15)
 	var attempted []int
-	ParallelMIS(g, ord, Options{OnRound: func(_ int64, a, _ int) {
-		attempted = append(attempted, a)
+	ParallelMIS(g, ord, Options{OnRound: func(rs RoundStat) {
+		attempted = append(attempted, rs.Attempted)
 	}})
 	if attempted[0] != g.NumVertices() {
 		t.Errorf("first full-prefix round attempted %d, want n", attempted[0])

@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -26,33 +27,49 @@ import (
 // equals the sequential greedy matching for any prefix size, grain size
 // and thread count.
 func PrefixMM(el graph.EdgeList, ord core.Order, opt Options) *Result {
+	res, err := PrefixMMCtx(context.Background(), el, ord, opt)
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// PrefixMMCtx is PrefixMM with cooperative cancellation: ctx is checked
+// once per round, so a cancelled context aborts within one round and
+// returns ctx.Err(). Pooled buffers come from opt.Workspace when set.
+func PrefixMMCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Options) (*Result, error) {
 	m := el.NumEdges()
 	if ord.Len() != m {
 		panic("matching: order size does not match edge list")
 	}
 	const maxRank = int32(1<<31 - 1)
-	status := make([]int32, m)
-	mate := make([]int32, el.N)
-	for i := range mate {
-		mate[i] = unmatched
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
 	}
+	status := grow32(&ws.status, m)
+	fill32(status, statusUndecided)
+	mate := grow32(&ws.mate, el.N)
+	fill32(mate, unmatched)
 	// reserv[v] holds the smallest rank among active edges bidding for
 	// vertex v this round.
-	reserv := make([]int32, el.N)
-	for i := range reserv {
-		reserv[i] = maxRank
-	}
+	reserv := grow32(&ws.reserv, el.N)
+	fill32(reserv, maxRank)
 	rank := ord.Rank
 	prefix := opt.prefixFor(m)
 	grain := opt.grain()
 
 	stats := Stats{PrefixSize: prefix}
 	var inspections atomic.Int64
-	active := make([]int32, 0, prefix)
+	var prevInspections int64
+	active := growActive(&ws.active, prefix)
 	nextRank := 0
 	resolved := 0
 
 	for resolved < m {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for len(active) < prefix && nextRank < m {
 			active = append(active, ord.Order[nextRank])
 			nextRank++
@@ -118,20 +135,38 @@ func PrefixMM(el graph.EdgeList, ord core.Order, opt Options) *Result {
 		})
 		resolved += before - len(active)
 		if opt.OnRound != nil {
-			opt.OnRound(stats.Rounds, before, before-len(active))
+			cur := inspections.Load()
+			opt.OnRound(core.RoundStat{
+				Round:       stats.Rounds,
+				Prefix:      prefix,
+				Attempted:   before,
+				Resolved:    before - len(active),
+				Inspections: cur - prevInspections,
+			})
+			prevInspections = cur
 		}
 	}
 	stats.EdgeInspections = inspections.Load()
-	return newResult(el, status, stats)
+	return newResult(el, status, stats), nil
 }
 
 // ParallelMM is Algorithm 4 proper: PrefixMM run with the full edge set
 // as the window each round. Its Rounds statistic tracks the dependence
 // length of the edge priority DAG (Lemma 5.1: O(log^2 m) w.h.p.).
 func ParallelMM(el graph.EdgeList, ord core.Order, opt Options) *Result {
+	res, err := ParallelMMCtx(context.Background(), el, ord, opt)
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// ParallelMMCtx is ParallelMM with cooperative cancellation and
+// workspace reuse (see PrefixMMCtx).
+func ParallelMMCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Options) (*Result, error) {
 	opt.PrefixSize = el.NumEdges()
 	if opt.PrefixSize == 0 {
 		opt.PrefixSize = 1
 	}
-	return PrefixMM(el, ord, opt)
+	return PrefixMMCtx(ctx, el, ord, opt)
 }

@@ -89,10 +89,13 @@ type Options struct {
 	PrefixSize int
 	PrefixFrac float64
 	Grain      int
-	// OnRound, if non-nil, is called after every round of PrefixMM with
-	// the 1-based round number, the number of edges attempted, and the
-	// number resolved.
-	OnRound func(round int64, attempted, resolved int)
+	// OnRound, if non-nil, is called after every round of the
+	// round-synchronous algorithms with that round's statistics (see
+	// core.RoundStat). It runs on the round loop's goroutine.
+	OnRound func(core.RoundStat)
+	// Workspace, if non-nil, supplies pooled per-run buffers reused
+	// across runs. nil means allocate fresh buffers.
+	Workspace *Workspace
 }
 
 func (o Options) prefixFor(m int) int {

@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -19,6 +20,16 @@ import (
 // skipped past at most once, so total work is O(n + m); the number of
 // steps is exactly the dependence length of the edge priority DAG.
 func RootSetMM(el graph.EdgeList, ord core.Order, opt Options) *Result {
+	res, err := RootSetMMCtx(context.Background(), el, ord, opt)
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// RootSetMMCtx is RootSetMM with cooperative cancellation (ctx is
+// checked once per step) and workspace reuse.
+func RootSetMMCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Options) (*Result, error) {
 	m := el.NumEdges()
 	if ord.Len() != m {
 		panic("matching: order size does not match edge list")
@@ -29,25 +40,29 @@ func RootSetMM(el graph.EdgeList, ord core.Order, opt Options) *Result {
 	// priority order (the paper's Lemma 5.3 preprocessing).
 	inc := graph.BuildIncidenceByPriority(el, ord.Order)
 
-	status := make([]int32, m)
-	mate := make([]int32, el.N)
-	for i := range mate {
-		mate[i] = unmatched
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
 	}
+	status := grow32(&ws.status, m)
+	fill32(status, statusUndecided)
+	mate := grow32(&ws.mate, el.N)
+	fill32(mate, unmatched)
 	// vptr[v] indexes the first not-yet-skipped entry of v's sorted
 	// incident list (lazy deletion).
-	vptr := make([]int32, el.N)
+	vptr := grow32(&ws.reserv, el.N)
+	fill32(vptr, 0)
 	// claimed[e] dedups ready-edge discovery: an edge can be found ready
 	// from both endpoints simultaneously.
-	claimed := make([]int32, m)
+	claimed := grow32(&ws.claimed, m)
+	fill32(claimed, 0)
 	// checkStamp[v] ensures each far endpoint is checked once per step.
-	checkStamp := make([]int32, el.N)
-	for i := range checkStamp {
-		checkStamp[i] = -1
-	}
+	checkStamp := grow32(&ws.stamp, el.N)
+	fill32(checkStamp, -1)
 
 	stats := Stats{}
 	var inspections atomic.Int64
+	var prevInspections int64
 
 	// Initial ready set: edges that head both endpoints' lists.
 	frontier := parallel.PackIndex(m, grain, func(i int) bool {
@@ -60,6 +75,9 @@ func RootSetMM(el graph.EdgeList, ord core.Order, opt Options) *Result {
 
 	resolved := 0
 	for resolved < m {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if len(frontier) == 0 {
 			panic("matching: RootSetMM frontier empty with unresolved edges")
 		}
@@ -137,10 +155,20 @@ func RootSetMM(el graph.EdgeList, ord core.Order, opt Options) *Result {
 		for _, ch := range chunks {
 			next = append(next, ch...)
 		}
+		if opt.OnRound != nil {
+			cur := inspections.Load()
+			opt.OnRound(core.RoundStat{
+				Round:       stats.Rounds,
+				Attempted:   len(frontier),
+				Resolved:    int(decidedDelta.Load()),
+				Inspections: cur - prevInspections,
+			})
+			prevInspections = cur
+		}
 		frontier = next
 	}
 	stats.EdgeInspections = inspections.Load()
-	return newResult(el, status, stats)
+	return newResult(el, status, stats), nil
 }
 
 // mmCheck is the two-phase check of Lemma 5.2 on vertex z: advance past

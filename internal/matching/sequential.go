@@ -1,6 +1,8 @@
 package matching
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/graph"
 )
@@ -15,17 +17,39 @@ import (
 // sequential run; EdgeInspections counts the two endpoint examinations
 // per edge.
 func SequentialMM(el graph.EdgeList, ord core.Order) *Result {
+	res, err := SequentialMMCtx(context.Background(), el, ord, Options{})
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// seqCancelMask paces the sequential scan's cancellation checks, as in
+// core.SequentialMISCtx.
+const seqCancelMask = 1<<12 - 1
+
+// SequentialMMCtx is SequentialMM with cooperative cancellation (ctx is
+// checked every few thousand edges) and workspace reuse.
+func SequentialMMCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Options) (*Result, error) {
 	m := el.NumEdges()
 	if ord.Len() != m {
 		panic("matching: order size does not match edge list")
 	}
-	status := make([]int32, m)
-	mate := make([]int32, el.N)
-	for i := range mate {
-		mate[i] = unmatched
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
 	}
+	status := grow32(&ws.status, m)
+	fill32(status, statusUndecided)
+	mate := grow32(&ws.mate, el.N)
+	fill32(mate, unmatched)
 	var inspections int64
 	for r := 0; r < m; r++ {
+		if r&seqCancelMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e := ord.Order[r]
 		edge := el.Edges[e]
 		inspections += 2
@@ -41,5 +65,5 @@ func SequentialMM(el graph.EdgeList, ord core.Order) *Result {
 		Rounds:          int64(m),
 		Attempts:        int64(m),
 		EdgeInspections: inspections,
-	})
+	}), nil
 }

@@ -1,0 +1,25 @@
+package matching
+
+import "repro/internal/core"
+
+// Workspace holds the pooled per-run buffers of the matching algorithms
+// (statuses, mates, reservations, frontier arrays), reused across runs
+// on same-or-smaller inputs. Buffers are reinitialized at the start of
+// every run, so results are bit-identical to runs on fresh memory;
+// Result arrays are never pooled. Not safe for concurrent use; the zero
+// value is ready.
+type Workspace struct {
+	status  []int32
+	mate    []int32
+	reserv  []int32 // doubles as vptr for RootSetMM
+	active  []int32
+	claimed []int32
+	stamp   []int32
+}
+
+// Pooled-buffer helpers shared with the other algorithm packages.
+var (
+	grow32     = core.Grow32
+	fill32     = core.Fill32
+	growActive = core.GrowActive
+)

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	greedy "repro"
+)
+
+// BenchmarkEngineUniqueJobs measures the full per-unique-job cost of
+// the engine — submit, queue, execute on a per-worker pooled Solver,
+// checksum, marshal the payload — with every submission carrying a
+// fresh seed so the idempotency cache never absorbs the work.
+//
+// The controlled reuse-vs-fresh comparison is the BenchmarkSolverMIS*
+// pair in the root package: it isolates exactly the workspace effect.
+// BenchmarkEngineUniqueJobsNoReuse below is NOT that pair's engine
+// analogue — it measures the bare fresh-solver computation without the
+// engine's queueing, checksum, or payload-marshal overhead, i.e. a
+// lower bound on the PR 1 per-job compute cost. That the full engine
+// path with reuse still beats it (time and bytes) is the headline.
+func BenchmarkEngineUniqueJobs(b *testing.B) {
+	benchEngineUniqueJobs(b, false)
+}
+
+// BenchmarkEngineUniqueJobsNoReuse: one fresh Solver per job, compute
+// only (no engine/serialization overhead) — see the comment above for
+// how to read it against BenchmarkEngineUniqueJobs.
+func BenchmarkEngineUniqueJobsNoReuse(b *testing.B) {
+	benchEngineUniqueJobs(b, true)
+}
+
+func benchEngineUniqueJobs(b *testing.B, fresh bool) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	info, _, err := svc.Generate(GenSpec{Generator: "random", N: 100_000, M: 500_000, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(seed uint64) {
+		if fresh {
+			// Bypass the engine's pooled worker Solver: execute the same
+			// computation the worker would, on a throwaway Solver.
+			h, err := svc.Registry().Acquire(info.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Release()
+			if _, err := greedy.NewSolver().MIS(context.Background(), h.Graph(), greedy.WithSeed(seed)); err != nil {
+				b.Fatal(err)
+			}
+			return
+		}
+		st, _, err := svc.Engine().Submit(JobSpec{
+			GraphID: info.ID, Problem: ProblemMIS, Plan: greedy.Plan{Seed: seed},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(time.Minute)
+		for {
+			cur, err := svc.Engine().Status(st.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cur.State == StateDone {
+				return
+			}
+			if cur.State == StateFailed || time.Now().After(deadline) {
+				b.Fatalf("job %s: %s", st.ID, cur.State)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	run(1 << 32) // warm the worker's solver outside the measured loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(uint64(i) + 1)
+	}
+}

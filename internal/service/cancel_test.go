@@ -1,0 +1,313 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	greedy "repro"
+)
+
+// submitLongJob adds a graph sized so a prefix_size=2 MIS keeps a
+// worker busy for a long time (≈ n/2 rounds) while still honoring
+// cancellation at every round boundary, and submits it.
+func submitLongJob(t *testing.T, svc *Service, seed uint64) (JobStatus, GraphInfo) {
+	t.Helper()
+	info, _, err := svc.Generate(GenSpec{Generator: "random", N: 300_000, M: 600_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := svc.Engine().Submit(JobSpec{
+		GraphID: info.ID,
+		Problem: ProblemMIS,
+		Plan:    greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: seed, PrefixSize: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, info
+}
+
+// waitRunningWithProgress waits until the job is mid-run: running AND
+// past its first round, so a subsequent Cancel exercises the round
+// loop's cancellation path rather than aborting before round 1.
+func waitRunningWithProgress(t *testing.T, e *Engine, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := e.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning && st.Progress != nil && st.Progress.Rounds > 0 {
+			return st
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			t.Fatalf("job %s finished (%s) before mid-run progress was observed", id, st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reported mid-run progress", id)
+	return JobStatus{}
+}
+
+// waitRefs polls until the graph's refcount reaches want (the worker
+// releases its pin shortly after publishing a terminal job state).
+func waitRefs(t *testing.T, svc *Service, graphID string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		gi, ok := svc.Registry().Get(graphID)
+		if !ok {
+			t.Fatalf("graph %s gone while waiting for refs", graphID)
+		}
+		if gi.Refs == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("graph refs = %d, want %d", gi.Refs, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitState(t *testing.T, e *Engine, id string, want JobState) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := e.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			t.Fatalf("job %s reached terminal state %s, want %s", id, st.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %s", id, want)
+	return JobStatus{}
+}
+
+// TestCancelRunningJobFreesWorkerAndRefcount is the satellite contract:
+// DELETE on a running job aborts it within one round, frees its worker
+// for the next job, and releases the graph refcount. Run with -race.
+func TestCancelRunningJobFreesWorkerAndRefcount(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+	st, info := submitLongJob(t, svc, 7)
+
+	waitRunningWithProgress(t, svc.Engine(), st.ID)
+	if gi, ok := svc.Registry().Get(info.ID); !ok || gi.Refs != 1 {
+		t.Fatalf("running job should pin the graph once, got refs=%d", gi.Refs)
+	}
+
+	cancelAt := time.Now()
+	if _, err := svc.Engine().Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, svc.Engine(), st.ID, StateCancelled)
+	ack := time.Since(cancelAt)
+	t.Logf("running job acknowledged cancellation in %v", ack)
+	if final.Progress == nil || final.Progress.Rounds == 0 {
+		t.Error("cancelled running job reported no round progress")
+	}
+
+	// The pin is released. The worker releases it just after publishing
+	// the terminal state (outside the engine mutex), so poll briefly
+	// rather than racing that window.
+	waitRefs(t, svc, info.ID, 0)
+	// ...and the single worker is free to run another job to completion.
+	quick, _, err := svc.Engine().Submit(JobSpec{
+		GraphID: info.ID, Problem: ProblemMIS, Plan: greedy.Plan{Seed: 99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitDone(t, svc.Engine(), quick.ID); got.State != StateDone {
+		t.Fatalf("post-cancel job failed: %s", got.Error)
+	}
+
+	snap := svc.Snapshot()
+	if snap.Jobs.Cancelled != 1 {
+		t.Errorf("cancelled counter = %d, want 1", snap.Jobs.Cancelled)
+	}
+}
+
+func TestCancelQueuedJobReleasesImmediately(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+	running, info := submitLongJob(t, svc, 7)
+	waitState(t, svc.Engine(), running.ID, StateRunning)
+
+	// With the only worker busy, this job stays queued.
+	queued, _, err := svc.Engine().Submit(JobSpec{
+		GraphID: info.ID, Problem: ProblemMM, Plan: greedy.Plan{Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.State != StateQueued {
+		t.Fatalf("second job state %s, want queued", queued.State)
+	}
+	if gi, _ := svc.Registry().Get(info.ID); gi.Refs != 2 {
+		t.Fatalf("two live jobs should pin twice, got refs=%d", gi.Refs)
+	}
+
+	st, err := svc.Engine().Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("queued job not cancelled synchronously: %s", st.State)
+	}
+	if gi, _ := svc.Registry().Get(info.ID); gi.Refs != 1 {
+		t.Fatalf("cancelled queued job should release its pin, refs=%d", gi.Refs)
+	}
+
+	// Cancelling again is idempotent; the running job still finishes its
+	// cancellation path cleanly.
+	if st, err := svc.Engine().Cancel(queued.ID); err != nil || st.State != StateCancelled {
+		t.Fatalf("re-cancel: %v, %s", err, st.State)
+	}
+	if _, err := svc.Engine().Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc.Engine(), running.ID, StateCancelled)
+}
+
+func TestCancelledJobIsNotDedupTarget(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+	st, info := submitLongJob(t, svc, 21)
+	waitRunningWithProgress(t, svc.Engine(), st.ID)
+	if _, err := svc.Engine().Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resubmitting the same spec starts a fresh execution rather than
+	// serving the doomed job — even in the window where the cancelled
+	// job's round loop has not yet observed the cancellation.
+	again, deduped, err := svc.Engine().Submit(JobSpec{
+		GraphID: info.ID,
+		Problem: ProblemMIS,
+		Plan:    greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: 21, PrefixSize: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped || again.ID == st.ID {
+		t.Fatalf("cancelled job served as dedup target (id=%s deduped=%v)", again.ID, deduped)
+	}
+	if _, err := svc.Engine().Cancel(again.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelFinishedJobConflicts(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+	info := addGraph(t, svc, 500, 1)
+	st, _, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemMIS, Plan: greedy.Plan{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, svc.Engine(), st.ID)
+	if _, err := svc.Engine().Cancel(st.ID); err == nil {
+		t.Fatal("cancel of a done job succeeded")
+	}
+	if _, err := svc.Engine().Cancel("j424242"); err == nil {
+		t.Fatal("cancel of an unknown job succeeded")
+	}
+}
+
+// TestHTTPCancelLifecycle drives the DELETE endpoint end to end:
+// status with live progress while running, 200 on cancel, "cancelled"
+// terminal state, 409 on a finished job, 404 on an unknown one.
+func TestHTTPCancelLifecycle(t *testing.T) {
+	srv, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	gr, err := c.Generate(ctx, GenSpec{Generator: "random", N: 300_000, M: 600_000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Submit(ctx, JobRequest{
+		GraphID: gr.ID,
+		Problem: "mis",
+		Plan:    greedy.Plan{Seed: 5, PrefixSize: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live round progress must appear in GET /v1/jobs/{id} while the
+	// job runs.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := c.Status(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning && st.Progress != nil && st.Progress.Rounds > 0 {
+			if st.Progress.Attempted < st.Progress.Rounds {
+				t.Fatalf("implausible progress: %+v", st.Progress)
+			}
+			break
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			t.Fatalf("long job finished before progress was observed: %s", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no live progress surfaced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := c.Cancel(ctx, sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, sub.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCancelled {
+		t.Fatalf("job ended %s, want cancelled", final.State)
+	}
+
+	// The result endpoint is terminal for cancelled jobs: an error (422),
+	// never a 202 "poll again" that would spin clients forever.
+	if raw, done, err := c.Result(ctx, sub.ID); err == nil {
+		t.Fatalf("result of cancelled job: (%d bytes, done=%v), want terminal error", len(raw), done)
+	}
+
+	// A finished (cancelled) job can be DELETEd again idempotently...
+	if _, err := c.Cancel(ctx, sub.ID); err != nil {
+		t.Fatalf("re-cancel not idempotent: %v", err)
+	}
+	// ...but a done job conflicts, and unknown jobs 404.
+	quick, err := c.Submit(ctx, JobRequest{GraphID: gr.ID, Problem: "mis", Plan: greedy.Plan{Seed: 77}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, quick.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+quick.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("DELETE on done job: %d, want 409", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/j999999", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE on unknown job: %d, want 404", resp.StatusCode)
+	}
+}

@@ -113,6 +113,27 @@ func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 	return out, err
 }
 
+// Cancel cancels a queued or running job via DELETE /v1/jobs/{id} and
+// returns the job's status at the moment of cancellation. A running
+// job may still report state "running": its round loop transitions to
+// "cancelled" within one round; poll Status (or Wait) to observe it.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return JobStatus{}, apiError(resp)
+	}
+	var out JobStatus
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
 // Result fetches the raw result payload of a done job. The boolean
 // reports whether the job is done; when false the returned bytes are
 // nil and the caller should poll again.
@@ -138,7 +159,8 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, bool, error) {
 	}
 }
 
-// Wait polls a job until it finishes (done or failed) or ctx expires.
+// Wait polls a job until it finishes (done, failed, or cancelled) or
+// ctx expires.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
 	if poll <= 0 {
 		poll = 2 * time.Millisecond
@@ -148,7 +170,7 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobSt
 		if err != nil {
 			return st, err
 		}
-		if st.State == StateDone || st.State == StateFailed {
+		if st.State == StateDone || st.State == StateFailed || st.State == StateCancelled {
 			return st, nil
 		}
 		select {

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	greedy "repro"
 )
 
 // TestE2ELoadgenSmoke is a miniature of cmd/loadgen: closed-loop
@@ -40,10 +42,9 @@ func TestE2ELoadgenSmoke(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(w)))
 			for i := 0; i < jobsPerWkr; i++ {
 				req := JobRequest{
-					GraphID:   gr.ID,
-					Problem:   problems[rng.Intn(len(problems))],
-					Algorithm: "prefix",
-					Seed:      uint64(rng.Intn(seedPool)),
+					GraphID: gr.ID,
+					Problem: problems[rng.Intn(len(problems))],
+					Plan:    greedy.Plan{Seed: uint64(rng.Intn(seedPool))},
 				}
 				sub, err := c.Submit(ctx, req)
 				if err != nil {
@@ -88,7 +89,7 @@ func TestE2ELoadgenSmoke(t *testing.T) {
 	}
 
 	// Every duplicate of one spec must serve byte-identical results.
-	a, err := c.Submit(ctx, JobRequest{GraphID: gr.ID, Problem: "mis", Algorithm: "prefix", Seed: 0})
+	a, err := c.Submit(ctx, JobRequest{GraphID: gr.ID, Problem: "mis", Plan: greedy.Plan{Seed: 0}})
 	if err != nil {
 		t.Fatal(err)
 	}

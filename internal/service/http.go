@@ -20,11 +20,12 @@ import (
 //	                           graph body in any supported format
 //	GET  /v1/graphs            list resident graphs
 //	GET  /v1/graphs/{id}       metadata of one graph
-//	POST /v1/jobs              submit a job (idempotent per spec key)
-//	GET  /v1/jobs/{id}         job status
-//	GET  /v1/jobs/{id}/result  result payload of a done job
-//	GET  /v1/metrics           metrics snapshot
-//	GET  /healthz              liveness
+//	POST   /v1/jobs              submit a job (idempotent per spec key)
+//	GET    /v1/jobs/{id}         job status, with live round progress
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/jobs/{id}/result  result payload of a done job
+//	GET    /v1/metrics           metrics snapshot
+//	GET    /healthz              liveness
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleGraphCreate)
@@ -32,6 +33,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGraphGet)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -125,14 +127,16 @@ func (s *Service) handleGraphGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-// JobRequest is the body of POST /v1/jobs.
+// JobRequest is the body of POST /v1/jobs. The algorithm configuration
+// travels as a greedy.Plan — the library's serializable form of an
+// option list — so the service adds no field plumbing of its own: new
+// Plan knobs flow through submission, dedup key, status, and result
+// payload without touching this package. An omitted plan selects the
+// default (prefix algorithm, seed 0).
 type JobRequest struct {
-	GraphID    string  `json:"graph_id"`
-	Problem    string  `json:"problem"`
-	Algorithm  string  `json:"algorithm,omitempty"` // default "prefix"
-	Seed       uint64  `json:"seed"`
-	PrefixFrac float64 `json:"prefix_frac,omitempty"`
-	PrefixSize int     `json:"prefix_size,omitempty"`
+	GraphID string      `json:"graph_id"`
+	Problem string      `json:"problem"`
+	Plan    greedy.Plan `json:"plan"`
 }
 
 // JobResponse is the body returned by job submission.
@@ -143,7 +147,12 @@ type JobResponse struct {
 
 func (s *Service) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	// Reject unknown fields so pre-Plan clients sending flat
+	// algorithm/seed fields get a loud 400 instead of a silently
+	// defaulted computation.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job request: %w", err))
 		return
 	}
@@ -152,18 +161,10 @@ func (s *Service) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	algo, err := greedy.ParseAlgorithm(req.Algorithm)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
 	spec := JobSpec{
-		GraphID:    req.GraphID,
-		Problem:    problem,
-		Algorithm:  algo,
-		Seed:       req.Seed,
-		PrefixFrac: req.PrefixFrac,
-		PrefixSize: req.PrefixSize,
+		GraphID: req.GraphID,
+		Problem: problem,
+		Plan:    req.Plan,
 	}
 	st, deduped, err := s.engine.Submit(spec)
 	switch {
@@ -195,6 +196,23 @@ func (s *Service) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleJobCancel cancels a queued or running job. Cancelling a job
+// that already finished is a conflict (409); an already-cancelled job
+// is idempotent success.
+func (s *Service) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.engine.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, st)
+	case errors.Is(err, ErrJobNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrJobFinished):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
 func (s *Service) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	raw, st, err := s.engine.Result(r.PathValue("id"))
 	if err != nil {
@@ -206,7 +224,9 @@ func (s *Service) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(raw)
-	case StateFailed:
+	case StateFailed, StateCancelled:
+		// Terminal without a result: 422 stops result pollers (202 would
+		// have them spin until the janitor reaps the job).
 		writeJSON(w, http.StatusUnprocessableEntity, st)
 	default:
 		// Not finished: return the status with 202 so clients can poll.

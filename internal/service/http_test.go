@@ -94,7 +94,7 @@ func TestHTTPJobLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := c.Submit(ctx, JobRequest{GraphID: gr.ID, Problem: "mm", Algorithm: "prefix", Seed: 13})
+	sub, err := c.Submit(ctx, JobRequest{GraphID: gr.ID, Problem: "mm", Plan: greedy.Plan{Seed: 13}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,14 +170,14 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := c.Submit(ctx, JobRequest{GraphID: gr.ID, Problem: "mis", Seed: 2})
+	sub, err := c.Submit(ctx, JobRequest{GraphID: gr.ID, Problem: "mis", Plan: greedy.Plan{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.Wait(ctx, sub.ID, time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Submit(ctx, JobRequest{GraphID: gr.ID, Problem: "mis", Seed: 2}); err != nil {
+	if _, err := c.Submit(ctx, JobRequest{GraphID: gr.ID, Problem: "mis", Plan: greedy.Plan{Seed: 2}}); err != nil {
 		t.Fatal(err)
 	}
 

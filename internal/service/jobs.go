@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,66 +41,81 @@ func ParseProblem(s string) (Problem, error) {
 type JobState string
 
 const (
-	StateQueued  JobState = "queued"
-	StateRunning JobState = "running"
-	StateDone    JobState = "done"
-	StateFailed  JobState = "failed"
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
 )
 
 // Job engine errors.
 var (
 	ErrQueueFull   = errors.New("service: job queue full")
 	ErrJobNotFound = errors.New("service: job not found (unknown id or expired)")
+	ErrJobFinished = errors.New("service: job already finished")
 	ErrClosed      = errors.New("service: engine closed")
 )
 
 // JobSpec identifies a deterministic computation: which graph, which
-// problem, and the resolved algorithm configuration. Two jobs with
-// equal specs produce bit-identical results (the paper's determinism
-// guarantee), which is why Key is a sound idempotency key.
+// problem, and the resolved algorithm configuration as a greedy.Plan —
+// the library's own serializable form of an option list, used verbatim
+// as the wire form of submissions. Two jobs with equal specs produce
+// bit-identical results (the paper's determinism guarantee), which is
+// why Key is a sound idempotency key.
 type JobSpec struct {
-	GraphID    string           `json:"graph_id"`
-	Problem    Problem          `json:"problem"`
-	Algorithm  greedy.Algorithm `json:"-"`
-	Seed       uint64           `json:"seed"`
-	PrefixFrac float64          `json:"prefix_frac,omitempty"`
-	PrefixSize int              `json:"prefix_size,omitempty"`
+	GraphID string      `json:"graph_id"`
+	Problem Problem     `json:"problem"`
+	Plan    greedy.Plan `json:"plan"`
 }
 
-// Key returns the idempotency key (graphID, problem, algorithm, seed,
-// prefix): submissions with equal keys are deduplicated into one
-// execution.
+// Key returns the idempotency key (graphID, problem, plan): submissions
+// with equal keys are deduplicated into one execution. Every Plan field
+// participates — Grain and Pointered do not change the selected set,
+// but they do change the Stats embedded in the payload, and dedup
+// promises byte-identical payloads.
 func (s JobSpec) Key() string {
-	return fmt.Sprintf("%s|%s|%s|%d|%g|%d",
-		s.GraphID, s.Problem, s.Algorithm, s.Seed, s.PrefixFrac, s.PrefixSize)
+	p := s.Plan
+	return fmt.Sprintf("%s|%s|%s|%d|%g|%d|%d|%t",
+		s.GraphID, s.Problem, p.Algorithm, p.Seed, p.PrefixFrac, p.PrefixSize, p.Grain, p.Pointered)
 }
 
-// Validate rejects specs no algorithm can run.
+// Validate rejects specs no algorithm can run. The same conditions the
+// Solver reports as errors are caught here before a worker is
+// committed, so they map to HTTP 400 at submission time.
 func (s JobSpec) Validate() error {
 	if _, err := ParseProblem(string(s.Problem)); err != nil {
 		return err
 	}
-	if s.Algorithm == greedy.AlgoLuby && s.Problem != ProblemMIS {
-		return fmt.Errorf("service: algorithm %q applies to MIS only", s.Algorithm)
+	p := s.Plan
+	if p.ExplicitOrder {
+		return fmt.Errorf("service: explicit orders are not serializable and cannot be submitted")
+	}
+	if p.Algorithm == greedy.AlgoLuby && s.Problem != ProblemMIS {
+		return fmt.Errorf("service: algorithm %q applies to MIS only", p.Algorithm)
 	}
 	// The spanning-forest facade implements only the sequential scan
 	// and the prefix-based algorithm; accepting other names would run
 	// prefix while reporting a different algorithm in the payload and
 	// split one computation across several dedup keys.
-	if s.Problem == ProblemSF && s.Algorithm != greedy.AlgoPrefix && s.Algorithm != greedy.AlgoSequential {
-		return fmt.Errorf("service: spanning forest supports algorithms prefix|sequential, not %q", s.Algorithm)
+	if s.Problem == ProblemSF && p.Algorithm != greedy.AlgoPrefix && p.Algorithm != greedy.AlgoSequential {
+		return fmt.Errorf("service: spanning forest supports algorithms prefix|sequential, not %q", p.Algorithm)
 	}
-	if s.PrefixFrac < 0 || s.PrefixFrac > 1 {
-		return fmt.Errorf("service: prefix_frac %g outside [0,1]", s.PrefixFrac)
+	if p.PrefixFrac < 0 || p.PrefixFrac > 1 {
+		return fmt.Errorf("service: prefix_frac %g outside [0,1]", p.PrefixFrac)
 	}
-	if s.PrefixSize < 0 {
-		return fmt.Errorf("service: negative prefix_size %d", s.PrefixSize)
+	if p.PrefixSize < 0 {
+		return fmt.Errorf("service: negative prefix_size %d", p.PrefixSize)
+	}
+	if p.Grain < 0 {
+		return fmt.Errorf("service: negative grain %d", p.Grain)
 	}
 	return nil
 }
 
 // Job is one tracked computation. Fields other than ID and Spec are
-// guarded by the engine mutex.
+// guarded by the engine mutex, except the progress counters, which the
+// running worker updates through atomics so Status can read them
+// mid-run without taking the round loop off CPU.
 type Job struct {
 	ID   string
 	Spec JobSpec
@@ -112,39 +128,67 @@ type Job struct {
 	result      []byte // marshaled ResultPayload, set once on success
 
 	handle *Handle // pin on the input graph from submit to completion
+
+	// ctx carries the job's cancellation; cancel is invoked by
+	// Engine.Cancel and by Close, and aborts a running job within one
+	// round of its algorithm.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// Live round progress, written by the worker's round observer.
+	progRounds      atomic.Int64
+	progPrefix      atomic.Int64
+	progAttempted   atomic.Int64
+	progResolved    atomic.Int64
+	progInspections atomic.Int64
+}
+
+// JobProgress is the live view of a running (or final view of a
+// finished) job's round loop: the paper's Figure 1 quantities as they
+// accumulate. Absent for jobs that have not completed a round.
+type JobProgress struct {
+	// Rounds completed so far.
+	Rounds int64 `json:"rounds"`
+	// PrefixSize is the resolved prefix window of the run (0 for
+	// algorithms without one).
+	PrefixSize int64 `json:"prefix_size,omitempty"`
+	// Attempted is the cumulative number of iterate-processings (the
+	// paper's total-work measure).
+	Attempted int64 `json:"attempted"`
+	// Resolved is the cumulative number of iterates decided.
+	Resolved int64 `json:"resolved"`
+	// EdgeInspections is the cumulative neighbor/endpoint reads.
+	EdgeInspections int64 `json:"edge_inspections"`
 }
 
 // JobStatus is the public JSON view of a job.
 type JobStatus struct {
-	ID          string    `json:"job_id"`
-	GraphID     string    `json:"graph_id"`
-	Problem     Problem   `json:"problem"`
-	Algorithm   string    `json:"algorithm"`
-	Seed        uint64    `json:"seed"`
-	PrefixFrac  float64   `json:"prefix_frac,omitempty"`
-	PrefixSize  int       `json:"prefix_size,omitempty"`
-	State       JobState  `json:"state"`
-	Error       string    `json:"error,omitempty"`
-	SubmittedAt time.Time `json:"submitted_at"`
-	QueueMS     float64   `json:"queue_ms,omitempty"`
-	RunMS       float64   `json:"run_ms,omitempty"`
+	ID          string       `json:"job_id"`
+	GraphID     string       `json:"graph_id"`
+	Problem     Problem      `json:"problem"`
+	Plan        greedy.Plan  `json:"plan"`
+	State       JobState     `json:"state"`
+	Error       string       `json:"error,omitempty"`
+	SubmittedAt time.Time    `json:"submitted_at"`
+	QueueMS     float64      `json:"queue_ms,omitempty"`
+	RunMS       float64      `json:"run_ms,omitempty"`
+	Progress    *JobProgress `json:"progress,omitempty"`
 }
 
 // ResultPayload is the JSON body served by GET /v1/jobs/{id}/result.
 // It is marshaled exactly once per execution, so every read of a
 // deduplicated job returns byte-identical bytes.
 type ResultPayload struct {
-	JobID     string       `json:"job_id"`
-	GraphID   string       `json:"graph_id"`
-	Problem   Problem      `json:"problem"`
-	Algorithm string       `json:"algorithm"`
-	Seed      uint64       `json:"seed"`
-	N         int          `json:"n"`
-	M         int          `json:"m"`
-	Size      int          `json:"size"`
-	Checksum  string       `json:"checksum"`
-	Stats     greedy.Stats `json:"stats"`
-	RunMS     float64      `json:"run_ms"`
+	JobID    string       `json:"job_id"`
+	GraphID  string       `json:"graph_id"`
+	Problem  Problem      `json:"problem"`
+	Plan     greedy.Plan  `json:"plan"`
+	N        int          `json:"n"`
+	M        int          `json:"m"`
+	Size     int          `json:"size"`
+	Checksum string       `json:"checksum"`
+	Stats    greedy.Stats `json:"stats"`
+	RunMS    float64      `json:"run_ms"`
 	// Members is the selected set: vertex ids for MIS, edge endpoint
 	// pairs for MM and SF. Omitted above memberCap entries (Checksum
 	// still commits to the full membership).
@@ -157,7 +201,10 @@ type ResultPayload struct {
 const memberCap = 1 << 20
 
 // Engine runs jobs on a bounded worker pool with idempotency-key
-// deduplication and a TTL result store.
+// deduplication, a TTL result store, and cooperative cancellation.
+// Each worker owns one reusable greedy.Solver, so steady-state
+// executions reuse frontier/flag/reservation arrays instead of
+// reallocating them per job.
 type Engine struct {
 	reg     *Registry
 	metrics *Metrics
@@ -219,10 +266,24 @@ func NewEngine(reg *Registry, metrics *Metrics, cfg EngineConfig) *Engine {
 	return e
 }
 
+// dedupTarget reports whether a prior job with the same key absorbs a
+// new submission. Failed and cancelled jobs are not targets:
+// resubmitting retries.
+func dedupTarget(j *Job) bool {
+	return j.state != StateFailed && j.state != StateCancelled
+}
+
+// dropKeyLocked removes job from the dedup index (if it still owns its
+// key); callers hold e.mu.
+func (e *Engine) dropKeyLocked(job *Job) {
+	if key := job.Spec.Key(); e.byKey[key] == job {
+		delete(e.byKey, key)
+	}
+}
+
 // Submit registers a job for spec. If a queued, running, or completed
 // job with the same idempotency key exists, that job is returned with
-// deduped = true and no new execution happens. Failed jobs are not
-// dedup targets: resubmitting retries.
+// deduped = true and no new execution happens.
 func (e *Engine) Submit(spec JobSpec) (JobStatus, bool, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, false, err
@@ -234,7 +295,7 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, bool, error) {
 		e.mu.Unlock()
 		return JobStatus{}, false, ErrClosed
 	}
-	if prior, ok := e.byKey[key]; ok && prior.state != StateFailed {
+	if prior, ok := e.byKey[key]; ok && dedupTarget(prior) {
 		st := e.statusLocked(prior)
 		e.mu.Unlock()
 		e.metrics.jobSubmitted(true)
@@ -249,25 +310,30 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, bool, error) {
 		return JobStatus{}, false, err
 	}
 
+	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
 		ID:          "j" + strconv.FormatInt(e.nextID.Add(1), 10),
 		Spec:        spec,
 		state:       StateQueued,
 		submittedAt: time.Now(),
 		handle:      h,
+		ctx:         ctx,
+		cancel:      cancel,
 	}
 
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		h.Release()
+		cancel()
 		return JobStatus{}, false, ErrClosed
 	}
 	// Re-check the key: a racing submit may have won while we acquired.
-	if prior, ok := e.byKey[key]; ok && prior.state != StateFailed {
+	if prior, ok := e.byKey[key]; ok && dedupTarget(prior) {
 		st := e.statusLocked(prior)
 		e.mu.Unlock()
 		h.Release()
+		cancel()
 		e.metrics.jobSubmitted(true)
 		return st, true, nil
 	}
@@ -276,6 +342,7 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, bool, error) {
 	default:
 		e.mu.Unlock()
 		h.Release()
+		cancel()
 		return JobStatus{}, false, ErrQueueFull
 	}
 	e.jobs[job.ID] = job
@@ -295,6 +362,54 @@ func (e *Engine) Status(id string) (JobStatus, error) {
 		return JobStatus{}, fmt.Errorf("%w: %q", ErrJobNotFound, id)
 	}
 	return e.statusLocked(job), nil
+}
+
+// Cancel cancels a job. A queued job transitions to cancelled
+// immediately and releases its graph pin; a running job has its
+// context cancelled and transitions once its round loop observes the
+// cancellation — within one round of its algorithm. Cancelling an
+// already-cancelled job is a no-op; cancelling a done or failed job
+// returns ErrJobFinished with the final status.
+func (e *Engine) Cancel(id string) (JobStatus, error) {
+	e.mu.Lock()
+	job, ok := e.jobs[id]
+	if !ok {
+		e.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrJobNotFound, id)
+	}
+	switch job.state {
+	case StateDone, StateFailed:
+		st := e.statusLocked(job)
+		e.mu.Unlock()
+		return st, fmt.Errorf("%w: %q is %s", ErrJobFinished, id, st.State)
+	case StateCancelled:
+		st := e.statusLocked(job)
+		e.mu.Unlock()
+		return st, nil
+	case StateQueued:
+		job.state = StateCancelled
+		job.err = "cancelled while queued"
+		job.finishedAt = time.Now()
+		job.cancel()
+		e.dropKeyLocked(job)
+		st := e.statusLocked(job)
+		e.mu.Unlock()
+		// The worker that later pops this job sees the state and skips
+		// it; release the pin now so the graph is evictable immediately.
+		job.handle.Release()
+		e.metrics.jobCancelled()
+		return st, nil
+	default: // running
+		job.cancel()
+		// Stop absorbing duplicate submissions immediately: the job is
+		// doomed, and a same-key submission arriving before its round
+		// loop observes the cancellation must start a fresh execution
+		// rather than dedup onto a job that will never produce a result.
+		e.dropKeyLocked(job)
+		st := e.statusLocked(job)
+		e.mu.Unlock()
+		return st, nil
+	}
 }
 
 // Result returns the marshaled result payload of a done job, or the
@@ -319,13 +434,19 @@ func (e *Engine) statusLocked(job *Job) JobStatus {
 		ID:          job.ID,
 		GraphID:     job.Spec.GraphID,
 		Problem:     job.Spec.Problem,
-		Algorithm:   job.Spec.Algorithm.String(),
-		Seed:        job.Spec.Seed,
-		PrefixFrac:  job.Spec.PrefixFrac,
-		PrefixSize:  job.Spec.PrefixSize,
+		Plan:        job.Spec.Plan,
 		State:       job.state,
 		Error:       job.err,
 		SubmittedAt: job.submittedAt,
+	}
+	if rounds := job.progRounds.Load(); rounds > 0 {
+		st.Progress = &JobProgress{
+			Rounds:          rounds,
+			PrefixSize:      job.progPrefix.Load(),
+			Attempted:       job.progAttempted.Load(),
+			Resolved:        job.progResolved.Load(),
+			EdgeInspections: job.progInspections.Load(),
+		}
 	}
 	if !job.startedAt.IsZero() {
 		st.QueueMS = float64(job.startedAt.Sub(job.submittedAt)) / float64(time.Millisecond)
@@ -337,7 +458,7 @@ func (e *Engine) statusLocked(job *Job) JobStatus {
 }
 
 // stateCounts returns the number of resident jobs in each state.
-func (e *Engine) stateCounts() (queued, running, done, failed int64) {
+func (e *Engine) stateCounts() (queued, running, done, failed, cancelled int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, j := range e.jobs {
@@ -350,14 +471,17 @@ func (e *Engine) stateCounts() (queued, running, done, failed int64) {
 			done++
 		case StateFailed:
 			failed++
+		case StateCancelled:
+			cancelled++
 		}
 	}
 	return
 }
 
-// Close drains no further work: queued jobs are abandoned (their graph
-// pins released), workers and the janitor are stopped. Safe to call
-// once.
+// Close stops the engine: queued jobs are abandoned (their graph pins
+// released), running jobs are cancelled (their round loops abort
+// within one round), and workers and the janitor are joined. Safe to
+// call once.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -365,6 +489,13 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
+	// Cancel in-flight work so shutdown is bounded by one round, not by
+	// the longest job.
+	for _, j := range e.jobs {
+		if j.state == StateRunning || j.state == StateQueued {
+			j.cancel()
+		}
+	}
 	e.mu.Unlock()
 	close(e.stop)
 	close(e.queue)
@@ -373,33 +504,44 @@ func (e *Engine) Close() {
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
+	// The worker's Solver persists across every job this worker runs:
+	// frontier/flag/reservation buffers and derived priority orders are
+	// allocated by the first large job and reused by all later ones on
+	// same-or-smaller inputs.
+	solver := greedy.NewSolver()
 	for job := range e.queue {
+		e.mu.Lock()
+		if job.state != StateQueued {
+			// Cancelled while queued; its pin is already released.
+			e.mu.Unlock()
+			continue
+		}
 		select {
 		case <-e.stop:
+			job.state = StateCancelled
+			job.err = "engine closed"
+			job.finishedAt = time.Now()
+			e.mu.Unlock()
 			job.handle.Release()
 			continue
 		default:
 		}
-		e.run(job)
+		job.state = StateRunning
+		job.startedAt = time.Now()
+		e.mu.Unlock()
+		e.run(job, solver)
 	}
 }
 
-// run executes one job and records its outcome.
-func (e *Engine) run(job *Job) {
-	e.mu.Lock()
-	job.state = StateRunning
-	job.startedAt = time.Now()
-	e.mu.Unlock()
-
-	payload, err := e.execute(job)
+// run executes one job on the worker's solver and records its outcome.
+func (e *Engine) run(job *Job, solver *greedy.Solver) {
+	payload, err := e.execute(job, solver)
 
 	now := time.Now()
 	e.mu.Lock()
 	job.finishedAt = now
-	if err != nil {
-		job.state = StateFailed
-		job.err = err.Error()
-	} else {
+	switch {
+	case err == nil:
 		payload.RunMS = float64(now.Sub(job.startedAt)) / float64(time.Millisecond)
 		payload.JobID = job.ID
 		raw, merr := json.Marshal(payload)
@@ -410,19 +552,26 @@ func (e *Engine) run(job *Job) {
 			job.state = StateDone
 			job.result = raw
 		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		job.state = StateCancelled
+		job.err = "cancelled while running"
+	default:
+		job.state = StateFailed
+		job.err = err.Error()
 	}
 	run := job.finishedAt.Sub(job.startedAt)
 	e2e := job.finishedAt.Sub(job.submittedAt)
-	failed := job.state == StateFailed
+	state := job.state
 	e.mu.Unlock()
 
+	job.cancel() // release the context's resources
 	job.handle.Release()
-	e.metrics.jobFinished(job.Spec.Problem, failed, run, e2e)
+	e.metrics.jobFinished(job.Spec.Problem, state, run, e2e)
 }
 
 // execute runs the computation; panics in the algorithm layers are
 // converted to job failures rather than taking down the daemon.
-func (e *Engine) execute(job *Job) (payload ResultPayload, err error) {
+func (e *Engine) execute(job *Job, solver *greedy.Solver) (payload ResultPayload, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("service: job panicked: %v", r)
@@ -430,24 +579,29 @@ func (e *Engine) execute(job *Job) (payload ResultPayload, err error) {
 	}()
 	h := job.handle
 	g := h.Graph()
-	plan := greedy.Plan{
-		Algorithm:  job.Spec.Algorithm,
-		Seed:       job.Spec.Seed,
-		PrefixFrac: job.Spec.PrefixFrac,
-		PrefixSize: job.Spec.PrefixSize,
-	}
-	opts := plan.Options()
+	plan := job.Spec.Plan
+	// Observe round progress into the job's atomics: Status reads them
+	// live while the round loop runs.
+	opts := append(plan.Options(), greedy.WithRoundObserver(func(ri greedy.RoundInfo) {
+		job.progRounds.Store(ri.Round)
+		job.progPrefix.Store(int64(ri.PrefixSize))
+		job.progAttempted.Add(int64(ri.Attempted))
+		job.progResolved.Add(int64(ri.Accepted))
+		job.progInspections.Add(ri.EdgeInspections)
+	}))
 	payload = ResultPayload{
-		GraphID:   h.ID(),
-		Problem:   job.Spec.Problem,
-		Algorithm: plan.Algorithm.String(),
-		Seed:      plan.Seed,
-		N:         g.NumVertices(),
-		M:         g.NumEdges(),
+		GraphID: h.ID(),
+		Problem: job.Spec.Problem,
+		Plan:    plan,
+		N:       g.NumVertices(),
+		M:       g.NumEdges(),
 	}
 	switch job.Spec.Problem {
 	case ProblemMIS:
-		res := greedy.MaximalIndependentSet(g, opts...)
+		res, rerr := solver.MIS(job.ctx, g, opts...)
+		if rerr != nil {
+			return payload, rerr
+		}
 		payload.Size = res.Size()
 		payload.Checksum = membershipChecksum(res.InSet)
 		payload.Stats = res.Stats
@@ -457,7 +611,10 @@ func (e *Engine) execute(job *Job) (payload ResultPayload, err error) {
 			payload.MembersOmitted = true
 		}
 	case ProblemMM:
-		res := greedy.MaximalMatchingEdges(h.EdgeList(), opts...)
+		res, rerr := solver.MM(job.ctx, h.EdgeList(), opts...)
+		if rerr != nil {
+			return payload, rerr
+		}
 		payload.Size = res.Size()
 		payload.Checksum = membershipChecksum(res.InMatching)
 		payload.Stats = res.Stats
@@ -467,7 +624,10 @@ func (e *Engine) execute(job *Job) (payload ResultPayload, err error) {
 			payload.MembersOmitted = true
 		}
 	case ProblemSF:
-		res := greedy.SpanningForestEdges(h.EdgeList(), opts...)
+		res, rerr := solver.SF(job.ctx, h.EdgeList(), opts...)
+		if rerr != nil {
+			return payload, rerr
+		}
 		payload.Size = res.Size()
 		payload.Checksum = membershipChecksum(res.InForest)
 		payload.Stats = res.Stats
@@ -534,7 +694,8 @@ func (e *Engine) janitor() {
 			reaped := 0
 			e.mu.Lock()
 			for id, j := range e.jobs {
-				if (j.state == StateDone || j.state == StateFailed) && j.finishedAt.Before(cutoff) {
+				finished := j.state == StateDone || j.state == StateFailed || j.state == StateCancelled
+				if finished && !j.finishedAt.IsZero() && j.finishedAt.Before(cutoff) {
 					delete(e.jobs, id)
 					if e.byKey[j.Spec.Key()] == j {
 						delete(e.byKey, j.Spec.Key())

@@ -45,7 +45,7 @@ func waitDone(t *testing.T, e *Engine, id string) JobStatus {
 func TestJobDedupSingleExecution(t *testing.T) {
 	svc := newTestService(t, Config{Workers: 2})
 	info := addGraph(t, svc, 2000, 1)
-	spec := JobSpec{GraphID: info.ID, Problem: ProblemMIS, Algorithm: greedy.AlgoPrefix, Seed: 7}
+	spec := JobSpec{GraphID: info.ID, Problem: ProblemMIS, Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: 7}}
 
 	// Concurrent duplicate submissions must collapse onto one job.
 	const submitters = 16
@@ -92,7 +92,7 @@ func TestJobDedupSingleExecution(t *testing.T) {
 func TestJobResultsByteIdenticalAndCorrect(t *testing.T) {
 	svc := newTestService(t, Config{Workers: 2})
 	info := addGraph(t, svc, 2000, 1)
-	spec := JobSpec{GraphID: info.ID, Problem: ProblemMIS, Algorithm: greedy.AlgoPrefix, Seed: 7}
+	spec := JobSpec{GraphID: info.ID, Problem: ProblemMIS, Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: 7}}
 
 	st1, _, err := svc.Engine().Submit(spec)
 	if err != nil {
@@ -144,7 +144,7 @@ func TestJobAlgorithmsAcrossProblems(t *testing.T) {
 	}
 	for _, c := range cases {
 		st, _, err := svc.Engine().Submit(JobSpec{
-			GraphID: info.ID, Problem: c.problem, Algorithm: c.algo, Seed: 11,
+			GraphID: info.ID, Problem: c.problem, Plan: greedy.Plan{Algorithm: c.algo, Seed: 11},
 		})
 		if err != nil {
 			t.Fatalf("%s/%s: %v", c.problem, c.algo, err)
@@ -156,7 +156,7 @@ func TestJobAlgorithmsAcrossProblems(t *testing.T) {
 	// The deterministic MIS algorithms agree; Luby need not.
 	checksums := map[string]string{}
 	for _, c := range cases {
-		st, _, _ := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: c.problem, Algorithm: c.algo, Seed: 11})
+		st, _, _ := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: c.problem, Plan: greedy.Plan{Algorithm: c.algo, Seed: 11}})
 		raw, _, err := svc.Engine().Result(st.ID)
 		if err != nil {
 			t.Fatal(err)
@@ -196,24 +196,24 @@ func TestJobValidation(t *testing.T) {
 	svc := newTestService(t, Config{Workers: 1})
 	info := addGraph(t, svc, 500, 1)
 
-	if _, _, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: "nope", Algorithm: greedy.AlgoPrefix}); err == nil {
+	if _, _, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: "nope", Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix}}); err == nil {
 		t.Error("bad problem accepted")
 	}
-	if _, _, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemMM, Algorithm: greedy.AlgoLuby}); err == nil {
+	if _, _, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemMM, Plan: greedy.Plan{Algorithm: greedy.AlgoLuby}}); err == nil {
 		t.Error("luby matching accepted")
 	}
 	if _, _, err := svc.Engine().Submit(JobSpec{GraphID: "gdeadbeef", Problem: ProblemMIS}); err == nil {
 		t.Error("unknown graph accepted")
 	}
-	if _, _, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemMIS, PrefixFrac: 1.5}); err == nil {
+	if _, _, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemMIS, Plan: greedy.Plan{PrefixFrac: 1.5}}); err == nil {
 		t.Error("out-of-range prefix accepted")
 	}
 	// SF implements only prefix and sequential; other names would run
 	// prefix while reporting the requested algorithm.
-	if _, _, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemSF, Algorithm: greedy.AlgoRootSet}); err == nil {
+	if _, _, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemSF, Plan: greedy.Plan{Algorithm: greedy.AlgoRootSet}}); err == nil {
 		t.Error("sf/rootset accepted")
 	}
-	if _, _, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemSF, Algorithm: greedy.AlgoParallel}); err == nil {
+	if _, _, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemSF, Plan: greedy.Plan{Algorithm: greedy.AlgoParallel}}); err == nil {
 		t.Error("sf/parallel accepted")
 	}
 }
@@ -233,7 +233,7 @@ func TestGenerateRejectsImpossibleEdgeCounts(t *testing.T) {
 func TestJobTTLReaping(t *testing.T) {
 	svc := newTestService(t, Config{Workers: 1, ResultTTL: 50 * time.Millisecond})
 	info := addGraph(t, svc, 500, 1)
-	st, _, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemMIS, Algorithm: greedy.AlgoPrefix, Seed: 1})
+	st, _, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemMIS, Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestJobTTLReaping(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	// The key is free again: a resubmission starts a fresh execution.
-	st2, deduped, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemMIS, Algorithm: greedy.AlgoPrefix, Seed: 1})
+	st2, deduped, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemMIS, Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,14 +291,14 @@ func TestJobsPinGraphAgainstEviction(t *testing.T) {
 
 	for i := 0; i < 30; i++ {
 		st, _, err := svc.Engine().Submit(JobSpec{
-			GraphID: info.ID, Problem: ProblemMIS, Algorithm: greedy.AlgoPrefix, Seed: uint64(i),
+			GraphID: info.ID, Problem: ProblemMIS, Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: uint64(i)},
 		})
 		if err != nil {
 			// The hot graph may have been evicted between jobs (it is
 			// unpinned while idle); re-add and retry.
 			info = addGraph(t, svc, 2000, 1)
 			st, _, err = svc.Engine().Submit(JobSpec{
-				GraphID: info.ID, Problem: ProblemMIS, Algorithm: greedy.AlgoPrefix, Seed: uint64(i),
+				GraphID: info.ID, Problem: ProblemMIS, Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: uint64(i)},
 			})
 			if err != nil {
 				t.Fatal(err)

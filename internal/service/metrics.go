@@ -86,6 +86,7 @@ type Metrics struct {
 	dedupHits     int64
 	jobsExecuted  int64
 	jobsFailed    int64
+	jobsCancelled int64
 	jobsExpired   int64
 
 	registryHits      int64 // Add or Acquire found an existing resident graph
@@ -113,11 +114,24 @@ func (m *Metrics) jobSubmitted(dedup bool) {
 	}
 }
 
-func (m *Metrics) jobFinished(p Problem, failed bool, run, endToEnd time.Duration) {
+func (m *Metrics) jobCancelled() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if failed {
+	m.jobsCancelled++
+}
+
+// jobFinished records a worker-side completion. Only successful runs
+// feed the latency histograms: failed and cancelled runs would skew
+// the percentiles with truncated durations.
+func (m *Metrics) jobFinished(p Problem, state JobState, run, endToEnd time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch state {
+	case StateFailed:
 		m.jobsFailed++
+		return
+	case StateCancelled:
+		m.jobsCancelled++
 		return
 	}
 	m.jobsExecuted++
@@ -151,15 +165,17 @@ func (m *Metrics) registryEvent(hits, misses, evictions int64) {
 
 // JobCounters is the jobs section of a metrics snapshot.
 type JobCounters struct {
-	Submitted int64 `json:"submitted"`
-	DedupHits int64 `json:"dedup_hits"`
-	Executed  int64 `json:"executed"`
-	Failed    int64 `json:"failed"`
-	Expired   int64 `json:"expired"`
-	Queued    int64 `json:"queued"`
-	Running   int64 `json:"running"`
-	Done      int64 `json:"done"`
-	FailedNow int64 `json:"failed_resident"`
+	Submitted    int64 `json:"submitted"`
+	DedupHits    int64 `json:"dedup_hits"`
+	Executed     int64 `json:"executed"`
+	Failed       int64 `json:"failed"`
+	Cancelled    int64 `json:"cancelled"`
+	Expired      int64 `json:"expired"`
+	Queued       int64 `json:"queued"`
+	Running      int64 `json:"running"`
+	Done         int64 `json:"done"`
+	FailedNow    int64 `json:"failed_resident"`
+	CancelledNow int64 `json:"cancelled_resident"`
 }
 
 // RegistryCounters is the registry section of a metrics snapshot.
@@ -173,10 +189,22 @@ type RegistryCounters struct {
 	Evictions     int64 `json:"evictions"`
 }
 
+// RuntimeCounters is the Go-runtime section of a metrics snapshot: the
+// allocation counters that make per-worker Solver reuse measurable from
+// the outside (loadgen reports mallocs per executed job from these).
+type RuntimeCounters struct {
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	NumGC           uint32 `json:"num_gc"`
+	Goroutines      int    `json:"goroutines"`
+}
+
 // Snapshot is the full /v1/metrics response.
 type Snapshot struct {
 	Jobs       JobCounters                   `json:"jobs"`
 	Registry   RegistryCounters              `json:"registry"`
+	Runtime    RuntimeCounters               `json:"runtime"`
 	RunLatency map[Problem]HistogramSnapshot `json:"run_latency"`
 	E2ELatency map[Problem]HistogramSnapshot `json:"e2e_latency"`
 }
@@ -213,6 +241,7 @@ func (m *Metrics) snapshot() Snapshot {
 			DedupHits: m.dedupHits,
 			Executed:  m.jobsExecuted,
 			Failed:    m.jobsFailed,
+			Cancelled: m.jobsCancelled,
 			Expired:   m.jobsExpired,
 		},
 		Registry: RegistryCounters{

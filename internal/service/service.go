@@ -15,6 +15,7 @@ package service
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/graph"
@@ -89,11 +90,21 @@ func (s *Service) Engine() *Engine { return s.engine }
 func (s *Service) Close() { s.engine.Close() }
 
 // Snapshot assembles the full metrics view, including the state gauges
-// owned by the engine and registry.
+// owned by the engine and registry and the Go runtime's allocation
+// counters (which make per-worker Solver reuse observable externally).
 func (s *Service) Snapshot() Snapshot {
 	snap := s.metrics.snapshot()
-	q, r, d, f := s.engine.stateCounts()
-	snap.Jobs.Queued, snap.Jobs.Running, snap.Jobs.Done, snap.Jobs.FailedNow = q, r, d, f
+	q, r, d, f, c := s.engine.stateCounts()
+	snap.Jobs.Queued, snap.Jobs.Running, snap.Jobs.Done, snap.Jobs.FailedNow, snap.Jobs.CancelledNow = q, r, d, f, c
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap.Runtime = RuntimeCounters{
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		NumGC:           ms.NumGC,
+		Goroutines:      runtime.NumGoroutine(),
+	}
 	reg := s.registry.counters()
 	reg.Hits = snap.Registry.Hits
 	reg.Misses = snap.Registry.Misses

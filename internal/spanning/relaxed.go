@@ -1,12 +1,12 @@
 package spanning
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/parallel"
-	"repro/internal/unionfind"
 )
 
 // PrefixSFRelaxed computes a spanning forest with the PBBS-style
@@ -35,6 +35,18 @@ import (
 //     forests. This is exactly the semantics of the PBBS spanning
 //     forest built on deterministic reservations.
 func PrefixSFRelaxed(el graph.EdgeList, ord core.Order, opt Options) *Result {
+	res, err := PrefixSFRelaxedCtx(context.Background(), el, ord, opt)
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// PrefixSFRelaxedCtx is PrefixSFRelaxed with cooperative cancellation:
+// ctx is checked once per round, so a cancelled context aborts within
+// one round and returns ctx.Err(). Pooled buffers come from
+// opt.Workspace when set.
+func PrefixSFRelaxedCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Options) (*Result, error) {
 	m := el.NumEdges()
 	if ord.Len() != m {
 		panic("spanning: order size does not match edge list")
@@ -47,25 +59,34 @@ func PrefixSFRelaxed(el graph.EdgeList, ord core.Order, opt Options) *Result {
 	prefix := opt.prefixFor(m)
 	rank := ord.Rank
 
-	dsu := unionfind.NewConcurrent(el.N)
-	in := make([]bool, m)
-	status := make([]int32, m) // 0 undecided, 1 in, 2 out
-	reserv := make([]int32, el.N)
-	for i := range reserv {
-		reserv[i] = maxRank
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
 	}
+	dsu := ws.freshDSU(el.N)
+	in := make([]bool, m)
+	status := grow32(&ws.status, m) // 0 undecided, 1 in, 2 out
+	fill32(status, 0)
+	reserv := grow32(&ws.reserv, el.N)
+	fill32(reserv, maxRank)
 	// Root snapshots from the reserve phase: child is the root that
 	// would be written (larger id), target the root it hangs under.
-	child := make([]int32, m)
-	target := make([]int32, m)
+	child := grow32(&ws.rootA, m)
+	target := grow32(&ws.rootB, m)
+	fill32(child, 0)
+	fill32(target, 0)
 
 	stats := Stats{PrefixSize: prefix}
 	var inspections atomic.Int64
-	active := make([]int32, 0, prefix)
+	var prevInspections int64
+	active := growActive(&ws.active, prefix)
 	nextRank := 0
 	resolved := 0
 
 	for resolved < m {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for len(active) < prefix && nextRank < m {
 			active = append(active, ord.Order[nextRank])
 			nextRank++
@@ -128,7 +149,18 @@ func PrefixSFRelaxed(el graph.EdgeList, ord core.Order, opt Options) *Result {
 			return status[active[i]] == 0
 		})
 		resolved += before - len(active)
+		if opt.OnRound != nil {
+			cur := inspections.Load()
+			opt.OnRound(core.RoundStat{
+				Round:       stats.Rounds,
+				Prefix:      prefix,
+				Attempted:   before,
+				Resolved:    before - len(active),
+				Inspections: cur - prevInspections,
+			})
+			prevInspections = cur
+		}
 	}
 	stats.EdgeInspections = inspections.Load()
-	return newResult(el, in, stats)
+	return newResult(el, in, stats), nil
 }

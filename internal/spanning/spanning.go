@@ -10,6 +10,7 @@
 package spanning
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -61,6 +62,23 @@ func newResult(el graph.EdgeList, in []bool, stats Stats) *Result {
 // a union-find over the edges in priority order; the kept edges form
 // the lexicographically-first spanning forest.
 func SequentialSF(el graph.EdgeList, ord core.Order) *Result {
+	res, err := SequentialSFCtx(context.Background(), el, ord, Options{})
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// seqCancelMask paces the sequential scan's cancellation checks, as in
+// core.SequentialMISCtx.
+const seqCancelMask = 1<<12 - 1
+
+// SequentialSFCtx is SequentialSF with cooperative cancellation (ctx is
+// checked every few thousand edges). The sequential union-find is not
+// pooled: it is cheap relative to the scan and sharing it with the
+// concurrent variant would complicate the workspace for no measurable
+// win.
+func SequentialSFCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Options) (*Result, error) {
 	m := el.NumEdges()
 	if ord.Len() != m {
 		panic("spanning: order size does not match edge list")
@@ -68,6 +86,11 @@ func SequentialSF(el graph.EdgeList, ord core.Order) *Result {
 	dsu := unionfind.NewDSU(el.N)
 	in := make([]bool, m)
 	for r := 0; r < m; r++ {
+		if r&seqCancelMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e := ord.Order[r]
 		edge := el.Edges[e]
 		if dsu.Union(edge.U, edge.V) {
@@ -78,7 +101,7 @@ func SequentialSF(el graph.EdgeList, ord core.Order) *Result {
 		Rounds:          int64(m),
 		Attempts:        int64(m),
 		EdgeInspections: 2 * int64(m),
-	})
+	}), nil
 }
 
 // Options configures PrefixSF; the fields mirror matching.Options.
@@ -86,6 +109,13 @@ type Options struct {
 	PrefixSize int
 	PrefixFrac float64
 	Grain      int
+	// OnRound, if non-nil, is called after every round of the
+	// prefix-based algorithms with that round's statistics (see
+	// core.RoundStat). It runs on the round loop's goroutine.
+	OnRound func(core.RoundStat)
+	// Workspace, if non-nil, supplies pooled per-run buffers reused
+	// across runs. nil means allocate fresh buffers.
+	Workspace *Workspace
 }
 
 func (o Options) prefixFor(m int) int {
@@ -120,6 +150,17 @@ func (o Options) prefixFor(m int) int {
 // to either component always outbids a later one, so a later edge can
 // never steal a union that would change an earlier edge's fate.
 func PrefixSF(el graph.EdgeList, ord core.Order, opt Options) *Result {
+	res, err := PrefixSFCtx(context.Background(), el, ord, opt)
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// PrefixSFCtx is PrefixSF with cooperative cancellation: ctx is checked
+// once per round, so a cancelled context aborts within one round and
+// returns ctx.Err(). Pooled buffers come from opt.Workspace when set.
+func PrefixSFCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Options) (*Result, error) {
 	m := el.NumEdges()
 	if ord.Len() != m {
 		panic("spanning: order size does not match edge list")
@@ -132,24 +173,33 @@ func PrefixSF(el graph.EdgeList, ord core.Order, opt Options) *Result {
 	prefix := opt.prefixFor(m)
 	rank := ord.Rank
 
-	dsu := unionfind.NewConcurrent(el.N)
-	in := make([]bool, m)
-	status := make([]int32, m) // 0 undecided, 1 in, 2 out
-	reserv := make([]int32, el.N)
-	for i := range reserv {
-		reserv[i] = maxRank
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
 	}
+	dsu := ws.freshDSU(el.N)
+	in := make([]bool, m)
+	status := grow32(&ws.status, m) // 0 undecided, 1 in, 2 out
+	fill32(status, 0)
+	reserv := grow32(&ws.reserv, el.N)
+	fill32(reserv, maxRank)
 	// Per-edge root snapshot from the reserve phase, reused by commit.
-	rootU := make([]int32, m)
-	rootV := make([]int32, m)
+	rootU := grow32(&ws.rootA, m)
+	rootV := grow32(&ws.rootB, m)
+	fill32(rootU, 0)
+	fill32(rootV, 0)
 
 	stats := Stats{PrefixSize: prefix}
 	var inspections atomic.Int64
-	active := make([]int32, 0, prefix)
+	var prevInspections int64
+	active := growActive(&ws.active, prefix)
 	nextRank := 0
 	resolved := 0
 
 	for resolved < m {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for len(active) < prefix && nextRank < m {
 			active = append(active, ord.Order[nextRank])
 			nextRank++
@@ -217,9 +267,20 @@ func PrefixSF(el graph.EdgeList, ord core.Order, opt Options) *Result {
 			return status[active[i]] == 0
 		})
 		resolved += before - len(active)
+		if opt.OnRound != nil {
+			cur := inspections.Load()
+			opt.OnRound(core.RoundStat{
+				Round:       stats.Rounds,
+				Prefix:      prefix,
+				Attempted:   before,
+				Resolved:    before - len(active),
+				Inspections: cur - prevInspections,
+			})
+			prevInspections = cur
+		}
 	}
 	stats.EdgeInspections = inspections.Load()
-	return newResult(el, in, stats)
+	return newResult(el, in, stats), nil
 }
 
 // IsForest reports whether the selected edges contain no cycle.

@@ -82,11 +82,22 @@ type Concurrent struct {
 
 // NewConcurrent returns a concurrent DSU over n singleton elements.
 func NewConcurrent(n int) *Concurrent {
-	c := &Concurrent{parent: make([]int32, n)}
+	c := &Concurrent{}
+	c.Reset(n)
+	return c
+}
+
+// Reset reinitializes c to n singleton elements, reusing the backing
+// array when it is large enough. It lets per-run workspaces pool the
+// structure across runs; callers must be quiescent.
+func (c *Concurrent) Reset(n int) {
+	if cap(c.parent) < n {
+		c.parent = make([]int32, n)
+	}
+	c.parent = c.parent[:n]
 	for i := range c.parent {
 		c.parent[i] = int32(i)
 	}
-	return c
 }
 
 // Find returns the current representative of x, compressing the path by

@@ -1,0 +1,63 @@
+package greedy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// planJSON is the wire form of a Plan: algorithms travel by canonical
+// name (Algorithm.String / ParseAlgorithm), never by numeric value, so
+// payloads stay readable and stable if the enum is ever reordered.
+type planJSON struct {
+	Algorithm     string  `json:"algorithm"`
+	Seed          uint64  `json:"seed"`
+	PrefixFrac    float64 `json:"prefix_frac,omitempty"`
+	PrefixSize    int     `json:"prefix_size,omitempty"`
+	Grain         int     `json:"grain,omitempty"`
+	Pointered     bool    `json:"pointered,omitempty"`
+	ExplicitOrder bool    `json:"explicit_order,omitempty"`
+}
+
+// MarshalJSON encodes the Plan with its algorithm's canonical name.
+// Plans round-trip exactly: UnmarshalJSON(MarshalJSON(p)) == p. The
+// service layer uses this as the wire form of job submissions.
+func (p Plan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(planJSON{
+		Algorithm:     p.Algorithm.String(),
+		Seed:          p.Seed,
+		PrefixFrac:    p.PrefixFrac,
+		PrefixSize:    p.PrefixSize,
+		Grain:         p.Grain,
+		Pointered:     p.Pointered,
+		ExplicitOrder: p.ExplicitOrder,
+	})
+}
+
+// UnmarshalJSON decodes a Plan, resolving the algorithm by canonical
+// name (the empty string and an absent field select the default,
+// AlgoPrefix) and rejecting unknown algorithm names and unknown fields
+// — a submission with a typoed tuning knob fails loudly instead of
+// silently running the default configuration.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	var raw planJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return fmt.Errorf("greedy: bad plan: %w", err)
+	}
+	algo, err := ParseAlgorithm(raw.Algorithm)
+	if err != nil {
+		return err
+	}
+	*p = Plan{
+		Algorithm:     algo,
+		Seed:          raw.Seed,
+		PrefixFrac:    raw.PrefixFrac,
+		PrefixSize:    raw.PrefixSize,
+		Grain:         raw.Grain,
+		Pointered:     raw.Pointered,
+		ExplicitOrder: raw.ExplicitOrder,
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package greedy_test
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 
 	greedy "repro"
@@ -49,6 +51,59 @@ func TestResolvePlanDefaultsAndRoundTrip(t *testing.T) {
 	ord := greedy.NewRandomOrder(10, 1)
 	if !greedy.ResolvePlan(greedy.WithOrder(ord)).ExplicitOrder {
 		t.Fatal("explicit order not flagged")
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	plans := []greedy.Plan{
+		{},
+		greedy.ResolvePlan(),
+		{Algorithm: greedy.AlgoLuby, Seed: 42},
+		{Algorithm: greedy.AlgoRootSet, Seed: 7, PrefixFrac: 0.005, Grain: 128, Pointered: true},
+		{Algorithm: greedy.AlgoSequential, PrefixSize: 1024, ExplicitOrder: true},
+	}
+	for _, p := range plans {
+		raw, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		var back greedy.Plan
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("%+v: unmarshal %s: %v", p, raw, err)
+		}
+		if back != p {
+			t.Fatalf("round trip %+v -> %s -> %+v", p, raw, back)
+		}
+	}
+}
+
+func TestPlanJSONCanonicalNames(t *testing.T) {
+	raw, err := json.Marshal(greedy.Plan{Algorithm: greedy.AlgoRootSet, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `"algorithm":"rootset"`
+	if !json.Valid(raw) || string(raw) == "" || !strings.Contains(string(raw), want) {
+		t.Fatalf("marshaled plan %s does not carry the canonical name %s", raw, want)
+	}
+
+	var p greedy.Plan
+	if err := json.Unmarshal([]byte(`{"algorithm":"luby","seed":9}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Algorithm != greedy.AlgoLuby || p.Seed != 9 {
+		t.Fatalf("decoded %+v", p)
+	}
+	// Absent algorithm selects the default.
+	if err := json.Unmarshal([]byte(`{"seed":1}`), &p); err != nil || p.Algorithm != greedy.AlgoPrefix {
+		t.Fatalf("absent algorithm: %+v, %v", p, err)
+	}
+	// Unknown algorithm names and typoed fields fail loudly.
+	if err := json.Unmarshal([]byte(`{"algorithm":"frobnicate"}`), &p); err == nil {
+		t.Fatal("unknown algorithm name accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"prefix":0.5}`), &p); err == nil {
+		t.Fatal("unknown plan field accepted")
 	}
 }
 

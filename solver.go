@@ -1,0 +1,261 @@
+package greedy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/matching"
+	"repro/internal/spanning"
+)
+
+// Facade errors. The Solver methods return these (possibly wrapped with
+// detail); the legacy free functions panic with them instead, for
+// compatibility with pre-Solver callers.
+var (
+	// ErrOrderSize reports that WithOrder supplied an order whose length
+	// does not match the input size.
+	ErrOrderSize = errors.New("greedy: WithOrder length does not match input size")
+	// ErrLubyMatching reports that AlgoLuby was requested for a problem
+	// other than MIS.
+	ErrLubyMatching = errors.New("greedy: Luby's algorithm applies to MIS only")
+	// ErrSpanningAlgorithm reports that an algorithm other than
+	// AlgoPrefix or AlgoSequential was requested for spanning forest.
+	ErrSpanningAlgorithm = errors.New("greedy: spanning forest supports algorithms prefix|sequential only")
+)
+
+// RoundInfo is a per-round progress report streamed to a
+// WithRoundObserver callback by the round-synchronous algorithms
+// (prefix-based, root-set, Luby; the strictly sequential algorithms do
+// not report — their "rounds" are single items). Summed over a run,
+// Attempted is the paper's total-work measure (Figure 1(a)/1(d)), the
+// number of callbacks is the round count (Figure 1(b)/1(e)), and
+// EdgeInspections is the finer-grained work measure — so an observer
+// watches the paper's Figure 1 quantities accumulate live.
+type RoundInfo struct {
+	// Round is the 1-based round index.
+	Round int64
+	// PrefixSize is the resolved prefix (window) size of the run: the
+	// maximum number of iterates examined per round. 0 for algorithms
+	// without a prefix window (root-set, Luby).
+	PrefixSize int
+	// Attempted is the number of iterates processed this round.
+	Attempted int
+	// Accepted is the number of iterates that reached their final
+	// status this round — committed into the solution or ruled out —
+	// and therefore will not be retried.
+	Accepted int
+	// EdgeInspections is the number of neighbor/endpoint status reads
+	// performed this round.
+	EdgeInspections int64
+}
+
+// WithRoundObserver streams per-round statistics to fn as the run
+// progresses. fn is called between rounds on the solver's goroutine
+// (never concurrently); it must not block for long, or it becomes the
+// round loop's critical path. The observer is read-only: computing with
+// or without one yields bit-identical results.
+func WithRoundObserver(fn func(RoundInfo)) Option {
+	return func(c *config) { c.observer = fn }
+}
+
+// Solver runs the paper's algorithms with a reusable Workspace: the
+// per-run arrays (frontiers, status flags, reservations, priority
+// orders) are allocated once, sized up lazily, and reused across runs
+// on same-or-smaller inputs, so a long-lived Solver performs
+// near-zero steady-state allocation per run beyond the returned
+// Result. Results are bit-identical to fresh-memory runs.
+//
+// A Solver is NOT safe for concurrent use: it owns its workspace.
+// Use one Solver per goroutine (the service layer keeps one per
+// worker); the zero-cost alternative for one-shot calls is the package
+// free functions, which draw Solvers from an internal pool.
+//
+// Options passed to NewSolver become defaults for every run; options
+// passed to a method call override them for that run.
+type Solver struct {
+	defaults []Option
+
+	misWs core.Workspace
+	mmWs  matching.Workspace
+	sfWs  spanning.Workspace
+
+	orders map[orderKey]Order
+}
+
+// orderKey identifies a derived priority order: NewRandomOrder is
+// deterministic in (n, seed), so equal keys mean equal orders.
+type orderKey struct {
+	n    int
+	seed uint64
+}
+
+// maxCachedOrders bounds the Solver's order cache. Orders are two
+// []int32 of the input size; a handful covers the steady state of a
+// serving worker cycling through a few (input, seed) pairs.
+const maxCachedOrders = 8
+
+// NewSolver returns a Solver whose runs apply defaults before
+// per-call options.
+func NewSolver(defaults ...Option) *Solver {
+	return &Solver{defaults: defaults}
+}
+
+func (s *Solver) config(opts []Option) config {
+	c := config{seed: 1}
+	for _, o := range s.defaults {
+		o(&c)
+	}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// orderFor returns the priority order the configuration denotes for n
+// items, serving derived orders from the Solver's cache (regenerating a
+// random order is deterministic, so caching is purely an allocation
+// win).
+func (s *Solver) orderFor(c config, n int) (Order, error) {
+	if c.order != nil {
+		if c.order.Len() != n {
+			return Order{}, fmt.Errorf("%w: order has %d items, input has %d", ErrOrderSize, c.order.Len(), n)
+		}
+		return *c.order, nil
+	}
+	key := orderKey{n: n, seed: c.seed}
+	if ord, ok := s.orders[key]; ok {
+		return ord, nil
+	}
+	ord := core.NewRandomOrder(n, c.seed)
+	if s.orders == nil {
+		s.orders = make(map[orderKey]Order)
+	}
+	if len(s.orders) >= maxCachedOrders {
+		// Cheap wholesale eviction: regeneration is deterministic and
+		// O(n); tracking recency would cost more than it saves.
+		clear(s.orders)
+	}
+	s.orders[key] = ord
+	return ord, nil
+}
+
+// observerFor adapts the facade observer to the internal round hook.
+func observerFor(c config) func(core.RoundStat) {
+	if c.observer == nil {
+		return nil
+	}
+	fn := c.observer
+	return func(rs core.RoundStat) {
+		fn(RoundInfo{
+			Round:           rs.Round,
+			PrefixSize:      rs.Prefix,
+			Attempted:       rs.Attempted,
+			Accepted:        rs.Resolved,
+			EdgeInspections: rs.Inspections,
+		})
+	}
+}
+
+// MIS computes a maximal independent set of g under the configured
+// options. Long runs honor ctx: cancellation is checked once per round
+// (the hot inner loops never see it), so the call returns ctx.Err()
+// within one round of the context being cancelled.
+func (s *Solver) MIS(ctx context.Context, g *Graph, opts ...Option) (*MISResult, error) {
+	c := s.config(opts)
+	coreOpt := core.Options{
+		PrefixFrac: c.prefixFrac,
+		PrefixSize: c.prefixSize,
+		Grain:      c.grain,
+		Pointered:  c.pointered,
+		OnRound:    observerFor(c),
+		Workspace:  &s.misWs,
+	}
+	// Luby regenerates priorities from the seed every round; deriving
+	// (and caching) a priority order for it would be pure waste.
+	if c.algorithm == AlgoLuby {
+		return core.LubyMISCtx(ctx, g, c.seed, coreOpt)
+	}
+	ord, err := s.orderFor(c, g.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+	switch c.algorithm {
+	case AlgoSequential:
+		return core.SequentialMISCtx(ctx, g, ord, coreOpt)
+	case AlgoRootSet:
+		return core.RootSetMISCtx(ctx, g, ord, coreOpt)
+	case AlgoParallel:
+		return core.ParallelMISCtx(ctx, g, ord, coreOpt)
+	default:
+		return core.PrefixMISCtx(ctx, g, ord, coreOpt)
+	}
+}
+
+// MM computes a maximal matching of the edge list el; the priority
+// order is over edge identifiers. Cancellation follows the same
+// one-round bound as MIS. AlgoLuby is rejected with ErrLubyMatching.
+func (s *Solver) MM(ctx context.Context, el EdgeList, opts ...Option) (*MMResult, error) {
+	c := s.config(opts)
+	if c.algorithm == AlgoLuby {
+		return nil, ErrLubyMatching
+	}
+	ord, err := s.orderFor(c, el.NumEdges())
+	if err != nil {
+		return nil, err
+	}
+	opt := matching.Options{
+		PrefixFrac: c.prefixFrac,
+		PrefixSize: c.prefixSize,
+		Grain:      c.grain,
+		OnRound:    observerFor(c),
+		Workspace:  &s.mmWs,
+	}
+	switch c.algorithm {
+	case AlgoSequential:
+		return matching.SequentialMMCtx(ctx, el, ord, opt)
+	case AlgoRootSet:
+		return matching.RootSetMMCtx(ctx, el, ord, opt)
+	case AlgoParallel:
+		return matching.ParallelMMCtx(ctx, el, ord, opt)
+	default:
+		return matching.PrefixMMCtx(ctx, el, ord, opt)
+	}
+}
+
+// SF computes a greedy spanning forest of the edge list el — the §7
+// extension. AlgoSequential runs the union-find scan; the default runs
+// the prefix-based deterministic-reservations version with PBBS
+// one-root semantics (see SpanningForest for the fidelity discussion).
+// Other algorithms are rejected with ErrSpanningAlgorithm. Cancellation
+// follows the same one-round bound as MIS.
+func (s *Solver) SF(ctx context.Context, el EdgeList, opts ...Option) (*SFResult, error) {
+	c := s.config(opts)
+	switch c.algorithm {
+	case AlgoPrefix, AlgoSequential:
+	default:
+		return nil, fmt.Errorf("%w: got %q", ErrSpanningAlgorithm, c.algorithm)
+	}
+	ord, err := s.orderFor(c, el.NumEdges())
+	if err != nil {
+		return nil, err
+	}
+	opt := spanning.Options{
+		PrefixFrac: c.prefixFrac,
+		PrefixSize: c.prefixSize,
+		Grain:      c.grain,
+		OnRound:    observerFor(c),
+		Workspace:  &s.sfWs,
+	}
+	if c.algorithm == AlgoSequential {
+		return spanning.SequentialSFCtx(ctx, el, ord, opt)
+	}
+	return spanning.PrefixSFRelaxedCtx(ctx, el, ord, opt)
+}
+
+// solverPool backs the package free functions: one-shot callers still
+// benefit from workspace reuse across calls without any Solver
+// lifecycle of their own, and the pool empties under memory pressure.
+var solverPool = sync.Pool{New: func() any { return NewSolver() }}

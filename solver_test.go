@@ -1,0 +1,374 @@
+package greedy_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	greedy "repro"
+)
+
+// cancelAfterRounds returns a context plus an option that cancels it
+// once the observed run completes k rounds. Because the observer runs
+// between rounds on the solver goroutine, the cancellation must be
+// noticed at the next round boundary — the "within one round" bound.
+func cancelAfterRounds(k int64) (context.Context, greedy.Option) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opt := greedy.WithRoundObserver(func(ri greedy.RoundInfo) {
+		if ri.Round >= k {
+			cancel()
+		}
+	})
+	return ctx, opt
+}
+
+func TestSolverCancellationMIS(t *testing.T) {
+	g := greedy.RandomGraph(20_000, 100_000, 3)
+	for _, algo := range []greedy.Algorithm{
+		greedy.AlgoPrefix, greedy.AlgoParallel, greedy.AlgoRootSet, greedy.AlgoLuby,
+	} {
+		s := greedy.NewSolver(greedy.WithAlgorithm(algo), greedy.WithPrefixSize(64))
+		ctx, obs := cancelAfterRounds(1)
+		res, err := s.MIS(ctx, g, obs)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: cancelled MIS returned (%v, %v), want ctx.Err()", algo, res, err)
+		}
+		// The same solver (and workspace) must still run to completion
+		// afterwards, and agree with a fresh solver.
+		got, err := s.MIS(context.Background(), g)
+		if err != nil {
+			t.Fatalf("%s: post-cancel run failed: %v", algo, err)
+		}
+		want, err := greedy.NewSolver(greedy.WithAlgorithm(algo), greedy.WithPrefixSize(64)).MIS(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s: post-cancel result differs from fresh solver", algo)
+		}
+	}
+}
+
+func TestSolverCancellationSequentialMIS(t *testing.T) {
+	// The sequential scan has no rounds; it checks the context every few
+	// thousand iterations. A pre-cancelled context must abort before
+	// doing the full scan.
+	g := greedy.RandomGraph(50_000, 200_000, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := greedy.NewSolver(greedy.WithAlgorithm(greedy.AlgoSequential))
+	if _, err := s.MIS(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled sequential MIS returned %v, want ctx.Err()", err)
+	}
+}
+
+func TestSolverCancellationMM(t *testing.T) {
+	g := greedy.RandomGraph(20_000, 100_000, 4)
+	el := g.EdgeList()
+	s := greedy.NewSolver(greedy.WithPrefixSize(64))
+	ctx, obs := cancelAfterRounds(1)
+	if _, err := s.MM(ctx, el, obs); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled MM returned %v, want ctx.Err()", err)
+	}
+	got, err := s.MM(context.Background(), el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !greedy.IsMaximalMatching(el, got.InMatching) {
+		t.Error("post-cancel MM not maximal")
+	}
+}
+
+func TestSolverCancellationSF(t *testing.T) {
+	g := greedy.RandomGraph(20_000, 100_000, 6)
+	el := g.EdgeList()
+	s := greedy.NewSolver(greedy.WithPrefixSize(64))
+	ctx, obs := cancelAfterRounds(1)
+	if _, err := s.SF(ctx, el, obs); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled SF returned %v, want ctx.Err()", err)
+	}
+	if _, err := s.SF(context.Background(), el); err != nil {
+		t.Fatalf("post-cancel SF failed: %v", err)
+	}
+}
+
+func TestSolverCancelledContextBeatsCompletion(t *testing.T) {
+	// A context cancelled before the call never returns a result.
+	g := greedy.RandomGraph(1000, 5000, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := greedy.NewSolver()
+	if res, err := s.MIS(ctx, g); err == nil || res != nil {
+		t.Errorf("pre-cancelled MIS returned (%v, %v)", res, err)
+	}
+}
+
+func TestSolverWorkspaceReuseBitIdentical(t *testing.T) {
+	big := greedy.RandomGraph(10_000, 50_000, 7)
+	small := greedy.RandomGraph(2_000, 8_000, 8)
+	ctx := context.Background()
+	s := greedy.NewSolver(greedy.WithSeed(9))
+
+	// Two consecutive runs on the same graph, then a run on a smaller
+	// graph (exercising size-down buffer reuse), each compared against a
+	// fresh solver.
+	for i, g := range []*greedy.Graph{big, big, small} {
+		got, err := s.MIS(ctx, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := greedy.NewSolver(greedy.WithSeed(9)).MIS(ctx, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) || got.Stats != want.Stats {
+			t.Fatalf("run %d: reused workspace changed the MIS result or stats", i)
+		}
+	}
+
+	for i, g := range []*greedy.Graph{big, big, small} {
+		el := g.EdgeList()
+		got, err := s.MM(ctx, el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := greedy.NewSolver(greedy.WithSeed(9)).MM(ctx, el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) || got.Stats != want.Stats {
+			t.Fatalf("run %d: reused workspace changed the MM result or stats", i)
+		}
+	}
+
+	for i, g := range []*greedy.Graph{big, big, small} {
+		el := g.EdgeList()
+		got, err := s.SF(ctx, el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := greedy.NewSolver(greedy.WithSeed(9)).SF(ctx, el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) || got.Stats != want.Stats {
+			t.Fatalf("run %d: reused workspace changed the SF result or stats", i)
+		}
+	}
+}
+
+func TestSolverReuseAcrossAlgorithms(t *testing.T) {
+	// One solver cycling through algorithms must reproduce each fresh
+	// answer: the pooled buffers carry no state between runs.
+	g := greedy.RandomGraph(5_000, 25_000, 11)
+	ctx := context.Background()
+	s := greedy.NewSolver(greedy.WithSeed(2))
+	want, err := s.MIS(ctx, g, greedy.WithAlgorithm(greedy.AlgoSequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []greedy.Algorithm{greedy.AlgoPrefix, greedy.AlgoRootSet, greedy.AlgoParallel, greedy.AlgoPrefix} {
+		got, err := s.MIS(ctx, g, greedy.WithAlgorithm(algo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("algorithm %s on reused solver disagrees with sequential", algo)
+		}
+	}
+}
+
+func TestSolverSecondRunAllocatesStrictlyLess(t *testing.T) {
+	g := greedy.RandomGraph(20_000, 100_000, 13)
+	ctx := context.Background()
+
+	fresh := testing.AllocsPerRun(5, func() {
+		if _, err := greedy.NewSolver().MIS(ctx, g); err != nil {
+			t.Fatal(err)
+		}
+	})
+	s := greedy.NewSolver()
+	if _, err := s.MIS(ctx, g); err != nil { // first run: sizes the workspace
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(5, func() {
+		if _, err := s.MIS(ctx, g); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !(warm < fresh) {
+		t.Errorf("warm solver run allocates %.0f, fresh %.0f; want strictly less", warm, fresh)
+	}
+	t.Logf("MIS allocs/run: fresh=%.0f warm=%.0f", fresh, warm)
+
+	el := g.EdgeList()
+	freshMM := testing.AllocsPerRun(5, func() {
+		if _, err := greedy.NewSolver().MM(ctx, el); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, err := s.MM(ctx, el); err != nil {
+		t.Fatal(err)
+	}
+	warmMM := testing.AllocsPerRun(5, func() {
+		if _, err := s.MM(ctx, el); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !(warmMM < freshMM) {
+		t.Errorf("warm MM run allocates %.0f, fresh %.0f; want strictly less", warmMM, freshMM)
+	}
+	t.Logf("MM allocs/run: fresh=%.0f warm=%.0f", freshMM, warmMM)
+}
+
+func TestSolverErrorsInsteadOfPanics(t *testing.T) {
+	g := greedy.RandomGraph(100, 400, 1)
+	el := g.EdgeList()
+	ctx := context.Background()
+	s := greedy.NewSolver()
+
+	if _, err := s.MM(ctx, el, greedy.WithAlgorithm(greedy.AlgoLuby)); !errors.Is(err, greedy.ErrLubyMatching) {
+		t.Errorf("Luby MM returned %v, want ErrLubyMatching", err)
+	}
+	bad := greedy.NewRandomOrder(7, 1)
+	if _, err := s.MIS(ctx, g, greedy.WithOrder(bad)); !errors.Is(err, greedy.ErrOrderSize) {
+		t.Errorf("mismatched order returned %v, want ErrOrderSize", err)
+	}
+	if _, err := s.MM(ctx, el, greedy.WithOrder(bad)); !errors.Is(err, greedy.ErrOrderSize) {
+		t.Errorf("mismatched MM order returned %v, want ErrOrderSize", err)
+	}
+	if _, err := s.SF(ctx, el, greedy.WithAlgorithm(greedy.AlgoRootSet)); !errors.Is(err, greedy.ErrSpanningAlgorithm) {
+		t.Errorf("SF rootset returned %v, want ErrSpanningAlgorithm", err)
+	}
+}
+
+func TestSolverRoundObserverConsistency(t *testing.T) {
+	g := greedy.RandomGraph(5_000, 25_000, 17)
+	ctx := context.Background()
+	var rounds int64
+	var attempted, accepted, inspections int64
+	var prefix int
+	s := greedy.NewSolver(greedy.WithPrefixFrac(0.05))
+	res, err := s.MIS(ctx, g, greedy.WithRoundObserver(func(ri greedy.RoundInfo) {
+		rounds++
+		if ri.Round != rounds {
+			t.Fatalf("round %d reported out of order (want %d)", ri.Round, rounds)
+		}
+		attempted += int64(ri.Attempted)
+		accepted += int64(ri.Accepted)
+		inspections += ri.EdgeInspections
+		prefix = ri.PrefixSize
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != res.Stats.Rounds {
+		t.Errorf("observer saw %d rounds, stats say %d", rounds, res.Stats.Rounds)
+	}
+	if attempted != res.Stats.Attempts {
+		t.Errorf("observer attempted %d, stats %d", attempted, res.Stats.Attempts)
+	}
+	if accepted != int64(g.NumVertices()) {
+		t.Errorf("observer accepted %d, want n=%d", accepted, g.NumVertices())
+	}
+	if inspections != res.Stats.EdgeInspections {
+		t.Errorf("observer inspections %d, stats %d", inspections, res.Stats.EdgeInspections)
+	}
+	if prefix != res.Stats.PrefixSize {
+		t.Errorf("observer prefix %d, stats %d", prefix, res.Stats.PrefixSize)
+	}
+
+	// The observer is read-only: same answer with and without.
+	plain, err := greedy.NewSolver(greedy.WithPrefixFrac(0.05)).MIS(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Equal(res) || plain.Stats != res.Stats {
+		t.Error("observer changed the computation")
+	}
+}
+
+func TestSolverDefaultsAndOverrides(t *testing.T) {
+	g := greedy.RandomGraph(2_000, 8_000, 19)
+	ctx := context.Background()
+	s := greedy.NewSolver(greedy.WithSeed(5), greedy.WithPrefixSize(33))
+	res, err := s.MIS(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PrefixSize != 33 {
+		t.Errorf("solver default prefix not applied: %d", res.Stats.PrefixSize)
+	}
+	over, err := s.MIS(ctx, g, greedy.WithPrefixSize(65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Stats.PrefixSize != 65 {
+		t.Errorf("per-call override not applied: %d", over.Stats.PrefixSize)
+	}
+	if !res.Equal(over) {
+		t.Error("prefix size changed the selected set")
+	}
+}
+
+// BenchmarkSolverMISReused vs BenchmarkSolverMISFresh quantify the
+// workspace win the Solver API exists for: the reused variant allocates
+// only the returned Result, the fresh variant pays the full set of
+// per-run arrays (status, frontier, outcome, priority order) each time.
+func BenchmarkSolverMISReused(b *testing.B) {
+	g := greedy.RandomGraph(100_000, 500_000, 42)
+	ctx := context.Background()
+	s := greedy.NewSolver(greedy.WithSeed(7))
+	if _, err := s.MIS(ctx, g); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MIS(ctx, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverMISFresh(b *testing.B) {
+	g := greedy.RandomGraph(100_000, 500_000, 42)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := greedy.NewSolver(greedy.WithSeed(7)).MIS(ctx, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverMMReused(b *testing.B) {
+	g := greedy.RandomGraph(100_000, 500_000, 42)
+	el := g.EdgeList()
+	ctx := context.Background()
+	s := greedy.NewSolver(greedy.WithSeed(7))
+	if _, err := s.MM(ctx, el); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MM(ctx, el); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverMMFresh(b *testing.B) {
+	g := greedy.RandomGraph(100_000, 500_000, 42)
+	el := g.EdgeList()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := greedy.NewSolver(greedy.WithSeed(7)).MM(ctx, el); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
