@@ -1,0 +1,171 @@
+package greedy_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	greedy "repro"
+)
+
+// TestSolverAdaptiveBitIdentical is the facade-level acceptance check:
+// WithAdaptivePrefix produces bit-identical MIS and MM results to the
+// fixed-prefix and sequential paths, on several graph families.
+func TestSolverAdaptiveBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	graphs := map[string]*greedy.Graph{
+		"random": greedy.RandomGraph(3000, 15000, 5),
+		"rmat":   greedy.RMatGraph(11, 8000, 5),
+	}
+	s := greedy.NewSolver(greedy.WithSeed(7))
+	for name, g := range graphs {
+		seqMIS, err := s.MIS(ctx, g, greedy.WithAlgorithm(greedy.AlgoSequential))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixedMIS, err := s.MIS(ctx, g, greedy.WithPrefixFrac(0.01))
+		if err != nil {
+			t.Fatal(err)
+		}
+		adMIS, err := s.MIS(ctx, g, greedy.WithAdaptivePrefix())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !adMIS.Equal(seqMIS) || !adMIS.Equal(fixedMIS) {
+			t.Errorf("%s: adaptive MIS differs from sequential/fixed", name)
+		}
+
+		el := g.EdgeList()
+		seqMM, err := s.MM(ctx, el, greedy.WithAlgorithm(greedy.AlgoSequential))
+		if err != nil {
+			t.Fatal(err)
+		}
+		adMM, err := s.MM(ctx, el, greedy.WithAdaptivePrefix())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !adMM.Equal(seqMM) {
+			t.Errorf("%s: adaptive MM differs from sequential", name)
+		}
+
+		// The facade's prefix SF is the relaxed algorithm: an adaptive
+		// run must be a deterministic, full-cardinality spanning forest
+		// (every spanning forest of an input has the same size).
+		seqSF, err := s.SF(ctx, el, greedy.WithAlgorithm(greedy.AlgoSequential))
+		if err != nil {
+			t.Fatal(err)
+		}
+		adSF, err := s.SF(ctx, el, greedy.WithAdaptivePrefix())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adSF.Size() != seqSF.Size() {
+			t.Errorf("%s: adaptive SF size %d, sequential %d", name, adSF.Size(), seqSF.Size())
+		}
+		adSF2, err := s.SF(ctx, el, greedy.WithAdaptivePrefix())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !adSF.Equal(adSF2) {
+			t.Errorf("%s: adaptive SF not deterministic across reruns", name)
+		}
+	}
+}
+
+// TestAdaptiveRequiresPrefixAlgorithm: every non-prefix algorithm
+// rejects WithAdaptivePrefix with ErrAdaptiveAlgorithm, on all three
+// problems.
+func TestAdaptiveRequiresPrefixAlgorithm(t *testing.T) {
+	ctx := context.Background()
+	g := greedy.RandomGraph(200, 800, 1)
+	el := g.EdgeList()
+	s := greedy.NewSolver(greedy.WithAdaptivePrefix())
+	for _, algo := range []greedy.Algorithm{
+		greedy.AlgoSequential, greedy.AlgoRootSet, greedy.AlgoParallel, greedy.AlgoLuby,
+	} {
+		if _, err := s.MIS(ctx, g, greedy.WithAlgorithm(algo)); !errors.Is(err, greedy.ErrAdaptiveAlgorithm) {
+			t.Errorf("MIS %v: err = %v, want ErrAdaptiveAlgorithm", algo, err)
+		}
+	}
+	if _, err := s.MM(ctx, el, greedy.WithAlgorithm(greedy.AlgoSequential)); !errors.Is(err, greedy.ErrAdaptiveAlgorithm) {
+		t.Errorf("MM sequential: err = %v, want ErrAdaptiveAlgorithm", err)
+	}
+	if _, err := s.SF(ctx, el, greedy.WithAlgorithm(greedy.AlgoSequential)); !errors.Is(err, greedy.ErrAdaptiveAlgorithm) {
+		t.Errorf("SF sequential: err = %v, want ErrAdaptiveAlgorithm", err)
+	}
+	// The default (prefix) accepts it.
+	if _, err := s.MIS(ctx, g); err != nil {
+		t.Errorf("MIS prefix adaptive: %v", err)
+	}
+}
+
+// TestAdaptiveObserverSeesSchedule: a round observer on an adaptive run
+// watches the window grow from the start window, and the reported
+// maximum matches Stats.PrefixSize.
+func TestAdaptiveObserverSeesSchedule(t *testing.T) {
+	ctx := context.Background()
+	g := greedy.RandomGraph(20000, 100000, 3)
+	var first, maxW int
+	s := greedy.NewSolver()
+	res, err := s.MIS(ctx, g, greedy.WithAdaptivePrefix(), greedy.WithRoundObserver(func(ri greedy.RoundInfo) {
+		if first == 0 {
+			first = ri.PrefixSize
+		}
+		if ri.PrefixSize > maxW {
+			maxW = ri.PrefixSize
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == 0 || first > 256 {
+		t.Errorf("first adaptive window %d, want the start window (<= 256)", first)
+	}
+	if maxW <= first {
+		t.Errorf("window never grew: first %d, max %d", first, maxW)
+	}
+	if maxW != res.Stats.PrefixSize {
+		t.Errorf("observer max window %d, Stats.PrefixSize %d", maxW, res.Stats.PrefixSize)
+	}
+}
+
+// TestAdaptivePlanRoundTrip: AdaptivePrefix survives ResolvePlan →
+// Options → ResolvePlan and the JSON wire form ("prefix": "adaptive").
+func TestAdaptivePlanRoundTrip(t *testing.T) {
+	p := greedy.ResolvePlan(greedy.WithAdaptivePrefix(), greedy.WithSeed(9))
+	if !p.AdaptivePrefix {
+		t.Fatal("ResolvePlan dropped AdaptivePrefix")
+	}
+	if back := greedy.ResolvePlan(p.Options()...); back != p {
+		t.Fatalf("plan options round trip %+v, want %+v", back, p)
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back greedy.Plan
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal %s: %v", raw, err)
+	}
+	if back != p {
+		t.Fatalf("JSON round trip %+v -> %s -> %+v", p, raw, back)
+	}
+
+	var q greedy.Plan
+	if err := json.Unmarshal([]byte(`{"algorithm":"prefix","seed":2,"prefix":"adaptive"}`), &q); err != nil {
+		t.Fatal(err)
+	}
+	if !q.AdaptivePrefix {
+		t.Fatal(`"prefix":"adaptive" not decoded`)
+	}
+	if err := json.Unmarshal([]byte(`{"algorithm":"prefix","prefix":"fixed"}`), &q); err != nil || q.AdaptivePrefix {
+		t.Fatalf(`"prefix":"fixed": %+v, %v`, q, err)
+	}
+	if err := json.Unmarshal([]byte(`{"prefix":"sometimes"}`), &q); err == nil {
+		t.Fatal("unknown prefix schedule accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"prefix":0.5}`), &q); err == nil {
+		t.Fatal("numeric prefix field accepted")
+	}
+}

@@ -13,6 +13,17 @@
 // Experiments: fig1 (MIS prefix sweep), fig2 (MM prefix sweep), fig3
 // (MIS thread scaling), fig4 (MM thread scaling), luby-ratio, theory,
 // ablation, spanning, all.
+//
+// The scenario matrix (-matrix, or -smoke for the smallest sizes) is
+// the reproducible fixed-vs-adaptive prefix harness: it runs MIS, MM
+// and SF over random / rMat / grid / line-graph inputs with fixed
+// seeds, verifies every answer against the sequential baseline, and
+// writes a machine-readable report (default BENCH_pr3.json) whose
+// machine-independent columns later PRs diff against:
+//
+//	bench -matrix                               # full matrix -> BENCH_pr3.json
+//	bench -smoke                                # CI smoke leg, seconds
+//	bench -matrix -out /tmp/report.json -reps 5
 package main
 
 import (
@@ -37,8 +48,27 @@ func main() {
 		threads    = flag.String("threads", "1,2,4", "comma-separated GOMAXPROCS values for fig3/fig4")
 		fracs      = flag.String("fracs", "", "comma-separated prefix fractions for fig1/fig2 (default: built-in sweep)")
 		prefixFrac = flag.Float64("prefix", 0, "prefix fraction for fig3/fig4 (0 = default)")
+		matrix     = flag.Bool("matrix", false, "run the fixed-vs-adaptive scenario matrix and write a JSON report")
+		smoke      = flag.Bool("smoke", false, "scenario matrix at the smallest sizes (implies -matrix; the CI smoke leg)")
+		out        = flag.String("out", "BENCH_pr3.json", "output path of the scenario-matrix JSON report")
 	)
 	flag.Parse()
+
+	if *matrix || *smoke {
+		fracList, err := parseFloats(*fracs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: bad -fracs: %v\n", err)
+			os.Exit(2)
+		}
+		report := bench.RunMatrix(bench.MatrixConfig{Smoke: *smoke, Reps: *reps, Fracs: fracList})
+		if err := os.WriteFile(*out, report.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.MatrixTable(report))
+		fmt.Printf("wrote %s\n", *out)
+		return
+	}
 
 	workloads := buildWorkloads(*graphKind, *shrink, *n, *m, *seed)
 	threadList, err := parseInts(*threads)

@@ -48,6 +48,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 8, "closed-loop workers")
 		problems    = flag.String("problems", "mis,mm,sf", "comma-separated problem mix")
 		algorithm   = flag.String("algorithm", "prefix", "algorithm for every job")
+		adaptive    = flag.Bool("adaptive", false, "submit adaptive-prefix plans (prefix algorithm only)")
 		jobSeeds    = flag.Int("job-seeds", 16, "size of the job-seed pool (larger = fewer dedup hits)")
 		prefixFrac  = flag.Float64("prefix", 0, "prefix fraction for prefix jobs (0 = library default)")
 		rngSeed     = flag.Int64("rng-seed", 1, "client-side traffic shuffle seed")
@@ -61,8 +62,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(2)
 	}
+	if *adaptive && algo != greedy.AlgoPrefix {
+		fmt.Fprintf(os.Stderr, "loadgen: -adaptive requires -algorithm prefix, got %q\n", algo)
+		os.Exit(2)
+	}
 	client := &service.Client{BaseURL: strings.TrimRight(*addr, "/")}
 	ctx := context.Background()
+
+	// Fail fast with a non-zero exit when the server is unreachable,
+	// instead of spinning submit failures for the whole duration and
+	// printing an all-zero report.
+	if _, err := client.Metrics(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: server unreachable at %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
 
 	if *cancelDemo {
 		if err := runCancelDemo(ctx, client, *n, *m, *graphSeed, *poll); err != nil {
@@ -133,12 +146,15 @@ func main() {
 				resp, err := client.Submit(ctx, service.JobRequest{
 					GraphID: gresp.ID,
 					Problem: problem,
-					Plan:    greedy.Plan{Algorithm: algo, Seed: seed, PrefixFrac: *prefixFrac},
+					Plan:    greedy.Plan{Algorithm: algo, Seed: seed, PrefixFrac: *prefixFrac, AdaptivePrefix: *adaptive},
 				})
 				if err != nil {
 					mu.Lock()
 					failures++
 					mu.Unlock()
+					// Back off instead of hot-spinning against a server
+					// that is rejecting or has gone away mid-run.
+					time.Sleep(10 * time.Millisecond)
 					continue
 				}
 				st := resp.JobStatus
@@ -175,24 +191,51 @@ func main() {
 	}
 
 	total := len(samples)
+	// Degenerate runs — the server went away mid-run, every submission
+	// failed, or the duration was too short for a single job — must not
+	// print an all-zero report that reads like a healthy measurement.
+	if total == 0 {
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: no job completed (%d failures in %v); server down or rejecting?\n",
+				failures, elapsed.Round(time.Millisecond))
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: no job was submitted in %v; increase -duration\n",
+			elapsed.Round(time.Millisecond))
+		os.Exit(1)
+	}
 	rate := float64(total) / elapsed.Seconds()
 	fmt.Printf("loadgen: %d jobs ok, %d failed in %v -> %.1f jobs/s (%d workers)\n",
 		total, failures, elapsed.Round(time.Millisecond), rate, *concurrency)
-	submitted := after.Jobs.Submitted - before.Jobs.Submitted
-	dedup := after.Jobs.DedupHits - before.Jobs.DedupHits
-	executed := after.Jobs.Executed - before.Jobs.Executed
+	// Counter deltas are clamped at zero: a server restart mid-run
+	// resets its counters, and a negative or wrapped delta would turn
+	// the percentage and per-job lines into nonsense (negative, NaN on
+	// 0/0, or astronomically large from uint64 wraparound).
+	clamp := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	submitted := clamp(after.Jobs.Submitted - before.Jobs.Submitted)
+	dedup := clamp(after.Jobs.DedupHits - before.Jobs.DedupHits)
+	executed := clamp(after.Jobs.Executed - before.Jobs.Executed)
 	pct := 0.0
 	if submitted > 0 {
 		pct = 100 * float64(dedup) / float64(submitted)
 	}
 	fmt.Printf("loadgen: server saw %d submissions, %d dedup hits (%.1f%%), %d executions\n",
 		submitted, dedup, pct, executed)
-	if executed > 0 {
+	switch {
+	case executed > 0 && after.Runtime.Mallocs >= before.Runtime.Mallocs &&
+		after.Runtime.TotalAllocBytes >= before.Runtime.TotalAllocBytes:
 		mallocs := after.Runtime.Mallocs - before.Runtime.Mallocs
 		allocBytes := after.Runtime.TotalAllocBytes - before.Runtime.TotalAllocBytes
 		gcs := after.Runtime.NumGC - before.Runtime.NumGC
 		fmt.Printf("loadgen: server allocation: %.0f mallocs/executed job, %.0f KiB/executed job, %d GCs (per-worker Solver reuse)\n",
 			float64(mallocs)/float64(executed), float64(allocBytes)/1024/float64(executed), gcs)
+	case executed > 0:
+		fmt.Println("loadgen: server allocation: unavailable (runtime counters went backwards; server restarted mid-run?)")
 	}
 
 	byProblem := map[string][]time.Duration{}

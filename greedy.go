@@ -119,6 +119,7 @@ type config struct {
 	order      *Order
 	prefixFrac float64
 	prefixSize int
+	adaptive   bool
 	grain      int
 	pointered  bool
 	observer   func(RoundInfo)
@@ -146,6 +147,20 @@ func WithPrefixFrac(frac float64) Option { return func(c *config) { c.prefixFrac
 
 // WithPrefixSize sets an absolute prefix size (overrides WithPrefixFrac).
 func WithPrefixSize(size int) Option { return func(c *config) { c.prefixSize = size } }
+
+// WithAdaptivePrefix replaces the fixed prefix window of AlgoPrefix
+// with a measured, self-tuning schedule: after every round the window
+// doubles while the resolved/attempted ratio stays high and halves
+// when it collapses or the edge-inspection cost per resolved iterate
+// explodes, bounded by [1, input size]. Results are bit-identical to
+// the fixed-prefix and sequential paths — the window changes only how
+// many of the earliest unresolved iterates run per round, never their
+// order — and the schedule is a deterministic function of the run, so
+// adaptive plans remain sound dedup keys. WithPrefixSize/WithPrefixFrac
+// seed the initial window when set; otherwise the run starts at one
+// grain-sized chunk and doubles its way up. Requesting it with any
+// algorithm other than AlgoPrefix is reported as ErrAdaptiveAlgorithm.
+func WithAdaptivePrefix() Option { return func(c *config) { c.adaptive = true } }
 
 // WithGrain sets the parallel-loop grain size (default 256, as in the
 // paper).
@@ -176,8 +191,13 @@ type Plan struct {
 	Seed       uint64
 	PrefixFrac float64
 	PrefixSize int
-	Grain      int
-	Pointered  bool
+	// AdaptivePrefix selects the measured window schedule of
+	// WithAdaptivePrefix. The schedule is deterministic per (graph,
+	// plan), so adaptive plans stay valid dedup keys; on the wire it
+	// travels as "prefix": "adaptive".
+	AdaptivePrefix bool
+	Grain          int
+	Pointered      bool
 	// ExplicitOrder reports that WithOrder was supplied; such a
 	// configuration must not be used as a dedup key.
 	ExplicitOrder bool
@@ -189,13 +209,14 @@ type Plan struct {
 func ResolvePlan(opts ...Option) Plan {
 	c := buildConfig(opts)
 	return Plan{
-		Algorithm:     c.algorithm,
-		Seed:          c.seed,
-		PrefixFrac:    c.prefixFrac,
-		PrefixSize:    c.prefixSize,
-		Grain:         c.grain,
-		Pointered:     c.pointered,
-		ExplicitOrder: c.order != nil,
+		Algorithm:      c.algorithm,
+		Seed:           c.seed,
+		PrefixFrac:     c.prefixFrac,
+		PrefixSize:     c.prefixSize,
+		AdaptivePrefix: c.adaptive,
+		Grain:          c.grain,
+		Pointered:      c.pointered,
+		ExplicitOrder:  c.order != nil,
 	}
 }
 
@@ -209,6 +230,9 @@ func (p Plan) Options() []Option {
 	}
 	if p.PrefixSize != 0 {
 		opts = append(opts, WithPrefixSize(p.PrefixSize))
+	}
+	if p.AdaptivePrefix {
+		opts = append(opts, WithAdaptivePrefix())
 	}
 	if p.Grain != 0 {
 		opts = append(opts, WithGrain(p.Grain))

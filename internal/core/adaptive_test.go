@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestAdaptiveMISMatchesSequential is the adaptive tentpole contract:
+// for any window schedule the prefix algorithm returns exactly the
+// sequential greedy MIS, so the controller can only change costs,
+// never answers.
+func TestAdaptiveMISMatchesSequential(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"random":   graph.Random(4000, 20000, 7),
+		"rmat":     graph.RMat(12, 20000, 7, graph.DefaultRMatOptions()),
+		"grid":     graph.Grid2D(64, 64),
+		"star":     graph.Star(512),
+		"complete": graph.Complete(128),
+		"path":     graph.Path(2048),
+		"edgeless": graph.Empty(300),
+	}
+	for name, g := range graphs {
+		n := g.NumVertices()
+		for _, seed := range []uint64{1, 9} {
+			ord := NewRandomOrder(n, seed)
+			want := SequentialMIS(g, ord)
+			got := PrefixMIS(g, ord, Options{Adaptive: true})
+			if !got.Equal(want) {
+				t.Errorf("%s seed %d: adaptive MIS differs from sequential", name, seed)
+			}
+			if err := VerifyLexFirst(g, ord, got); err != nil {
+				t.Errorf("%s seed %d: %v", name, seed, err)
+			}
+			// Pointered variant under the same schedule dynamics.
+			ptr := PrefixMIS(g, ord, Options{Adaptive: true, Pointered: true})
+			if !ptr.Equal(want) {
+				t.Errorf("%s seed %d: adaptive pointered MIS differs", name, seed)
+			}
+		}
+	}
+}
+
+// TestAdaptiveDeterministicAcrossGrain checks that the window schedule
+// — not just the result — is independent of the parallel grain: the
+// controller consumes only machine-independent counters, and the
+// default start window is a constant, so Stats and the per-round
+// windows are identical for any chunking.
+func TestAdaptiveDeterministicAcrossGrain(t *testing.T) {
+	g := graph.Random(3000, 15000, 3)
+	ord := NewRandomOrder(3000, 4)
+	var windows [][]int
+	var stats []Stats
+	for _, grain := range []int{0, 7, 256, 4096} {
+		var trace []int
+		r := PrefixMIS(g, ord, Options{Adaptive: true, Grain: grain, OnRound: func(rs RoundStat) {
+			trace = append(trace, rs.Prefix)
+		}})
+		windows = append(windows, trace)
+		stats = append(stats, r.Stats)
+	}
+	for i := 1; i < len(windows); i++ {
+		if stats[i] != stats[0] {
+			t.Fatalf("grain changed adaptive stats: %+v vs %+v", stats[i], stats[0])
+		}
+		if len(windows[i]) != len(windows[0]) {
+			t.Fatalf("grain changed round count: %d vs %d", len(windows[i]), len(windows[0]))
+		}
+		for j := range windows[i] {
+			if windows[i][j] != windows[0][j] {
+				t.Fatalf("grain changed window schedule at round %d: %d vs %d", j, windows[i][j], windows[0][j])
+			}
+		}
+	}
+}
+
+// TestAdaptiveWindowBounds checks every window stays in [1, n] and that
+// growth respects the parallel-slack cap.
+func TestAdaptiveWindowBounds(t *testing.T) {
+	g := graph.Random(5000, 25000, 5)
+	ord := NewRandomOrder(5000, 6)
+	cap := AdaptiveGrowCap(5000)
+	r := PrefixMIS(g, ord, Options{Adaptive: true, OnRound: func(rs RoundStat) {
+		if rs.Prefix < 1 || rs.Prefix > 5000 {
+			t.Errorf("round %d: window %d outside [1, n]", rs.Round, rs.Prefix)
+		}
+		if rs.Prefix > cap {
+			t.Errorf("round %d: window %d above grow cap %d", rs.Round, rs.Prefix, cap)
+		}
+		if rs.Attempted > rs.Prefix {
+			t.Errorf("round %d: attempted %d exceeds window %d", rs.Round, rs.Attempted, rs.Prefix)
+		}
+	}})
+	if r.Stats.PrefixSize > cap {
+		t.Errorf("max window %d above grow cap %d", r.Stats.PrefixSize, cap)
+	}
+}
+
+// TestAdaptiveExplicitSeedWindow checks that an explicit prefix seeds
+// the initial window (even above the grow cap) instead of the default
+// start.
+func TestAdaptiveExplicitSeedWindow(t *testing.T) {
+	g := graph.Random(4000, 12000, 2)
+	ord := NewRandomOrder(4000, 2)
+	first := -1
+	PrefixMIS(g, ord, Options{Adaptive: true, PrefixSize: 3000, OnRound: func(rs RoundStat) {
+		if first < 0 {
+			first = rs.Prefix
+		}
+	}})
+	if first != 3000 {
+		t.Errorf("explicit prefix seed: first window %d, want 3000", first)
+	}
+}
+
+// TestAdaptiveControllerPolicy unit-tests the doubling/halving/brake
+// decisions directly.
+func TestAdaptiveControllerPolicy(t *testing.T) {
+	c := NewAdaptiveController(64, 1024, 4096)
+	// High acceptance doubles.
+	c.Observe(64, 64, 128)
+	if c.Window() != 128 {
+		t.Fatalf("after full acceptance: window %d, want 128", c.Window())
+	}
+	// Low acceptance halves.
+	c.Observe(128, 16, 256)
+	if c.Window() != 64 {
+		t.Fatalf("after 12.5%% acceptance: window %d, want 64", c.Window())
+	}
+	// Mid-band holds.
+	c.Observe(64, 48, 128)
+	if c.Window() != 64 {
+		t.Fatalf("after 75%% acceptance: window %d, want hold at 64", c.Window())
+	}
+	// Cost explosion halves even at perfect acceptance: the EWMA is
+	// ~2/iterate by now, so 100 inspections per resolved trips the brake.
+	c.Observe(64, 64, 6400)
+	if c.Window() != 32 {
+		t.Fatalf("after cost explosion: window %d, want 32", c.Window())
+	}
+
+	// Growth stops at the cap and never exceeds it.
+	c = NewAdaptiveController(512, 1024, 4096)
+	for i := 0; i < 10; i++ {
+		c.Observe(c.Window(), c.Window(), int64(2*c.Window()))
+	}
+	if c.Window() != 1024 {
+		t.Fatalf("growth cap: window %d, want 1024", c.Window())
+	}
+	// Shrinking below the cap and the floor of 1.
+	c = NewAdaptiveController(2, 8, 16)
+	for i := 0; i < 5; i++ {
+		c.Observe(16, 0, 32)
+	}
+	if c.Window() != 1 {
+		t.Fatalf("shrink floor: window %d, want 1", c.Window())
+	}
+	// An initial window above the cap is kept (explicit seed), and
+	// growth from there is refused.
+	c = NewAdaptiveController(2048, 1024, 4096)
+	if c.Window() != 2048 {
+		t.Fatalf("explicit seed above cap: window %d, want 2048", c.Window())
+	}
+	c.Observe(2048, 2048, 4096)
+	if c.Window() != 2048 {
+		t.Fatalf("growth above cap: window %d, want hold at 2048", c.Window())
+	}
+}
+
+// TestAdaptiveStatsAccounting checks the Figure 1 bookkeeping under a
+// varying window: attempts sum over rounds, rounds equal observer
+// callbacks, and PrefixSize reports the largest window used.
+func TestAdaptiveStatsAccounting(t *testing.T) {
+	g := graph.Random(3000, 15000, 8)
+	ord := NewRandomOrder(3000, 8)
+	var rounds int64
+	var attempts int64
+	maxW := 0
+	r := PrefixMIS(g, ord, Options{Adaptive: true, OnRound: func(rs RoundStat) {
+		rounds++
+		attempts += int64(rs.Attempted)
+		if rs.Prefix > maxW {
+			maxW = rs.Prefix
+		}
+	}})
+	if rounds != r.Stats.Rounds {
+		t.Errorf("observer rounds %d, stats %d", rounds, r.Stats.Rounds)
+	}
+	if attempts != r.Stats.Attempts {
+		t.Errorf("observer attempts %d, stats %d", attempts, r.Stats.Attempts)
+	}
+	if maxW != r.Stats.PrefixSize {
+		t.Errorf("observer max window %d, stats PrefixSize %d", maxW, r.Stats.PrefixSize)
+	}
+	if r.Stats.Attempts < int64(g.NumVertices()) {
+		t.Errorf("attempts %d below n", r.Stats.Attempts)
+	}
+}
+
+// TestAdaptivePrefixSizeIsUsedWindow pins a subtle accounting bug: on
+// an input that finishes before the grow cap is reached (an edgeless
+// graph resolves everything immediately, so the controller doubles
+// after every round including the last), Stats.PrefixSize must report
+// the largest window a round actually RAN at, not the controller's
+// decision for a round that never happened.
+func TestAdaptivePrefixSizeIsUsedWindow(t *testing.T) {
+	g := graph.Empty(768)
+	ord := NewRandomOrder(768, 1)
+	maxSeen := 0
+	r := PrefixMIS(g, ord, Options{Adaptive: true, OnRound: func(rs RoundStat) {
+		if rs.Prefix > maxSeen {
+			maxSeen = rs.Prefix
+		}
+	}})
+	if r.Stats.PrefixSize != maxSeen {
+		t.Errorf("Stats.PrefixSize %d, but the largest executed window was %d", r.Stats.PrefixSize, maxSeen)
+	}
+	if maxSeen != 512 {
+		t.Errorf("largest executed window %d, want 512 (256 then one doubling)", maxSeen)
+	}
+}
+
+// TestAdaptiveShrinkKeepsEarliestWindow forces a shrinking schedule (a
+// complete graph resolves one vertex per full-window round, so
+// acceptance collapses and the controller halves repeatedly) and
+// verifies the result is still the sequential MIS — i.e. the
+// tail-slide after a shrunken round preserves the earliest-unresolved
+// invariant.
+func TestAdaptiveShrinkKeepsEarliestWindow(t *testing.T) {
+	g := graph.Complete(600)
+	ord := NewRandomOrder(600, 11)
+	shrank := false
+	prev := 0
+	r := PrefixMIS(g, ord, Options{Adaptive: true, PrefixSize: 512, OnRound: func(rs RoundStat) {
+		if prev > 0 && rs.Prefix < prev {
+			shrank = true
+		}
+		prev = rs.Prefix
+	}})
+	if !shrank {
+		t.Fatal("schedule never shrank on K600 (test premise broken)")
+	}
+	if !r.Equal(SequentialMIS(g, ord)) {
+		t.Fatal("adaptive MIS differs from sequential after shrinking rounds")
+	}
+}

@@ -61,6 +61,19 @@ func PrefixMISCtx(ctx context.Context, g *graph.Graph, ord Order, opt Options) (
 	prefix := opt.prefixFor(n)
 	grain := opt.grain()
 	rank := ord.Rank
+	// The window is the per-round cap on attempted iterates: the fixed
+	// prefix, or — under adaptive scheduling — whatever the controller
+	// settled on after the previous round. Any window sequence yields
+	// the sequential greedy MIS: the active set always holds the
+	// earliest unresolved vertices in rank order, and the check phase
+	// only commits vertices whose earlier neighbors are all resolved.
+	window := prefix
+	var ctrl *AdaptiveController
+	if opt.Adaptive {
+		ctrl = NewAdaptiveController(opt.adaptiveInitial(n), AdaptiveGrowCap(n), n)
+		window = ctrl.Window()
+	}
+	maxWindow := window
 
 	var parents *parentsCSR
 	var ptr []int32
@@ -70,9 +83,13 @@ func PrefixMISCtx(ctx context.Context, g *graph.Graph, ord Order, opt Options) (
 		Fill32(ptr, 0)
 	}
 
-	stats := Stats{PrefixSize: prefix}
-	active := GrowActive(&ws.active, prefix)
-	outcome := Grow32(&ws.outcome, prefix)
+	stats := Stats{}
+	active := GrowActive(&ws.active, window)
+	// Hand grown frontier storage back to the workspace: adaptive
+	// windows outgrow the initial capacity by appends, which would
+	// otherwise leave the pooled buffer at its original size.
+	defer func() { ws.active = active[:0] }()
+	var outcome []int32
 	nextRank := 0
 	resolved := 0
 	var inspections atomic.Int64
@@ -83,33 +100,43 @@ func PrefixMISCtx(ctx context.Context, g *graph.Graph, ord Order, opt Options) (
 			return nil, err
 		}
 		// Refill the window with the earliest unresolved vertices.
-		for len(active) < prefix && nextRank < n {
+		for len(active) < window && nextRank < n {
 			active = append(active, ord.Order[nextRank])
 			nextRank++
 		}
+		// A shrunken window attempts only the earliest unresolved
+		// vertices; the tail of the active set waits for a later round.
+		act := active
+		if len(act) > window {
+			act = act[:window]
+		}
+		roundWindow := window
+		if roundWindow > maxWindow {
+			maxWindow = roundWindow
+		}
 		stats.Rounds++
-		stats.Attempts += int64(len(active))
-		outcome = outcome[:len(active)]
+		stats.Attempts += int64(len(act))
+		outcome = Grow32(&ws.outcome, len(act))
 
 		// Check phase: decide each active vertex against the statuses
 		// of the previous rounds. Statuses are not written here, so the
 		// reads are stable and race-free.
 		if opt.Pointered {
-			parallel.ForRange(len(active), grain, func(lo, hi int) {
+			parallel.ForRange(len(act), grain, func(lo, hi int) {
 				var local int64
 				for i := lo; i < hi; i++ {
 					var insp int64
-					outcome[i], insp = checkPointered(active[i], status, parents, ptr)
+					outcome[i], insp = checkPointered(act[i], status, parents, ptr)
 					local += insp
 				}
 				inspections.Add(local)
 			})
 		} else {
-			parallel.ForRange(len(active), grain, func(lo, hi int) {
+			parallel.ForRange(len(act), grain, func(lo, hi int) {
 				var local int64
 				for i := lo; i < hi; i++ {
 					var insp int64
-					outcome[i], insp = checkScratch(g, active[i], rank, status)
+					outcome[i], insp = checkScratch(g, act[i], rank, status)
 					local += insp
 				}
 				inspections.Add(local)
@@ -118,33 +145,47 @@ func PrefixMISCtx(ctx context.Context, g *graph.Graph, ord Order, opt Options) (
 
 		// Update phase: apply the decisions. Each vertex writes only its
 		// own status.
-		parallel.ForRange(len(active), grain, func(lo, hi int) {
+		parallel.ForRange(len(act), grain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if outcome[i] != statusUndecided {
-					status[active[i]] = outcome[i]
+					status[act[i]] = outcome[i]
 				}
 			}
 		})
 
-		before := len(active)
-		active = parallel.PackInPlace(active, grain, func(i int) bool {
+		before := len(act)
+		kept := parallel.PackInPlace(act, grain, func(i int) bool {
 			return outcome[i] == statusUndecided
 		})
-		// PackInPlace consumed outcome[i] positions aligned with the old
-		// active; reset capacity view for the next round.
-		resolved += before - len(active)
+		if len(act) < len(active) {
+			// Slide the unattempted tail up against the kept retries;
+			// both are rank-sorted and every kept retry precedes the
+			// tail, so the active set stays the earliest unresolved
+			// vertices in order.
+			moved := copy(active[len(kept):], active[len(act):])
+			active = active[:len(kept)+moved]
+		} else {
+			active = kept
+		}
+		resolvedThis := before - len(kept)
+		resolved += resolvedThis
+		cur := inspections.Load()
+		if ctrl != nil {
+			ctrl.Observe(before, resolvedThis, cur-prevInspections)
+			window = ctrl.Window()
+		}
 		if opt.OnRound != nil {
-			cur := inspections.Load()
 			opt.OnRound(RoundStat{
 				Round:       stats.Rounds,
-				Prefix:      prefix,
+				Prefix:      roundWindow,
 				Attempted:   before,
-				Resolved:    before - len(active),
+				Resolved:    resolvedThis,
 				Inspections: cur - prevInspections,
 			})
-			prevInspections = cur
 		}
+		prevInspections = cur
 	}
+	stats.PrefixSize = maxWindow
 	stats.EdgeInspections = inspections.Load()
 	return newResult(status, stats), nil
 }
@@ -218,6 +259,7 @@ func ParallelMIS(g *graph.Graph, ord Order, opt Options) *Result {
 // ParallelMISCtx is ParallelMIS with cooperative cancellation and
 // workspace reuse (see PrefixMISCtx).
 func ParallelMISCtx(ctx context.Context, g *graph.Graph, ord Order, opt Options) (*Result, error) {
+	opt.Adaptive = false // the full prefix is the point of Algorithm 2
 	opt.PrefixSize = g.NumVertices()
 	if opt.PrefixSize == 0 {
 		opt.PrefixSize = 1

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/graph"
 	"repro/internal/parallel"
@@ -36,7 +37,9 @@ type Stats struct {
 	// measure reported alongside Attempts.
 	EdgeInspections int64
 	// PrefixSize is the resolved prefix size used by prefix-based runs
-	// (0 for the other algorithms).
+	// (0 for the other algorithms). Adaptive runs report the largest
+	// window any round actually used (a growth decision after the final
+	// round is not reported — no round ran at that size).
 	PrefixSize int
 }
 
@@ -87,12 +90,22 @@ type Options struct {
 	// PrefixSize fixes the number of iterates examined per round of the
 	// prefix-based algorithm. If zero, PrefixFrac is used instead.
 	PrefixSize int
-	// PrefixFrac sets the prefix size as a fraction of the input size.
+	// PrefixFrac sets the prefix size as ⌈PrefixFrac·n⌉ (see CeilFrac).
 	// If both PrefixSize and PrefixFrac are zero, DefaultPrefixFrac is
 	// used. PrefixFrac = 1 processes the whole remaining input each
 	// round (maximum parallelism, maximum redundant work); prefix size 1
 	// degenerates to the sequential algorithm.
 	PrefixFrac float64
+	// Adaptive replaces the fixed window of the prefix-based algorithms
+	// with a measured schedule: an AdaptiveController doubles or halves
+	// the next round's window from the previous round's
+	// resolved/attempted ratio and edge-inspection cost, bounded by
+	// [1, n]. An explicit PrefixSize/PrefixFrac seeds the initial
+	// window; otherwise the run starts at AdaptiveStartWindow. Results
+	// are bit-identical to fixed-prefix and sequential runs: the window
+	// changes only how many of the earliest unresolved iterates run per
+	// round, never their order. Ignored by the non-prefix algorithms.
+	Adaptive bool
 	// Grain is the parallel-loop grain size; 0 means
 	// parallel.DefaultGrain (256, as in the paper).
 	Grain int
@@ -123,9 +136,11 @@ type Options struct {
 type RoundStat struct {
 	// Round is the 1-based round index.
 	Round int64
-	// Prefix is the resolved prefix (window) size of the run: the
-	// maximum number of iterates attempted per round (0 for algorithms
-	// without a prefix window).
+	// Prefix is the window size of this round: the maximum number of
+	// iterates attempted (0 for algorithms without a prefix window).
+	// Fixed-prefix runs report the same value every round; adaptive
+	// runs report the controller's current window, so an observer
+	// watches the schedule evolve.
 	Prefix int
 	// Attempted is the number of iterates processed this round.
 	Attempted int
@@ -142,6 +157,25 @@ type RoundStat struct {
 // and 1e-2 on both inputs).
 const DefaultPrefixFrac = 0.005
 
+// CeilFrac returns ⌈frac·n⌉ with integer rounding semantics: a decimal
+// fraction whose binary representation lands the product a hair above
+// an integer (0.005·1000 = 5.000000000000001 in float64) still yields
+// that integer, not one past it. The product is nudged down by one part
+// in 10^12 — orders of magnitude above the representation error of any
+// (frac, n) pair in range, orders of magnitude below one iterate —
+// before the ceiling, so the result is the documented value on every
+// platform instead of whatever int truncation of the raw product gives.
+// frac ≥ 1 returns n; frac ≤ 0 or n ≤ 0 returns 0.
+func CeilFrac(frac float64, n int) int {
+	if n <= 0 || frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return n
+	}
+	return int(math.Ceil(frac * float64(n) * (1 - 1e-12)))
+}
+
 func (o Options) prefixFor(n int) int {
 	p := o.PrefixSize
 	if p <= 0 {
@@ -149,10 +183,7 @@ func (o Options) prefixFor(n int) int {
 		if frac <= 0 {
 			frac = DefaultPrefixFrac
 		}
-		if frac > 1 {
-			frac = 1
-		}
-		p = int(frac * float64(n))
+		p = CeilFrac(frac, n)
 	}
 	if p < 1 {
 		p = 1

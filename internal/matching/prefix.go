@@ -58,11 +58,23 @@ func PrefixMMCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Opt
 	rank := ord.Rank
 	prefix := opt.prefixFor(m)
 	grain := opt.grain()
+	// Per-round window cap: fixed, or driven by the adaptive
+	// controller. Any window sequence returns the sequential greedy
+	// matching — the active set always holds the earliest unresolved
+	// edges in rank order (see PrefixMM).
+	window := prefix
+	var ctrl *core.AdaptiveController
+	if opt.Adaptive {
+		ctrl = core.NewAdaptiveController(opt.adaptiveInitial(m), core.AdaptiveGrowCap(m), m)
+		window = ctrl.Window()
+	}
+	maxWindow := window
 
-	stats := Stats{PrefixSize: prefix}
+	stats := Stats{}
 	var inspections atomic.Int64
 	var prevInspections int64
-	active := growActive(&ws.active, prefix)
+	active := growActive(&ws.active, window)
+	defer func() { ws.active = active[:0] }()
 	nextRank := 0
 	resolved := 0
 
@@ -70,19 +82,29 @@ func PrefixMMCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Opt
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		for len(active) < prefix && nextRank < m {
+		for len(active) < window && nextRank < m {
 			active = append(active, ord.Order[nextRank])
 			nextRank++
 		}
+		// A shrunken window attempts only the earliest unresolved
+		// edges; the tail waits for a later round.
+		act := active
+		if len(act) > window {
+			act = act[:window]
+		}
+		roundWindow := window
+		if roundWindow > maxWindow {
+			maxWindow = roundWindow
+		}
 		stats.Rounds++
-		stats.Attempts += int64(len(active))
+		stats.Attempts += int64(len(act))
 
 		// Phase 1: reserve. An edge whose endpoint is already matched
 		// resolves immediately; otherwise it bids for both endpoints.
-		parallel.ForRange(len(active), grain, func(lo, hi int) {
+		parallel.ForRange(len(act), grain, func(lo, hi int) {
 			var local int64
 			for i := lo; i < hi; i++ {
-				e := active[i]
+				e := act[i]
 				edge := el.Edges[e]
 				local += 2
 				if atomic.LoadInt32(&mate[edge.U]) != unmatched ||
@@ -99,10 +121,10 @@ func PrefixMMCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Opt
 
 		// Phase 2: commit. An edge holding both endpoints is matched;
 		// it is the earliest unresolved edge on both sides.
-		parallel.ForRange(len(active), grain, func(lo, hi int) {
+		parallel.ForRange(len(act), grain, func(lo, hi int) {
 			var local int64
 			for i := lo; i < hi; i++ {
-				e := active[i]
+				e := act[i]
 				if atomic.LoadInt32(&status[e]) != statusUndecided {
 					continue
 				}
@@ -121,31 +143,45 @@ func PrefixMMCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Opt
 
 		// Phase 3: clear this round's reservations so stale bids from
 		// failed or resolved edges cannot block future rounds.
-		parallel.ForRange(len(active), grain, func(lo, hi int) {
+		parallel.ForRange(len(act), grain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				edge := el.Edges[active[i]]
+				edge := el.Edges[act[i]]
 				atomic.StoreInt32(&reserv[edge.U], maxRank)
 				atomic.StoreInt32(&reserv[edge.V], maxRank)
 			}
 		})
 
-		before := len(active)
-		active = parallel.PackInPlace(active, grain, func(i int) bool {
-			return status[active[i]] == statusUndecided
+		before := len(act)
+		kept := parallel.PackInPlace(act, grain, func(i int) bool {
+			return status[act[i]] == statusUndecided
 		})
-		resolved += before - len(active)
+		if len(act) < len(active) {
+			// Slide the unattempted tail up against the kept retries;
+			// rank order is preserved on both sides of the seam.
+			moved := copy(active[len(kept):], active[len(act):])
+			active = active[:len(kept)+moved]
+		} else {
+			active = kept
+		}
+		resolvedThis := before - len(kept)
+		resolved += resolvedThis
+		cur := inspections.Load()
+		if ctrl != nil {
+			ctrl.Observe(before, resolvedThis, cur-prevInspections)
+			window = ctrl.Window()
+		}
 		if opt.OnRound != nil {
-			cur := inspections.Load()
 			opt.OnRound(core.RoundStat{
 				Round:       stats.Rounds,
-				Prefix:      prefix,
+				Prefix:      roundWindow,
 				Attempted:   before,
-				Resolved:    before - len(active),
+				Resolved:    resolvedThis,
 				Inspections: cur - prevInspections,
 			})
-			prevInspections = cur
 		}
+		prevInspections = cur
 	}
+	stats.PrefixSize = maxWindow
 	stats.EdgeInspections = inspections.Load()
 	return newResult(el, status, stats), nil
 }
@@ -164,6 +200,7 @@ func ParallelMM(el graph.EdgeList, ord core.Order, opt Options) *Result {
 // ParallelMMCtx is ParallelMM with cooperative cancellation and
 // workspace reuse (see PrefixMMCtx).
 func ParallelMMCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Options) (*Result, error) {
+	opt.Adaptive = false // the full prefix is the point of Algorithm 4
 	opt.PrefixSize = el.NumEdges()
 	if opt.PrefixSize == 0 {
 		opt.PrefixSize = 1

@@ -89,6 +89,12 @@ type Options struct {
 	PrefixSize int
 	PrefixFrac float64
 	Grain      int
+	// Adaptive replaces the fixed window with a measured schedule (see
+	// core.Options.Adaptive): a core.AdaptiveController doubles or
+	// halves the next round's window from the previous round's
+	// resolved/attempted ratio and inspection cost, bounded by [1, m].
+	// The matching stays bit-identical to the sequential greedy one.
+	Adaptive bool
 	// OnRound, if non-nil, is called after every round of the
 	// round-synchronous algorithms with that round's statistics (see
 	// core.RoundStat). It runs on the round loop's goroutine.
@@ -105,10 +111,9 @@ func (o Options) prefixFor(m int) int {
 		if frac <= 0 {
 			frac = core.DefaultPrefixFrac
 		}
-		if frac > 1 {
-			frac = 1
-		}
-		p = int(frac * float64(m))
+		// Integer ceiling (⌈frac·m⌉): float truncation used to land one
+		// below the documented prefix for fractions like 0.005.
+		p = core.CeilFrac(frac, m)
 	}
 	if p < 1 {
 		p = 1
@@ -117,6 +122,21 @@ func (o Options) prefixFor(m int) int {
 		p = m
 	}
 	return p
+}
+
+// adaptiveInitial mirrors core.Options.adaptiveInitial for edge inputs.
+func (o Options) adaptiveInitial(m int) int {
+	if o.PrefixSize > 0 || o.PrefixFrac > 0 {
+		return o.prefixFor(m)
+	}
+	w := core.AdaptiveStartWindow
+	if w > m {
+		w = m
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 func (o Options) grain() int {

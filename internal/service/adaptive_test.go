@@ -1,0 +1,126 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	greedy "repro"
+)
+
+// TestAdaptiveDedupKeyDistinct: an adaptive plan and its fixed twin
+// are different computations (different Stats, different SF edges) and
+// must not dedup onto each other; equal adaptive plans must.
+func TestAdaptiveDedupKeyDistinct(t *testing.T) {
+	fixed := JobSpec{GraphID: "g1", Problem: ProblemMIS, Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: 7}}
+	adaptive := fixed
+	adaptive.Plan.AdaptivePrefix = true
+	if fixed.Key() == adaptive.Key() {
+		t.Fatal("adaptive and fixed specs share a dedup key")
+	}
+	again := adaptive
+	if adaptive.Key() != again.Key() {
+		t.Fatal("equal adaptive specs have different keys")
+	}
+}
+
+// TestAdaptiveValidation: adaptive requires the prefix algorithm, at
+// submission time (HTTP 400), for every problem.
+func TestAdaptiveValidation(t *testing.T) {
+	for _, algo := range []greedy.Algorithm{greedy.AlgoSequential, greedy.AlgoRootSet, greedy.AlgoParallel, greedy.AlgoLuby} {
+		spec := JobSpec{GraphID: "g", Problem: ProblemMIS, Plan: greedy.Plan{Algorithm: algo, AdaptivePrefix: true}}
+		if err := spec.Validate(); err == nil {
+			t.Errorf("adaptive + %v accepted", algo)
+		}
+	}
+	ok := JobSpec{GraphID: "g", Problem: ProblemSF, Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix, AdaptivePrefix: true}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("adaptive prefix SF rejected: %v", err)
+	}
+}
+
+// TestAdaptiveJobEndToEnd: an adaptive submission executes, matches the
+// fixed run's membership checksum bit-for-bit (MIS is
+// schedule-independent), differs in Stats (so the dedup-key split is
+// justified), reports live/final window progress, and bumps the
+// adaptive_executed metric.
+func TestAdaptiveJobEndToEnd(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+	info := addGraph(t, svc, 30_000, 2)
+
+	fixedSpec := JobSpec{GraphID: info.ID, Problem: ProblemMIS, Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: 5}}
+	adSpec := fixedSpec
+	adSpec.Plan.AdaptivePrefix = true
+
+	fixedSt, _, err := svc.Engine().Submit(fixedSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adSt, deduped, err := svc.Engine().Submit(adSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped {
+		t.Fatal("adaptive submission deduped onto the fixed job")
+	}
+	waitDone(t, svc.Engine(), fixedSt.ID)
+	final := waitDone(t, svc.Engine(), adSt.ID)
+	if final.State != StateDone {
+		t.Fatalf("adaptive job ended %s: %s", final.State, final.Error)
+	}
+	if final.Progress == nil || final.Progress.PrefixSize < 256 {
+		t.Fatalf("adaptive job progress missing or window never grew: %+v", final.Progress)
+	}
+
+	var fixedPayload, adPayload ResultPayload
+	raw, _, err := svc.Engine().Result(fixedSt.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &fixedPayload); err != nil {
+		t.Fatal(err)
+	}
+	raw, _, err = svc.Engine().Result(adSt.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &adPayload); err != nil {
+		t.Fatal(err)
+	}
+	if adPayload.Checksum != fixedPayload.Checksum {
+		t.Errorf("adaptive MIS checksum %s differs from fixed %s", adPayload.Checksum, fixedPayload.Checksum)
+	}
+	if adPayload.Size != fixedPayload.Size {
+		t.Errorf("adaptive MIS size %d differs from fixed %d", adPayload.Size, fixedPayload.Size)
+	}
+	if adPayload.Stats == fixedPayload.Stats {
+		t.Errorf("adaptive and fixed runs report identical stats %+v (dedup split would be pointless)", adPayload.Stats)
+	}
+	if !adPayload.Plan.AdaptivePrefix {
+		t.Error("payload plan lost AdaptivePrefix")
+	}
+
+	snap := svc.Snapshot()
+	if snap.Jobs.AdaptiveExecuted != 1 {
+		t.Errorf("adaptive_executed = %d, want 1", snap.Jobs.AdaptiveExecuted)
+	}
+	if snap.Jobs.Executed != 2 {
+		t.Errorf("executed = %d, want 2", snap.Jobs.Executed)
+	}
+}
+
+// TestAdaptiveWirePlan: the service wire form carries the schedule as
+// "prefix": "adaptive" and round-trips through JobRequest marshaling.
+func TestAdaptiveWirePlan(t *testing.T) {
+	req := JobRequest{GraphID: "g1", Problem: "mis", Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: 3, AdaptivePrefix: true}}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JobRequest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Plan.AdaptivePrefix {
+		t.Fatalf("wire round trip lost adaptive: %s", raw)
+	}
+}

@@ -72,11 +72,14 @@ type JobSpec struct {
 // with equal keys are deduplicated into one execution. Every Plan field
 // participates — Grain and Pointered do not change the selected set,
 // but they do change the Stats embedded in the payload, and dedup
-// promises byte-identical payloads.
+// promises byte-identical payloads. AdaptivePrefix participates too:
+// its schedule is deterministic per (graph, plan), but its Stats (and,
+// for spanning forest, its selected edges) differ from any fixed
+// window's.
 func (s JobSpec) Key() string {
 	p := s.Plan
-	return fmt.Sprintf("%s|%s|%s|%d|%g|%d|%d|%t",
-		s.GraphID, s.Problem, p.Algorithm, p.Seed, p.PrefixFrac, p.PrefixSize, p.Grain, p.Pointered)
+	return fmt.Sprintf("%s|%s|%s|%d|%g|%d|%t|%d|%t",
+		s.GraphID, s.Problem, p.Algorithm, p.Seed, p.PrefixFrac, p.PrefixSize, p.AdaptivePrefix, p.Grain, p.Pointered)
 }
 
 // Validate rejects specs no algorithm can run. The same conditions the
@@ -99,6 +102,12 @@ func (s JobSpec) Validate() error {
 	// split one computation across several dedup keys.
 	if s.Problem == ProblemSF && p.Algorithm != greedy.AlgoPrefix && p.Algorithm != greedy.AlgoSequential {
 		return fmt.Errorf("service: spanning forest supports algorithms prefix|sequential, not %q", p.Algorithm)
+	}
+	// Adaptive scheduling adapts the prefix algorithm's window; the
+	// other algorithms have none, and accepting the combination would
+	// run a job the Solver rejects after a worker is committed.
+	if p.AdaptivePrefix && p.Algorithm != greedy.AlgoPrefix {
+		return fmt.Errorf("service: adaptive prefix applies to algorithm %q only, not %q", greedy.AlgoPrefix, p.Algorithm)
 	}
 	if p.PrefixFrac < 0 || p.PrefixFrac > 1 {
 		return fmt.Errorf("service: prefix_frac %g outside [0,1]", p.PrefixFrac)
@@ -150,7 +159,8 @@ type JobProgress struct {
 	// Rounds completed so far.
 	Rounds int64 `json:"rounds"`
 	// PrefixSize is the resolved prefix window of the run (0 for
-	// algorithms without one).
+	// algorithms without one). Adaptive runs report the controller's
+	// current window, so polling Status shows the schedule live.
 	PrefixSize int64 `json:"prefix_size,omitempty"`
 	// Attempted is the cumulative number of iterate-processings (the
 	// paper's total-work measure).
@@ -566,7 +576,7 @@ func (e *Engine) run(job *Job, solver *greedy.Solver) {
 
 	job.cancel() // release the context's resources
 	job.handle.Release()
-	e.metrics.jobFinished(job.Spec.Problem, state, run, e2e)
+	e.metrics.jobFinished(job.Spec.Problem, state, job.Spec.Plan.AdaptivePrefix, run, e2e)
 }
 
 // execute runs the computation; panics in the algorithm layers are

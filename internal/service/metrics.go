@@ -1,6 +1,7 @@
 package service
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -36,17 +37,30 @@ func (h *histogram) observe(seconds float64) {
 	}
 }
 
-// quantile estimates the q-quantile (0 < q < 1) by linear interpolation
-// inside the containing bucket, in seconds.
+// quantile estimates the q-quantile (0 < q < 1) in seconds with
+// nearest-rank bucket location and linear interpolation inside the
+// containing bucket. The rank is ⌈q·count⌉ (clamped to [1, count]), so
+// a histogram with a single observation answers that observation's own
+// bucket position — p50 = p99 = max — instead of interpolating below
+// it, and a rank landing exactly on a bucket's cumulative boundary is
+// attributed to that bucket (empty buckets are never selected). The
+// last bucket is unbounded; its interpolation ceiling is the recorded
+// maximum, so no quantile ever exceeds h.max.
 func (h *histogram) quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
-	rank := q * float64(h.count)
+	rank := math.Ceil(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > float64(h.count) {
+		rank = float64(h.count)
+	}
 	var cum float64
 	for i, c := range h.counts {
 		next := cum + float64(c)
-		if next >= rank && c > 0 {
+		if c > 0 && rank <= next {
 			lo := 0.0
 			if i > 0 {
 				lo = latencyBounds[i-1]
@@ -85,6 +99,7 @@ type Metrics struct {
 	jobsSubmitted int64
 	dedupHits     int64
 	jobsExecuted  int64
+	jobsAdaptive  int64 // executed jobs that ran the adaptive schedule
 	jobsFailed    int64
 	jobsCancelled int64
 	jobsExpired   int64
@@ -123,7 +138,7 @@ func (m *Metrics) jobCancelled() {
 // jobFinished records a worker-side completion. Only successful runs
 // feed the latency histograms: failed and cancelled runs would skew
 // the percentiles with truncated durations.
-func (m *Metrics) jobFinished(p Problem, state JobState, run, endToEnd time.Duration) {
+func (m *Metrics) jobFinished(p Problem, state JobState, adaptive bool, run, endToEnd time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	switch state {
@@ -135,6 +150,9 @@ func (m *Metrics) jobFinished(p Problem, state JobState, run, endToEnd time.Dura
 		return
 	}
 	m.jobsExecuted++
+	if adaptive {
+		m.jobsAdaptive++
+	}
 	h := m.latency[p]
 	if h == nil {
 		h = newHistogram()
@@ -165,9 +183,12 @@ func (m *Metrics) registryEvent(hits, misses, evictions int64) {
 
 // JobCounters is the jobs section of a metrics snapshot.
 type JobCounters struct {
-	Submitted    int64 `json:"submitted"`
-	DedupHits    int64 `json:"dedup_hits"`
-	Executed     int64 `json:"executed"`
+	Submitted int64 `json:"submitted"`
+	DedupHits int64 `json:"dedup_hits"`
+	Executed  int64 `json:"executed"`
+	// AdaptiveExecuted counts executed jobs that ran the adaptive
+	// prefix schedule (a subset of Executed).
+	AdaptiveExecuted int64 `json:"adaptive_executed"`
 	Failed       int64 `json:"failed"`
 	Cancelled    int64 `json:"cancelled"`
 	Expired      int64 `json:"expired"`
@@ -237,12 +258,13 @@ func (m *Metrics) snapshot() Snapshot {
 	defer m.mu.Unlock()
 	s := Snapshot{
 		Jobs: JobCounters{
-			Submitted: m.jobsSubmitted,
-			DedupHits: m.dedupHits,
-			Executed:  m.jobsExecuted,
-			Failed:    m.jobsFailed,
-			Cancelled: m.jobsCancelled,
-			Expired:   m.jobsExpired,
+			Submitted:        m.jobsSubmitted,
+			DedupHits:        m.dedupHits,
+			Executed:         m.jobsExecuted,
+			AdaptiveExecuted: m.jobsAdaptive,
+			Failed:           m.jobsFailed,
+			Cancelled:        m.jobsCancelled,
+			Expired:          m.jobsExpired,
 		},
 		Registry: RegistryCounters{
 			Hits:      m.registryHits,

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundObservation: an observation exactly equal to
+// a bucket's upper bound lands in THAT bucket (SearchFloat64s returns
+// the first bound >= v), never the next one.
+func TestHistogramBucketBoundObservation(t *testing.T) {
+	h := newHistogram()
+	h.observe(0.001) // == latencyBounds[3]
+	for i, c := range h.counts {
+		want := int64(0)
+		if i == 3 {
+			want = 1
+		}
+		if c != want {
+			t.Errorf("bucket %d count = %d, want %d", i, c, want)
+		}
+	}
+	// The quantile of the sole observation is the observation itself:
+	// the bucket's interpolation ceiling is min(bound, max) = 0.001.
+	if got := h.quantile(0.5); got != 0.001 {
+		t.Errorf("p50 of a bound-exact single observation = %g, want 0.001", got)
+	}
+}
+
+// TestHistogramSingleObservation: with one observation every quantile
+// is that observation — p50 = p99 = max — not an interpolated value
+// below it.
+func TestHistogramSingleObservation(t *testing.T) {
+	for _, v := range []float64{0.00017, 0.0042, 3.3, 25.0 /* unbounded last bucket */} {
+		h := newHistogram()
+		h.observe(v)
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.99} {
+			if got := h.quantile(q); got != v {
+				t.Errorf("obs %g: q%g = %g, want max %g", v, q, got, v)
+			}
+		}
+		if h.max != v {
+			t.Errorf("obs %g: max = %g", v, h.max)
+		}
+	}
+}
+
+// TestHistogramUnboundedLastBucket: with every observation in the +Inf
+// bucket, quantiles clamp to the recorded max — finite, at least the
+// last finite bound, never above max.
+func TestHistogramUnboundedLastBucket(t *testing.T) {
+	h := newHistogram()
+	obs := []float64{11, 30, 60, 120, 500}
+	for _, v := range obs {
+		h.observe(v)
+	}
+	lastBound := latencyBounds[len(latencyBounds)-1]
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.quantile(q)
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("q%g = %v, want finite", q, got)
+		}
+		if got < lastBound || got > h.max {
+			t.Errorf("q%g = %g outside [%g, %g]", q, got, lastBound, h.max)
+		}
+	}
+	// The top quantile of the bucket reaches the max exactly.
+	if got := h.quantile(0.99); got != h.max {
+		t.Errorf("p99 with all %d obs in last bucket = %g, want max %g (rank = count)", len(obs), got, h.max)
+	}
+}
+
+// TestHistogramQuantileOnEmptyBucketBoundary: a rank landing exactly on
+// a cumulative-count boundary that is followed by empty buckets must
+// resolve inside the bucket that holds the observations, and ranks just
+// past it must skip the empty buckets deterministically.
+func TestHistogramQuantileOnEmptyBucketBoundary(t *testing.T) {
+	h := newHistogram()
+	// Two obs in bucket 1 (0.0001, 0.00025], three in bucket 4
+	// (0.001, 0.0025]; buckets 2-3 stay empty.
+	h.observe(0.0002)
+	h.observe(0.0002)
+	h.observe(0.002)
+	h.observe(0.002)
+	h.observe(0.0024)
+
+	// rank = ⌈0.4·5⌉ = 2: exactly the cumulative boundary of bucket 1.
+	// The answer must come from bucket 1 — at its upper edge — not from
+	// an empty bucket or bucket 4.
+	got := h.quantile(0.4)
+	if got != latencyBounds[1] {
+		t.Errorf("p40 = %g, want bucket-1 upper bound %g", got, latencyBounds[1])
+	}
+	// rank = ⌈0.41·5⌉ = 3: first observation of bucket 4; lower edge of
+	// that bucket's interpolation range.
+	got = h.quantile(0.41)
+	lo, hi := latencyBounds[3], latencyBounds[4]
+	if got <= lo || got > hi {
+		t.Errorf("p41 = %g, want inside (%g, %g]", got, lo, hi)
+	}
+	// Monotonicity across the boundary.
+	if h.quantile(0.4) >= h.quantile(0.41) {
+		t.Errorf("quantiles not monotone across empty-bucket boundary: p40=%g p41=%g", h.quantile(0.4), h.quantile(0.41))
+	}
+}
+
+// TestHistogramEmpty: the zero histogram answers 0 for everything.
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram()
+	if got := h.quantile(0.5); got != 0 {
+		t.Errorf("empty p50 = %g", got)
+	}
+	snap := snapshotHistogram(h)
+	if snap.Count != 0 || snap.P99MS != 0 || snap.MeanMS != 0 {
+		t.Errorf("empty snapshot: %+v", snap)
+	}
+}
+
+// TestMetricsAdaptiveExecutedCounter: adaptive completions increment
+// the adaptive counter alongside executed; fixed ones do not; failed
+// and cancelled adaptive runs count in neither.
+func TestMetricsAdaptiveExecutedCounter(t *testing.T) {
+	m := NewMetrics()
+	m.jobFinished(ProblemMIS, StateDone, true, time.Millisecond, 2*time.Millisecond)
+	m.jobFinished(ProblemMIS, StateDone, false, time.Millisecond, 2*time.Millisecond)
+	m.jobFinished(ProblemMM, StateFailed, true, time.Millisecond, 2*time.Millisecond)
+	m.jobFinished(ProblemSF, StateCancelled, true, time.Millisecond, 2*time.Millisecond)
+	s := m.snapshot()
+	if s.Jobs.Executed != 2 {
+		t.Errorf("executed = %d, want 2", s.Jobs.Executed)
+	}
+	if s.Jobs.AdaptiveExecuted != 1 {
+		t.Errorf("adaptive_executed = %d, want 1", s.Jobs.AdaptiveExecuted)
+	}
+	if s.Jobs.Failed != 1 || s.Jobs.Cancelled != 1 {
+		t.Errorf("failed/cancelled = %d/%d, want 1/1", s.Jobs.Failed, s.Jobs.Cancelled)
+	}
+}

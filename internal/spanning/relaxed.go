@@ -76,10 +76,24 @@ func PrefixSFRelaxedCtx(ctx context.Context, el graph.EdgeList, ord core.Order, 
 	fill32(child, 0)
 	fill32(target, 0)
 
-	stats := Stats{PrefixSize: prefix}
+	// Per-round window cap: fixed, or driven by the adaptive
+	// controller. The relaxed forest is deterministic per window
+	// schedule (and the adaptive schedule is itself a deterministic
+	// function of the run), but different schedules — like different
+	// fixed prefixes — may select different, equally valid forests.
+	window := prefix
+	var ctrl *core.AdaptiveController
+	if opt.Adaptive {
+		ctrl = core.NewAdaptiveController(opt.adaptiveInitial(m), core.AdaptiveGrowCap(m), m)
+		window = ctrl.Window()
+	}
+	maxWindow := window
+
+	stats := Stats{}
 	var inspections atomic.Int64
 	var prevInspections int64
-	active := growActive(&ws.active, prefix)
+	active := growActive(&ws.active, window)
+	defer func() { ws.active = active[:0] }()
 	nextRank := 0
 	resolved := 0
 
@@ -87,19 +101,27 @@ func PrefixSFRelaxedCtx(ctx context.Context, el graph.EdgeList, ord core.Order, 
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		for len(active) < prefix && nextRank < m {
+		for len(active) < window && nextRank < m {
 			active = append(active, ord.Order[nextRank])
 			nextRank++
 		}
+		act := active
+		if len(act) > window {
+			act = act[:window]
+		}
+		roundWindow := window
+		if roundWindow > maxWindow {
+			maxWindow = roundWindow
+		}
 		stats.Rounds++
-		stats.Attempts += int64(len(active))
+		stats.Attempts += int64(len(act))
 
 		// Reserve: find roots; drop cycle edges; bid on the root that
 		// would be overwritten.
-		parallel.ForRange(len(active), grain, func(lo, hi int) {
+		parallel.ForRange(len(act), grain, func(lo, hi int) {
 			var local int64
 			for i := lo; i < hi; i++ {
-				e := active[i]
+				e := act[i]
 				edge := el.Edges[e]
 				ru := dsu.Find(edge.U)
 				rv := dsu.Find(edge.V)
@@ -120,9 +142,9 @@ func PrefixSFRelaxedCtx(ctx context.Context, el graph.EdgeList, ord core.Order, 
 		// Commit: the winner of each written root links it. Distinct
 		// winners write distinct roots, so links never race; hanging
 		// larger under smaller keeps the structure a forest.
-		parallel.ForRange(len(active), grain, func(lo, hi int) {
+		parallel.ForRange(len(act), grain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				e := active[i]
+				e := act[i]
 				if atomic.LoadInt32(&status[e]) != 0 {
 					continue
 				}
@@ -135,32 +157,46 @@ func PrefixSFRelaxedCtx(ctx context.Context, el graph.EdgeList, ord core.Order, 
 		})
 
 		// Reset this round's bids.
-		parallel.ForRange(len(active), grain, func(lo, hi int) {
+		parallel.ForRange(len(act), grain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				e := active[i]
+				e := act[i]
 				if atomic.LoadInt32(&status[e]) != 2 {
 					atomic.StoreInt32(&reserv[child[e]], maxRank)
 				}
 			}
 		})
 
-		before := len(active)
-		active = parallel.PackInPlace(active, grain, func(i int) bool {
-			return status[active[i]] == 0
+		before := len(act)
+		kept := parallel.PackInPlace(act, grain, func(i int) bool {
+			return status[act[i]] == 0
 		})
-		resolved += before - len(active)
+		if len(act) < len(active) {
+			// Slide the unattempted tail up against the kept retries;
+			// rank order is preserved on both sides of the seam.
+			moved := copy(active[len(kept):], active[len(act):])
+			active = active[:len(kept)+moved]
+		} else {
+			active = kept
+		}
+		resolvedThis := before - len(kept)
+		resolved += resolvedThis
+		cur := inspections.Load()
+		if ctrl != nil {
+			ctrl.Observe(before, resolvedThis, cur-prevInspections)
+			window = ctrl.Window()
+		}
 		if opt.OnRound != nil {
-			cur := inspections.Load()
 			opt.OnRound(core.RoundStat{
 				Round:       stats.Rounds,
-				Prefix:      prefix,
+				Prefix:      roundWindow,
 				Attempted:   before,
-				Resolved:    before - len(active),
+				Resolved:    resolvedThis,
 				Inspections: cur - prevInspections,
 			})
-			prevInspections = cur
 		}
+		prevInspections = cur
 	}
+	stats.PrefixSize = maxWindow
 	stats.EdgeInspections = inspections.Load()
 	return newResult(el, in, stats), nil
 }

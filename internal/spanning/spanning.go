@@ -109,6 +109,14 @@ type Options struct {
 	PrefixSize int
 	PrefixFrac float64
 	Grain      int
+	// Adaptive replaces the fixed window with a measured schedule (see
+	// core.Options.Adaptive). The schedule is a deterministic function
+	// of the run's per-round counters, so adaptive runs stay
+	// reproducible; PrefixSF still returns exactly the sequential
+	// forest for every schedule, while PrefixSFRelaxed — deterministic
+	// per window schedule, like per fixed prefix — may select a
+	// different (equally valid) forest than a fixed-window run.
+	Adaptive bool
 	// OnRound, if non-nil, is called after every round of the
 	// prefix-based algorithms with that round's statistics (see
 	// core.RoundStat). It runs on the round loop's goroutine.
@@ -125,10 +133,9 @@ func (o Options) prefixFor(m int) int {
 		if frac <= 0 {
 			frac = core.DefaultPrefixFrac
 		}
-		if frac > 1 {
-			frac = 1
-		}
-		p = int(frac * float64(m))
+		// Integer ceiling (⌈frac·m⌉): float truncation used to land one
+		// below the documented prefix for fractions like 0.005.
+		p = core.CeilFrac(frac, m)
 	}
 	if p < 1 {
 		p = 1
@@ -137,6 +144,21 @@ func (o Options) prefixFor(m int) int {
 		p = m
 	}
 	return p
+}
+
+// adaptiveInitial mirrors core.Options.adaptiveInitial for edge inputs.
+func (o Options) adaptiveInitial(m int) int {
+	if o.PrefixSize > 0 || o.PrefixFrac > 0 {
+		return o.prefixFor(m)
+	}
+	w := core.AdaptiveStartWindow
+	if w > m {
+		w = m
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // PrefixSF computes the lexicographically-first spanning forest with
@@ -189,10 +211,22 @@ func PrefixSFCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Opt
 	fill32(rootU, 0)
 	fill32(rootV, 0)
 
-	stats := Stats{PrefixSize: prefix}
+	// Per-round window cap: fixed, or driven by the adaptive
+	// controller. Every schedule returns exactly the sequential forest
+	// — the active set always holds the earliest unresolved edges.
+	window := prefix
+	var ctrl *core.AdaptiveController
+	if opt.Adaptive {
+		ctrl = core.NewAdaptiveController(opt.adaptiveInitial(m), core.AdaptiveGrowCap(m), m)
+		window = ctrl.Window()
+	}
+	maxWindow := window
+
+	stats := Stats{}
 	var inspections atomic.Int64
 	var prevInspections int64
-	active := growActive(&ws.active, prefix)
+	active := growActive(&ws.active, window)
+	defer func() { ws.active = active[:0] }()
 	nextRank := 0
 	resolved := 0
 
@@ -200,18 +234,26 @@ func PrefixSFCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Opt
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		for len(active) < prefix && nextRank < m {
+		for len(active) < window && nextRank < m {
 			active = append(active, ord.Order[nextRank])
 			nextRank++
 		}
+		act := active
+		if len(act) > window {
+			act = act[:window]
+		}
+		roundWindow := window
+		if roundWindow > maxWindow {
+			maxWindow = roundWindow
+		}
 		stats.Rounds++
-		stats.Attempts += int64(len(active))
+		stats.Attempts += int64(len(act))
 
 		// Reserve: find roots; drop cycle edges; bid on both roots.
-		parallel.ForRange(len(active), grain, func(lo, hi int) {
+		parallel.ForRange(len(act), grain, func(lo, hi int) {
 			var local int64
 			for i := lo; i < hi; i++ {
-				e := active[i]
+				e := act[i]
 				edge := el.Edges[e]
 				ru := dsu.Find(edge.U)
 				rv := dsu.Find(edge.V)
@@ -231,9 +273,9 @@ func PrefixSFCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Opt
 		// under smaller, so parent ids strictly decrease along links and
 		// the structure stays a forest even across concurrent commits,
 		// which necessarily touch disjoint root pairs).
-		parallel.ForRange(len(active), grain, func(lo, hi int) {
+		parallel.ForRange(len(act), grain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				e := active[i]
+				e := act[i]
 				if atomic.LoadInt32(&status[e]) != 0 {
 					continue
 				}
@@ -252,9 +294,9 @@ func PrefixSFCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Opt
 		})
 
 		// Reset this round's bids.
-		parallel.ForRange(len(active), grain, func(lo, hi int) {
+		parallel.ForRange(len(act), grain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				e := active[i]
+				e := act[i]
 				if rootU[e] != rootV[e] {
 					atomic.StoreInt32(&reserv[rootU[e]], maxRank)
 					atomic.StoreInt32(&reserv[rootV[e]], maxRank)
@@ -262,23 +304,37 @@ func PrefixSFCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Opt
 			}
 		})
 
-		before := len(active)
-		active = parallel.PackInPlace(active, grain, func(i int) bool {
-			return status[active[i]] == 0
+		before := len(act)
+		kept := parallel.PackInPlace(act, grain, func(i int) bool {
+			return status[act[i]] == 0
 		})
-		resolved += before - len(active)
+		if len(act) < len(active) {
+			// Slide the unattempted tail up against the kept retries;
+			// rank order is preserved on both sides of the seam.
+			moved := copy(active[len(kept):], active[len(act):])
+			active = active[:len(kept)+moved]
+		} else {
+			active = kept
+		}
+		resolvedThis := before - len(kept)
+		resolved += resolvedThis
+		cur := inspections.Load()
+		if ctrl != nil {
+			ctrl.Observe(before, resolvedThis, cur-prevInspections)
+			window = ctrl.Window()
+		}
 		if opt.OnRound != nil {
-			cur := inspections.Load()
 			opt.OnRound(core.RoundStat{
 				Round:       stats.Rounds,
-				Prefix:      prefix,
+				Prefix:      roundWindow,
 				Attempted:   before,
-				Resolved:    before - len(active),
+				Resolved:    resolvedThis,
 				Inspections: cur - prevInspections,
 			})
-			prevInspections = cur
 		}
+		prevInspections = cur
 	}
+	stats.PrefixSize = maxWindow
 	stats.EdgeInspections = inspections.Load()
 	return newResult(el, in, stats), nil
 }

@@ -10,8 +10,13 @@ import (
 // name (Algorithm.String / ParseAlgorithm), never by numeric value, so
 // payloads stay readable and stable if the enum is ever reordered.
 type planJSON struct {
-	Algorithm     string  `json:"algorithm"`
-	Seed          uint64  `json:"seed"`
+	Algorithm string `json:"algorithm"`
+	Seed      uint64 `json:"seed"`
+	// Prefix selects the window schedule: absent or "fixed" runs the
+	// fixed window PrefixFrac/PrefixSize denote; "adaptive" runs the
+	// measured doubling/halving schedule (the fields then seed the
+	// initial window). Any other value is rejected.
+	Prefix        string  `json:"prefix,omitempty"`
 	PrefixFrac    float64 `json:"prefix_frac,omitempty"`
 	PrefixSize    int     `json:"prefix_size,omitempty"`
 	Grain         int     `json:"grain,omitempty"`
@@ -19,13 +24,24 @@ type planJSON struct {
 	ExplicitOrder bool    `json:"explicit_order,omitempty"`
 }
 
+// Wire values of planJSON.Prefix.
+const (
+	prefixWireFixed    = "fixed"
+	prefixWireAdaptive = "adaptive"
+)
+
 // MarshalJSON encodes the Plan with its algorithm's canonical name.
 // Plans round-trip exactly: UnmarshalJSON(MarshalJSON(p)) == p. The
 // service layer uses this as the wire form of job submissions.
 func (p Plan) MarshalJSON() ([]byte, error) {
+	prefix := ""
+	if p.AdaptivePrefix {
+		prefix = prefixWireAdaptive
+	}
 	return json.Marshal(planJSON{
 		Algorithm:     p.Algorithm.String(),
 		Seed:          p.Seed,
+		Prefix:        prefix,
 		PrefixFrac:    p.PrefixFrac,
 		PrefixSize:    p.PrefixSize,
 		Grain:         p.Grain,
@@ -50,14 +66,23 @@ func (p *Plan) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return err
 	}
+	adaptive := false
+	switch raw.Prefix {
+	case "", prefixWireFixed:
+	case prefixWireAdaptive:
+		adaptive = true
+	default:
+		return fmt.Errorf("greedy: bad plan: unknown prefix schedule %q (want fixed|adaptive)", raw.Prefix)
+	}
 	*p = Plan{
-		Algorithm:     algo,
-		Seed:          raw.Seed,
-		PrefixFrac:    raw.PrefixFrac,
-		PrefixSize:    raw.PrefixSize,
-		Grain:         raw.Grain,
-		Pointered:     raw.Pointered,
-		ExplicitOrder: raw.ExplicitOrder,
+		Algorithm:      algo,
+		Seed:           raw.Seed,
+		AdaptivePrefix: adaptive,
+		PrefixFrac:     raw.PrefixFrac,
+		PrefixSize:     raw.PrefixSize,
+		Grain:          raw.Grain,
+		Pointered:      raw.Pointered,
+		ExplicitOrder:  raw.ExplicitOrder,
 	}
 	return nil
 }

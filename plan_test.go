@@ -61,6 +61,8 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 		{Algorithm: greedy.AlgoLuby, Seed: 42},
 		{Algorithm: greedy.AlgoRootSet, Seed: 7, PrefixFrac: 0.005, Grain: 128, Pointered: true},
 		{Algorithm: greedy.AlgoSequential, PrefixSize: 1024, ExplicitOrder: true},
+		{Algorithm: greedy.AlgoPrefix, Seed: 3, AdaptivePrefix: true},
+		{Algorithm: greedy.AlgoPrefix, Seed: 3, AdaptivePrefix: true, PrefixFrac: 0.01},
 	}
 	for _, p := range plans {
 		raw, err := json.Marshal(p)

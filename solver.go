@@ -24,6 +24,9 @@ var (
 	// ErrSpanningAlgorithm reports that an algorithm other than
 	// AlgoPrefix or AlgoSequential was requested for spanning forest.
 	ErrSpanningAlgorithm = errors.New("greedy: spanning forest supports algorithms prefix|sequential only")
+	// ErrAdaptiveAlgorithm reports that WithAdaptivePrefix was combined
+	// with an algorithm that has no prefix window to adapt.
+	ErrAdaptiveAlgorithm = errors.New("greedy: adaptive prefix applies to the prefix algorithm only")
 )
 
 // RoundInfo is a per-round progress report streamed to a
@@ -114,6 +117,16 @@ func (s *Solver) config(opts []Option) config {
 	return c
 }
 
+// checkAdaptive rejects WithAdaptivePrefix for algorithms with no
+// prefix window: only AlgoPrefix has one to adapt (AlgoParallel's full
+// prefix is the point of Algorithm 2, the rest are windowless).
+func (c config) checkAdaptive() error {
+	if c.adaptive && c.algorithm != AlgoPrefix {
+		return fmt.Errorf("%w: got %q", ErrAdaptiveAlgorithm, c.algorithm)
+	}
+	return nil
+}
+
 // orderFor returns the priority order the configuration denotes for n
 // items, serving derived orders from the Solver's cache (regenerating a
 // random order is deterministic, so caching is purely an allocation
@@ -165,9 +178,13 @@ func observerFor(c config) func(core.RoundStat) {
 // within one round of the context being cancelled.
 func (s *Solver) MIS(ctx context.Context, g *Graph, opts ...Option) (*MISResult, error) {
 	c := s.config(opts)
+	if err := c.checkAdaptive(); err != nil {
+		return nil, err
+	}
 	coreOpt := core.Options{
 		PrefixFrac: c.prefixFrac,
 		PrefixSize: c.prefixSize,
+		Adaptive:   c.adaptive,
 		Grain:      c.grain,
 		Pointered:  c.pointered,
 		OnRound:    observerFor(c),
@@ -202,6 +219,9 @@ func (s *Solver) MM(ctx context.Context, el EdgeList, opts ...Option) (*MMResult
 	if c.algorithm == AlgoLuby {
 		return nil, ErrLubyMatching
 	}
+	if err := c.checkAdaptive(); err != nil {
+		return nil, err
+	}
 	ord, err := s.orderFor(c, el.NumEdges())
 	if err != nil {
 		return nil, err
@@ -209,6 +229,7 @@ func (s *Solver) MM(ctx context.Context, el EdgeList, opts ...Option) (*MMResult
 	opt := matching.Options{
 		PrefixFrac: c.prefixFrac,
 		PrefixSize: c.prefixSize,
+		Adaptive:   c.adaptive,
 		Grain:      c.grain,
 		OnRound:    observerFor(c),
 		Workspace:  &s.mmWs,
@@ -238,6 +259,9 @@ func (s *Solver) SF(ctx context.Context, el EdgeList, opts ...Option) (*SFResult
 	default:
 		return nil, fmt.Errorf("%w: got %q", ErrSpanningAlgorithm, c.algorithm)
 	}
+	if err := c.checkAdaptive(); err != nil {
+		return nil, err
+	}
 	ord, err := s.orderFor(c, el.NumEdges())
 	if err != nil {
 		return nil, err
@@ -245,6 +269,7 @@ func (s *Solver) SF(ctx context.Context, el EdgeList, opts ...Option) (*SFResult
 	opt := spanning.Options{
 		PrefixFrac: c.prefixFrac,
 		PrefixSize: c.prefixSize,
+		Adaptive:   c.adaptive,
 		Grain:      c.grain,
 		OnRound:    observerFor(c),
 		Workspace:  &s.sfWs,
