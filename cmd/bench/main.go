@@ -24,6 +24,15 @@
 //	bench -matrix                               # full matrix -> BENCH_pr3.json
 //	bench -smoke                                # CI smoke leg, seconds
 //	bench -matrix -out /tmp/report.json -reps 5
+//
+// The churn matrix (-churn) is the dynamic-graph harness: it maintains
+// MIS and MM under randomized update batches over random / rMat / grid
+// inputs, times incremental cone repair against from-scratch
+// sequential recompute per batch size, verifies the maintained
+// solutions bit-identical to sequential, and writes BENCH_pr4.json:
+//
+//	bench -churn                                # full scale (1M-vertex random)
+//	bench -churn -smoke                         # CI churn-smoke leg, seconds
 package main
 
 import (
@@ -49,10 +58,27 @@ func main() {
 		fracs      = flag.String("fracs", "", "comma-separated prefix fractions for fig1/fig2 (default: built-in sweep)")
 		prefixFrac = flag.Float64("prefix", 0, "prefix fraction for fig3/fig4 (0 = default)")
 		matrix     = flag.Bool("matrix", false, "run the fixed-vs-adaptive scenario matrix and write a JSON report")
-		smoke      = flag.Bool("smoke", false, "scenario matrix at the smallest sizes (implies -matrix; the CI smoke leg)")
-		out        = flag.String("out", "BENCH_pr3.json", "output path of the scenario-matrix JSON report")
+		churn      = flag.Bool("churn", false, "run the dynamic-graph churn matrix (repair vs recompute) and write a JSON report")
+		smoke      = flag.Bool("smoke", false, "matrix/churn at the smallest sizes (implies -matrix unless -churn; the CI smoke legs)")
+		batches    = flag.Int("batches", 0, "timed update batches per churn cell (0: default 16)")
+		out        = flag.String("out", "", "output path of the JSON report (default BENCH_pr3.json for -matrix, BENCH_pr4.json for -churn)")
 	)
 	flag.Parse()
+
+	if *churn {
+		report := bench.RunChurn(bench.ChurnConfig{Smoke: *smoke, Reps: *reps, Batches: *batches})
+		path := *out
+		if path == "" {
+			path = "BENCH_pr4.json"
+		}
+		if err := os.WriteFile(path, report.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.ChurnTable(report))
+		fmt.Printf("wrote %s\n", path)
+		return
+	}
 
 	if *matrix || *smoke {
 		fracList, err := parseFloats(*fracs)
@@ -61,12 +87,16 @@ func main() {
 			os.Exit(2)
 		}
 		report := bench.RunMatrix(bench.MatrixConfig{Smoke: *smoke, Reps: *reps, Fracs: fracList})
-		if err := os.WriteFile(*out, report.JSON(), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", *out, err)
+		path := *out
+		if path == "" {
+			path = "BENCH_pr3.json"
+		}
+		if err := os.WriteFile(path, report.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", path, err)
 			os.Exit(1)
 		}
 		fmt.Println(bench.MatrixTable(report))
-		fmt.Printf("wrote %s\n", *out)
+		fmt.Printf("wrote %s\n", path)
 		return
 	}
 

@@ -33,15 +33,17 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 4096, "maximum queued jobs")
 		ttl        = flag.Duration("ttl", 15*time.Minute, "finished-job retention")
 		maxUpload  = flag.Int64("max-upload-bytes", 512<<20, "maximum graph upload size")
+		dynSess    = flag.Int("dynamic-sessions", 0, "cached dynamic sessions (0: default 8, <0: disable repair)")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		CacheBytes:     *cacheBytes,
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		ResultTTL:      *ttl,
-		MaxUploadBytes: *maxUpload,
+		CacheBytes:      *cacheBytes,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		ResultTTL:       *ttl,
+		MaxUploadBytes:  *maxUpload,
+		DynamicSessions: *dynSess,
 	})
 	defer svc.Close()
 

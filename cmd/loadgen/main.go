@@ -12,12 +12,20 @@
 // and measures how long the running job takes to acknowledge the
 // cancellation (bounded by one round of the algorithm).
 //
+// With -churn it drives the dynamic-graph path: alongside the submit
+// workers, a churner goroutine PATCHes the newest graph version with
+// randomized edge-update batches (mirrored locally so every batch is
+// valid), the submit workers target the newest version with dynamic
+// plans, and the report shows how many executions the daemon answered
+// by incremental session repair instead of recompute.
+//
 // Usage:
 //
 //	loadgen -addr http://localhost:8080 -duration 10s -concurrency 8
 //	loadgen -addr http://localhost:8080 -gen rmat -n 131072 -m 1000000
 //	loadgen -addr http://localhost:8080 -job-seeds 1000000   # ~all unique
 //	loadgen -addr http://localhost:8080 -cancel-demo -n 2000000 -m 10000000
+//	loadgen -addr http://localhost:8080 -churn -churn-batch 8 -churn-interval 50ms
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	greedy "repro"
@@ -54,6 +63,9 @@ func main() {
 		rngSeed     = flag.Int64("rng-seed", 1, "client-side traffic shuffle seed")
 		poll        = flag.Duration("poll", time.Millisecond, "job status poll interval")
 		cancelDemo  = flag.Bool("cancel-demo", false, "run the cancellation demonstration instead of load")
+		churn       = flag.Bool("churn", false, "mixed submit/update workload: PATCH edge churn + dynamic-plan jobs on the newest version")
+		churnBatch  = flag.Int("churn-batch", 8, "updates per PATCH batch in -churn mode")
+		churnEvery  = flag.Duration("churn-interval", 50*time.Millisecond, "delay between PATCH batches in -churn mode")
 	)
 	flag.Parse()
 
@@ -100,6 +112,29 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *churn && algo == greedy.AlgoLuby {
+		// Every dynamic plan with Luby would be rejected at submission.
+		fmt.Fprintln(os.Stderr, "loadgen: -churn submits dynamic plans, which cannot use -algorithm luby")
+		os.Exit(2)
+	}
+	if *churn {
+		// Dynamic plans exist for MIS and MM only; drop sf from the mix
+		// rather than submitting jobs the daemon must reject.
+		kept := mix[:0]
+		for _, p := range mix {
+			if strings.TrimSpace(p) != "sf" {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) < len(mix) {
+			fmt.Fprintln(os.Stderr, "loadgen: -churn drops sf from the problem mix (no dynamic spanning forest)")
+		}
+		mix = kept
+		if len(mix) == 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: -churn needs mis and/or mm in -problems")
+			os.Exit(2)
+		}
+	}
 
 	w := bench.Workload{Kind: *gen, N: *n, M: *m, Seed: *graphSeed}
 	if *shrink >= 0 {
@@ -133,6 +168,22 @@ func main() {
 	)
 	started := time.Now()
 	deadline := started.Add(*duration)
+
+	// The newest graph version; submit workers read it, the churner
+	// replaces it after every successful PATCH.
+	var latestID atomic.Value
+	latestID.Store(gresp.ID)
+	var patches, patchFailures, patchedEdges int64
+	var churnWG sync.WaitGroup
+	if *churn {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			runChurner(ctx, client, w, &latestID, deadline,
+				*churnBatch, *churnEvery, *rngSeed, &patches, &patchFailures, &patchedEdges)
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for i := 0; i < *concurrency; i++ {
 		wg.Add(1)
@@ -144,9 +195,10 @@ func main() {
 				seed := uint64(rng.Intn(*jobSeeds))
 				start := time.Now()
 				resp, err := client.Submit(ctx, service.JobRequest{
-					GraphID: gresp.ID,
+					GraphID: latestID.Load().(string),
 					Problem: problem,
-					Plan:    greedy.Plan{Algorithm: algo, Seed: seed, PrefixFrac: *prefixFrac, AdaptivePrefix: *adaptive},
+					Plan: greedy.Plan{Algorithm: algo, Seed: seed, PrefixFrac: *prefixFrac,
+						AdaptivePrefix: *adaptive, Dynamic: *churn},
 				})
 				if err != nil {
 					mu.Lock()
@@ -179,6 +231,7 @@ func main() {
 		}(i)
 	}
 	wg.Wait()
+	churnWG.Wait()
 	// Measured wall time, not the nominal -duration: workers finish
 	// their in-flight job after the deadline, and throughput must not
 	// be overstated by dividing by the shorter nominal window.
@@ -226,6 +279,21 @@ func main() {
 	}
 	fmt.Printf("loadgen: server saw %d submissions, %d dedup hits (%.1f%%), %d executions\n",
 		submitted, dedup, pct, executed)
+	if *churn {
+		repaired := clamp(after.Jobs.Repaired - before.Jobs.Repaired)
+		serverPatches := clamp(after.Registry.Patches - before.Registry.Patches)
+		repairedPct := 0.0
+		if executed > 0 {
+			repairedPct = 100 * float64(repaired) / float64(executed)
+		}
+		fmt.Printf("loadgen: churn: %d PATCH batches ok (%d updates, %d failures), server counted %d patches\n",
+			patches, patchedEdges, patchFailures, serverPatches)
+		fmt.Printf("loadgen: churn: %d/%d executions answered by incremental repair (%.1f%%), final version %s\n",
+			repaired, executed, repairedPct, latestID.Load().(string))
+		if patches > 0 && repaired == 0 && executed > 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: churn: WARNING: no execution was repaired; is -dynamic-sessions disabled on the server?")
+		}
+	}
 	switch {
 	case executed > 0 && after.Runtime.Mallocs >= before.Runtime.Mallocs &&
 		after.Runtime.TotalAllocBytes >= before.Runtime.TotalAllocBytes:
@@ -269,6 +337,46 @@ func main() {
 
 	if failures > 0 {
 		os.Exit(1)
+	}
+}
+
+// runChurner mirrors the server-side graph locally (via the bench
+// harness's ChurnMutator, the same generator the churn matrix uses)
+// and drives PATCH batches against the newest version until the
+// deadline. Batches are drawn without touching the mirror and
+// committed only after the server accepts them, so a PATCH failure
+// leaves the mirror consistent and is counted instead of retried
+// blindly.
+func runChurner(ctx context.Context, client *service.Client, w bench.Workload, latestID *atomic.Value,
+	deadline time.Time, batchSize int, interval time.Duration, seed int64,
+	patches, failures, updates *int64) {
+	g := w.Build()
+	if g.NumVertices() < 2 {
+		return
+	}
+	cm := bench.NewChurnMutator(g, uint64(seed)+7919)
+	for time.Now().Before(deadline) {
+		time.Sleep(interval)
+		if !time.Now().Before(deadline) {
+			return
+		}
+		batch := cm.Draw(batchSize)
+		if len(batch) == 0 {
+			continue
+		}
+		req := service.PatchRequest{}
+		for _, up := range batch {
+			req.Updates = append(req.Updates, service.PatchUpdate{Op: up.Op.String(), U: up.U, V: up.V})
+		}
+		resp, err := client.Patch(ctx, latestID.Load().(string), req)
+		if err != nil {
+			atomic.AddInt64(failures, 1)
+			continue
+		}
+		cm.Commit(batch)
+		latestID.Store(resp.ID)
+		atomic.AddInt64(patches, 1)
+		atomic.AddInt64(updates, int64(len(batch)))
 	}
 }
 

@@ -59,6 +59,25 @@
 // Solver methods return those conditions as errors (ErrLubyMatching,
 // ErrOrderSize, ErrSpanningAlgorithm).
 //
+// # Dynamic graphs
+//
+// Solver.MISDynamic and Solver.MMDynamic return session handles that
+// maintain a solution under streams of edge insertions and deletions:
+// each Apply repairs only the affected priority cone (the downstream
+// closure of the changed edges in the priority DAG — expectedly tiny
+// and independent of n on sparse graphs) instead of recomputing, and
+// the maintained result is always bit-identical to a from-scratch
+// sequential greedy run on the mutated graph:
+//
+//	sess, err := solver.MISDynamic(ctx, g)
+//	stats, err := sess.Apply(ctx, []greedy.DynamicUpdate{{Op: greedy.OpAdd, U: 1, V: 2}})
+//	res := sess.Result()
+//
+// WithDynamic selects the same churn-stable priorities for one-shot
+// runs (a no-op for MIS, hash-derived edge priorities for MM), which
+// is what lets the service answer a dynamic-plan job by repair or by
+// recompute interchangeably.
+//
 // # Plans
 //
 // A Plan is the resolved, serializable form of an option list and
@@ -68,9 +87,10 @@
 // The internal packages hold the substance: internal/core (MIS,
 // priority-DAG analyzers), internal/matching (MM), internal/spanning,
 // internal/reservations (the deterministic-reservations framework),
+// internal/dynamic (incremental MIS/MM maintenance under edge churn),
 // internal/graph (CSR graphs, generators, I/O), internal/parallel
 // (fork-join primitives), internal/service (the greedyd serving layer
-// with cancellable jobs and live progress) and internal/bench (the
-// experiment harness reproducing every figure; see cmd/bench and
-// EXPERIMENTS.md).
+// with cancellable jobs, graph versioning via PATCH, and live
+// progress) and internal/bench (the experiment harness reproducing
+// every figure; see cmd/bench and EXPERIMENTS.md).
 package greedy

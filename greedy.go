@@ -120,6 +120,7 @@ type config struct {
 	prefixFrac float64
 	prefixSize int
 	adaptive   bool
+	dynamic    bool
 	grain      int
 	pointered  bool
 	observer   func(RoundInfo)
@@ -162,6 +163,21 @@ func WithPrefixSize(size int) Option { return func(c *config) { c.prefixSize = s
 // algorithm other than AlgoPrefix is reported as ErrAdaptiveAlgorithm.
 func WithAdaptivePrefix() Option { return func(c *config) { c.adaptive = true } }
 
+// WithDynamic selects churn-stable priorities, the ones the dynamic
+// subsystem maintains incrementally (see Solver.MISDynamic/MMDynamic):
+// MIS keeps the usual per-vertex random order (already stable — the
+// vertex set does not change under edge churn), while MM derives each
+// edge's priority from a hash of (seed, endpoints) instead of a
+// permutation of edge identifiers, so an edge keeps its priority no
+// matter when it enters or leaves the graph. A one-shot Solver.MM run
+// with WithDynamic computes exactly the matching a dynamic session
+// with the same seed maintains — which is what lets the service layer
+// answer a dynamic-plan job either by repair or by recompute
+// interchangeably. Spanning forest and Luby have no churn-stable
+// variant; requesting them with WithDynamic is reported as
+// ErrDynamicUnsupported.
+func WithDynamic() Option { return func(c *config) { c.dynamic = true } }
+
 // WithGrain sets the parallel-loop grain size (default 256, as in the
 // paper).
 func WithGrain(grain int) Option { return func(c *config) { c.grain = grain } }
@@ -196,8 +212,12 @@ type Plan struct {
 	// plan), so adaptive plans stay valid dedup keys; on the wire it
 	// travels as "prefix": "adaptive".
 	AdaptivePrefix bool
-	Grain          int
-	Pointered      bool
+	// Dynamic selects the churn-stable priorities of WithDynamic. It
+	// participates in dedup keys: a dynamic MM plan selects a different
+	// (hash-priority) matching than the identifier-permutation plans.
+	Dynamic   bool
+	Grain     int
+	Pointered bool
 	// ExplicitOrder reports that WithOrder was supplied; such a
 	// configuration must not be used as a dedup key.
 	ExplicitOrder bool
@@ -214,6 +234,7 @@ func ResolvePlan(opts ...Option) Plan {
 		PrefixFrac:     c.prefixFrac,
 		PrefixSize:     c.prefixSize,
 		AdaptivePrefix: c.adaptive,
+		Dynamic:        c.dynamic,
 		Grain:          c.grain,
 		Pointered:      c.pointered,
 		ExplicitOrder:  c.order != nil,
@@ -233,6 +254,9 @@ func (p Plan) Options() []Option {
 	}
 	if p.AdaptivePrefix {
 		opts = append(opts, WithAdaptivePrefix())
+	}
+	if p.Dynamic {
+		opts = append(opts, WithDynamic())
 	}
 	if p.Grain != 0 {
 		opts = append(opts, WithGrain(p.Grain))

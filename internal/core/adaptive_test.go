@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // TestAdaptiveMISMatchesSequential is the adaptive tentpole contract:
@@ -242,5 +243,88 @@ func TestAdaptiveShrinkKeepsEarliestWindow(t *testing.T) {
 	}
 	if !r.Equal(SequentialMIS(g, ord)) {
 		t.Fatal("adaptive MIS differs from sequential after shrinking rounds")
+	}
+}
+
+// TestAdaptiveGrowCapTinyGraph pins the cap arithmetic for inputs
+// smaller than the parallel-slack product GOMAXPROCS·256: there the
+// input size, not the slack formula, must bound the cap — and the
+// AdaptiveStartWindow floor must never push the cap past n.
+func TestAdaptiveGrowCapTinyGraph(t *testing.T) {
+	slack := adaptiveSlackChunks * parallel.Procs() * parallel.DefaultGrain
+	cases := []struct{ n, want int }{
+		{0, 1},                 // degenerate: the [1, ...] clamp
+		{1, 1},                 // single vertex
+		{100, 100},             // below AdaptiveStartWindow: n wins over the 256 floor
+		{255, 255},             // one under the start window
+		{256, 256},             // exactly the start window
+		{slack - 1, slack - 1}, // one under the slack product: still n
+		{slack, slack},         // exactly the slack product
+		{slack + 100, slack},   // above it: the slack cap takes over
+		{100 * slack, slack},   // far above: unchanged
+	}
+	for _, tc := range cases {
+		if got := AdaptiveGrowCap(tc.n); got != tc.want {
+			t.Errorf("AdaptiveGrowCap(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestAdaptiveControllerTinyGraph drives a controller sized for a tiny
+// input (n < GOMAXPROCS·256) through perfect-acceptance rounds: the
+// window must climb to exactly n and stay there — the grow cap, the
+// max bound and the doubling sequence all collapse onto the input
+// size.
+func TestAdaptiveControllerTinyGraph(t *testing.T) {
+	const n = 100 // < 256 <= GOMAXPROCS·256
+	c := NewAdaptiveController(Options{}.adaptiveInitial(n), AdaptiveGrowCap(n), n)
+	if c.Window() != n {
+		// adaptiveInitial clamps the 256 default start to n.
+		t.Fatalf("initial window %d, want n=%d", c.Window(), n)
+	}
+	for i := 0; i < 20; i++ {
+		w := c.Window()
+		c.Observe(w, w, int64(2*w))
+		if c.Window() > n {
+			t.Fatalf("round %d: window %d exceeded n=%d", i, c.Window(), n)
+		}
+	}
+	if c.Window() != n {
+		t.Fatalf("steady-state window %d, want n=%d", c.Window(), n)
+	}
+	// A mid-size tiny input (AdaptiveStartWindow < n < slack product):
+	// doubling stops exactly at n even though the slack cap is larger.
+	const n2 = 300
+	c2 := NewAdaptiveController(Options{}.adaptiveInitial(n2), AdaptiveGrowCap(n2), n2)
+	if c2.Window() != AdaptiveStartWindow {
+		t.Fatalf("initial window %d, want %d", c2.Window(), AdaptiveStartWindow)
+	}
+	for i := 0; i < 10; i++ {
+		w := c2.Window()
+		c2.Observe(w, w, int64(2*w))
+	}
+	if c2.Window() != n2 {
+		t.Fatalf("steady-state window %d, want n=%d", c2.Window(), n2)
+	}
+}
+
+// TestAdaptiveTinyGraphEndToEnd runs the adaptive prefix loop on
+// inputs below every cap threshold and checks both the answer (always
+// the sequential MIS) and that no executed window exceeds the input.
+func TestAdaptiveTinyGraphEndToEnd(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 50, 255} {
+		g := graph.Path(n)
+		ord := NewRandomOrder(n, 3)
+		r := PrefixMIS(g, ord, Options{Adaptive: true, OnRound: func(rs RoundStat) {
+			if rs.Prefix > n {
+				t.Errorf("n=%d: executed window %d exceeds input", n, rs.Prefix)
+			}
+		}})
+		if !r.Equal(SequentialMIS(g, ord)) {
+			t.Errorf("n=%d: adaptive MIS differs from sequential", n)
+		}
+		if r.Stats.PrefixSize > n {
+			t.Errorf("n=%d: PrefixSize %d exceeds input", n, r.Stats.PrefixSize)
+		}
 	}
 }

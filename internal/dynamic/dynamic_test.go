@@ -1,0 +1,338 @@
+package dynamic
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/rng"
+)
+
+// verifyAgainstScratch asserts the maintained solutions are
+// bit-identical to from-scratch sequential greedy runs on the mutated
+// graph under the same priorities — the package's central contract.
+func verifyAgainstScratch(t *testing.T, mt *Maintainer, seed uint64) {
+	t.Helper()
+	g := mt.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("materialized graph invalid: %v", err)
+	}
+	if mt.mis != nil {
+		want := core.SequentialMIS(g, mt.Order())
+		got := mt.MISResult()
+		if len(got.InSet) != len(want.InSet) {
+			t.Fatalf("MIS size mismatch: %d vs %d", len(got.InSet), len(want.InSet))
+		}
+		for v := range want.InSet {
+			if got.InSet[v] != want.InSet[v] {
+				t.Fatalf("MIS differs from sequential at vertex %d (got %v want %v)", v, got.InSet[v], want.InSet[v])
+			}
+		}
+	}
+	if mt.mm != nil {
+		el := g.EdgeList()
+		want := matching.SequentialMM(el, EdgeOrder(el, seed))
+		got := mt.MatchingPairs()
+		if len(got) != len(want.Pairs) {
+			t.Fatalf("MM size mismatch: %d vs %d", len(got), len(want.Pairs))
+		}
+		for i := range got {
+			if got[i] != want.Pairs[i] {
+				t.Fatalf("MM differs from sequential at pair %d: got %v want %v", i, got[i], want.Pairs[i])
+			}
+		}
+		mate := mt.Mate()
+		for v := range want.Mate {
+			if mate[v] != want.Mate[v] {
+				t.Fatalf("mate differs at vertex %d: got %d want %d", v, mate[v], want.Mate[v])
+			}
+		}
+	}
+}
+
+// randomBatch builds a valid batch of size k against mt's current
+// graph: a mix of deletions of present edges and insertions of absent
+// pairs, no edge repeated within the batch.
+func randomBatch(x *rng.Xoshiro256, mt *Maintainer, k int) []Update {
+	g := mt.Graph()
+	edges := g.Edges()
+	n := mt.NumVertices()
+	var batch []Update
+	used := make(map[[2]int32]bool)
+	for len(batch) < k {
+		if len(edges) > 0 && (x.Intn(2) == 0 || n < 3) {
+			e := edges[x.Intn(len(edges))]
+			key := [2]int32{e.U, e.V}
+			if used[key] {
+				continue
+			}
+			used[key] = true
+			batch = append(batch, Update{Op: OpDel, U: e.U, V: e.V})
+		} else {
+			u := int32(x.Intn(n))
+			v := int32(x.Intn(n))
+			if u == v {
+				continue
+			}
+			cu, cv := canonical(u, v)
+			key := [2]int32{cu, cv}
+			if used[key] || mt.HasEdge(u, v) {
+				continue
+			}
+			used[key] = true
+			batch = append(batch, Update{Op: OpAdd, U: u, V: v})
+		}
+	}
+	return batch
+}
+
+func families(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	base := graph.Random(400, 1200, 7)
+	lg, _ := graph.LineGraph(graph.Random(60, 150, 3))
+	return map[string]*graph.Graph{
+		"random":    base,
+		"rmat":      graph.RMat(9, 1500, 11, graph.DefaultRMatOptions()),
+		"grid":      graph.Grid2D(20, 20),
+		"linegraph": lg,
+		"empty":     graph.Empty(50),
+	}
+}
+
+// TestRepairEquivalence drives randomized update batches of several
+// sizes over several graph families and asserts bit-identical
+// agreement with from-scratch sequential runs after every batch.
+func TestRepairEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for name, g := range families(t) {
+		t.Run(name, func(t *testing.T) {
+			const seed = 5
+			mt, err := NewMaintainer(ctx, g, Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyAgainstScratch(t, mt, seed)
+			x := rng.NewXoshiro256(99)
+			for step, k := range []int{1, 1, 2, 7, 1, 31, 3, 64, 1} {
+				batch := randomBatch(x, mt, k)
+				st, err := mt.Apply(ctx, batch)
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if st.Added+st.Removed != len(batch) {
+					t.Fatalf("step %d: applied %d+%d updates, want %d", step, st.Added, st.Removed, len(batch))
+				}
+				verifyAgainstScratch(t, mt, seed)
+			}
+		})
+	}
+}
+
+// TestRepairEquivalenceExplicitOrder checks MIS maintenance under an
+// explicit (identity) order — the adversarial lexicographically-first
+// instance.
+func TestRepairEquivalenceExplicitOrder(t *testing.T) {
+	ctx := context.Background()
+	g := graph.Grid2D(12, 12)
+	ord := core.IdentityOrder(g.NumVertices())
+	mt, err := NewMaintainer(ctx, g, Config{MIS: true, Order: &ord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.NewXoshiro256(3)
+	for i := 0; i < 12; i++ {
+		if _, err := mt.Apply(ctx, randomBatch(x, mt, 5)); err != nil {
+			t.Fatal(err)
+		}
+		verifyAgainstScratch(t, mt, 0)
+	}
+}
+
+// TestCompaction forces the churn threshold and checks the overlay is
+// folded into a fresh CSR without changing answers.
+func TestCompaction(t *testing.T) {
+	ctx := context.Background()
+	g := graph.Random(120, 300, 1)
+	mt, err := NewMaintainer(ctx, g, Config{Seed: 2, ChurnFrac: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.NewXoshiro256(17)
+	compacted := false
+	for i := 0; i < 10; i++ {
+		st, err := mt.Apply(ctx, randomBatch(x, mt, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Compacted {
+			compacted = true
+			if mt.ov.churn != 0 || len(mt.ov.add) != 0 || len(mt.ov.del) != 0 {
+				t.Fatal("compaction left overlay deltas behind")
+			}
+		}
+		verifyAgainstScratch(t, mt, 2)
+	}
+	if !compacted {
+		t.Fatal("churn threshold 0.01 never triggered compaction over 200 updates")
+	}
+	// Negative ChurnFrac disables compaction entirely.
+	mt2, err := NewMaintainer(ctx, g, Config{Seed: 2, ChurnFrac: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		st, err := mt2.Apply(ctx, randomBatch(x, mt2, 30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Compacted {
+			t.Fatal("ChurnFrac < 0 must disable compaction")
+		}
+	}
+}
+
+// TestBatchValidation checks every rejection path and that a rejected
+// batch mutates nothing.
+func TestBatchValidation(t *testing.T) {
+	ctx := context.Background()
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	mt, err := NewMaintainer(ctx, g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		batch []Update
+	}{
+		{"self loop", []Update{{Op: OpAdd, U: 2, V: 2}}},
+		{"out of range", []Update{{Op: OpAdd, U: 0, V: 4}}},
+		{"negative", []Update{{Op: OpDel, U: -1, V: 1}}},
+		{"add existing", []Update{{Op: OpAdd, U: 1, V: 0}}},
+		{"del missing", []Update{{Op: OpDel, U: 0, V: 3}}},
+		{"dup in batch", []Update{{Op: OpAdd, U: 0, V: 2}, {Op: OpAdd, U: 2, V: 0}}},
+		{"add then del same edge", []Update{{Op: OpAdd, U: 0, V: 2}, {Op: OpDel, U: 0, V: 2}}},
+		{"unknown op", []Update{{Op: Op(9), U: 0, V: 2}}},
+		{"valid then invalid", []Update{{Op: OpDel, U: 0, V: 1}, {Op: OpAdd, U: 3, V: 3}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := mt.NumEdges()
+			_, err := mt.Apply(ctx, tc.batch)
+			if !errors.Is(err, ErrBadUpdate) {
+				t.Fatalf("got %v, want ErrBadUpdate", err)
+			}
+			if mt.NumEdges() != before {
+				t.Fatal("rejected batch mutated the graph")
+			}
+			verifyAgainstScratch(t, mt, 0)
+		})
+	}
+}
+
+// TestInertUpdatesSkipRepair checks the provably-inert seed pruning: a
+// change incident to an Out earlier endpoint produces no MIS seeds and
+// therefore zero repair work.
+func TestInertUpdatesSkipRepair(t *testing.T) {
+	ctx := context.Background()
+	// Path 0-1-2 under identity order: 0 in, 1 out, 2 in.
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	ord := core.IdentityOrder(4)
+	mt, err := NewMaintainer(ctx, g, Config{MIS: true, Order: &ord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert {1,3}: earlier endpoint 1 is Out, so 3's decision cannot
+	// change — no seeds, no cone.
+	st, err := mt.Apply(ctx, []Update{{Op: OpAdd, U: 1, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MIS.Seeds != 0 || st.MIS.Cone != 0 || st.MIS.Rounds != 0 {
+		t.Fatalf("inert insert ran repair: %+v", st.MIS)
+	}
+	verifyAgainstScratch(t, mt, 0)
+	// Insert {0,3}: earlier endpoint 0 is In, 3 must flip out.
+	st, err = mt.Apply(ctx, []Update{{Op: OpAdd, U: 0, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MIS.Seeds == 0 || st.MIS.Changed == 0 {
+		t.Fatalf("effective insert reported no repair: %+v", st.MIS)
+	}
+	verifyAgainstScratch(t, mt, 0)
+}
+
+// TestRepairLocality checks the headline property on a larger random
+// graph: single-edge repair touches a cone that is orders of magnitude
+// smaller than the graph.
+func TestRepairLocality(t *testing.T) {
+	ctx := context.Background()
+	g := graph.Random(50_000, 250_000, 21)
+	const seed = 9
+	mt, err := NewMaintainer(ctx, g, Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.NewXoshiro256(5)
+	var totalCone int64
+	const steps = 40
+	for i := 0; i < steps; i++ {
+		st, err := mt.Apply(ctx, randomBatch(x, mt, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalCone += int64(st.MIS.Cone) + int64(st.MM.Cone)
+	}
+	if avg := totalCone / steps; avg > int64(g.NumVertices())/10 {
+		t.Fatalf("mean repair cone %d is not small relative to n=%d", avg, g.NumVertices())
+	}
+	verifyAgainstScratch(t, mt, seed)
+}
+
+// TestMaintainerCancellation checks that a context cancelled before
+// Apply is honored and that a cancelled initial computation returns no
+// Maintainer.
+func TestMaintainerCancellation(t *testing.T) {
+	g := graph.Random(1000, 3000, 1)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewMaintainer(cancelled, g, Config{}); err == nil {
+		t.Fatal("NewMaintainer succeeded with a cancelled context")
+	}
+	mt, err := NewMaintainer(context.Background(), g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mt.Apply(cancelled, []Update{{Op: OpAdd, U: 0, V: 999}}); err == nil {
+		t.Fatal("Apply succeeded with a cancelled context")
+	}
+	// The cancellation was observed before any mutation: the maintainer
+	// is still usable.
+	if _, err := mt.Apply(context.Background(), randomBatch(rng.NewXoshiro256(1), mt, 3)); err != nil {
+		t.Fatal(err)
+	}
+	verifyAgainstScratch(t, mt, 0)
+}
+
+// TestEdgeOrderStability checks that EdgePriority-derived orders rank
+// surviving edges identically across graph versions — the property
+// that makes matching maintenance well defined.
+func TestEdgeOrderStability(t *testing.T) {
+	g := graph.Random(100, 300, 4)
+	el := g.EdgeList()
+	ord := EdgeOrder(el, 8)
+	if err := ord.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Relative order of two fixed edges must not depend on the rest of
+	// the edge set.
+	a, b := el.Edges[0], el.Edges[1]
+	abBefore := ord.Rank[0] < ord.Rank[1]
+	pa, pb := EdgePriority(a.U, a.V, 8), EdgePriority(b.U, b.V, 8)
+	if (pa < pb) != abBefore {
+		t.Fatal("EdgeOrder disagrees with raw EdgePriority comparison")
+	}
+}

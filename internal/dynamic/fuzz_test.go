@@ -1,0 +1,118 @@
+package dynamic
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// FuzzConeRepair is the cone-repair equivalence fuzz target: arbitrary
+// bytes are decoded into a base graph and a stream of update batches,
+// and after every batch the maintained MIS and matching must be
+// bit-identical to from-scratch sequential greedy runs on the mutated
+// graph. Run with `go test -fuzz=FuzzConeRepair ./internal/dynamic`;
+// the seed corpus also runs under plain `go test`.
+//
+// Ops are decoded so that every generated batch is valid (an absent
+// edge is inserted, a present edge is deleted, intra-batch duplicates
+// are skipped), keeping the fuzzer exploring repair paths rather than
+// validation rejections — the validation paths have their own table
+// test.
+func FuzzConeRepair(f *testing.F) {
+	f.Add(uint8(8), uint64(1), []byte{0, 1, 1, 2, 2, 3}, []byte{0, 3, 1, 2, 0, 1})
+	f.Add(uint8(3), uint64(42), []byte{}, []byte{0, 1, 1, 2, 0, 2, 0, 1})
+	f.Add(uint8(20), uint64(7), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, []byte{1, 9, 2, 8, 3, 7, 1, 9})
+	f.Add(uint8(0), uint64(0), []byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, rawN uint8, seed uint64, baseEdges []byte, ops []byte) {
+		n := int(rawN%40) + 2
+		edges := make([]graph.Edge, 0, len(baseEdges)/2)
+		for i := 0; i+1 < len(baseEdges); i += 2 {
+			u := graph.Vertex(int(baseEdges[i]) % n)
+			v := graph.Vertex(int(baseEdges[i+1]) % n)
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+		// FromEdges drops self loops and merges duplicates, so any byte
+		// soup yields a valid simple base graph.
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			t.Fatalf("base graph: %v", err)
+		}
+		ctx := context.Background()
+		mt, err := NewMaintainer(ctx, g, Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("maintainer: %v", err)
+		}
+		// Decode ops into batches: byte pairs name an endpoint pair, a
+		// third byte every 3 pairs bounds the batch length, toggling
+		// presence keeps every batch valid.
+		var batch []Update
+		inBatch := make(map[[2]int32]bool)
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			if _, err := mt.Apply(ctx, batch); err != nil {
+				t.Fatalf("apply %v: %v", batch, err)
+			}
+			verifyFuzz(t, mt, seed)
+			batch = batch[:0]
+			clear(inBatch)
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			u := int32(int(ops[i]) % n)
+			v := int32(int(ops[i+1]) % n)
+			if u == v {
+				flush() // reuse degenerate pairs as batch boundaries
+				continue
+			}
+			cu, cv := canonical(u, v)
+			if inBatch[[2]int32{cu, cv}] {
+				continue
+			}
+			inBatch[[2]int32{cu, cv}] = true
+			// Each edge appears at most once per batch, so presence at
+			// batch start equals presence at validation time: toggling
+			// keeps the batch valid.
+			op := OpAdd
+			if mt.HasEdge(cu, cv) {
+				op = OpDel
+			}
+			batch = append(batch, Update{Op: op, U: u, V: v})
+			if len(batch) >= 5 {
+				flush()
+			}
+		}
+		flush()
+	})
+}
+
+// verifyFuzz is the fuzz-path equivalence check (a lighter clone of the
+// test helper, fatal on first divergence).
+func verifyFuzz(t *testing.T, mt *Maintainer, seed uint64) {
+	t.Helper()
+	g := mt.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("materialized graph invalid: %v", err)
+	}
+	want := core.SequentialMIS(g, mt.Order())
+	got := mt.MISResult()
+	for v := range want.InSet {
+		if got.InSet[v] != want.InSet[v] {
+			t.Fatalf("MIS diverged at vertex %d", v)
+		}
+	}
+	el := g.EdgeList()
+	wantMM := matching.SequentialMM(el, EdgeOrder(el, seed))
+	gotPairs := mt.MatchingPairs()
+	if len(gotPairs) != len(wantMM.Pairs) {
+		t.Fatalf("MM size diverged: %d vs %d", len(gotPairs), len(wantMM.Pairs))
+	}
+	for i := range gotPairs {
+		if gotPairs[i] != wantMM.Pairs[i] {
+			t.Fatalf("MM diverged at pair %d", i)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package dynamic
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Item statuses, identical in meaning to the core/matching packages'
+// (monotone undecided -> in|out within one resolution, reset only for
+// cone members between resolutions).
+const (
+	statusUndecided int32 = 0
+	statusIn        int32 = 1
+	statusOut       int32 = 2
+)
+
+// misState maintains the greedy MIS of the overlay under the fixed
+// vertex order ord.
+type misState struct {
+	ord    core.Order
+	status []int32
+
+	cs        core.ConeScratch
+	seedBuf   []int32
+	cone      []int32
+	oldBuf    []int32
+	activeBuf []int32
+	outcome   []int32
+}
+
+// newMISState computes the initial MIS of g under ord with the
+// library's prefix round loop and captures its status vector.
+func newMISState(ctx context.Context, g *graph.Graph, ord core.Order, grain int) (*misState, core.Stats, error) {
+	res, err := core.PrefixMISCtx(ctx, g, ord, core.Options{Grain: grain})
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	n := g.NumVertices()
+	status := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if res.InSet[v] {
+			status[v] = statusIn
+		} else {
+			status[v] = statusOut
+		}
+	}
+	return &misState{ord: ord, status: status}, res.Stats, nil
+}
+
+// seedsFor collects the MIS repair seeds of a validated batch, applied
+// against the PRE-repair statuses: for each changed edge {x, w} with x
+// earlier, w is a seed exactly when status[x] == In — an inserted or
+// deleted edge to an Out vertex cannot change w's decision (w's rule
+// only asks "is any earlier neighbor In"), and if x itself flips later
+// it necessarily joins the cone, whose downstream expansion reaches w
+// through the (inserted) edge or re-derives w's independence from the
+// (deleted) edge's absence.
+func (ms *misState) seedsFor(batch []Update) []int32 {
+	rank := ms.ord.Rank
+	seeds := ms.seedBuf[:0]
+	for _, up := range batch {
+		x, w := up.U, up.V
+		if rank[x] > rank[w] {
+			x, w = w, x
+		}
+		if ms.status[x] == statusIn {
+			seeds = append(seeds, w)
+		}
+	}
+	ms.seedBuf = seeds
+	return seeds
+}
+
+// repair re-resolves the affected cone after the overlay has been
+// mutated by the batch. It is the prefix round loop of core.PrefixMIS
+// restricted to the cone: every round, each still-undecided cone
+// vertex checks its earlier neighbors against the statuses of the
+// previous round (vertices outside the cone are already final), then
+// decisions are committed synchronously. ctx is checked once per
+// round; a cancellation error leaves the state inconsistent and the
+// caller must mark the maintainer broken.
+func (ms *misState) repair(ctx context.Context, ov *overlay, batch []Update, grain int) (RepairCost, error) {
+	seeds := ms.seedsFor(batch)
+	cost := RepairCost{Seeds: len(seeds)}
+	if len(seeds) == 0 {
+		return cost, nil
+	}
+	rank := ms.ord.Rank
+	cone := ms.cs.DownstreamCone(ov.n, seeds, ms.cone[:0],
+		func(x int32, visit func(y int32)) {
+			ov.visit(x, func(u int32) bool {
+				visit(u)
+				return true
+			})
+		},
+		func(x, y int32) bool { return rank[y] > rank[x] },
+	)
+	ms.cone = cone
+	cost.Cone = len(cone)
+
+	// Rank-sort the cone so the active window is the earliest
+	// unresolved vertices, capture the pre-repair statuses for the
+	// Changed count, then reset.
+	sortByRank(cone, rank)
+	old := grow32(&ms.oldBuf, len(cone))
+	for i, v := range cone {
+		old[i] = ms.status[v]
+	}
+	for _, v := range cone {
+		ms.status[v] = statusUndecided
+	}
+
+	var inspections atomic.Int64
+	// The round loop packs its active set in place; run it on a copy so
+	// cone keeps its rank order for the Changed diff below.
+	active := grow32(&ms.activeBuf, len(cone))
+	copy(active, cone)
+	for len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return cost, err
+		}
+		outcome := grow32(&ms.outcome, len(active))
+		// Check phase: reads only statuses written in previous rounds.
+		parallel.ForRange(len(active), grain, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				var insp int64
+				outcome[i], insp = ms.check(ov, active[i])
+				local += insp
+			}
+			inspections.Add(local)
+		})
+		// Update phase: each vertex writes only its own status.
+		parallel.ForRange(len(active), grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if outcome[i] != statusUndecided {
+					ms.status[active[i]] = outcome[i]
+				}
+			}
+		})
+		cost.Rounds++
+		cost.Attempts += int64(len(active))
+		active = parallel.PackInPlace(active, grain, func(i int) bool {
+			return outcome[i] == statusUndecided
+		})
+	}
+	cost.Inspections = inspections.Load()
+	for i, v := range cone {
+		if ms.status[v] != old[i] {
+			cost.Changed++
+		}
+	}
+	return cost, nil
+}
+
+// check decides cone vertex v against the current statuses of its
+// earlier neighbors (core.checkScratch over the overlay's adjacency).
+func (ms *misState) check(ov *overlay, v int32) (int32, int64) {
+	rank := ms.ord.Rank
+	rv := rank[v]
+	sawUndecided := false
+	decision := statusIn
+	var inspections int64
+	ov.visit(v, func(u int32) bool {
+		if rank[u] >= rv {
+			return true
+		}
+		inspections++
+		switch ms.status[u] {
+		case statusIn:
+			decision = statusOut
+			return false
+		case statusUndecided:
+			sawUndecided = true
+		}
+		return true
+	})
+	if decision == statusOut {
+		return statusOut, inspections
+	}
+	if sawUndecided {
+		return statusUndecided, inspections
+	}
+	return statusIn, inspections
+}
+
+// result builds the current MIS as a core.Result (Stats left zero: the
+// per-batch costs live in RepairStats).
+func (ms *misState) result() *core.Result {
+	n := len(ms.status)
+	in := make([]bool, n)
+	parallel.For(n, 4096, func(i int) {
+		in[i] = ms.status[i] == statusIn
+	})
+	set := parallel.PackIndex(n, 4096, func(i int) bool { return in[i] })
+	return &core.Result{InSet: in, Set: set}
+}
+
+// sortByRank sorts vertices ascending by rank.
+func sortByRank(vs []int32, rank []int32) {
+	sortInt32s(vs, func(a, b int32) bool { return rank[a] < rank[b] })
+}
+
+// sortInt32s sorts s by the given strict order.
+func sortInt32s(s []int32, less func(a, b int32) bool) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}
+
+// grow32 resizes *buf to n int32s reusing capacity (contents
+// unspecified), mirroring core.Grow32 without exporting scratch
+// internals across packages.
+func grow32(buf *[]int32, n int) []int32 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]int32, n)
+	}
+	s = s[:n]
+	*buf = s
+	return s
+}

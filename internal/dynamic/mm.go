@@ -1,0 +1,359 @@
+package dynamic
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/parallel"
+)
+
+// unmatched marks a vertex with no mate (matching package convention).
+const unmatched int32 = -1
+
+// mmEdge is one live edge of the matching store: canonical endpoints
+// and the churn-stable hash priority.
+type mmEdge struct {
+	u, v int32 // u < v
+	prio uint64
+}
+
+// mmState maintains the greedy maximal matching of the overlaid graph
+// under EdgePriority(seed) priorities. Edges live in slots (stable
+// across unrelated updates, recycled through a free list); per-vertex
+// incidence lists index the slots. The slot numbering is internal —
+// priorities depend only on (seed, endpoints), so results are
+// independent of insertion order and identical to a from-scratch run
+// under EdgeOrder on the same graph.
+type mmState struct {
+	seed   uint64
+	edges  []mmEdge
+	status []int32
+	inc    [][]int32
+	free   []int32
+	mate   []int32
+
+	cs        core.ConeScratch
+	seedBuf   []int32
+	cone      []int32
+	oldBuf    []int32
+	activeBuf []int32
+	outcome   []int32
+}
+
+// newMMState computes the initial matching of g with the library's
+// prefix round loop under the churn-stable edge order and converts it
+// into slot form.
+func newMMState(ctx context.Context, g *graph.Graph, seed uint64, grain int) (*mmState, core.Stats, error) {
+	el := g.EdgeList()
+	m := el.NumEdges()
+	ord := EdgeOrder(el, seed)
+	res, err := matching.PrefixMMCtx(ctx, el, ord, matching.Options{Grain: grain})
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	ms := &mmState{seed: seed}
+	ms.edges = make([]mmEdge, m)
+	ms.status = make([]int32, m)
+	for i, e := range el.Edges {
+		ms.edges[i] = mmEdge{u: e.U, v: e.V, prio: EdgePriority(e.U, e.V, seed)}
+		if res.InMatching[i] {
+			ms.status[i] = statusIn
+		} else {
+			ms.status[i] = statusOut
+		}
+	}
+	ms.mate = append([]int32(nil), res.Mate...)
+	// Carve the incidence lists from one backing array with capacity
+	// pinned to length, so a later append to one vertex's list
+	// reallocates that list alone instead of corrupting its neighbors'.
+	inc0 := graph.BuildIncidence(el)
+	ms.inc = make([][]int32, el.N)
+	for v := 0; v < el.N; v++ {
+		lo, hi := inc0.Offsets[v], inc0.Offsets[v+1]
+		ms.inc[v] = inc0.EdgeIDs[lo:hi:hi]
+	}
+	return ms, res.Stats, nil
+}
+
+// earlier reports whether slot a precedes slot b in the total edge
+// priority order (priority, then canonical endpoints).
+func (ms *mmState) earlier(a, b int32) bool {
+	ea, eb := &ms.edges[a], &ms.edges[b]
+	if ea.prio != eb.prio {
+		return ea.prio < eb.prio
+	}
+	if ea.u != eb.u {
+		return ea.u < eb.u
+	}
+	return ea.v < eb.v
+}
+
+// recEarlier reports whether the (detached) edge record rec precedes
+// slot b.
+func (ms *mmState) recEarlier(rec mmEdge, b int32) bool {
+	eb := &ms.edges[b]
+	if rec.prio != eb.prio {
+		return rec.prio < eb.prio
+	}
+	if rec.u != eb.u {
+		return rec.u < eb.u
+	}
+	return rec.v < eb.v
+}
+
+// insertEdge adds the validated-absent edge {u, v} and returns its
+// slot.
+func (ms *mmState) insertEdge(u, v int32) int32 {
+	if u > v {
+		u, v = v, u
+	}
+	var slot int32
+	if k := len(ms.free); k > 0 {
+		slot = ms.free[k-1]
+		ms.free = ms.free[:k-1]
+	} else {
+		slot = int32(len(ms.edges))
+		ms.edges = append(ms.edges, mmEdge{})
+		ms.status = append(ms.status, statusOut)
+	}
+	ms.edges[slot] = mmEdge{u: u, v: v, prio: EdgePriority(u, v, ms.seed)}
+	ms.status[slot] = statusUndecided
+	ms.inc[u] = append(ms.inc[u], slot)
+	ms.inc[v] = append(ms.inc[v], slot)
+	return slot
+}
+
+// deleteEdge removes the validated-present edge {u, v}, returning its
+// record and whether it was matched (in which case its endpoints'
+// mates are cleared).
+func (ms *mmState) deleteEdge(u, v int32) (mmEdge, bool) {
+	if u > v {
+		u, v = v, u
+	}
+	slot := int32(-1)
+	for _, f := range ms.inc[u] {
+		if ms.edges[f].u == u && ms.edges[f].v == v {
+			slot = f
+			break
+		}
+	}
+	removeSlot(&ms.inc[u], slot)
+	removeSlot(&ms.inc[v], slot)
+	rec := ms.edges[slot]
+	wasIn := ms.status[slot] == statusIn
+	if wasIn {
+		ms.mate[u] = unmatched
+		ms.mate[v] = unmatched
+	}
+	ms.edges[slot] = mmEdge{u: -1, v: -1}
+	ms.status[slot] = statusOut
+	ms.free = append(ms.free, slot)
+	return rec, wasIn
+}
+
+// removeSlot swap-removes slot from an incidence list (order within a
+// list is irrelevant).
+func removeSlot(lst *[]int32, slot int32) {
+	s := *lst
+	for i, f := range s {
+		if f == slot {
+			s[i] = s[len(s)-1]
+			*lst = s[:len(s)-1]
+			return
+		}
+	}
+}
+
+// adjacent enumerates the live edges sharing an endpoint with slot e.
+func (ms *mmState) adjacent(e int32, visit func(f int32)) {
+	rec := &ms.edges[e]
+	for _, f := range ms.inc[rec.u] {
+		if f != e {
+			visit(f)
+		}
+	}
+	for _, f := range ms.inc[rec.v] {
+		if f != e {
+			visit(f)
+		}
+	}
+}
+
+// repair applies the batch's structural changes to the edge store,
+// seeds the affected edges, and re-resolves their downstream priority
+// cone with the restricted round loop (the matching analogue of the
+// MIS repair; see misState.repair).
+//
+// Seeds: an inserted edge must be decided, so it always seeds itself
+// (its downstream closure covers anything it may displace). A deleted
+// edge seeds its later adjacent edges only when it was matched — an
+// unmatched edge never constrained anyone, so removing it is inert
+// unless some other change reaches its neighborhood, which the cone
+// BFS covers from that change's own seeds.
+func (ms *mmState) repair(ctx context.Context, batch []Update, grain int) (RepairCost, error) {
+	seeds := ms.seedBuf[:0]
+	for _, up := range batch {
+		u, v := up.U, up.V
+		if u > v {
+			u, v = v, u
+		}
+		switch up.Op {
+		case OpAdd:
+			seeds = append(seeds, ms.insertEdge(u, v))
+		default:
+			rec, wasIn := ms.deleteEdge(u, v)
+			if !wasIn {
+				continue
+			}
+			for _, x := range [2]int32{rec.u, rec.v} {
+				for _, f := range ms.inc[x] {
+					if ms.recEarlier(rec, f) {
+						seeds = append(seeds, f)
+					}
+				}
+			}
+		}
+	}
+	// A seed recorded early in the batch may have been deleted by a
+	// later update (its slot freed, possibly recycled): drop dead
+	// slots. A recycled slot holds a freshly inserted edge, which is a
+	// legitimate (self-)seed either way.
+	w := 0
+	for _, s := range seeds {
+		if ms.edges[s].u >= 0 {
+			seeds[w] = s
+			w++
+		}
+	}
+	seeds = seeds[:w]
+	ms.seedBuf = seeds
+	cost := RepairCost{Seeds: len(seeds)}
+	if len(seeds) == 0 {
+		return cost, nil
+	}
+	cone := ms.cs.DownstreamCone(len(ms.edges), seeds, ms.cone[:0], ms.adjacent,
+		func(x, y int32) bool { return ms.earlier(x, y) })
+	ms.cone = cone
+	cost.Cone = len(cone)
+
+	sortInt32s(cone, ms.earlier)
+	old := grow32(&ms.oldBuf, len(cone))
+	for i, e := range cone {
+		old[i] = ms.status[e]
+	}
+	for _, e := range cone {
+		if ms.status[e] == statusIn {
+			rec := &ms.edges[e]
+			ms.mate[rec.u] = unmatched
+			ms.mate[rec.v] = unmatched
+		}
+		ms.status[e] = statusUndecided
+	}
+
+	var inspections atomic.Int64
+	active := grow32(&ms.activeBuf, len(cone))
+	copy(active, cone)
+	for len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return cost, err
+		}
+		outcome := grow32(&ms.outcome, len(active))
+		// Check phase: reads only statuses committed in previous
+		// rounds.
+		parallel.ForRange(len(active), grain, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				var insp int64
+				outcome[i], insp = ms.check(active[i])
+				local += insp
+			}
+			inspections.Add(local)
+		})
+		// Update phase: same-round In commits are endpoint-disjoint (two
+		// adjacent edges cannot both pass the check — the later one saw
+		// the earlier one undecided), so the mate writes are race-free.
+		parallel.ForRange(len(active), grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if outcome[i] == statusUndecided {
+					continue
+				}
+				e := active[i]
+				ms.status[e] = outcome[i]
+				if outcome[i] == statusIn {
+					rec := &ms.edges[e]
+					ms.mate[rec.u] = rec.v
+					ms.mate[rec.v] = rec.u
+				}
+			}
+		})
+		cost.Rounds++
+		cost.Attempts += int64(len(active))
+		active = parallel.PackInPlace(active, grain, func(i int) bool {
+			return outcome[i] == statusUndecided
+		})
+	}
+	cost.Inspections = inspections.Load()
+	for i, e := range cone {
+		if ms.status[e] != old[i] {
+			cost.Changed++
+		}
+	}
+	return cost, nil
+}
+
+// check decides cone edge e against the statuses of its earlier
+// adjacent edges: any matched earlier neighbor rules it out, any
+// undecided earlier neighbor stalls it for the next round, and an
+// all-resolved earlier neighborhood admits it — the acceptance rule of
+// the sequential greedy matching.
+func (ms *mmState) check(e int32) (int32, int64) {
+	rec := &ms.edges[e]
+	sawUndecided := false
+	var inspections int64
+	for _, x := range [2]int32{rec.u, rec.v} {
+		for _, f := range ms.inc[x] {
+			if f == e || !ms.earlier(f, e) {
+				continue
+			}
+			inspections++
+			switch ms.status[f] {
+			case statusIn:
+				return statusOut, inspections
+			case statusUndecided:
+				sawUndecided = true
+			}
+		}
+	}
+	if sawUndecided {
+		return statusUndecided, inspections
+	}
+	return statusIn, inspections
+}
+
+// pairs returns the current matching as canonical edges sorted
+// lexicographically.
+func (ms *mmState) pairs() []graph.Edge {
+	var out []graph.Edge
+	for slot, st := range ms.status {
+		if st == statusIn {
+			rec := &ms.edges[slot]
+			out = append(out, graph.Edge{U: rec.u, V: rec.v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// mateCopy returns a copy of the mate array.
+func (ms *mmState) mateCopy() []int32 {
+	return append([]int32(nil), ms.mate...)
+}

@@ -41,9 +41,9 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 		return nil, fmt.Errorf("graph: negative vertex count %d", n)
 	}
 	canon := make([]Edge, 0, len(edges))
-	for _, e := range edges {
+	for i, e := range edges {
 		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
-			return nil, fmt.Errorf("graph: edge %v out of range [0,%d)", e, n)
+			return nil, fmt.Errorf("graph: edge %d = %v out of range [0,%d)", i, e, n)
 		}
 		if e.U == e.V {
 			continue // drop self loop
@@ -132,6 +132,18 @@ func FromAdjacency(offsets []int64, adj []Vertex) (*Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// FromCSRUnchecked wraps CSR arrays in a Graph without copying, sorting
+// or validation. The caller must guarantee the Graph invariants hold
+// (offsets of length n+1 covering adj, strictly sorted in-range
+// neighbor lists, no self loops, symmetry) and must not retain the
+// slices. It exists for trusted builders that already produce canonical
+// CSR — the dynamic overlay's compaction emits merged sorted adjacency
+// directly, and re-validating symmetry there would turn an O(n + m)
+// compaction into an O(m log m) one.
+func FromCSRUnchecked(offsets []int64, adj []Vertex) *Graph {
+	return &Graph{offsets: offsets, adj: adj}
 }
 
 // Empty returns the graph with n vertices and no edges.

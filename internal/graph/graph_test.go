@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -67,6 +68,53 @@ func TestFromEdgesOutOfRange(t *testing.T) {
 	}
 	if _, err := FromEdges(-1, nil); err == nil {
 		t.Error("negative n accepted")
+	}
+}
+
+// TestFromEdgesTable exercises the builder's cleaning and rejection
+// paths: duplicates merge, self loops drop, and out-of-range endpoints
+// are rejected with an error naming the offending edge index — the
+// detail a caller feeding a million-edge list needs to find the bad
+// entry.
+func TestFromEdgesTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		edges   []Edge
+		wantM   int    // expected edge count on success
+		wantErr string // substring the error must contain; "" means success
+	}{
+		{"empty", 0, nil, 0, ""},
+		{"duplicates both orientations", 3, []Edge{{0, 1}, {1, 0}, {0, 1}}, 1, ""},
+		{"self loops dropped", 3, []Edge{{2, 2}, {0, 1}, {1, 1}}, 1, ""},
+		{"mixed cleanup", 4, []Edge{{3, 3}, {1, 3}, {3, 1}, {0, 2}}, 2, ""},
+		{"out of range names index 0", 2, []Edge{{0, 5}}, 0, "edge 0 ="},
+		{"out of range names index 2", 3, []Edge{{0, 1}, {1, 2}, {0, 7}}, 0, "edge 2 ="},
+		{"negative endpoint names index 1", 3, []Edge{{0, 1}, {-1, 2}}, 0, "edge 1 ="},
+		{"negative n", -1, nil, 0, "negative vertex count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := FromEdges(tc.n, tc.edges)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("accepted, want error containing %q", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not name the offender (%q)", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumEdges() != tc.wantM {
+				t.Fatalf("m = %d, want %d", g.NumEdges(), tc.wantM)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -99,6 +99,39 @@ func (c *Client) Upload(ctx context.Context, body io.Reader) (GraphResponse, err
 	return out, json.NewDecoder(resp.Body).Decode(&out)
 }
 
+// Patch applies an edge-update batch to a registered graph, producing
+// (and returning the metadata of) a new content-addressed graph
+// version.
+func (c *Client) Patch(ctx context.Context, id string, req PatchRequest) (PatchResponse, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return PatchResponse{}, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPatch, c.BaseURL+"/v1/graphs/"+id, bytes.NewReader(raw))
+	if err != nil {
+		return PatchResponse{}, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(httpReq)
+	if err != nil {
+		return PatchResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return PatchResponse{}, apiError(resp)
+	}
+	var out PatchResponse
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// GraphStats fetches the degree/connectivity statistics of a
+// registered graph.
+func (c *Client) GraphStats(ctx context.Context, id string) (GraphStatsResponse, error) {
+	var out GraphStatsResponse
+	_, err := c.getJSON(ctx, "/v1/graphs/"+id+"/stats", &out)
+	return out, err
+}
+
 // Submit submits a job.
 func (c *Client) Submit(ctx context.Context, req JobRequest) (JobResponse, error) {
 	var out JobResponse

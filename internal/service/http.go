@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/dynamic"
 	"repro/internal/graph"
 
 	greedy "repro"
@@ -16,10 +17,13 @@ import (
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/graphs            ingest: JSON generation request, or a raw
-//	                           graph body in any supported format
-//	GET  /v1/graphs            list resident graphs
-//	GET  /v1/graphs/{id}       metadata of one graph
+//	POST  /v1/graphs             ingest: JSON generation request, or a raw
+//	                             graph body in any supported format
+//	GET   /v1/graphs             list resident graphs
+//	GET   /v1/graphs/{id}        metadata of one graph
+//	GET   /v1/graphs/{id}/stats  degree/component statistics of one graph
+//	PATCH /v1/graphs/{id}        apply an edge-update batch, producing a
+//	                             new content-addressed graph version
 //	POST   /v1/jobs              submit a job (idempotent per spec key)
 //	GET    /v1/jobs/{id}         job status, with live round progress
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
@@ -31,6 +35,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/graphs", s.handleGraphCreate)
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
 	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGraphGet)
+	mux.HandleFunc("GET /v1/graphs/{id}/stats", s.handleGraphStats)
+	mux.HandleFunc("PATCH /v1/graphs/{id}", s.handleGraphPatch)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
@@ -125,6 +131,114 @@ func (s *Service) handleGraphGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// GraphStatsResponse is the body of GET /v1/graphs/{id}/stats: the
+// degree and connectivity statistics operators need to size workloads
+// without downloading the graph. Computed once per resident graph and
+// cached.
+type GraphStatsResponse struct {
+	ID               string  `json:"id"`
+	N                int     `json:"n"`
+	M                int     `json:"m"`
+	DegreeMin        int     `json:"degree_min"`
+	DegreeP50        int     `json:"degree_p50"`
+	DegreeMean       float64 `json:"degree_mean"`
+	DegreeP90        int     `json:"degree_p90"`
+	DegreeP99        int     `json:"degree_p99"`
+	DegreeMax        int     `json:"degree_max"`
+	IsolatedVertices int     `json:"isolated_vertices"`
+	Components       int     `json:"components"`
+	LargestComponent int     `json:"largest_component"`
+	Degeneracy       int     `json:"degeneracy"`
+}
+
+func (s *Service) handleGraphStats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	h, err := s.registry.Acquire(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer h.Release()
+	st := h.Stats()
+	writeJSON(w, http.StatusOK, GraphStatsResponse{
+		ID:               id,
+		N:                st.N,
+		M:                st.M,
+		DegreeMin:        st.Min,
+		DegreeP50:        st.Median,
+		DegreeMean:       st.Mean,
+		DegreeP90:        st.P90,
+		DegreeP99:        st.P99,
+		DegreeMax:        st.Max,
+		IsolatedVertices: st.IsolatedVertices,
+		Components:       st.ConnectedComps,
+		LargestComponent: st.LargestComponent,
+		Degeneracy:       st.DegeneracyEstimate,
+	})
+}
+
+// PatchUpdate is one edge update of a PATCH request.
+type PatchUpdate struct {
+	Op string `json:"op"` // "add" | "del"
+	U  int32  `json:"u"`
+	V  int32  `json:"v"`
+}
+
+// PatchRequest is the body of PATCH /v1/graphs/{id}.
+type PatchRequest struct {
+	Updates []PatchUpdate `json:"updates"`
+	Label   string        `json:"label,omitempty"`
+}
+
+// PatchResponse is the body returned by a graph patch: the new
+// version's metadata plus its derivation.
+type PatchResponse struct {
+	PatchResult
+	Deduped bool `json:"deduped"`
+}
+
+func (s *Service) handleGraphPatch(w http.ResponseWriter, r *http.Request) {
+	var req PatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad patch request: %w", err))
+		return
+	}
+	if len(req.Updates) > s.cfg.MaxPatchUpdates {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("service: patch carries %d updates, limit %d", len(req.Updates), s.cfg.MaxPatchUpdates))
+		return
+	}
+	updates := make([]dynamic.Update, len(req.Updates))
+	for i, up := range req.Updates {
+		op, err := dynamic.ParseOp(up.Op)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: update %d: %w", i, err))
+			return
+		}
+		updates[i] = dynamic.Update{Op: op, U: up.U, V: up.V}
+	}
+	res, deduped, err := s.Patch(r.PathValue("id"), updates, req.Label)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrGraphNotFound):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, ErrGraphTooLarge):
+		writeError(w, http.StatusInsufficientStorage, err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusCreated
+	if deduped {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, PatchResponse{PatchResult: res, Deduped: deduped})
 }
 
 // JobRequest is the body of POST /v1/jobs. The algorithm configuration

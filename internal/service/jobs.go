@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	greedy "repro"
+	"repro/internal/dynamic"
 	"repro/internal/graph"
 )
 
@@ -75,11 +77,21 @@ type JobSpec struct {
 // promises byte-identical payloads. AdaptivePrefix participates too:
 // its schedule is deterministic per (graph, plan), but its Stats (and,
 // for spanning forest, its selected edges) differ from any fixed
-// window's.
+// window's. Dynamic participates doubly: a dynamic MM plan selects a
+// different (hash-priority) matching, and dynamic payloads carry
+// repair provenance.
+//
+// Byte-identical payloads are promised per EXECUTION: every read of a
+// deduplicated job serves the same marshaled bytes. Across separate
+// executions of an equal key (after TTL reaping), the answer fields
+// (size, checksum, members) are bit-identical by the determinism
+// guarantee, but execution-provenance fields — run_ms always, and for
+// dynamic jobs repaired/repaired_from/repair/stats, which depend on
+// what the session cache held — describe the particular execution.
 func (s JobSpec) Key() string {
 	p := s.Plan
-	return fmt.Sprintf("%s|%s|%s|%d|%g|%d|%t|%d|%t",
-		s.GraphID, s.Problem, p.Algorithm, p.Seed, p.PrefixFrac, p.PrefixSize, p.AdaptivePrefix, p.Grain, p.Pointered)
+	return fmt.Sprintf("%s|%s|%s|%d|%g|%d|%t|%t|%d|%t",
+		s.GraphID, s.Problem, p.Algorithm, p.Seed, p.PrefixFrac, p.PrefixSize, p.AdaptivePrefix, p.Dynamic, p.Grain, p.Pointered)
 }
 
 // Validate rejects specs no algorithm can run. The same conditions the
@@ -108,6 +120,15 @@ func (s JobSpec) Validate() error {
 	// run a job the Solver rejects after a worker is committed.
 	if p.AdaptivePrefix && p.Algorithm != greedy.AlgoPrefix {
 		return fmt.Errorf("service: adaptive prefix applies to algorithm %q only, not %q", greedy.AlgoPrefix, p.Algorithm)
+	}
+	// Dynamic (churn-stable) priorities exist for MIS and MM only, and
+	// Luby regenerates priorities every round — there is nothing for a
+	// session to maintain.
+	if p.Dynamic && s.Problem == ProblemSF {
+		return fmt.Errorf("service: dynamic plans support problems mis|mm, not %q", s.Problem)
+	}
+	if p.Dynamic && p.Algorithm == greedy.AlgoLuby {
+		return fmt.Errorf("service: dynamic plans cannot use algorithm %q", p.Algorithm)
 	}
 	if p.PrefixFrac < 0 || p.PrefixFrac > 1 {
 		return fmt.Errorf("service: prefix_frac %g outside [0,1]", p.PrefixFrac)
@@ -205,6 +226,21 @@ type ResultPayload struct {
 	Members        []int32    `json:"members,omitempty"`
 	MemberPairs    [][2]int32 `json:"member_pairs,omitempty"`
 	MembersOmitted bool       `json:"members_omitted,omitempty"`
+
+	// Dynamic-job provenance. Dynamic marks churn-stable-priority jobs.
+	// Repaired reports that the answer came from advancing a maintained
+	// session across graph versions (RepairedFrom names the ancestor
+	// version the session was at, Repair aggregates the cone-repair
+	// work); a dynamic job without a usable session computes from
+	// scratch and seeds a session for its version. For repaired jobs
+	// Stats describes the repair work — the point of the subsystem is
+	// exactly that those counters stay proportional to the affected
+	// region, not to n.
+	Dynamic       bool                 `json:"dynamic,omitempty"`
+	Repaired      bool                 `json:"repaired,omitempty"`
+	RepairedFrom  string               `json:"repaired_from,omitempty"`
+	RepairBatches int                  `json:"repair_batches,omitempty"`
+	Repair        *dynamic.RepairStats `json:"repair,omitempty"`
 }
 
 // memberCap bounds the membership list embedded in a result payload.
@@ -225,10 +261,28 @@ type Engine struct {
 	byKey  map[string]*Job
 	closed bool
 
+	// Dynamic-session cache: maintained solutions keyed by (graph
+	// version, problem, seed), checked out exclusively while a worker
+	// advances or reads them, bounded LRU. A session is how a dynamic
+	// job for a patched graph version repairs instead of recomputes.
+	sessMu   sync.Mutex
+	sessions map[sessKey]*dynamic.Maintainer
+	sessLRU  []sessKey
+	sessCap  int
+
 	queue  chan *Job
 	stop   chan struct{}
 	wg     sync.WaitGroup
 	nextID atomic.Int64
+}
+
+// sessKey identifies a maintainable solution state. Plan fields beyond
+// the seed do not participate: every deterministic schedule yields the
+// same maintained set, which is the only state a session holds.
+type sessKey struct {
+	graphID string
+	problem Problem
+	seed    uint64
 }
 
 // EngineConfig configures an Engine.
@@ -239,6 +293,11 @@ type EngineConfig struct {
 	QueueDepth int
 	// ResultTTL is how long finished jobs are retained; 0 means 15m.
 	ResultTTL time.Duration
+	// DynamicSessions bounds the cached dynamic sessions (maintained
+	// MIS/MM states, each holding solution arrays sized to its graph);
+	// 0 means 8, negative disables the cache (dynamic jobs always
+	// recompute).
+	DynamicSessions int
 }
 
 // NewEngine starts an engine over reg. metrics may be nil.
@@ -258,14 +317,23 @@ func NewEngine(reg *Registry, metrics *Metrics, cfg EngineConfig) *Engine {
 	if ttl <= 0 {
 		ttl = 15 * time.Minute
 	}
+	sessCap := cfg.DynamicSessions
+	if sessCap == 0 {
+		sessCap = 8
+	}
+	if sessCap < 0 {
+		sessCap = 0
+	}
 	e := &Engine{
-		reg:     reg,
-		metrics: metrics,
-		ttl:     ttl,
-		jobs:    make(map[string]*Job),
-		byKey:   make(map[string]*Job),
-		queue:   make(chan *Job, depth),
-		stop:    make(chan struct{}),
+		reg:      reg,
+		metrics:  metrics,
+		ttl:      ttl,
+		jobs:     make(map[string]*Job),
+		byKey:    make(map[string]*Job),
+		sessions: make(map[sessKey]*dynamic.Maintainer),
+		sessCap:  sessCap,
+		queue:    make(chan *Job, depth),
+		stop:     make(chan struct{}),
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -576,7 +644,12 @@ func (e *Engine) run(job *Job, solver *greedy.Solver) {
 
 	job.cancel() // release the context's resources
 	job.handle.Release()
-	e.metrics.jobFinished(job.Spec.Problem, state, job.Spec.Plan.AdaptivePrefix, run, e2e)
+	// Dynamic jobs never run the adaptive schedule (the maintainer's
+	// restricted round loop has no window controller), so they must
+	// not count toward adaptive_executed even if the plan carries the
+	// flag.
+	adaptiveRan := job.Spec.Plan.AdaptivePrefix && !job.Spec.Plan.Dynamic
+	e.metrics.jobFinished(job.Spec.Problem, state, adaptiveRan, payload.Repaired, run, e2e)
 }
 
 // execute runs the computation; panics in the algorithm layers are
@@ -605,6 +678,12 @@ func (e *Engine) execute(job *Job, solver *greedy.Solver) (payload ResultPayload
 		Plan:    plan,
 		N:       g.NumVertices(),
 		M:       g.NumEdges(),
+	}
+	// Dynamic plans route through the session cache: repair from an
+	// ancestor version when possible, recompute (and seed a session)
+	// otherwise.
+	if plan.Dynamic {
+		return e.executeDynamic(job, payload)
 	}
 	switch job.Spec.Problem {
 	case ProblemMIS:
@@ -650,6 +729,182 @@ func (e *Engine) execute(job *Job, solver *greedy.Solver) (payload ResultPayload
 		return payload, fmt.Errorf("service: unknown problem %q", job.Spec.Problem)
 	}
 	return payload, nil
+}
+
+// checkoutSession removes and returns the cached session for key, if
+// any. Checkout is exclusive: a Maintainer is not safe for concurrent
+// use, so it leaves the cache while a worker advances or reads it.
+func (e *Engine) checkoutSession(key sessKey) *dynamic.Maintainer {
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	mt, ok := e.sessions[key]
+	if !ok {
+		return nil
+	}
+	delete(e.sessions, key)
+	for i, k := range e.sessLRU {
+		if k == key {
+			e.sessLRU = append(e.sessLRU[:i], e.sessLRU[i+1:]...)
+			break
+		}
+	}
+	return mt
+}
+
+// checkinSession parks a session under key, evicting the least
+// recently used entry past the cap. If a racing worker already parked
+// one for the key, the resident session wins (both describe the same
+// deterministic state).
+func (e *Engine) checkinSession(key sessKey, mt *dynamic.Maintainer) {
+	if e.sessCap == 0 || mt == nil {
+		return
+	}
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	if _, ok := e.sessions[key]; ok {
+		return
+	}
+	e.sessions[key] = mt
+	e.sessLRU = append(e.sessLRU, key)
+	for len(e.sessLRU) > e.sessCap {
+		victim := e.sessLRU[0]
+		e.sessLRU = e.sessLRU[1:]
+		delete(e.sessions, victim)
+	}
+}
+
+// lineageSession walks the version lineage of key.graphID upward
+// looking for a cached session at an ancestor. It returns the
+// checked-out session, the ancestor's id, and the patch chain (oldest
+// first) that advances it to key.graphID. The walk is depth-capped so
+// a corrupt lineage index cannot spin a worker.
+func (e *Engine) lineageSession(key sessKey) (*dynamic.Maintainer, string, [][]dynamic.Update) {
+	var chain [][]dynamic.Update
+	id := key.graphID
+	for depth := 0; depth < 32; depth++ {
+		parent, updates, ok := e.reg.Lineage(id)
+		if !ok {
+			return nil, "", nil
+		}
+		chain = append(chain, nil)
+		copy(chain[1:], chain)
+		chain[0] = updates
+		id = parent
+		if mt := e.checkoutSession(sessKey{graphID: id, problem: key.problem, seed: key.seed}); mt != nil {
+			return mt, id, chain
+		}
+	}
+	return nil, "", nil
+}
+
+// executeDynamic answers a dynamic-plan job from the session cache:
+// an exact-version session is a free read; an ancestor session is
+// advanced by replaying the recorded patches (incremental cone repair
+// — the work recorded in payload.Repair stays proportional to the
+// affected region); otherwise the job computes from scratch and seeds
+// a session for its version so later jobs on patched descendants can
+// repair.
+func (e *Engine) executeDynamic(job *Job, payload ResultPayload) (ResultPayload, error) {
+	h := job.handle
+	g := h.Graph()
+	plan := job.Spec.Plan
+	problem := job.Spec.Problem
+	payload.Dynamic = true
+	key := sessKey{graphID: h.ID(), problem: problem, seed: plan.Seed}
+
+	mt := e.checkoutSession(key)
+	if mt == nil {
+		prior, from, chain := e.lineageSession(key)
+		if prior != nil {
+			repair := dynamic.RepairStats{}
+			advanced := prior
+			for _, batch := range chain {
+				st, err := advanced.Apply(job.ctx, batch)
+				repair.Add(st)
+				if err != nil {
+					// The session is inconsistent (cancelled mid-repair)
+					// or cannot accept the patch; drop it. Propagate
+					// cancellation, otherwise recompute from scratch.
+					advanced = nil
+					if cerr := job.ctx.Err(); cerr != nil {
+						return payload, cerr
+					}
+					break
+				}
+			}
+			// The advanced session must describe exactly this version;
+			// the edge count is a cheap invariant check against a stale
+			// or corrupted lineage chain.
+			if advanced != nil && advanced.NumEdges() == g.NumEdges() {
+				mt = advanced
+				payload.Repaired = true
+				payload.RepairedFrom = from
+				payload.RepairBatches = len(chain)
+				payload.Repair = &repair
+				cost := repair.MIS
+				if problem == ProblemMM {
+					cost = repair.MM
+				}
+				payload.Stats = greedy.Stats{Rounds: cost.Rounds, Attempts: cost.Attempts, EdgeInspections: cost.Inspections}
+			}
+		}
+	}
+	if mt == nil {
+		fresh, err := dynamic.NewMaintainer(job.ctx, g, dynamic.Config{
+			MIS:   problem == ProblemMIS,
+			MM:    problem == ProblemMM,
+			Seed:  plan.Seed,
+			Grain: plan.Grain,
+		})
+		if err != nil {
+			return payload, err
+		}
+		mt = fresh
+		misStats, mmStats := mt.InitStats()
+		if problem == ProblemMIS {
+			payload.Stats = misStats
+		} else {
+			payload.Stats = mmStats
+		}
+	}
+	// (A checkout hit at the exact version reads the maintained state
+	// with zero Stats: no work was performed.)
+	switch problem {
+	case ProblemMIS:
+		res := mt.MISResult()
+		payload.Size = res.Size()
+		payload.Checksum = membershipChecksum(res.InSet)
+		if len(res.Set) <= memberCap {
+			payload.Members = res.Set
+		} else {
+			payload.MembersOmitted = true
+		}
+	default: // ProblemMM (Validate rejects dynamic SF)
+		pairs := mt.MatchingPairs()
+		payload.Size = len(pairs)
+		payload.Checksum = pairsChecksum(pairs)
+		if len(pairs) <= memberCap/2 {
+			payload.MemberPairs = pairsOf(pairs)
+		} else {
+			payload.MembersOmitted = true
+		}
+	}
+	e.checkinSession(key, mt)
+	return payload, nil
+}
+
+// pairsChecksum commits to a matching by hashing its canonical sorted
+// pair list — dynamic matchings live in slot form and have no
+// canonical edge-id membership vector to feed membershipChecksum.
+func pairsChecksum(pairs []graph.Edge) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, e := range pairs {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(e.U))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(e.V))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 func pairsOf(edges []graph.Edge) [][2]int32 {

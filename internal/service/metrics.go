@@ -100,6 +100,7 @@ type Metrics struct {
 	dedupHits     int64
 	jobsExecuted  int64
 	jobsAdaptive  int64 // executed jobs that ran the adaptive schedule
+	jobsRepaired  int64 // executed dynamic jobs answered by session repair
 	jobsFailed    int64
 	jobsCancelled int64
 	jobsExpired   int64
@@ -107,6 +108,7 @@ type Metrics struct {
 	registryHits      int64 // Add or Acquire found an existing resident graph
 	registryMisses    int64 // Acquire of an unknown id
 	registryEvictions int64
+	registryPatches   int64 // graph versions derived via PATCH
 
 	latency map[Problem]*histogram // measured over execution (run) time
 	e2e     map[Problem]*histogram // measured from submission to completion
@@ -138,7 +140,7 @@ func (m *Metrics) jobCancelled() {
 // jobFinished records a worker-side completion. Only successful runs
 // feed the latency histograms: failed and cancelled runs would skew
 // the percentiles with truncated durations.
-func (m *Metrics) jobFinished(p Problem, state JobState, adaptive bool, run, endToEnd time.Duration) {
+func (m *Metrics) jobFinished(p Problem, state JobState, adaptive, repaired bool, run, endToEnd time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	switch state {
@@ -152,6 +154,9 @@ func (m *Metrics) jobFinished(p Problem, state JobState, adaptive bool, run, end
 	m.jobsExecuted++
 	if adaptive {
 		m.jobsAdaptive++
+	}
+	if repaired {
+		m.jobsRepaired++
 	}
 	h := m.latency[p]
 	if h == nil {
@@ -181,6 +186,12 @@ func (m *Metrics) registryEvent(hits, misses, evictions int64) {
 	m.registryEvictions += evictions
 }
 
+func (m *Metrics) graphPatched() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.registryPatches++
+}
+
 // JobCounters is the jobs section of a metrics snapshot.
 type JobCounters struct {
 	Submitted int64 `json:"submitted"`
@@ -189,6 +200,10 @@ type JobCounters struct {
 	// AdaptiveExecuted counts executed jobs that ran the adaptive
 	// prefix schedule (a subset of Executed).
 	AdaptiveExecuted int64 `json:"adaptive_executed"`
+	// Repaired counts executed dynamic jobs that were answered by
+	// advancing a maintained session (incremental cone repair) instead
+	// of recomputing from scratch (a subset of Executed).
+	Repaired     int64 `json:"repaired"`
 	Failed       int64 `json:"failed"`
 	Cancelled    int64 `json:"cancelled"`
 	Expired      int64 `json:"expired"`
@@ -208,6 +223,8 @@ type RegistryCounters struct {
 	Hits          int64 `json:"hits"`
 	Misses        int64 `json:"misses"`
 	Evictions     int64 `json:"evictions"`
+	// Patches counts graph versions derived via PATCH /v1/graphs/{id}.
+	Patches int64 `json:"patches"`
 }
 
 // RuntimeCounters is the Go-runtime section of a metrics snapshot: the
@@ -262,6 +279,7 @@ func (m *Metrics) snapshot() Snapshot {
 			DedupHits:        m.dedupHits,
 			Executed:         m.jobsExecuted,
 			AdaptiveExecuted: m.jobsAdaptive,
+			Repaired:         m.jobsRepaired,
 			Failed:           m.jobsFailed,
 			Cancelled:        m.jobsCancelled,
 			Expired:          m.jobsExpired,
@@ -270,6 +288,7 @@ func (m *Metrics) snapshot() Snapshot {
 			Hits:      m.registryHits,
 			Misses:    m.registryMisses,
 			Evictions: m.registryEvictions,
+			Patches:   m.registryPatches,
 		},
 		RunLatency: make(map[Problem]HistogramSnapshot, len(m.latency)),
 		E2ELatency: make(map[Problem]HistogramSnapshot, len(m.e2e)),

@@ -122,16 +122,19 @@ func TestHistogramEmpty(t *testing.T) {
 // and cancelled adaptive runs count in neither.
 func TestMetricsAdaptiveExecutedCounter(t *testing.T) {
 	m := NewMetrics()
-	m.jobFinished(ProblemMIS, StateDone, true, time.Millisecond, 2*time.Millisecond)
-	m.jobFinished(ProblemMIS, StateDone, false, time.Millisecond, 2*time.Millisecond)
-	m.jobFinished(ProblemMM, StateFailed, true, time.Millisecond, 2*time.Millisecond)
-	m.jobFinished(ProblemSF, StateCancelled, true, time.Millisecond, 2*time.Millisecond)
+	m.jobFinished(ProblemMIS, StateDone, true, false, time.Millisecond, 2*time.Millisecond)
+	m.jobFinished(ProblemMIS, StateDone, false, true, time.Millisecond, 2*time.Millisecond)
+	m.jobFinished(ProblemMM, StateFailed, true, false, time.Millisecond, 2*time.Millisecond)
+	m.jobFinished(ProblemSF, StateCancelled, true, false, time.Millisecond, 2*time.Millisecond)
 	s := m.snapshot()
 	if s.Jobs.Executed != 2 {
 		t.Errorf("executed = %d, want 2", s.Jobs.Executed)
 	}
 	if s.Jobs.AdaptiveExecuted != 1 {
 		t.Errorf("adaptive_executed = %d, want 1", s.Jobs.AdaptiveExecuted)
+	}
+	if s.Jobs.Repaired != 1 {
+		t.Errorf("repaired = %d, want 1", s.Jobs.Repaired)
 	}
 	if s.Jobs.Failed != 1 || s.Jobs.Cancelled != 1 {
 		t.Errorf("failed/cancelled = %d/%d, want 1/1", s.Jobs.Failed, s.Jobs.Cancelled)

@@ -1,0 +1,357 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	greedy "repro"
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+)
+
+// patchOf converts dynamic updates to the wire form.
+func patchOf(updates ...dynamic.Update) PatchRequest {
+	req := PatchRequest{}
+	for _, up := range updates {
+		req.Updates = append(req.Updates, PatchUpdate{Op: up.Op.String(), U: up.U, V: up.V})
+	}
+	return req
+}
+
+// TestHTTPGraphPatchVersions: PATCH derives a new content-addressed
+// version, identical patches dedup onto it, and dedup keys stay sound
+// across versions (the same plan on parent and child are distinct
+// jobs).
+func TestHTTPGraphPatchVersions(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	parent, err := c.Generate(ctx, GenSpec{Generator: "random", N: 500, M: 1500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an absent pair to insert deterministically.
+	up := dynamic.Update{Op: dynamic.OpAdd, U: 0, V: 1}
+	g := graph.Random(500, 1500, 3)
+	for g.HasEdge(up.U, up.V) {
+		up.V++
+	}
+	child, err := c.Patch(ctx, parent.ID, patchOf(up))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.ID == parent.ID {
+		t.Fatal("patched graph kept the parent id")
+	}
+	if child.Parent != parent.ID || child.Added != 1 || child.Removed != 0 {
+		t.Fatalf("bad patch response: %+v", child)
+	}
+	if child.M != parent.M+1 {
+		t.Fatalf("child has m=%d, want %d", child.M, parent.M+1)
+	}
+	if child.Deduped {
+		t.Fatal("first patch reported deduped")
+	}
+	// The identical patch dedups onto the same version.
+	again, err := c.Patch(ctx, parent.ID, patchOf(up))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != child.ID || !again.Deduped {
+		t.Fatalf("identical patch produced %+v, want dedup onto %s", again, child.ID)
+	}
+	// Same plan on parent and child: two distinct executions.
+	plan := greedy.ResolvePlan(greedy.WithSeed(7))
+	j1, err := c.Submit(ctx, JobRequest{GraphID: parent.ID, Problem: "mis", Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := c.Submit(ctx, JobRequest{GraphID: child.ID, Problem: "mis", Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.Deduped || j2.Deduped || j1.ID == j2.ID {
+		t.Fatalf("jobs across versions conflated: %+v vs %+v", j1, j2)
+	}
+
+	// Error paths.
+	if _, err := c.Patch(ctx, "gnope", patchOf(up)); err == nil {
+		t.Fatal("patch of unknown graph succeeded")
+	}
+	if _, err := c.Patch(ctx, parent.ID, patchOf(dynamic.Update{Op: dynamic.OpDel, U: 0, V: 0})); err == nil {
+		t.Fatal("self-loop delete accepted")
+	}
+	if _, err := c.Patch(ctx, parent.ID, PatchRequest{Updates: []PatchUpdate{{Op: "frobnicate", U: 1, V: 2}}}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+// TestHTTPGraphStats: the stats endpoint answers for resident graphs
+// and 404s for unknown ids.
+func TestHTTPGraphStats(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	info, err := c.Generate(ctx, GenSpec{Generator: "random", N: 2000, M: 8000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.GraphStats(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.Stats(graph.Random(2000, 8000, 1))
+	if st.N != want.N || st.M != want.M || st.DegreeP50 != want.Median ||
+		st.DegreeP99 != want.P99 || st.DegreeMax != want.Max || st.Components != want.ConnectedComps {
+		t.Fatalf("stats mismatch: got %+v want %+v", st, want)
+	}
+	if _, err := c.GraphStats(ctx, "gmissing"); err == nil {
+		t.Fatal("stats of unknown graph succeeded")
+	}
+}
+
+// TestDynamicJobRepairAcrossVersions is the end-to-end repair path:
+// a dynamic job seeds a session, PATCH derives versions, and dynamic
+// jobs on the descendants are answered by incremental repair with
+// results identical to from-scratch computation.
+func TestDynamicJobRepairAcrossVersions(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	base, err := c.Generate(ctx, GenSpec{Generator: "random", N: 1000, M: 5000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynPlan := greedy.ResolvePlan(greedy.WithSeed(5), greedy.WithDynamic())
+
+	runJob := func(graphID, problem string) ResultPayload {
+		t.Helper()
+		sub, err := c.Submit(ctx, JobRequest{GraphID: graphID, Problem: problem, Plan: dynPlan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Wait(ctx, sub.ID, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		raw, done, err := c.Result(ctx, sub.ID)
+		if err != nil || !done {
+			t.Fatalf("result: done=%v err=%v", done, err)
+		}
+		var payload ResultPayload
+		if err := json.Unmarshal(raw, &payload); err != nil {
+			t.Fatal(err)
+		}
+		return payload
+	}
+
+	// Seed sessions on the base version.
+	first := runJob(base.ID, "mis")
+	if !first.Dynamic || first.Repaired {
+		t.Fatalf("first dynamic job: %+v", first)
+	}
+	firstMM := runJob(base.ID, "mm")
+	if firstMM.Repaired {
+		t.Fatal("first MM job cannot be repaired")
+	}
+
+	// Two chained patches.
+	g := graph.Random(1000, 5000, 2)
+	ins := dynamic.Update{Op: dynamic.OpAdd, U: 3, V: 4}
+	for g.HasEdge(ins.U, ins.V) {
+		ins.V++
+	}
+	v2, err := c.Patch(ctx, base.ID, patchOf(ins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := dynamic.Update{Op: dynamic.OpDel, U: ins.U, V: ins.V}
+	more := dynamic.Update{Op: dynamic.OpAdd, U: 10, V: 500}
+	for g.HasEdge(more.U, more.V) {
+		more.V++
+	}
+	v3, err := c.Patch(ctx, v2.ID, patchOf(del, more))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A dynamic job on v3 must repair from the base session across the
+	// two-patch lineage.
+	repaired := runJob(v3.ID, "mis")
+	if !repaired.Repaired || repaired.RepairBatches != 2 || repaired.RepairedFrom != base.ID {
+		t.Fatalf("expected repair across 2 batches from %s, got %+v", base.ID, repaired)
+	}
+	if repaired.Repair == nil {
+		t.Fatal("repaired payload missing repair stats")
+	}
+
+	// Repair must equal from-scratch: a fresh non-dynamic MIS with the
+	// same seed selects the same set (the vertex order is churn-stable),
+	// and both payloads commit to membership with the same checksum.
+	fresh := runJob(v3.ID, "mis")
+	_ = fresh // exact-version session read; equality asserted below via scratch
+	scratchPlan := greedy.ResolvePlan(greedy.WithSeed(5))
+	sub, err := c.Submit(ctx, JobRequest{GraphID: v3.ID, Problem: "mis", Plan: scratchPlan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, sub.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	raw, done, err := c.Result(ctx, sub.ID)
+	if err != nil || !done {
+		t.Fatalf("scratch result: done=%v err=%v", done, err)
+	}
+	var scratch ResultPayload
+	if err := json.Unmarshal(raw, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if scratch.Checksum != repaired.Checksum || scratch.Size != repaired.Size {
+		t.Fatalf("repaired MIS diverges from recompute: %s/%d vs %s/%d",
+			repaired.Checksum, repaired.Size, scratch.Checksum, scratch.Size)
+	}
+
+	// MM: repaired result must equal the library's one-shot dynamic
+	// matching on the mutated graph.
+	repairedMM := runJob(v3.ID, "mm")
+	if !repairedMM.Repaired {
+		t.Fatalf("MM job did not repair: %+v", repairedMM)
+	}
+	g2, _, _, err := dynamic.ApplyToGraph(g, []dynamic.Update{ins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, _, _, err := dynamic.ApplyToGraph(g2, []dynamic.Update{del, more})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := greedy.NewSolver().MM(ctx, g3.EdgeList(), greedy.WithSeed(5), greedy.WithDynamic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repairedMM.Size != want.Size() {
+		t.Fatalf("repaired MM size %d, from-scratch %d", repairedMM.Size, want.Size())
+	}
+	if len(repairedMM.MemberPairs) != len(want.Pairs) {
+		t.Fatalf("pair count %d vs %d", len(repairedMM.MemberPairs), len(want.Pairs))
+	}
+	for i, p := range want.Pairs {
+		if repairedMM.MemberPairs[i] != [2]int32{p.U, p.V} {
+			t.Fatalf("pair %d: %v vs %v", i, repairedMM.MemberPairs[i], p)
+		}
+	}
+}
+
+// TestDynamicJobsWithSessionsDisabled: a negative session cap turns
+// every dynamic job into a recompute; answers stay correct.
+func TestDynamicJobsWithSessionsDisabled(t *testing.T) {
+	svc := New(Config{Workers: 1, DynamicSessions: -1})
+	t.Cleanup(svc.Close)
+	info, _, err := svc.Generate(GenSpec{Generator: "random", N: 300, M: 900, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := svc.Patch(info.ID, []dynamic.Update{{Op: dynamic.OpAdd, U: 0, V: 299}}, "")
+	if err != nil {
+		// The random graph may already contain {0,299}; pick another.
+		res, _, err = svc.Patch(info.ID, []dynamic.Update{{Op: dynamic.OpAdd, U: 1, V: 298}}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := JobSpec{GraphID: res.ID, Problem: ProblemMIS, Plan: greedy.ResolvePlan(greedy.WithDynamic())}
+	st, _, err := svc.Engine().Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, err := svc.Engine().Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == StateDone {
+			break
+		}
+		if cur.State == StateFailed || cur.State == StateCancelled {
+			t.Fatalf("job ended %s: %s", cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	raw, _, err := svc.Engine().Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload ResultPayload
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Repaired {
+		t.Fatal("sessions disabled but job reports repair")
+	}
+	if !payload.Dynamic || payload.Size == 0 {
+		t.Fatalf("bad payload: %+v", payload)
+	}
+}
+
+// TestDynamicPlanValidation: dynamic SF and dynamic Luby are rejected
+// at submission time.
+func TestDynamicPlanValidation(t *testing.T) {
+	spec := JobSpec{GraphID: "g", Problem: ProblemSF, Plan: greedy.ResolvePlan(greedy.WithDynamic())}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("dynamic SF accepted")
+	}
+	spec = JobSpec{GraphID: "g", Problem: ProblemMIS, Plan: greedy.ResolvePlan(greedy.WithDynamic(), greedy.WithAlgorithm(greedy.AlgoLuby))}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("dynamic Luby accepted")
+	}
+	spec = JobSpec{GraphID: "g", Problem: ProblemMM, Plan: greedy.ResolvePlan(greedy.WithDynamic())}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("dynamic MM rejected: %v", err)
+	}
+	// Dynamic participates in the dedup key.
+	a := JobSpec{GraphID: "g", Problem: ProblemMM, Plan: greedy.ResolvePlan()}
+	b := JobSpec{GraphID: "g", Problem: ProblemMM, Plan: greedy.ResolvePlan(greedy.WithDynamic())}
+	if a.Key() == b.Key() {
+		t.Fatal("dynamic flag does not separate dedup keys")
+	}
+}
+
+// TestPatchLineage: every patch records its derivation, base graphs
+// have none, and records survive chained patches.
+func TestPatchLineage(t *testing.T) {
+	reg := NewRegistry(0, nil)
+	g := graph.Random(50, 100, 1)
+	info, _, err := reg.Add(g, "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := reg.Lineage(info.ID); ok {
+		t.Fatal("base graph has lineage")
+	}
+	cur := info.ID
+	curG := g
+	for i := 0; i < 3; i++ {
+		up := dynamic.Update{Op: dynamic.OpAdd, U: 0, V: int32(40 + i)}
+		if curG.HasEdge(up.U, up.V) {
+			up.Op = dynamic.OpDel
+		}
+		res, _, err := reg.Patch(cur, []dynamic.Update{up}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		parent, updates, ok := reg.Lineage(res.ID)
+		if !ok || parent != cur || len(updates) != 1 {
+			t.Fatalf("lineage of %s: parent=%s ok=%v", res.ID, parent, ok)
+		}
+		cur = res.ID
+		next, _, _, err := dynamic.ApplyToGraph(curG, []dynamic.Update{up})
+		if err != nil {
+			t.Fatal(err)
+		}
+		curG = next
+	}
+}

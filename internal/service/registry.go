@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dynamic"
 	"repro/internal/graph"
 )
 
@@ -47,7 +48,24 @@ type regEntry struct {
 	elOnce  sync.Once
 	el      graph.EdgeList
 	elBytes int64
+
+	statsOnce sync.Once
+	stats     graph.DegreeStats
 }
+
+// lineageRec remembers how a graph version was derived, so the job
+// engine can advance a dynamic session from an ancestor version to a
+// descendant by replaying the patches instead of recomputing. Records
+// are kept in a bounded FIFO separate from the resident entries: a
+// patch is small (bounded by the request cap) and stays useful even
+// after an intermediate version is evicted.
+type lineageRec struct {
+	parent  string
+	updates []dynamic.Update
+}
+
+// maxLineageRecs bounds the lineage index.
+const maxLineageRecs = 1024
 
 // Registry is the graph store behind the service: content-addressed
 // ingest, byte-budgeted LRU eviction, and ref-count pinning so a graph
@@ -60,6 +78,9 @@ type Registry struct {
 	clock    uint64
 	entries  map[string]*regEntry
 	metrics  *Metrics
+
+	lineage      map[string]lineageRec
+	lineageOrder []string // FIFO of lineage keys for bounded retention
 }
 
 // NewRegistry returns a registry with the given byte budget (<= 0 means
@@ -72,6 +93,7 @@ func NewRegistry(budget int64, metrics *Metrics) *Registry {
 		budget:  budget,
 		entries: make(map[string]*regEntry),
 		metrics: metrics,
+		lineage: make(map[string]lineageRec),
 	}
 }
 
@@ -226,6 +248,86 @@ func (h *Handle) Release() {
 		h.e.info.Refs--
 		h.r.mu.Unlock()
 	})
+}
+
+// Stats returns the degree statistics of the pinned graph, computed
+// once per entry and cached (they are immutable with the graph). Safe
+// for concurrent use.
+func (h *Handle) Stats() graph.DegreeStats {
+	e := h.e
+	e.statsOnce.Do(func() {
+		e.stats = graph.Stats(e.g)
+	})
+	return e.stats
+}
+
+// PatchResult describes a derived graph version.
+type PatchResult struct {
+	GraphInfo
+	// Parent is the version the patch was applied to.
+	Parent string `json:"parent"`
+	// Added and Removed count the applied updates.
+	Added   int `json:"added"`
+	Removed int `json:"removed"`
+}
+
+// Patch derives a new graph version: it applies the update batch to
+// the resident graph parentID, registers the result under its own
+// content-addressed id (so job dedup keys never conflate versions),
+// and records the lineage for the engine's session repair. The batch
+// is validated against the parent and rejected wholesale
+// (dynamic.ErrBadUpdate) on any violation.
+func (r *Registry) Patch(parentID string, updates []dynamic.Update, label string) (PatchResult, bool, error) {
+	h, err := r.Acquire(parentID)
+	if err != nil {
+		return PatchResult{}, false, err
+	}
+	defer h.Release()
+	child, added, removed, err := dynamic.ApplyToGraph(h.Graph(), updates)
+	if err != nil {
+		return PatchResult{}, false, err
+	}
+	if label == "" {
+		label = h.e.info.Label
+	}
+	info, deduped, err := r.Add(child, label)
+	if err != nil {
+		return PatchResult{}, false, err
+	}
+	// An empty (or self-inverting — impossible, batches are validated
+	// sets) patch dedups onto the parent itself; a self-edge in the
+	// lineage graph would make the session walk spin.
+	if info.ID != parentID {
+		r.recordLineage(info.ID, parentID, updates)
+	}
+	return PatchResult{GraphInfo: info, Parent: parentID, Added: added, Removed: removed}, deduped, nil
+}
+
+// recordLineage stores a bounded number of derivation records.
+func (r *Registry) recordLineage(child, parent string, updates []dynamic.Update) {
+	rec := lineageRec{parent: parent, updates: append([]dynamic.Update(nil), updates...)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.lineage[child]; !exists {
+		r.lineageOrder = append(r.lineageOrder, child)
+	}
+	r.lineage[child] = rec
+	for len(r.lineageOrder) > maxLineageRecs {
+		victim := r.lineageOrder[0]
+		r.lineageOrder = r.lineageOrder[1:]
+		delete(r.lineage, victim)
+	}
+}
+
+// Lineage returns how a graph version was derived, if known.
+func (r *Registry) Lineage(id string) (parent string, updates []dynamic.Update, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.lineage[id]
+	if !ok {
+		return "", nil, false
+	}
+	return rec.parent, rec.updates, true
 }
 
 // Acquire pins the graph with the given id and returns a handle to it.

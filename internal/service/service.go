@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/dynamic"
 	"repro/internal/graph"
 )
 
@@ -38,6 +39,12 @@ type Config struct {
 	// requests; 0 means 1<<27 vertices and 1<<28 edges.
 	MaxGenVertices int
 	MaxGenEdges    int
+	// MaxPatchUpdates bounds the updates one PATCH may carry; 0 means
+	// 1<<20.
+	MaxPatchUpdates int
+	// DynamicSessions bounds the engine's cached dynamic sessions; 0
+	// means 8, negative disables session reuse.
+	DynamicSessions int
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +63,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxGenEdges <= 0 {
 		c.MaxGenEdges = 1 << 28
 	}
+	if c.MaxPatchUpdates <= 0 {
+		c.MaxPatchUpdates = 1 << 20
+	}
 	return c
 }
 
@@ -73,9 +83,10 @@ func New(cfg Config) *Service {
 	m := NewMetrics()
 	reg := NewRegistry(cfg.CacheBytes, m)
 	eng := NewEngine(reg, m, EngineConfig{
-		Workers:    cfg.Workers,
-		QueueDepth: cfg.QueueDepth,
-		ResultTTL:  cfg.ResultTTL,
+		Workers:         cfg.Workers,
+		QueueDepth:      cfg.QueueDepth,
+		ResultTTL:       cfg.ResultTTL,
+		DynamicSessions: cfg.DynamicSessions,
 	})
 	return &Service{cfg: cfg, metrics: m, registry: reg, engine: eng}
 }
@@ -109,8 +120,21 @@ func (s *Service) Snapshot() Snapshot {
 	reg.Hits = snap.Registry.Hits
 	reg.Misses = snap.Registry.Misses
 	reg.Evictions = snap.Registry.Evictions
+	reg.Patches = snap.Registry.Patches
 	snap.Registry = reg
 	return snap
+}
+
+// Patch derives a new graph version from parentID by applying an edge
+// update batch (see Registry.Patch) and counts it in the metrics. A
+// patch that dedups onto an already-resident version derives nothing
+// and is not counted.
+func (s *Service) Patch(parentID string, updates []dynamic.Update, label string) (PatchResult, bool, error) {
+	res, deduped, err := s.registry.Patch(parentID, updates, label)
+	if err == nil && !deduped {
+		s.metrics.graphPatched()
+	}
+	return res, deduped, err
 }
 
 // GenSpec is a server-side graph generation request.

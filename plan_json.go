@@ -16,12 +16,16 @@ type planJSON struct {
 	// fixed window PrefixFrac/PrefixSize denote; "adaptive" runs the
 	// measured doubling/halving schedule (the fields then seed the
 	// initial window). Any other value is rejected.
-	Prefix        string  `json:"prefix,omitempty"`
-	PrefixFrac    float64 `json:"prefix_frac,omitempty"`
-	PrefixSize    int     `json:"prefix_size,omitempty"`
-	Grain         int     `json:"grain,omitempty"`
-	Pointered     bool    `json:"pointered,omitempty"`
-	ExplicitOrder bool    `json:"explicit_order,omitempty"`
+	Prefix     string  `json:"prefix,omitempty"`
+	PrefixFrac float64 `json:"prefix_frac,omitempty"`
+	PrefixSize int     `json:"prefix_size,omitempty"`
+	// Dynamic selects churn-stable priorities (WithDynamic): the plans
+	// the service can answer by incremental repair across graph
+	// versions instead of recomputing.
+	Dynamic       bool `json:"dynamic,omitempty"`
+	Grain         int  `json:"grain,omitempty"`
+	Pointered     bool `json:"pointered,omitempty"`
+	ExplicitOrder bool `json:"explicit_order,omitempty"`
 }
 
 // Wire values of planJSON.Prefix.
@@ -44,6 +48,7 @@ func (p Plan) MarshalJSON() ([]byte, error) {
 		Prefix:        prefix,
 		PrefixFrac:    p.PrefixFrac,
 		PrefixSize:    p.PrefixSize,
+		Dynamic:       p.Dynamic,
 		Grain:         p.Grain,
 		Pointered:     p.Pointered,
 		ExplicitOrder: p.ExplicitOrder,
@@ -80,6 +85,7 @@ func (p *Plan) UnmarshalJSON(data []byte) error {
 		AdaptivePrefix: adaptive,
 		PrefixFrac:     raw.PrefixFrac,
 		PrefixSize:     raw.PrefixSize,
+		Dynamic:        raw.Dynamic,
 		Grain:          raw.Grain,
 		Pointered:      raw.Pointered,
 		ExplicitOrder:  raw.ExplicitOrder,

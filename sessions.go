@@ -1,0 +1,172 @@
+package greedy
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dynamic"
+)
+
+// Dynamic-graph sessions: incremental maintenance of MIS and MM under
+// edge churn. A session wraps an internal/dynamic.Maintainer: it owns
+// a mutable overlay over the (immutable) input graph and, on every
+// Apply, repairs only the affected priority cone instead of
+// recomputing — with results bit-identical to a from-scratch run on
+// the mutated graph. See Solver.MISDynamic and Solver.MMDynamic.
+
+// Re-exported dynamic types, so session callers need not import
+// internal packages.
+type (
+	// DynamicUpdate is one edge insertion or deletion.
+	DynamicUpdate = dynamic.Update
+	// DynamicOp is the kind of a DynamicUpdate.
+	DynamicOp = dynamic.Op
+	// RepairStats reports the per-batch repair work of a session Apply
+	// (seeds, cone size, restricted-round-loop counters, memberships
+	// changed).
+	RepairStats = dynamic.RepairStats
+	// RepairCost is the per-problem component of RepairStats.
+	RepairCost = dynamic.RepairCost
+)
+
+// DynamicUpdate operations.
+const (
+	// OpAdd inserts an edge that must not be present.
+	OpAdd = dynamic.OpAdd
+	// OpDel deletes an edge that must be present.
+	OpDel = dynamic.OpDel
+)
+
+// MISSession maintains a maximal independent set under edge churn.
+// Obtain one from Solver.MISDynamic; it is not safe for concurrent
+// use.
+type MISSession struct {
+	mt *dynamic.Maintainer
+}
+
+// MISDynamic computes the MIS of g and returns a session that
+// maintains it under edge updates. The priority order is the same one
+// Solver.MIS uses for the configured seed (or WithOrder), so the
+// session's result always equals what a from-scratch MIS run on the
+// current graph would return. The initial computation honors ctx;
+// AlgoLuby has no maintainable order and is reported as
+// ErrDynamicUnsupported.
+func (s *Solver) MISDynamic(ctx context.Context, g *Graph, opts ...Option) (*MISSession, error) {
+	c := s.config(opts)
+	if c.algorithm == AlgoLuby {
+		return nil, fmt.Errorf("%w: got %q", ErrDynamicUnsupported, c.algorithm)
+	}
+	var ord *Order
+	if c.order != nil {
+		if c.order.Len() != g.NumVertices() {
+			return nil, fmt.Errorf("%w: order has %d items, input has %d", ErrOrderSize, c.order.Len(), g.NumVertices())
+		}
+		ord = c.order
+	}
+	mt, err := dynamic.NewMaintainer(ctx, g, dynamic.Config{
+		MIS:   true,
+		Seed:  c.seed,
+		Order: ord,
+		Grain: c.grain,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MISSession{mt: mt}, nil
+}
+
+// Apply atomically applies a batch of edge updates and repairs the
+// maintained set by re-resolving the affected priority cone. An
+// invalid batch (dynamic.ErrBadUpdate) changes nothing.
+func (s *MISSession) Apply(ctx context.Context, batch []DynamicUpdate) (RepairStats, error) {
+	return s.mt.Apply(ctx, batch)
+}
+
+// Result returns a snapshot of the current MIS (Stats zero — per-batch
+// costs are reported by Apply).
+func (s *MISSession) Result() *MISResult { return s.mt.MISResult() }
+
+// Graph returns the current graph as an immutable CSR.
+func (s *MISSession) Graph() *Graph { return s.mt.Graph() }
+
+// NumVertices returns the (fixed) vertex count.
+func (s *MISSession) NumVertices() int { return s.mt.NumVertices() }
+
+// NumEdges returns the current edge count.
+func (s *MISSession) NumEdges() int { return s.mt.NumEdges() }
+
+// InitStats returns the cost counters of the initial computation.
+func (s *MISSession) InitStats() Stats {
+	mis, _ := s.mt.InitStats()
+	return mis
+}
+
+// MMSession maintains a maximal matching under edge churn. Obtain one
+// from Solver.MMDynamic; it is not safe for concurrent use.
+type MMSession struct {
+	mt *dynamic.Maintainer
+}
+
+// MMDynamic computes the maximal matching of g under churn-stable
+// (hash-derived, WithDynamic-style) edge priorities and returns a
+// session that maintains it under edge updates. The maintained
+// matching always equals Solver.MM(ctx, g.EdgeList(), WithDynamic(),
+// WithSeed(seed)) on the current graph. Explicit orders and AlgoLuby
+// are reported as ErrDynamicUnsupported.
+func (s *Solver) MMDynamic(ctx context.Context, g *Graph, opts ...Option) (*MMSession, error) {
+	c := s.config(opts)
+	if c.algorithm == AlgoLuby {
+		return nil, ErrLubyMatching
+	}
+	if c.order != nil {
+		return nil, fmt.Errorf("%w: WithOrder cannot combine with dynamic matching", ErrDynamicUnsupported)
+	}
+	mt, err := dynamic.NewMaintainer(ctx, g, dynamic.Config{
+		MM:    true,
+		Seed:  c.seed,
+		Grain: c.grain,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MMSession{mt: mt}, nil
+}
+
+// Apply atomically applies a batch of edge updates and repairs the
+// maintained matching.
+func (s *MMSession) Apply(ctx context.Context, batch []DynamicUpdate) (RepairStats, error) {
+	return s.mt.Apply(ctx, batch)
+}
+
+// Pairs returns the current matching as canonical edges sorted
+// lexicographically.
+func (s *MMSession) Pairs() []Edge { return s.mt.MatchingPairs() }
+
+// Mate returns a copy of the mate array (mate[v] = matched partner of
+// v, or -1).
+func (s *MMSession) Mate() []int32 { return s.mt.Mate() }
+
+// Size returns the number of matched edges.
+func (s *MMSession) Size() int { return len(s.mt.MatchingPairs()) }
+
+// Graph returns the current graph as an immutable CSR.
+func (s *MMSession) Graph() *Graph { return s.mt.Graph() }
+
+// NumVertices returns the (fixed) vertex count.
+func (s *MMSession) NumVertices() int { return s.mt.NumVertices() }
+
+// NumEdges returns the current edge count.
+func (s *MMSession) NumEdges() int { return s.mt.NumEdges() }
+
+// InitStats returns the cost counters of the initial computation.
+func (s *MMSession) InitStats() Stats {
+	_, mm := s.mt.InitStats()
+	return mm
+}
+
+// DynamicEdgeOrder exposes the churn-stable edge order WithDynamic
+// selects for an explicit edge list — the order a from-scratch
+// verification of a dynamic matching session must use.
+func DynamicEdgeOrder(el EdgeList, seed uint64) Order {
+	return dynamic.EdgeOrder(el, seed)
+}

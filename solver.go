@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/internal/matching"
 	"repro/internal/spanning"
 )
@@ -27,6 +28,12 @@ var (
 	// ErrAdaptiveAlgorithm reports that WithAdaptivePrefix was combined
 	// with an algorithm that has no prefix window to adapt.
 	ErrAdaptiveAlgorithm = errors.New("greedy: adaptive prefix applies to the prefix algorithm only")
+	// ErrDynamicUnsupported reports a configuration the dynamic
+	// (churn-stable) priority scheme cannot express: spanning forest,
+	// Luby (which regenerates priorities every round), or an explicit
+	// order for dynamic matching (whose priorities are derived from the
+	// edges themselves).
+	ErrDynamicUnsupported = errors.New("greedy: dynamic priorities support MIS and MM under derived orders only")
 )
 
 // RoundInfo is a per-round progress report streamed to a
@@ -89,7 +96,10 @@ type Solver struct {
 }
 
 // orderKey identifies a derived priority order: NewRandomOrder is
-// deterministic in (n, seed), so equal keys mean equal orders.
+// deterministic in (n, seed), so equal keys mean equal orders. Dynamic
+// (hash-priority) edge orders are never cached under such a key — they
+// depend on the edge endpoints themselves, which (m, seed) does not
+// determine.
 type orderKey struct {
 	n    int
 	seed uint64
@@ -191,8 +201,12 @@ func (s *Solver) MIS(ctx context.Context, g *Graph, opts ...Option) (*MISResult,
 		Workspace:  &s.misWs,
 	}
 	// Luby regenerates priorities from the seed every round; deriving
-	// (and caching) a priority order for it would be pure waste.
+	// (and caching) a priority order for it would be pure waste. It has
+	// no churn-stable variant either, so WithDynamic rejects it.
 	if c.algorithm == AlgoLuby {
+		if c.dynamic {
+			return nil, fmt.Errorf("%w: got %q", ErrDynamicUnsupported, c.algorithm)
+		}
 		return core.LubyMISCtx(ctx, g, c.seed, coreOpt)
 	}
 	ord, err := s.orderFor(c, g.NumVertices())
@@ -222,9 +236,21 @@ func (s *Solver) MM(ctx context.Context, el EdgeList, opts ...Option) (*MMResult
 	if err := c.checkAdaptive(); err != nil {
 		return nil, err
 	}
-	ord, err := s.orderFor(c, el.NumEdges())
-	if err != nil {
-		return nil, err
+	var ord Order
+	if c.dynamic {
+		// Churn-stable priorities: derived from the edges themselves
+		// (see WithDynamic), incompatible with an explicit identifier
+		// order and never cached — (m, seed) does not determine them.
+		if c.order != nil {
+			return nil, fmt.Errorf("%w: WithOrder cannot combine with WithDynamic", ErrDynamicUnsupported)
+		}
+		ord = dynamic.EdgeOrder(el, c.seed)
+	} else {
+		var err error
+		ord, err = s.orderFor(c, el.NumEdges())
+		if err != nil {
+			return nil, err
+		}
 	}
 	opt := matching.Options{
 		PrefixFrac: c.prefixFrac,
@@ -254,6 +280,9 @@ func (s *Solver) MM(ctx context.Context, el EdgeList, opts ...Option) (*MMResult
 // follows the same one-round bound as MIS.
 func (s *Solver) SF(ctx context.Context, el EdgeList, opts ...Option) (*SFResult, error) {
 	c := s.config(opts)
+	if c.dynamic {
+		return nil, fmt.Errorf("%w: spanning forest has no dynamic variant", ErrDynamicUnsupported)
+	}
 	switch c.algorithm {
 	case AlgoPrefix, AlgoSequential:
 	default:
