@@ -27,12 +27,15 @@
 //
 // The churn matrix (-churn) is the dynamic-graph harness: it maintains
 // MIS and MM under randomized update batches over random / rMat / grid
-// inputs, times incremental cone repair against from-scratch
+// inputs, times change-driven frontier repair against from-scratch
 // sequential recompute per batch size, verifies the maintained
-// solutions bit-identical to sequential, and writes BENCH_pr4.json:
+// solutions bit-identical to sequential, records the repaired-region
+// shape (visited, flipped, frontier peak) per cell, and writes
+// BENCH_pr5.json. -assert-speedup turns cells into regression guards:
 //
 //	bench -churn                                # full scale (1M-vertex random)
 //	bench -churn -smoke                         # CI churn-smoke leg, seconds
+//	bench -churn -smoke -assert-speedup rmat:mm:1:1.0
 package main
 
 import (
@@ -61,15 +64,27 @@ func main() {
 		churn      = flag.Bool("churn", false, "run the dynamic-graph churn matrix (repair vs recompute) and write a JSON report")
 		smoke      = flag.Bool("smoke", false, "matrix/churn at the smallest sizes (implies -matrix unless -churn; the CI smoke legs)")
 		batches    = flag.Int("batches", 0, "timed update batches per churn cell (0: default 16)")
-		out        = flag.String("out", "", "output path of the JSON report (default BENCH_pr3.json for -matrix, BENCH_pr4.json for -churn)")
+		out        = flag.String("out", "", "output path of the JSON report (default BENCH_pr3.json for -matrix, BENCH_pr5.json for -churn)")
+		asserts    = flag.String("assert-speedup", "", "comma-separated churn speedup assertions scenario:problem:batch:min (e.g. rmat:mm:1:1.0); exit 1 on violation")
 	)
 	flag.Parse()
 
 	if *churn {
+		var churnAsserts []bench.ChurnAssertion
+		if *asserts != "" {
+			for _, spec := range strings.Split(*asserts, ",") {
+				a, err := bench.ParseChurnAssertion(strings.TrimSpace(spec))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bench: bad -assert-speedup: %v\n", err)
+					os.Exit(2)
+				}
+				churnAsserts = append(churnAsserts, a)
+			}
+		}
 		report := bench.RunChurn(bench.ChurnConfig{Smoke: *smoke, Reps: *reps, Batches: *batches})
 		path := *out
 		if path == "" {
-			path = "BENCH_pr4.json"
+			path = "BENCH_pr5.json"
 		}
 		if err := os.WriteFile(path, report.JSON(), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", path, err)
@@ -77,6 +92,14 @@ func main() {
 		}
 		fmt.Println(bench.ChurnTable(report))
 		fmt.Printf("wrote %s\n", path)
+		if failures := report.CheckAssertions(churnAsserts); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "bench: speedup assertion failed: %s\n", f)
+			}
+			os.Exit(1)
+		} else if len(churnAsserts) > 0 {
+			fmt.Printf("all %d speedup assertions held\n", len(churnAsserts))
+		}
 		return
 	}
 

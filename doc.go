@@ -63,15 +63,20 @@
 //
 // Solver.MISDynamic and Solver.MMDynamic return session handles that
 // maintain a solution under streams of edge insertions and deletions:
-// each Apply repairs only the affected priority cone (the downstream
-// closure of the changed edges in the priority DAG — expectedly tiny
-// and independent of n on sparse graphs) instead of recomputing, and
-// the maintained result is always bit-identical to a from-scratch
-// sequential greedy run on the mutated graph:
+// each Apply drains a change-driven priority frontier — seeded only by
+// the directly-perturbed items and expanded to an item's downstream
+// neighbors only when its membership actually flipped — instead of
+// recomputing, and the maintained result is always bit-identical to a
+// from-scratch sequential greedy run on the mutated graph:
 //
 //	sess, err := solver.MISDynamic(ctx, g)
 //	stats, err := sess.Apply(ctx, []greedy.DynamicUpdate{{Op: greedy.OpAdd, U: 1, V: 2}})
 //	res := sess.Result()
+//
+// The returned RepairStats speak frontier: Seeds, Visited (distinct
+// items re-decided), Flipped (membership flips propagated — items that
+// re-derive their old decision stop the propagation, so an unaffected
+// hub costs one decision, not its fan-out), FrontierPeak, and Changed.
 //
 // WithDynamic selects the same churn-stable priorities for one-shot
 // runs (a no-op for MIS, hash-derived edge priorities for MM), which

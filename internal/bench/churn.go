@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -15,7 +17,7 @@ import (
 )
 
 // The churn matrix: the reproducible repair-vs-recompute harness of
-// the dynamic-graph subsystem (BENCH_pr4.json). For each graph family
+// the dynamic-graph subsystem (BENCH_pr5.json). For each graph family
 // and problem it maintains a solution under randomized update batches
 // of several sizes and compares the measured repair time against a
 // from-scratch sequential recompute on the mutated graph — the
@@ -24,9 +26,15 @@ import (
 // in: after timed batches the maintained solution is checked
 // bit-identical to a from-scratch sequential run (the harness refuses
 // to time wrong answers), exactly like the fixed-vs-adaptive matrix.
+//
+// v2 (PR 5) records the repaired-region shape per cell — visited,
+// flipped, frontier peak — alongside wall time, so the report explains
+// *why* a cell wins: a frontier cell beats recompute exactly when the
+// flip region stays small, and loses only where churn has damaged a
+// batch-sized fraction of the realized decision sequence.
 
 // ChurnSchema identifies the report format.
-const ChurnSchema = "greedy-bench-churn/v1"
+const ChurnSchema = "greedy-bench-churn/v2"
 
 // churnSeed fixes the generator and priority seeds of every scenario.
 const churnSeed = 42
@@ -88,8 +96,16 @@ func ChurnScenarios(smoke bool) []ChurnScenario {
 	return scenarios
 }
 
-// ChurnBatchSizes is the default update-batch size sweep.
-var ChurnBatchSizes = []int{1, 16, 256, 4096}
+// ChurnBatchSizes is the default update-batch size sweep. It extends
+// past the closure engine's old crossover (batch ~256 on random-1M,
+// batch 1 on rMat MM) so the report shows where — if anywhere —
+// frontier repair still loses to recompute.
+var ChurnBatchSizes = []int{1, 16, 256, 4096, 32768}
+
+// ChurnSmokeBatchSizes is the smoke-scale sweep: the 20k-vertex smoke
+// graphs have ~100k edges, so the 32768 axis point would churn a third
+// of the graph per batch and measure compaction, not repair.
+var ChurnSmokeBatchSizes = []int{1, 16, 256, 4096}
 
 // ChurnConfig configures RunChurn.
 type ChurnConfig struct {
@@ -108,14 +124,20 @@ type ChurnRun struct {
 	BatchSize int `json:"batch_size"`
 	Batches   int `json:"batches"`
 	// RepairMSMean/Max are wall times of Maintainer.Apply (validation,
-	// structural update, seed, cone, restricted rounds).
+	// structural update, seed, frontier drain).
 	RepairMSMean float64 `json:"repair_ms_mean"`
 	RepairMSMax  float64 `json:"repair_ms_max"`
-	// Machine-independent repair-work means per batch.
+	// Machine-independent repaired-region means per batch: seeds
+	// enqueued, distinct items re-decided (visited), membership flips
+	// propagated, and net memberships changed.
 	SeedsMean   float64 `json:"seeds_mean"`
-	ConeMean    float64 `json:"cone_mean"`
+	VisitedMean float64 `json:"visited_mean"`
+	FlippedMean float64 `json:"flipped_mean"`
 	ChangedMean float64 `json:"changed_mean"`
-	// AttemptsMean is the restricted round loop's mean attempts per
+	// FrontierPeakMax is the largest pending-frontier high-water mark
+	// any batch of the cell reached.
+	FrontierPeakMax int `json:"frontier_peak_max"`
+	// AttemptsMean is the frontier drain's mean decide attempts per
 	// batch — the repair analogue of the paper's total-work measure.
 	AttemptsMean float64 `json:"attempts_mean"`
 	// RecomputeMS is the median from-scratch sequential solve on the
@@ -147,7 +169,7 @@ type ChurnScenarioReport struct {
 }
 
 // ChurnReport is the full harness output, the schema of
-// BENCH_pr4.json.
+// BENCH_pr5.json.
 type ChurnReport struct {
 	Schema     string                `json:"schema"`
 	Env        string                `json:"env"`
@@ -180,7 +202,11 @@ func RunChurn(cfg ChurnConfig) ChurnReport {
 	}
 	sizes := cfg.BatchSizes
 	if len(sizes) == 0 {
-		sizes = ChurnBatchSizes
+		if cfg.Smoke {
+			sizes = ChurnSmokeBatchSizes
+		} else {
+			sizes = ChurnBatchSizes
+		}
 	}
 	report := ChurnReport{
 		Schema:     ChurnSchema,
@@ -216,8 +242,8 @@ func RunChurn(cfg ChurnConfig) ChurnReport {
 // cmd/loadgen so the two churn drivers cannot drift.
 type ChurnMutator struct {
 	x     *rng.Xoshiro256
-	edges []graph.Edge       // live edges, canonical U < V
-	idx   map[uint64]int32   // canonical key -> position in edges
+	edges []graph.Edge     // live edges, canonical U < V
+	idx   map[uint64]int32 // canonical key -> position in edges
 	n     int
 }
 
@@ -315,10 +341,14 @@ func runChurnProblem(problem string, g *graph.Graph, sizes []int, batches, reps 
 		InitMS:  float64(time.Since(initStart).Microseconds()) / 1000.0,
 	}
 	cm := NewChurnMutator(g, churnSeed+1)
+	// The initial computation leaves hundreds of MB of garbage at full
+	// scale; settle it now so the first timed batch measures repair,
+	// not a collection of the initializer's trash.
+	runtime.GC()
 	for _, size := range sizes {
 		run := ChurnRun{BatchSize: size, Batches: batches}
 		var totalMS, maxMS float64
-		var seeds, cone, changed, attempts int64
+		var seeds, visited, flipped, changed, attempts int64
 		for b := 0; b < batches; b++ {
 			batch := cm.Draw(size)
 			start := time.Now()
@@ -333,9 +363,13 @@ func runChurnProblem(problem string, g *graph.Graph, sizes []int, batches, reps 
 				maxMS = ms
 			}
 			seeds += int64(st.MIS.Seeds + st.MM.Seeds)
-			cone += int64(st.MIS.Cone + st.MM.Cone)
+			visited += int64(st.MIS.Visited + st.MM.Visited)
+			flipped += int64(st.MIS.Flipped + st.MM.Flipped)
 			changed += int64(st.MIS.Changed + st.MM.Changed)
 			attempts += st.MIS.Attempts + st.MM.Attempts
+			if peak := st.MIS.FrontierPeak + st.MM.FrontierPeak; peak > run.FrontierPeakMax {
+				run.FrontierPeakMax = peak
+			}
 			if verifyEvery {
 				verifyChurn(problem, mt)
 			}
@@ -343,23 +377,28 @@ func runChurnProblem(problem string, g *graph.Graph, sizes []int, batches, reps 
 		run.RepairMSMean = totalMS / float64(batches)
 		run.RepairMSMax = maxMS
 		run.SeedsMean = float64(seeds) / float64(batches)
-		run.ConeMean = float64(cone) / float64(batches)
+		run.VisitedMean = float64(visited) / float64(batches)
+		run.FlippedMean = float64(flipped) / float64(batches)
 		run.ChangedMean = float64(changed) / float64(batches)
 		run.AttemptsMean = float64(attempts) / float64(batches)
 
 		// From-scratch baseline on the post-churn graph: the sequential
 		// greedy solve a non-dynamic job would run, on an already
-		// materialized CSR with an already derived order.
+		// materialized CSR with an already derived order. Settle the
+		// materialization/derivation garbage before timing for the same
+		// reason as above.
 		cur := mt.Graph()
 		switch problem {
 		case "mis":
 			ord := mt.Order()
+			runtime.GC()
 			run.RecomputeMS = medianMS(reps, func() {
 				core.SequentialMIS(cur, ord)
 			})
 		default:
 			el := cur.EdgeList()
 			ord := dynamic.EdgeOrder(el, churnSeed)
+			runtime.GC()
 			run.RecomputeMS = medianMS(reps, func() {
 				matching.SequentialMM(el, ord)
 			})
@@ -403,12 +442,84 @@ func verifyChurn(problem string, mt *dynamic.Maintainer) {
 	}
 }
 
+// ChurnAssertion pins a minimum repair-vs-recompute speedup for one
+// (scenario, problem, batch-size) cell — the CI regression guard for
+// cells that past engines lost (the closure engine's rMat MM
+// single-edge cell was break-even).
+type ChurnAssertion struct {
+	Scenario   string
+	Problem    string
+	BatchSize  int
+	MinSpeedup float64
+}
+
+// ParseChurnAssertion parses "scenario:problem:batch:minSpeedup",
+// e.g. "rmat:mm:1:1.0". Malformed numeric fields (including trailing
+// garbage) are rejected — a mistyped regression guard must fail at
+// parse time, not silently pin the wrong cell.
+func ParseChurnAssertion(s string) (ChurnAssertion, error) {
+	var a ChurnAssertion
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		return a, fmt.Errorf("bench: assertion %q: want scenario:problem:batch:minSpeedup", s)
+	}
+	a.Scenario, a.Problem = parts[0], parts[1]
+	batch, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return a, fmt.Errorf("bench: assertion %q: bad batch size: %v", s, err)
+	}
+	a.BatchSize = batch
+	min, err := strconv.ParseFloat(strings.TrimSpace(parts[3]), 64)
+	if err != nil {
+		return a, fmt.Errorf("bench: assertion %q: bad min speedup: %v", s, err)
+	}
+	a.MinSpeedup = min
+	return a, nil
+}
+
+// CheckAssertions evaluates the assertions against the report and
+// returns one failure message per violated or unmatched assertion.
+func (r ChurnReport) CheckAssertions(asserts []ChurnAssertion) []string {
+	var failures []string
+	for _, a := range asserts {
+		found := false
+		for _, sc := range r.Scenarios {
+			if sc.Name != a.Scenario {
+				continue
+			}
+			for _, p := range sc.Problems {
+				if p.Problem != a.Problem {
+					continue
+				}
+				for _, run := range p.Runs {
+					if run.BatchSize != a.BatchSize {
+						continue
+					}
+					found = true
+					if run.SpeedupVsRecompute < a.MinSpeedup {
+						failures = append(failures, fmt.Sprintf(
+							"%s %s batch %d: repair speedup %.2fx < required %.2fx (repair %.3fms vs recompute %.3fms)",
+							a.Scenario, a.Problem, a.BatchSize, run.SpeedupVsRecompute, a.MinSpeedup,
+							run.RepairMSMean, run.RecomputeMS))
+					}
+				}
+			}
+		}
+		if !found {
+			failures = append(failures, fmt.Sprintf(
+				"%s %s batch %d: no such cell in the report (batch sizes %v)",
+				a.Scenario, a.Problem, a.BatchSize, r.BatchSizes))
+		}
+	}
+	return failures
+}
+
 // ChurnTable renders the repair-vs-recompute comparison for terminal
 // output and the docs.
 func ChurnTable(r ChurnReport) Table {
 	t := Table{
 		Title:   fmt.Sprintf("churn matrix: incremental repair vs from-scratch recompute [%s]", r.Env),
-		Headers: []string{"scenario", "problem", "batch", "repair mean", "repair max", "cone", "changed", "recompute", "speedup"},
+		Headers: []string{"scenario", "problem", "batch", "repair mean", "repair max", "visited", "flipped", "peak", "recompute", "speedup"},
 	}
 	for _, sc := range r.Scenarios {
 		for _, p := range sc.Problems {
@@ -418,8 +529,9 @@ func ChurnTable(r ChurnReport) Table {
 					fmt.Sprintf("%d", run.BatchSize),
 					fmt.Sprintf("%.3fms", run.RepairMSMean),
 					fmt.Sprintf("%.3fms", run.RepairMSMax),
-					fmtFloat(run.ConeMean),
-					fmtFloat(run.ChangedMean),
+					fmtFloat(run.VisitedMean),
+					fmtFloat(run.FlippedMean),
+					fmt.Sprintf("%d", run.FrontierPeakMax),
 					fmt.Sprintf("%.2fms", run.RecomputeMS),
 					fmt.Sprintf("%.0fx", run.SpeedupVsRecompute),
 				})
@@ -427,9 +539,9 @@ func ChurnTable(r ChurnReport) Table {
 		}
 	}
 	t.Notes = append(t.Notes,
-		"repair = Maintainer.Apply wall time (validate + mutate + cone BFS + restricted rounds), mean over the timed batches",
+		"repair = Maintainer.Apply wall time (validate + mutate + frontier drain), mean over the timed batches",
 		"recompute = median from-scratch sequential solve on the post-churn graph (CSR and priority order already in hand)",
-		"cone/changed = mean affected-cone size and mean memberships actually changed per batch; every cell is verified bit-identical to sequential before it is reported",
+		"visited/flipped = mean items re-decided and mean membership flips propagated per batch; peak = max pending frontier; every cell is verified bit-identical to sequential before it is reported",
 	)
 	return t
 }

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseChurnAssertion covers the strict spec grammar: good specs
+// round-trip, and malformed numeric fields — including trailing
+// garbage, which fmt.Sscanf would have silently accepted — are
+// rejected so a mistyped CI guard fails at parse time.
+func TestParseChurnAssertion(t *testing.T) {
+	a, err := ParseChurnAssertion("rmat:mm:1:1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Scenario != "rmat" || a.Problem != "mm" || a.BatchSize != 1 || a.MinSpeedup != 1.0 {
+		t.Fatalf("parsed %+v", a)
+	}
+	for _, bad := range []string{
+		"", "rmat:mm:1", "rmat:mm:1:1.0:extra",
+		"rmat:mm:16x:1.0", "rmat:mm:1:1.0x", "rmat:mm::1.0", "rmat:mm:1:",
+	} {
+		if _, err := ParseChurnAssertion(bad); err == nil {
+			t.Errorf("ParseChurnAssertion(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+// TestCheckAssertions covers the evaluation paths: a held assertion,
+// a violated one, and one naming a cell absent from the report.
+func TestCheckAssertions(t *testing.T) {
+	r := ChurnReport{
+		BatchSizes: []int{1},
+		Scenarios: []ChurnScenarioReport{{
+			ChurnScenario: ChurnScenario{Name: "rmat"},
+			Problems: []ChurnProblemReport{{
+				Problem: "mm",
+				Runs:    []ChurnRun{{BatchSize: 1, SpeedupVsRecompute: 45.0}},
+			}},
+		}},
+	}
+	if fails := r.CheckAssertions([]ChurnAssertion{{Scenario: "rmat", Problem: "mm", BatchSize: 1, MinSpeedup: 5}}); len(fails) != 0 {
+		t.Errorf("held assertion reported failures: %v", fails)
+	}
+	fails := r.CheckAssertions([]ChurnAssertion{
+		{Scenario: "rmat", Problem: "mm", BatchSize: 1, MinSpeedup: 100},
+		{Scenario: "grid", Problem: "mis", BatchSize: 1, MinSpeedup: 1},
+	})
+	if len(fails) != 2 {
+		t.Fatalf("want 2 failures, got %v", fails)
+	}
+	if !strings.Contains(fails[0], "45.00x < required 100.00x") {
+		t.Errorf("violation message: %s", fails[0])
+	}
+	if !strings.Contains(fails[1], "no such cell") {
+		t.Errorf("missing-cell message: %s", fails[1])
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestFrontierQueueDrainOrder checks that buckets come out in
+// increasing key order regardless of push order.
+func TestFrontierQueueDrainOrder(t *testing.T) {
+	var q FrontierQueue
+	q.Reset(130) // spans three bitmap words
+	pushes := []struct {
+		item int32
+		key  int
+	}{{7, 129}, {1, 0}, {2, 0}, {5, 64}, {3, 63}, {6, 65}, {4, 63}}
+	for _, p := range pushes {
+		q.Push(p.item, p.key)
+	}
+	var gotKeys []int
+	var gotItems []int32
+	for {
+		var buf []int32
+		buf, key, ok := q.PopBucket(buf)
+		if !ok {
+			break
+		}
+		gotKeys = append(gotKeys, key)
+		gotItems = append(gotItems, buf...)
+	}
+	wantKeys := []int{0, 63, 64, 65, 129}
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("drained %v buckets, want %v", gotKeys, wantKeys)
+	}
+	for i, k := range wantKeys {
+		if gotKeys[i] != k {
+			t.Fatalf("bucket %d has key %d, want %d", i, gotKeys[i], k)
+		}
+	}
+	wantItems := []int32{1, 2, 3, 4, 5, 6, 7}
+	for i, it := range wantItems {
+		if gotItems[i] != it {
+			t.Fatalf("item %d is %d, want %d (all: %v)", i, gotItems[i], it, gotItems)
+		}
+	}
+}
+
+// TestFrontierQueueSameBucketPushes checks the PopBucket/TakeCurrent
+// fixed-point protocol: pushes into the bucket being drained are
+// visible through TakeCurrent and never alias the popped items.
+func TestFrontierQueueSameBucketPushes(t *testing.T) {
+	var q FrontierQueue
+	q.Reset(8)
+	q.Push(1, 3)
+	q.Push(2, 3)
+	active, key, ok := q.PopBucket(nil)
+	if !ok || key != 3 || len(active) != 2 {
+		t.Fatalf("PopBucket = %v key %d ok %v", active, key, ok)
+	}
+	// Simulate a flip during the drain: push back into bucket 3 and
+	// into a later bucket.
+	q.Push(9, 3)
+	q.Push(8, 5)
+	if active[0] != 1 || active[1] != 2 {
+		t.Fatalf("same-bucket push clobbered the popped items: %v", active)
+	}
+	active = q.TakeCurrent(active[:0])
+	if len(active) != 1 || active[0] != 9 {
+		t.Fatalf("TakeCurrent = %v, want [9]", active)
+	}
+	if got := q.TakeCurrent(active[:0]); len(got) != 0 {
+		t.Fatalf("second TakeCurrent = %v, want empty", got)
+	}
+	active, key, ok = q.PopBucket(active[:0])
+	if !ok || key != 5 || len(active) != 1 || active[0] != 8 {
+		t.Fatalf("PopBucket after drain = %v key %d ok %v", active, key, ok)
+	}
+	if _, _, ok := q.PopBucket(nil); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestFrontierQueueResetAfterAbort checks that Reset empties buckets an
+// aborted drain left behind, whether the key space shrinks or grows
+// (growth must not lose the old bitmap, or the leftovers survive).
+func TestFrontierQueueResetAfterAbort(t *testing.T) {
+	var q FrontierQueue
+	q.Reset(100)
+	q.Push(1, 99)
+	q.Push(2, 0)
+	// Abort without draining; a smaller universe must not see leftovers.
+	q.Reset(10)
+	q.Push(5, 4)
+	active, key, ok := q.PopBucket(nil)
+	if !ok || key != 4 || len(active) != 1 || active[0] != 5 {
+		t.Fatalf("PopBucket after Reset = %v key %d ok %v", active, key, ok)
+	}
+	if _, _, ok := q.PopBucket(nil); ok {
+		t.Fatal("leftover items survived a shrinking Reset")
+	}
+	// Abort again, then grow the key space past the bitmap's capacity:
+	// the leftover in bucket 5 must not resurface.
+	q.Push(7, 5)
+	q.Reset(640)
+	q.Push(8, 5)
+	active, key, ok = q.PopBucket(nil)
+	if !ok || key != 5 || len(active) != 1 || active[0] != 8 {
+		t.Fatalf("PopBucket after growing Reset = %v key %d ok %v", active, key, ok)
+	}
+	if _, _, ok := q.PopBucket(nil); ok {
+		t.Fatal("leftover items survived a growing Reset")
+	}
+}
+
+// TestFrontierBucketShift checks the width chooser: at most target
+// buckets, never wider than needed.
+func TestFrontierBucketShift(t *testing.T) {
+	cases := []struct {
+		n, target int
+		want      uint
+	}{
+		{0, 1024, 0},
+		{1, 1024, 0},
+		{1024, 1024, 0},
+		{1025, 1024, 1},
+		{2048, 1024, 1},
+		{2049, 1024, 2},
+		{1 << 20, 1024, 10},
+		{5, 0, 3}, // target clamps to 1
+	}
+	for _, c := range cases {
+		if got := FrontierBucketShift(c.n, c.target); got != c.want {
+			t.Errorf("FrontierBucketShift(%d, %d) = %d, want %d", c.n, c.target, got, c.want)
+		}
+		if c.n > 0 {
+			shift := FrontierBucketShift(c.n, c.target)
+			buckets := ((c.n - 1) >> shift) + 1
+			target := c.target
+			if target < 1 {
+				target = 1
+			}
+			if buckets > target {
+				t.Errorf("n=%d target=%d: %d buckets exceeds target", c.n, c.target, buckets)
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/graph"
 )
 
@@ -242,6 +244,128 @@ func (cs *ConeScratch) DownstreamCone(n int, seeds []int32, out []int32, adj fun
 		})
 	}
 	return out
+}
+
+// FrontierQueue is a monotone bucket priority queue over int32 items,
+// the work-frontier structure of change-driven repair. Items are
+// pushed with a small integer bucket key that must be monotone in the
+// priority order (equal priorities may share a bucket); buckets are
+// drained in increasing key order, and pushes during a drain may only
+// target the bucket currently being drained or a later one — exactly
+// the discipline of downstream repair, where an item's flip can only
+// disturb strictly later items. Under that discipline every operation
+// is O(1) plus an amortized bitmap scan, with no per-item comparisons.
+//
+// Bucket storage is retained across Reset calls, so a queue owned by a
+// long-lived repair state allocates only while the frontier reaches a
+// new high-water mark. The zero value is ready for Reset. Not safe for
+// concurrent use.
+type FrontierQueue struct {
+	buckets [][]int32
+	words   []uint64 // bit k set <=> buckets[k] is non-empty
+	cur     int      // key of the bucket currently (or last) drained
+}
+
+// Reset prepares the queue for a new drain over numBuckets keys,
+// emptying any buckets left behind by an aborted previous drain.
+func (q *FrontierQueue) Reset(numBuckets int) {
+	if numBuckets < 1 {
+		numBuckets = 1
+	}
+	if cap(q.buckets) >= numBuckets {
+		q.buckets = q.buckets[:numBuckets]
+	} else {
+		grown := make([][]int32, numBuckets)
+		copy(grown, q.buckets)
+		q.buckets = grown
+	}
+	words := (numBuckets + 63) >> 6
+	if cap(q.words) >= words {
+		q.words = q.words[:words]
+	} else {
+		// Copy the old bitmap into the grown one so leftover buckets
+		// from an aborted drain are still visible to the cleanup below.
+		grown := make([]uint64, words)
+		copy(grown, q.words)
+		q.words = grown
+	}
+	for i, w := range q.words {
+		for w != 0 {
+			k := i<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			q.buckets[k] = q.buckets[k][:0]
+		}
+		q.words[i] = 0
+	}
+	q.cur = 0
+}
+
+// Push enqueues item into bucket key. key must be in [0, numBuckets)
+// and at least the key of the bucket currently being drained; the
+// caller (not the queue) is responsible for not enqueueing an item
+// twice.
+func (q *FrontierQueue) Push(item int32, key int) {
+	q.buckets[key] = append(q.buckets[key], item)
+	q.words[key>>6] |= 1 << (key & 63)
+}
+
+// PopBucket moves the contents of the lowest non-empty bucket at or
+// after the drain cursor into dst (appended), empties that bucket, and
+// advances the cursor to it. ok is false when the queue is empty; the
+// key of the drained bucket is returned for callers that key their
+// own bookkeeping by bucket.
+func (q *FrontierQueue) PopBucket(dst []int32) (out []int32, key int, ok bool) {
+	for w := q.cur >> 6; w < len(q.words); w++ {
+		word := q.words[w]
+		if w == q.cur>>6 {
+			word &= ^uint64(0) << (q.cur & 63)
+		}
+		if word == 0 {
+			continue
+		}
+		k := w<<6 + bits.TrailingZeros64(word)
+		q.cur = k
+		return q.take(k, dst), k, true
+	}
+	return dst, 0, false
+}
+
+// TakeCurrent moves any items pushed into the bucket the cursor is on
+// since it was popped into dst (appended). Draining a bucket to a
+// fixed point — PopBucket, then TakeCurrent after each round until it
+// returns nothing — is how the repair engines absorb same-bucket
+// pushes without re-scanning the whole queue.
+func (q *FrontierQueue) TakeCurrent(dst []int32) []int32 {
+	if q.words[q.cur>>6]&(1<<(q.cur&63)) == 0 {
+		return dst
+	}
+	return q.take(q.cur, dst)
+}
+
+// take moves bucket k into dst. The bucket keeps its backing array
+// (truncated), so later pushes into k cannot alias the returned items.
+func (q *FrontierQueue) take(k int, dst []int32) []int32 {
+	b := q.buckets[k]
+	dst = append(dst, b...)
+	q.buckets[k] = b[:0]
+	q.words[k>>6] &^= 1 << (k & 63)
+	return dst
+}
+
+// FrontierBucketShift returns the power-of-two bucket width, as a
+// shift, that splits a universe of n priority ranks into at most
+// target buckets: rank >> shift is then a valid monotone FrontierQueue
+// key. Wider buckets mean fewer queue steps but more intra-bucket
+// stall rounds; target bounds the queue's O(numBuckets) reset cost.
+func FrontierBucketShift(n, target int) uint {
+	if target < 1 {
+		target = 1
+	}
+	shift := uint(0)
+	for (n+(1<<shift)-1)>>shift > target {
+		shift++
+	}
+	return shift
 }
 
 // PrefixInternalEdges counts the edges with both endpoints in the first

@@ -17,25 +17,43 @@
 // updates it
 //
 //  1. applies the structural changes,
-//  2. seeds the repair with the items whose greedy inputs actually
-//     changed (the later endpoint of each changed edge for MIS, the
-//     inserted edge / the deleted matched edge's later neighbors for
-//     MM — changes incident only to items that stay out of the
-//     solution are provably inert and seed nothing),
-//  3. computes the affected priority cone with
-//     core.(*ConeScratch).DownstreamCone (BFS along
-//     increasing-priority edges), resets exactly that cone, and
-//  4. re-runs the prefix round loop restricted to the cone: the same
-//     synchronous check/update rounds as core.PrefixMIS /
-//     matching.PrefixMM, with everything outside the cone held fixed.
+//  2. seeds a priority-ordered work frontier with the items whose
+//     greedy inputs actually changed (the later endpoint of each
+//     changed edge for MIS, the inserted edge / the deleted matched
+//     edge's later neighbors for MM — changes incident only to items
+//     that stay out of the solution are provably inert and seed
+//     nothing), and
+//  3. drains the frontier in priority order (a monotone
+//     core.FrontierQueue over priority-rank buckets): each popped item
+//     is re-decided against its already-final earlier neighborhood,
+//     and its downstream neighbors are enqueued only when its
+//     in/out-of-solution status actually changed. An item that
+//     re-derives its old status terminates propagation on the spot.
+//
+// The change-driven expansion is the crucial difference from the
+// conservative downstream-closure repair (EngineClosure, retained for
+// differential testing): the closure pays for every item reachable
+// from a seed along increasing-priority paths — which explodes through
+// high-degree hubs on power-law graphs even when the hub's own
+// decision is unaffected — while the frontier pays for a hub's
+// fan-out only when the hub genuinely flips. Fischer & Noever's tight
+// analysis of randomized greedy (arXiv:1707.05124) bounds the realized
+// decision-dependence depth, not the full priority DAG, which is why
+// the flip-driven region is typically orders of magnitude smaller.
 //
 // The result after every batch is bit-identical to a from-scratch
-// sequential greedy run on the mutated graph: the cone is a downstream
-// closure, so every item outside it keeps all of its (unchanged)
-// earlier inputs, and the restricted round loop commits an item only
-// when all of its earlier neighbors are resolved — exactly the
-// sequential acceptance rule. The fuzz target in this package asserts
-// that equivalence on arbitrary graphs and update batches.
+// sequential greedy run on the mutated graph. Within one priority
+// bucket items are decided with two-phase check/commit rounds (an item
+// stalls while an earlier neighbor is pending, and a flip of an
+// earlier item re-enqueues any prematurely decided later one), so an
+// item's final decision is always made against the final statuses of
+// all earlier neighbors — exactly the sequential acceptance rule; an
+// item never enqueued kept all of its (unchanged) earlier inputs.
+// Bucket rounds above the configured grain run through
+// parallel.ForRange; the committed outcome is independent of
+// GOMAXPROCS and grain. The fuzz target in this package asserts the
+// three-way equivalence frontier == closure == from-scratch sequential
+// on arbitrary graphs and update batches.
 //
 // MIS priorities are the usual per-vertex random order (stable under
 // edge churn because the vertex set is fixed). MM priorities cannot be
@@ -111,12 +129,45 @@ var (
 	ErrBroken = errors.New("dynamic: maintainer broken by a cancelled repair")
 )
 
+// Engine selects the repair strategy of a Maintainer.
+type Engine uint8
+
+const (
+	// EngineFrontier is the default change-driven repair engine: a
+	// priority-ordered work frontier seeded by the directly-perturbed
+	// items that expands to an item's downstream neighbors only when
+	// the item's membership actually flipped.
+	EngineFrontier Engine = iota
+	// EngineClosure is the conservative downstream-closure engine (the
+	// original dynamic subsystem): it resets and re-resolves the whole
+	// increasing-priority BFS closure of the seeds, flipped or not. It
+	// is retained as the differential-testing oracle for the frontier
+	// engine (see FuzzConeRepair) and for repair-cost comparisons; new
+	// code should not select it.
+	EngineClosure
+)
+
+// String returns the engine's name.
+func (e Engine) String() string {
+	switch e {
+	case EngineFrontier:
+		return "frontier"
+	case EngineClosure:
+		return "closure"
+	default:
+		return fmt.Sprintf("engine(%d)", uint8(e))
+	}
+}
+
 // Config configures a Maintainer.
 type Config struct {
 	// MIS and MM select which solutions to maintain. If both are false,
 	// both are maintained.
 	MIS bool
 	MM  bool
+	// Engine selects the repair strategy; the zero value is
+	// EngineFrontier.
+	Engine Engine
 	// Seed derives the priorities: the vertex order for MIS (via
 	// core.NewRandomOrder, stable under edge churn because the vertex
 	// set is fixed) and the per-edge hash priorities for MM (via
@@ -146,24 +197,40 @@ type RepairCost struct {
 	// Seeds is the number of repair seeds the batch produced (0 means
 	// the batch was provably inert for this problem and nothing ran).
 	Seeds int `json:"seeds"`
-	// Cone is the size of the affected priority cone (items reset and
-	// re-resolved).
-	Cone int `json:"cone"`
-	// Rounds/Attempts/Inspections are the restricted round loop's cost
-	// counters.
+	// Visited is the number of distinct items the repair re-decided:
+	// the items the frontier touched (for EngineClosure, the full
+	// downstream-closure size — the quantity the frontier engine
+	// exists to shrink).
+	Visited int `json:"visited"`
+	// Flipped counts committed membership flips during the drain —
+	// the propagation events. It can exceed Changed when an item flips
+	// more than once before settling (re-push), and equals it
+	// otherwise; for EngineClosure it is 0 (the closure has no flip
+	// events, only the final Changed diff).
+	Flipped int `json:"flipped"`
+	// FrontierPeak is the high-water mark of the pending frontier (0
+	// for EngineClosure).
+	FrontierPeak int `json:"frontier_peak"`
+	// Rounds/Attempts/Inspections are the decide-loop cost counters:
+	// Attempts counts item decide attempts (stalls and re-decides
+	// included), Inspections the earlier-neighbor status reads.
 	Rounds      int64 `json:"rounds"`
 	Attempts    int64 `json:"attempts"`
 	Inspections int64 `json:"inspections"`
-	// Changed is the number of cone items whose membership actually
-	// changed (the true damage; Cone - Changed items were re-derived
-	// unchanged).
+	// Changed is the number of visited items whose membership actually
+	// changed (the true damage; Visited - Changed items were
+	// re-derived unchanged).
 	Changed int `json:"changed"`
 }
 
 // add accumulates costs across batches (used by multi-batch advances).
 func (c *RepairCost) add(o RepairCost) {
 	c.Seeds += o.Seeds
-	c.Cone += o.Cone
+	c.Visited += o.Visited
+	c.Flipped += o.Flipped
+	if o.FrontierPeak > c.FrontierPeak {
+		c.FrontierPeak = o.FrontierPeak
+	}
 	c.Rounds += o.Rounds
 	c.Attempts += o.Attempts
 	c.Inspections += o.Inspections

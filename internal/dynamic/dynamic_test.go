@@ -245,12 +245,12 @@ func TestInertUpdatesSkipRepair(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Insert {1,3}: earlier endpoint 1 is Out, so 3's decision cannot
-	// change — no seeds, no cone.
+	// change — no seeds, no frontier.
 	st, err := mt.Apply(ctx, []Update{{Op: OpAdd, U: 1, V: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.MIS.Seeds != 0 || st.MIS.Cone != 0 || st.MIS.Rounds != 0 {
+	if st.MIS.Seeds != 0 || st.MIS.Visited != 0 || st.MIS.Rounds != 0 {
 		t.Fatalf("inert insert ran repair: %+v", st.MIS)
 	}
 	verifyAgainstScratch(t, mt, 0)
@@ -266,8 +266,8 @@ func TestInertUpdatesSkipRepair(t *testing.T) {
 }
 
 // TestRepairLocality checks the headline property on a larger random
-// graph: single-edge repair touches a cone that is orders of magnitude
-// smaller than the graph.
+// graph: single-edge repair visits a region that is orders of
+// magnitude smaller than the graph.
 func TestRepairLocality(t *testing.T) {
 	ctx := context.Background()
 	g := graph.Random(50_000, 250_000, 21)
@@ -277,17 +277,17 @@ func TestRepairLocality(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := rng.NewXoshiro256(5)
-	var totalCone int64
+	var totalVisited int64
 	const steps = 40
 	for i := 0; i < steps; i++ {
 		st, err := mt.Apply(ctx, randomBatch(x, mt, 1))
 		if err != nil {
 			t.Fatal(err)
 		}
-		totalCone += int64(st.MIS.Cone) + int64(st.MM.Cone)
+		totalVisited += int64(st.MIS.Visited) + int64(st.MM.Visited)
 	}
-	if avg := totalCone / steps; avg > int64(g.NumVertices())/10 {
-		t.Fatalf("mean repair cone %d is not small relative to n=%d", avg, g.NumVertices())
+	if avg := totalVisited / steps; avg > int64(g.NumVertices())/10 {
+		t.Fatalf("mean repaired region %d is not small relative to n=%d", avg, g.NumVertices())
 	}
 	verifyAgainstScratch(t, mt, seed)
 }

@@ -1,0 +1,182 @@
+package dynamic
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestEngineDifferential runs the frontier and closure engines in
+// lockstep over every graph family and asserts, after every batch:
+// both bit-identical to sequential, identical Seeds and Changed, and
+// frontier Visited <= closure Visited — the frontier only ever touches
+// a subset of the downstream closure (seeds plus flip expansions),
+// which is the machine-independent form of the perf claim.
+func TestEngineDifferential(t *testing.T) {
+	ctx := context.Background()
+	for name, g := range families(t) {
+		t.Run(name, func(t *testing.T) {
+			const seed = 13
+			front, err := NewMaintainer(ctx, g, Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			clos, err := NewMaintainer(ctx, g, Config{Seed: seed, Engine: EngineClosure})
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := rng.NewXoshiro256(31)
+			for step, k := range []int{1, 1, 3, 9, 1, 40, 2, 1} {
+				batch := randomBatch(x, front, k)
+				fs, err := front.Apply(ctx, batch)
+				if err != nil {
+					t.Fatalf("step %d frontier: %v", step, err)
+				}
+				cs, err := clos.Apply(ctx, batch)
+				if err != nil {
+					t.Fatalf("step %d closure: %v", step, err)
+				}
+				verifyAgainstScratch(t, front, seed)
+				verifyAgainstScratch(t, clos, seed)
+				for _, pair := range []struct {
+					name string
+					f, c RepairCost
+				}{{"mis", fs.MIS, cs.MIS}, {"mm", fs.MM, cs.MM}} {
+					if pair.f.Seeds != pair.c.Seeds {
+						t.Fatalf("step %d %s: seeds %d (frontier) vs %d (closure)", step, pair.name, pair.f.Seeds, pair.c.Seeds)
+					}
+					if pair.f.Changed != pair.c.Changed {
+						t.Fatalf("step %d %s: changed %d (frontier) vs %d (closure)", step, pair.name, pair.f.Changed, pair.c.Changed)
+					}
+					if pair.f.Visited > pair.c.Visited {
+						t.Fatalf("step %d %s: frontier visited %d exceeds closure %d", step, pair.name, pair.f.Visited, pair.c.Visited)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFrontierHubTermination is the tentpole property in miniature: a
+// high-degree vertex whose own decision is unaffected terminates
+// propagation on the spot under the frontier engine, while the closure
+// engine pays for its entire downstream fan-out.
+//
+// Identity order over: 0 and 2 in the MIS, hub 3 ruled out by both,
+// leaves 4..23 hanging off the hub (all in the MIS). Deleting {0,3}
+// seeds 3, which re-derives Out from its surviving earlier In neighbor
+// 2 — no flip, so the 20 leaves are never visited. The closure engine
+// resets and re-resolves all of them.
+func TestFrontierHubTermination(t *testing.T) {
+	ctx := context.Background()
+	const leaves = 20
+	edges := []graph.Edge{{U: 0, V: 3}, {U: 2, V: 3}}
+	for j := int32(4); j < 4+leaves; j++ {
+		edges = append(edges, graph.Edge{U: 3, V: j})
+	}
+	g := graph.MustFromEdges(4+leaves, edges)
+	ord := core.IdentityOrder(g.NumVertices())
+
+	build := func(engine Engine) *Maintainer {
+		o := ord
+		mt, err := NewMaintainer(ctx, g, Config{MIS: true, Order: &o, Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mt
+	}
+	front, clos := build(EngineFrontier), build(EngineClosure)
+	del := []Update{{Op: OpDel, U: 0, V: 3}}
+
+	fs, err := front.Apply(ctx, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.MIS.Seeds != 1 || fs.MIS.Visited != 1 || fs.MIS.Flipped != 0 || fs.MIS.Changed != 0 {
+		t.Fatalf("frontier should decide the hub once and stop: %+v", fs.MIS)
+	}
+	cs, err := clos.Apply(ctx, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.MIS.Visited != 1+leaves {
+		t.Fatalf("closure should pay for the hub fan-out (%d items), got %+v", 1+leaves, cs.MIS)
+	}
+	verifyAgainstScratch(t, front, 0)
+	verifyAgainstScratch(t, clos, 0)
+}
+
+// TestFrontierFlipChainCounters pins the counter semantics on a path
+// under identity order: deleting the first edge flips every vertex of
+// the alternating pattern, one frontier pop at a time.
+func TestFrontierFlipChainCounters(t *testing.T) {
+	ctx := context.Background()
+	// Path 0-1-2-3-4: identity MIS is {0, 2, 4}.
+	g := graph.MustFromEdges(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
+	})
+	ord := core.IdentityOrder(5)
+	mt, err := NewMaintainer(ctx, g, Config{MIS: true, Order: &ord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting {0,1} frees 1 to enter, which evicts 2, readmits 3, and
+	// evicts 4: the whole chain flips.
+	st, err := mt.Apply(ctx, []Update{{Op: OpDel, U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.MIS
+	if c.Seeds != 1 || c.Visited != 4 || c.Flipped != 4 || c.Changed != 4 {
+		t.Fatalf("flip chain: %+v", c)
+	}
+	if c.FrontierPeak < 1 {
+		t.Fatalf("flip chain never had a pending item: %+v", c)
+	}
+	verifyAgainstScratch(t, mt, 0)
+}
+
+// TestApplySteadyStateAllocs is the scratch-pooling regression guard:
+// after a warmup Apply has sized the frontier scratch, further
+// single-edge Applies must not allocate anything proportional to the
+// graph — only the O(1) overlay-delta bookkeeping. The bound is
+// generous for small map/slice churn but orders of magnitude below
+// any universe-sized buffer (n = 20k here).
+func TestApplySteadyStateAllocs(t *testing.T) {
+	ctx := context.Background()
+	g := graph.Random(20_000, 100_000, 3)
+	mt, err := NewMaintainer(ctx, g, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the scratch across a few differently-shaped batches.
+	x := rng.NewXoshiro256(8)
+	for i := 0; i < 4; i++ {
+		if _, err := mt.Apply(ctx, randomBatch(x, mt, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add := []Update{{Op: OpAdd, U: 11, V: 4242}}
+	del := []Update{{Op: OpDel, U: 11, V: 4242}}
+	if mt.HasEdge(11, 4242) {
+		add, del = del, add
+	}
+	i := 0
+	avg := testing.AllocsPerRun(50, func() {
+		batch := add
+		if i%2 == 1 {
+			batch = del
+		}
+		i++
+		if _, err := mt.Apply(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 32 {
+		t.Fatalf("steady-state Apply allocates %.1f objects/run; repair scratch is not being pooled", avg)
+	}
+	verifyAgainstScratch(t, mt, 5)
+}

@@ -1,0 +1,107 @@
+package dynamic
+
+import (
+	"repro/internal/core"
+)
+
+// frontier is the shared state of the change-driven repair engine: a
+// monotone bucket queue over priority ranks plus epoch-stamped
+// membership marks and a first-touch undo log. The MIS and MM engines
+// drain it the same way — pop the earliest bucket, re-decide its items
+// with a two-phase check/commit round loop, and expand to a downstream
+// neighbor only when an item's in/out-of-solution status actually
+// changed — and differ only in what an "item" and a "neighbor" are.
+//
+// All buffers persist across Apply calls on a session and grow with
+// slack (the matching engine's slot universe creeps upward one slot
+// per net insertion), so steady-state repairs allocate nothing; ensure
+// pre-sizes them at session creation so even the first Apply pays no
+// universe-sized allocation.
+type frontier struct {
+	q core.FrontierQueue
+	// pend[i] reports that i is enqueued awaiting (re-)decision: its
+	// stored status must not be trusted, and deciding items stall on
+	// pending earlier neighbors. Self-cleaning — a completed drain
+	// settles every enqueued item — so no per-repair clear is needed.
+	pend []bool
+	// seen is the epoch stamp of the item's first touch in the current
+	// repair; touched/old record those items and their pre-repair
+	// statuses, which yields the Visited and Changed accounting.
+	seen    []int32
+	epoch   int32
+	touched []int32
+	old     []int32
+	// pending is the live frontier size; peak its high-water mark.
+	pending int
+	peak    int
+}
+
+// ensure grows the mark buffers (with slack) to cover items [0, n).
+func (f *frontier) ensure(n int) {
+	if len(f.seen) >= n {
+		return
+	}
+	grown := n + n/2 + 64
+	f.seen = make([]int32, grown)
+	f.pend = make([]bool, grown)
+	f.epoch = 0
+}
+
+// begin prepares the scratch for one repair over a universe of n items
+// bucketed into numBuckets priority buckets.
+func (f *frontier) begin(n, numBuckets int) {
+	f.ensure(n)
+	if f.epoch == 1<<31-1 {
+		for i := range f.seen {
+			f.seen[i] = 0
+		}
+		f.epoch = 0
+	}
+	f.epoch++
+	f.q.Reset(numBuckets)
+	f.touched = f.touched[:0]
+	f.old = f.old[:0]
+	f.pending, f.peak = 0, 0
+}
+
+// push enqueues item into bucket key unless it is already pending,
+// recording its current (pre-repair, for a first touch) status in the
+// undo log. Re-pushing an item the drain already settled is legal and
+// re-decides it — the rare case where an earlier same-bucket item
+// flipped only after the item was first decided.
+func (f *frontier) push(item int32, key int, status int32) {
+	if f.pend[item] {
+		return
+	}
+	if f.seen[item] != f.epoch {
+		f.seen[item] = f.epoch
+		f.touched = append(f.touched, item)
+		f.old = append(f.old, status)
+	}
+	f.pend[item] = true
+	f.q.Push(item, key)
+	f.pending++
+	if f.pending > f.peak {
+		f.peak = f.pending
+	}
+}
+
+// settle marks item decided (no longer pending).
+func (f *frontier) settle(item int32) {
+	f.pend[item] = false
+	f.pending--
+}
+
+// finish folds the drain's bookkeeping into cost: Visited is the
+// number of distinct items the frontier touched, FrontierPeak its
+// high-water mark, and Changed the touched items whose final status
+// differs from their pre-repair one (status reads the live array).
+func (f *frontier) finish(cost *RepairCost, status []int32) {
+	cost.Visited = len(f.touched)
+	cost.FrontierPeak = f.peak
+	for i, it := range f.touched {
+		if status[it] != f.old[i] {
+			cost.Changed++
+		}
+	}
+}

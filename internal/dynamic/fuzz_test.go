@@ -9,12 +9,17 @@ import (
 	"repro/internal/matching"
 )
 
-// FuzzConeRepair is the cone-repair equivalence fuzz target: arbitrary
-// bytes are decoded into a base graph and a stream of update batches,
-// and after every batch the maintained MIS and matching must be
-// bit-identical to from-scratch sequential greedy runs on the mutated
-// graph. Run with `go test -fuzz=FuzzConeRepair ./internal/dynamic`;
-// the seed corpus also runs under plain `go test`.
+// FuzzConeRepair is the repair-equivalence fuzz target, three ways:
+// arbitrary bytes are decoded into a base graph (an edge-soup "random"
+// shape or a power-law rMat shape, whose hubs are exactly where the
+// frontier and closure engines diverge most) and a stream of update
+// batches; after every batch the frontier-maintained and
+// closure-maintained MIS and matching must each be bit-identical to a
+// from-scratch sequential greedy run on the mutated graph, and their
+// machine-independent repair counters must agree where the engines'
+// contracts overlap (seeds, net changes). Run with `go test
+// -fuzz=FuzzConeRepair ./internal/dynamic`; the seed corpus also runs
+// under plain `go test`.
 //
 // Ops are decoded so that every generated batch is valid (an absent
 // edge is inserted, a present edge is deleted, intra-batch duplicates
@@ -22,42 +27,86 @@ import (
 // validation rejections — the validation paths have their own table
 // test.
 func FuzzConeRepair(f *testing.F) {
-	f.Add(uint8(8), uint64(1), []byte{0, 1, 1, 2, 2, 3}, []byte{0, 3, 1, 2, 0, 1})
-	f.Add(uint8(3), uint64(42), []byte{}, []byte{0, 1, 1, 2, 0, 2, 0, 1})
-	f.Add(uint8(20), uint64(7), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, []byte{1, 9, 2, 8, 3, 7, 1, 9})
-	f.Add(uint8(0), uint64(0), []byte{}, []byte{})
-	f.Fuzz(func(t *testing.T, rawN uint8, seed uint64, baseEdges []byte, ops []byte) {
-		n := int(rawN%40) + 2
-		edges := make([]graph.Edge, 0, len(baseEdges)/2)
-		for i := 0; i+1 < len(baseEdges); i += 2 {
-			u := graph.Vertex(int(baseEdges[i]) % n)
-			v := graph.Vertex(int(baseEdges[i+1]) % n)
-			edges = append(edges, graph.Edge{U: u, V: v})
-		}
-		// FromEdges drops self loops and merges duplicates, so any byte
-		// soup yields a valid simple base graph.
-		g, err := graph.FromEdges(n, edges)
-		if err != nil {
-			t.Fatalf("base graph: %v", err)
+	f.Add(uint8(8), uint8(0), uint64(1), []byte{0, 1, 1, 2, 2, 3}, []byte{0, 3, 1, 2, 0, 1})
+	f.Add(uint8(3), uint8(0), uint64(42), []byte{}, []byte{0, 1, 1, 2, 0, 2, 0, 1})
+	f.Add(uint8(20), uint8(0), uint64(7), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, []byte{1, 9, 2, 8, 3, 7, 1, 9})
+	f.Add(uint8(0), uint8(0), uint64(0), []byte{}, []byte{})
+	f.Add(uint8(30), uint8(1), uint64(5), []byte{9}, []byte{0, 7, 3, 12, 0, 7, 19, 2, 5, 5, 1, 30})
+	f.Add(uint8(14), uint8(3), uint64(77), []byte{200}, []byte{1, 2, 2, 3, 1, 2, 9, 9, 4, 11, 0, 13})
+	f.Fuzz(func(t *testing.T, rawN uint8, shape uint8, seed uint64, baseEdges []byte, ops []byte) {
+		var g *graph.Graph
+		var n int
+		if shape&1 == 0 {
+			// Random shape: byte soup through FromEdges, which drops
+			// self loops and merges duplicates.
+			n = int(rawN%40) + 2
+			edges := make([]graph.Edge, 0, len(baseEdges)/2)
+			for i := 0; i+1 < len(baseEdges); i += 2 {
+				u := graph.Vertex(int(baseEdges[i]) % n)
+				v := graph.Vertex(int(baseEdges[i+1]) % n)
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+			var err error
+			g, err = graph.FromEdges(n, edges)
+			if err != nil {
+				t.Fatalf("base graph: %v", err)
+			}
+		} else {
+			// rMat shape: skewed-degree base whose hub vertices stress
+			// the flip-expansion paths. Density varies with the input.
+			logN := int(rawN%4) + 2 // 4..32 vertices
+			n = 1 << logN
+			m := 0
+			if len(baseEdges) > 0 {
+				m = int(baseEdges[0]) % (3 * n)
+			}
+			if max := n * (n - 1) / 2; m > max {
+				m = max
+			}
+			g = graph.RMat(logN, m, seed|1, graph.DefaultRMatOptions())
 		}
 		ctx := context.Background()
-		mt, err := NewMaintainer(ctx, g, Config{Seed: seed})
+		front, err := NewMaintainer(ctx, g, Config{Seed: seed})
 		if err != nil {
-			t.Fatalf("maintainer: %v", err)
+			t.Fatalf("frontier maintainer: %v", err)
+		}
+		clos, err := NewMaintainer(ctx, g, Config{Seed: seed, Engine: EngineClosure})
+		if err != nil {
+			t.Fatalf("closure maintainer: %v", err)
 		}
 		// Decode ops into batches: byte pairs name an endpoint pair, a
-		// third byte every 3 pairs bounds the batch length, toggling
-		// presence keeps every batch valid.
+		// degenerate pair flushes the batch, toggling presence keeps
+		// every batch valid.
 		var batch []Update
 		inBatch := make(map[[2]int32]bool)
 		flush := func() {
 			if len(batch) == 0 {
 				return
 			}
-			if _, err := mt.Apply(ctx, batch); err != nil {
-				t.Fatalf("apply %v: %v", batch, err)
+			fs, err := front.Apply(ctx, batch)
+			if err != nil {
+				t.Fatalf("frontier apply %v: %v", batch, err)
 			}
-			verifyFuzz(t, mt, seed)
+			cs, err := clos.Apply(ctx, batch)
+			if err != nil {
+				t.Fatalf("closure apply %v: %v", batch, err)
+			}
+			for _, pair := range []struct {
+				name string
+				f, c RepairCost
+			}{{"mis", fs.MIS, cs.MIS}, {"mm", fs.MM, cs.MM}} {
+				if pair.f.Seeds != pair.c.Seeds {
+					t.Fatalf("%s seeds diverged: frontier %d vs closure %d", pair.name, pair.f.Seeds, pair.c.Seeds)
+				}
+				if pair.f.Changed != pair.c.Changed {
+					t.Fatalf("%s changed diverged: frontier %d vs closure %d", pair.name, pair.f.Changed, pair.c.Changed)
+				}
+				if pair.f.Visited > pair.c.Visited {
+					t.Fatalf("%s frontier visited %d exceeds closure cone %d", pair.name, pair.f.Visited, pair.c.Visited)
+				}
+			}
+			verifyFuzz(t, front, seed)
+			verifyFuzz(t, clos, seed)
 			batch = batch[:0]
 			clear(inBatch)
 		}
@@ -77,7 +126,7 @@ func FuzzConeRepair(f *testing.F) {
 			// batch start equals presence at validation time: toggling
 			// keeps the batch valid.
 			op := OpAdd
-			if mt.HasEdge(cu, cv) {
+			if front.HasEdge(cu, cv) {
 				op = OpDel
 			}
 			batch = append(batch, Update{Op: op, U: u, V: v})
@@ -113,6 +162,12 @@ func verifyFuzz(t *testing.T, mt *Maintainer, seed uint64) {
 	for i := range gotPairs {
 		if gotPairs[i] != wantMM.Pairs[i] {
 			t.Fatalf("MM diverged at pair %d", i)
+		}
+	}
+	mate := mt.Mate()
+	for v := range wantMM.Mate {
+		if mate[v] != wantMM.Mate[v] {
+			t.Fatalf("mate diverged at vertex %d: got %d want %d", v, mate[v], wantMM.Mate[v])
 		}
 	}
 }

@@ -14,6 +14,17 @@ import (
 // unmatched marks a vertex with no mate (matching package convention).
 const unmatched int32 = -1
 
+// mmFrontierBucketBits is the number of leading priority-hash bits
+// that form an edge's frontier bucket key: EdgePriority is a uniform
+// hash, so its top bits are a monotone, evenly-loaded bucketing of the
+// priority order no matter how slots are numbered.
+const mmFrontierBucketBits = 10
+
+// mmBucketKey maps an edge priority to its frontier bucket.
+func mmBucketKey(prio uint64) int {
+	return int(prio >> (64 - mmFrontierBucketBits))
+}
+
 // mmEdge is one live edge of the matching store: canonical endpoints
 // and the churn-stable hash priority.
 type mmEdge struct {
@@ -35,19 +46,25 @@ type mmState struct {
 	inc    [][]int32
 	free   []int32
 	mate   []int32
+	engine Engine
 
-	cs        core.ConeScratch
+	fr frontier
+
 	seedBuf   []int32
-	cone      []int32
-	oldBuf    []int32
 	activeBuf []int32
 	outcome   []int32
+
+	// Closure-engine scratch (differential-testing path).
+	cs     core.ConeScratch
+	cone   []int32
+	oldBuf []int32
 }
 
 // newMMState computes the initial matching of g with the library's
 // prefix round loop under the churn-stable edge order and converts it
-// into slot form.
-func newMMState(ctx context.Context, g *graph.Graph, seed uint64, grain int) (*mmState, core.Stats, error) {
+// into slot form. Repair scratch is pre-sized to the edge universe so
+// the first Apply pays no universe-sized allocation.
+func newMMState(ctx context.Context, g *graph.Graph, seed uint64, engine Engine, grain int) (*mmState, core.Stats, error) {
 	el := g.EdgeList()
 	m := el.NumEdges()
 	ord := EdgeOrder(el, seed)
@@ -55,7 +72,7 @@ func newMMState(ctx context.Context, g *graph.Graph, seed uint64, grain int) (*m
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
-	ms := &mmState{seed: seed}
+	ms := &mmState{seed: seed, engine: engine}
 	ms.edges = make([]mmEdge, m)
 	ms.status = make([]int32, m)
 	for i, e := range el.Edges {
@@ -76,6 +93,7 @@ func newMMState(ctx context.Context, g *graph.Graph, seed uint64, grain int) (*m
 		lo, hi := inc0.Offsets[v], inc0.Offsets[v+1]
 		ms.inc[v] = inc0.EdgeIDs[lo:hi:hi]
 	}
+	ms.fr.ensure(m)
 	return ms, res.Stats, nil
 }
 
@@ -106,7 +124,10 @@ func (ms *mmState) recEarlier(rec mmEdge, b int32) bool {
 }
 
 // insertEdge adds the validated-absent edge {u, v} and returns its
-// slot.
+// slot. The new edge starts Out — the frontier engine's stored
+// statuses are always trusted In/Out values guarded by pending marks,
+// and "not in the matching yet" is exactly Out (it also makes the
+// Changed counter read as "entered the matching" for insertions).
 func (ms *mmState) insertEdge(u, v int32) int32 {
 	if u > v {
 		u, v = v, u
@@ -121,7 +142,7 @@ func (ms *mmState) insertEdge(u, v int32) int32 {
 		ms.status = append(ms.status, statusOut)
 	}
 	ms.edges[slot] = mmEdge{u: u, v: v, prio: EdgePriority(u, v, ms.seed)}
-	ms.status[slot] = statusUndecided
+	ms.status[slot] = statusOut
 	ms.inc[u] = append(ms.inc[u], slot)
 	ms.inc[v] = append(ms.inc[v], slot)
 	return slot
@@ -183,18 +204,18 @@ func (ms *mmState) adjacent(e int32, visit func(f int32)) {
 	}
 }
 
-// repair applies the batch's structural changes to the edge store,
-// seeds the affected edges, and re-resolves their downstream priority
-// cone with the restricted round loop (the matching analogue of the
-// MIS repair; see misState.repair).
-//
-// Seeds: an inserted edge must be decided, so it always seeds itself
-// (its downstream closure covers anything it may displace). A deleted
-// edge seeds its later adjacent edges only when it was matched — an
-// unmatched edge never constrained anyone, so removing it is inert
-// unless some other change reaches its neighborhood, which the cone
-// BFS covers from that change's own seeds.
-func (ms *mmState) repair(ctx context.Context, batch []Update, grain int) (RepairCost, error) {
+// applyStructural applies the batch's edge insertions and deletions to
+// the slot store and returns the repair seeds: an inserted edge must
+// be decided, so it always seeds itself (deciding it In displaces
+// exactly what its flip expansion re-decides); a deleted edge seeds
+// its later adjacent edges only when it was matched — an unmatched
+// edge never constrained anyone, so removing it is inert unless some
+// other change reaches its neighborhood through that change's own
+// seeds. A seed recorded early in the batch may have been deleted by a
+// later update (its slot freed, possibly recycled): dead slots are
+// dropped, and a recycled slot holds a freshly inserted edge, which is
+// a legitimate (self-)seed either way.
+func (ms *mmState) applyStructural(batch []Update) []int32 {
 	seeds := ms.seedBuf[:0]
 	for _, up := range batch {
 		u, v := up.U, up.V
@@ -218,10 +239,6 @@ func (ms *mmState) repair(ctx context.Context, batch []Update, grain int) (Repai
 			}
 		}
 	}
-	// A seed recorded early in the batch may have been deleted by a
-	// later update (its slot freed, possibly recycled): drop dead
-	// slots. A recycled slot holds a freshly inserted edge, which is a
-	// legitimate (self-)seed either way.
 	w := 0
 	for _, s := range seeds {
 		if ms.edges[s].u >= 0 {
@@ -231,6 +248,150 @@ func (ms *mmState) repair(ctx context.Context, batch []Update, grain int) (Repai
 	}
 	seeds = seeds[:w]
 	ms.seedBuf = seeds
+	return seeds
+}
+
+// repair applies the batch's structural changes to the edge store and
+// re-resolves the damage region, dispatching on the configured engine
+// (the matching analogue of misState.repair).
+func (ms *mmState) repair(ctx context.Context, batch []Update, grain int) (RepairCost, error) {
+	if ms.engine == EngineClosure {
+		return ms.repairClosure(ctx, batch, grain)
+	}
+	return ms.repairFrontier(ctx, batch, grain)
+}
+
+// repairFrontier is the change-driven engine over the edge frontier:
+// drain the seeds in hash-priority order, re-decide each popped edge
+// against its earlier adjacent edges, and expand to later adjacent
+// edges only when the popped edge's matched status actually flipped.
+// Mate bookkeeping is deferred to the end of the drain (clears before
+// sets), so transiently re-decided edges never corrupt the mate array.
+func (ms *mmState) repairFrontier(ctx context.Context, batch []Update, grain int) (RepairCost, error) {
+	seeds := ms.applyStructural(batch)
+	cost := RepairCost{Seeds: len(seeds)}
+	if len(seeds) == 0 {
+		return cost, nil
+	}
+	f := &ms.fr
+	f.begin(len(ms.edges), 1<<mmFrontierBucketBits)
+	for _, e := range seeds {
+		f.push(e, mmBucketKey(ms.edges[e].prio), ms.status[e])
+	}
+	var inspections atomic.Int64
+	active := ms.activeBuf[:0]
+	for {
+		var ok bool
+		active, _, ok = f.q.PopBucket(active[:0])
+		if !ok {
+			break
+		}
+		for len(active) > 0 {
+			if err := ctx.Err(); err != nil {
+				ms.activeBuf = active
+				return cost, err
+			}
+			outcome := grow32(&ms.outcome, len(active))
+			// Check phase: reads only statuses and pending marks
+			// committed before this round.
+			parallel.ForRange(len(active), grain, func(lo, hi int) {
+				var local int64
+				for i := lo; i < hi; i++ {
+					var insp int64
+					outcome[i], insp = ms.checkFrontier(active[i])
+					local += insp
+				}
+				inspections.Add(local)
+			})
+			// Commit phase: settle decided edges; a flip enqueues the
+			// edge's later adjacent edges.
+			for i, e := range active {
+				if outcome[i] == statusUndecided {
+					continue
+				}
+				f.settle(e)
+				if ms.status[e] != outcome[i] {
+					ms.status[e] = outcome[i]
+					cost.Flipped++
+					rec := &ms.edges[e]
+					for _, x := range [2]int32{rec.u, rec.v} {
+						for _, ff := range ms.inc[x] {
+							if ff != e && ms.earlier(e, ff) {
+								f.push(ff, mmBucketKey(ms.edges[ff].prio), ms.status[ff])
+							}
+						}
+					}
+				}
+			}
+			cost.Rounds++
+			cost.Attempts += int64(len(active))
+			active = parallel.PackInPlace(active, grain, func(i int) bool {
+				return outcome[i] == statusUndecided
+			})
+			active = f.q.TakeCurrent(active)
+		}
+	}
+	ms.activeBuf = active
+	cost.Inspections = inspections.Load()
+	// Mate fix-up from the undo log: all In->Out clears first, then all
+	// Out->In sets. The final In set is endpoint-disjoint (it is the
+	// sequential matching), so the set pass is conflict-free, and the
+	// clear pass runs against pre-repair mates, where every cleared
+	// edge still owns both its endpoints.
+	for i, e := range f.touched {
+		if f.old[i] == statusIn && ms.status[e] == statusOut {
+			rec := &ms.edges[e]
+			ms.mate[rec.u] = unmatched
+			ms.mate[rec.v] = unmatched
+		}
+	}
+	for i, e := range f.touched {
+		if f.old[i] != statusIn && ms.status[e] == statusIn {
+			rec := &ms.edges[e]
+			ms.mate[rec.u] = rec.v
+			ms.mate[rec.v] = rec.u
+		}
+	}
+	f.finish(&cost, ms.status)
+	return cost, nil
+}
+
+// checkFrontier re-decides edge e against its earlier adjacent edges:
+// a settled earlier In neighbor rules it out immediately (so an edge
+// blocked by an unaffected matched neighbor terminates in O(1)-ish
+// inspections), a pending earlier neighbor stalls it for the next
+// round, and an all-settled, all-Out earlier neighborhood admits it.
+func (ms *mmState) checkFrontier(e int32) (int32, int64) {
+	rec := &ms.edges[e]
+	pend := ms.fr.pend
+	sawPending := false
+	var inspections int64
+	for _, x := range [2]int32{rec.u, rec.v} {
+		for _, f := range ms.inc[x] {
+			if f == e || !ms.earlier(f, e) {
+				continue
+			}
+			inspections++
+			if pend[f] {
+				sawPending = true
+				continue
+			}
+			if ms.status[f] == statusIn {
+				return statusOut, inspections
+			}
+		}
+	}
+	if sawPending {
+		return statusUndecided, inspections
+	}
+	return statusIn, inspections
+}
+
+// repairClosure is the conservative engine: reset and re-resolve the
+// full downstream closure of the seeds with the restricted round loop.
+// Kept as the frontier engine's differential-testing oracle.
+func (ms *mmState) repairClosure(ctx context.Context, batch []Update, grain int) (RepairCost, error) {
+	seeds := ms.applyStructural(batch)
 	cost := RepairCost{Seeds: len(seeds)}
 	if len(seeds) == 0 {
 		return cost, nil
@@ -238,7 +399,7 @@ func (ms *mmState) repair(ctx context.Context, batch []Update, grain int) (Repai
 	cone := ms.cs.DownstreamCone(len(ms.edges), seeds, ms.cone[:0], ms.adjacent,
 		func(x, y int32) bool { return ms.earlier(x, y) })
 	ms.cone = cone
-	cost.Cone = len(cone)
+	cost.Visited = len(cone)
 
 	sortInt32s(cone, ms.earlier)
 	old := grow32(&ms.oldBuf, len(cone))
@@ -268,7 +429,7 @@ func (ms *mmState) repair(ctx context.Context, batch []Update, grain int) (Repai
 			var local int64
 			for i := lo; i < hi; i++ {
 				var insp int64
-				outcome[i], insp = ms.check(active[i])
+				outcome[i], insp = ms.checkClosure(active[i])
 				local += insp
 			}
 			inspections.Add(local)
@@ -305,12 +466,12 @@ func (ms *mmState) repair(ctx context.Context, batch []Update, grain int) (Repai
 	return cost, nil
 }
 
-// check decides cone edge e against the statuses of its earlier
+// checkClosure decides cone edge e against the statuses of its earlier
 // adjacent edges: any matched earlier neighbor rules it out, any
 // undecided earlier neighbor stalls it for the next round, and an
 // all-resolved earlier neighborhood admits it — the acceptance rule of
 // the sequential greedy matching.
-func (ms *mmState) check(e int32) (int32, int64) {
+func (ms *mmState) checkClosure(e int32) (int32, int64) {
 	rec := &ms.edges[e]
 	sawUndecided := false
 	var inspections int64

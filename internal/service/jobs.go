@@ -230,12 +230,14 @@ type ResultPayload struct {
 	// Dynamic-job provenance. Dynamic marks churn-stable-priority jobs.
 	// Repaired reports that the answer came from advancing a maintained
 	// session across graph versions (RepairedFrom names the ancestor
-	// version the session was at, Repair aggregates the cone-repair
-	// work); a dynamic job without a usable session computes from
+	// version the session was at, Repair aggregates the change-driven
+	// frontier-repair work: seeds, visited, flipped, frontier peak,
+	// changed); a dynamic job without a usable session computes from
 	// scratch and seeds a session for its version. For repaired jobs
 	// Stats describes the repair work — the point of the subsystem is
-	// exactly that those counters stay proportional to the affected
-	// region, not to n.
+	// exactly that those counters stay proportional to the flipped
+	// damage region, not to n (and, since PR 5, not to the hub fan-out
+	// of the priority DAG either).
 	Dynamic       bool                 `json:"dynamic,omitempty"`
 	Repaired      bool                 `json:"repaired,omitempty"`
 	RepairedFrom  string               `json:"repaired_from,omitempty"`
@@ -649,7 +651,11 @@ func (e *Engine) run(job *Job, solver *greedy.Solver) {
 	// not count toward adaptive_executed even if the plan carries the
 	// flag.
 	adaptiveRan := job.Spec.Plan.AdaptivePrefix && !job.Spec.Plan.Dynamic
-	e.metrics.jobFinished(job.Spec.Problem, state, adaptiveRan, payload.Repaired, run, e2e)
+	var repair *dynamic.RepairStats
+	if payload.Repaired {
+		repair = payload.Repair
+	}
+	e.metrics.jobFinished(job.Spec.Problem, state, adaptiveRan, repair, run, e2e)
 }
 
 // execute runs the computation; panics in the algorithm layers are
@@ -799,11 +805,11 @@ func (e *Engine) lineageSession(key sessKey) (*dynamic.Maintainer, string, [][]d
 
 // executeDynamic answers a dynamic-plan job from the session cache:
 // an exact-version session is a free read; an ancestor session is
-// advanced by replaying the recorded patches (incremental cone repair
-// — the work recorded in payload.Repair stays proportional to the
-// affected region); otherwise the job computes from scratch and seeds
-// a session for its version so later jobs on patched descendants can
-// repair.
+// advanced by replaying the recorded patches (change-driven frontier
+// repair — the work recorded in payload.Repair stays proportional to
+// the flipped damage region); otherwise the job computes from scratch
+// and seeds a session for its version so later jobs on patched
+// descendants can repair.
 func (e *Engine) executeDynamic(job *Job, payload ResultPayload) (ResultPayload, error) {
 	h := job.handle
 	g := h.Graph()

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/dynamic"
 )
 
 // latencyBounds are the upper bounds (seconds) of the latency histogram
@@ -101,6 +103,8 @@ type Metrics struct {
 	jobsExecuted  int64
 	jobsAdaptive  int64 // executed jobs that ran the adaptive schedule
 	jobsRepaired  int64 // executed dynamic jobs answered by session repair
+	repairVisited int64 // frontier items re-decided across repaired jobs
+	repairFlipped int64 // membership flips propagated across repaired jobs
 	jobsFailed    int64
 	jobsCancelled int64
 	jobsExpired   int64
@@ -139,8 +143,10 @@ func (m *Metrics) jobCancelled() {
 
 // jobFinished records a worker-side completion. Only successful runs
 // feed the latency histograms: failed and cancelled runs would skew
-// the percentiles with truncated durations.
-func (m *Metrics) jobFinished(p Problem, state JobState, adaptive, repaired bool, run, endToEnd time.Duration) {
+// the percentiles with truncated durations. repair is non-nil for
+// dynamic jobs answered by advancing a session; its frontier counters
+// feed the aggregate repair-work gauges.
+func (m *Metrics) jobFinished(p Problem, state JobState, adaptive bool, repair *dynamic.RepairStats, run, endToEnd time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	switch state {
@@ -155,8 +161,10 @@ func (m *Metrics) jobFinished(p Problem, state JobState, adaptive, repaired bool
 	if adaptive {
 		m.jobsAdaptive++
 	}
-	if repaired {
+	if repair != nil {
 		m.jobsRepaired++
+		m.repairVisited += int64(repair.MIS.Visited + repair.MM.Visited)
+		m.repairFlipped += int64(repair.MIS.Flipped + repair.MM.Flipped)
 	}
 	h := m.latency[p]
 	if h == nil {
@@ -201,17 +209,23 @@ type JobCounters struct {
 	// prefix schedule (a subset of Executed).
 	AdaptiveExecuted int64 `json:"adaptive_executed"`
 	// Repaired counts executed dynamic jobs that were answered by
-	// advancing a maintained session (incremental cone repair) instead
-	// of recomputing from scratch (a subset of Executed).
-	Repaired     int64 `json:"repaired"`
-	Failed       int64 `json:"failed"`
-	Cancelled    int64 `json:"cancelled"`
-	Expired      int64 `json:"expired"`
-	Queued       int64 `json:"queued"`
-	Running      int64 `json:"running"`
-	Done         int64 `json:"done"`
-	FailedNow    int64 `json:"failed_resident"`
-	CancelledNow int64 `json:"cancelled_resident"`
+	// advancing a maintained session (change-driven frontier repair)
+	// instead of recomputing from scratch (a subset of Executed).
+	// RepairVisited/RepairFlipped aggregate those repairs' frontier
+	// work — items re-decided and membership flips propagated — the
+	// fleet-level view of "repair cost stays proportional to the
+	// damage region".
+	Repaired      int64 `json:"repaired"`
+	RepairVisited int64 `json:"repair_visited"`
+	RepairFlipped int64 `json:"repair_flipped"`
+	Failed        int64 `json:"failed"`
+	Cancelled     int64 `json:"cancelled"`
+	Expired       int64 `json:"expired"`
+	Queued        int64 `json:"queued"`
+	Running       int64 `json:"running"`
+	Done          int64 `json:"done"`
+	FailedNow     int64 `json:"failed_resident"`
+	CancelledNow  int64 `json:"cancelled_resident"`
 }
 
 // RegistryCounters is the registry section of a metrics snapshot.
@@ -280,6 +294,8 @@ func (m *Metrics) snapshot() Snapshot {
 			Executed:         m.jobsExecuted,
 			AdaptiveExecuted: m.jobsAdaptive,
 			Repaired:         m.jobsRepaired,
+			RepairVisited:    m.repairVisited,
+			RepairFlipped:    m.repairFlipped,
 			Failed:           m.jobsFailed,
 			Cancelled:        m.jobsCancelled,
 			Expired:          m.jobsExpired,

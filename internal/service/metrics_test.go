@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"repro/internal/dynamic"
 )
 
 // TestHistogramBucketBoundObservation: an observation exactly equal to
@@ -122,10 +124,14 @@ func TestHistogramEmpty(t *testing.T) {
 // and cancelled adaptive runs count in neither.
 func TestMetricsAdaptiveExecutedCounter(t *testing.T) {
 	m := NewMetrics()
-	m.jobFinished(ProblemMIS, StateDone, true, false, time.Millisecond, 2*time.Millisecond)
-	m.jobFinished(ProblemMIS, StateDone, false, true, time.Millisecond, 2*time.Millisecond)
-	m.jobFinished(ProblemMM, StateFailed, true, false, time.Millisecond, 2*time.Millisecond)
-	m.jobFinished(ProblemSF, StateCancelled, true, false, time.Millisecond, 2*time.Millisecond)
+	repair := &dynamic.RepairStats{
+		MIS: dynamic.RepairCost{Visited: 7, Flipped: 2},
+		MM:  dynamic.RepairCost{Visited: 5, Flipped: 1},
+	}
+	m.jobFinished(ProblemMIS, StateDone, true, nil, time.Millisecond, 2*time.Millisecond)
+	m.jobFinished(ProblemMIS, StateDone, false, repair, time.Millisecond, 2*time.Millisecond)
+	m.jobFinished(ProblemMM, StateFailed, true, nil, time.Millisecond, 2*time.Millisecond)
+	m.jobFinished(ProblemSF, StateCancelled, true, nil, time.Millisecond, 2*time.Millisecond)
 	s := m.snapshot()
 	if s.Jobs.Executed != 2 {
 		t.Errorf("executed = %d, want 2", s.Jobs.Executed)
@@ -135,6 +141,9 @@ func TestMetricsAdaptiveExecutedCounter(t *testing.T) {
 	}
 	if s.Jobs.Repaired != 1 {
 		t.Errorf("repaired = %d, want 1", s.Jobs.Repaired)
+	}
+	if s.Jobs.RepairVisited != 12 || s.Jobs.RepairFlipped != 3 {
+		t.Errorf("repair_visited/flipped = %d/%d, want 12/3", s.Jobs.RepairVisited, s.Jobs.RepairFlipped)
 	}
 	if s.Jobs.Failed != 1 || s.Jobs.Cancelled != 1 {
 		t.Errorf("failed/cancelled = %d/%d, want 1/1", s.Jobs.Failed, s.Jobs.Cancelled)

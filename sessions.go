@@ -10,9 +10,11 @@ import (
 // Dynamic-graph sessions: incremental maintenance of MIS and MM under
 // edge churn. A session wraps an internal/dynamic.Maintainer: it owns
 // a mutable overlay over the (immutable) input graph and, on every
-// Apply, repairs only the affected priority cone instead of
-// recomputing — with results bit-identical to a from-scratch run on
-// the mutated graph. See Solver.MISDynamic and Solver.MMDynamic.
+// Apply, drains a change-driven priority frontier — seeded only by the
+// directly-perturbed items, expanding to an item's later neighbors
+// only when the item's membership actually flipped — instead of
+// recomputing, with results bit-identical to a from-scratch run on the
+// mutated graph. See Solver.MISDynamic and Solver.MMDynamic.
 
 // Re-exported dynamic types, so session callers need not import
 // internal packages.
@@ -22,8 +24,13 @@ type (
 	// DynamicOp is the kind of a DynamicUpdate.
 	DynamicOp = dynamic.Op
 	// RepairStats reports the per-batch repair work of a session Apply
-	// (seeds, cone size, restricted-round-loop counters, memberships
-	// changed).
+	// in frontier terms: Seeds (directly-perturbed items enqueued),
+	// Visited (distinct items re-decided), Flipped (membership flips
+	// propagated), FrontierPeak (pending-frontier high-water mark),
+	// Changed (net memberships changed), plus the decide-loop
+	// Rounds/Attempts/Inspections counters. Visited == Changed-ish
+	// small is the paper's locality claim at work; Visited >> Changed
+	// would mean repair is re-deriving unchanged decisions.
 	RepairStats = dynamic.RepairStats
 	// RepairCost is the per-problem component of RepairStats.
 	RepairCost = dynamic.RepairCost
@@ -76,7 +83,7 @@ func (s *Solver) MISDynamic(ctx context.Context, g *Graph, opts ...Option) (*MIS
 }
 
 // Apply atomically applies a batch of edge updates and repairs the
-// maintained set by re-resolving the affected priority cone. An
+// maintained set by draining the change-driven priority frontier. An
 // invalid batch (dynamic.ErrBadUpdate) changes nothing.
 func (s *MISSession) Apply(ctx context.Context, batch []DynamicUpdate) (RepairStats, error) {
 	return s.mt.Apply(ctx, batch)
