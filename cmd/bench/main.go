@@ -66,8 +66,18 @@ func main() {
 		batches    = flag.Int("batches", 0, "timed update batches per churn cell (0: default 16)")
 		out        = flag.String("out", "", "output path of the JSON report (default BENCH_pr3.json for -matrix, BENCH_pr5.json for -churn)")
 		asserts    = flag.String("assert-speedup", "", "comma-separated churn speedup assertions scenario:problem:batch:min (e.g. rmat:mm:1:1.0); exit 1 on violation")
+		obsCost    = flag.Bool("observer-overhead", false, "measure round-observer and trace-recording overhead on the selected workloads and print a table")
 	)
 	flag.Parse()
+
+	if *obsCost {
+		fmt.Printf("# %s\n\n", bench.Env())
+		for _, w := range buildWorkloads(*graphKind, *shrink, *n, *m, *seed) {
+			fmt.Println(bench.ObserverTable(bench.ObserverOverhead(w, *reps)))
+			fmt.Println()
+		}
+		return
+	}
 
 	if *churn {
 		var churnAsserts []bench.ChurnAssertion

@@ -4,9 +4,17 @@
 // bounded worker pool, with idempotency-key deduplication of identical
 // deterministic computations.
 //
+// Observability: structured logs (slog, -log-format text|json), a
+// Prometheus exposition at GET /metrics, a trace flight recorder
+// served at GET /v1/trace/recent and GET /v1/jobs/{id}/trace, and —
+// when -debug-addr is set — net/http/pprof on a separate listener so
+// profiling is never exposed on the public API address.
+//
 // Usage:
 //
 //	greedyd -addr :8080 -cache-bytes 1073741824 -workers 0 -ttl 15m
+//	greedyd -log-format json -log-level debug -debug-addr localhost:6060
+//	greedyd -trace-capacity 65536 -trace-sample 8
 //
 // See README.md for the API and curl examples.
 package main
@@ -15,15 +23,58 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/service"
 )
+
+// buildLogger maps the -log-format/-log-level flags onto a slog
+// handler writing to stderr.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text|json)", format)
+	}
+}
+
+// debugHandler mounts net/http/pprof on an explicit mux (the package's
+// init registers on http.DefaultServeMux, which greedyd never serves —
+// explicit registration keeps the profiling surface intentional).
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	var (
@@ -34,16 +85,30 @@ func main() {
 		ttl        = flag.Duration("ttl", 15*time.Minute, "finished-job retention")
 		maxUpload  = flag.Int64("max-upload-bytes", 512<<20, "maximum graph upload size")
 		dynSess    = flag.Int("dynamic-sessions", 0, "cached dynamic sessions (0: default 8, <0: disable repair)")
+		traceCap   = flag.Int("trace-capacity", 0, "trace ring buffer capacity in events (0: default 16384, <0: disable tracing)")
+		traceSamp  = flag.Int("trace-sample", 0, "record every Nth solver round as a trace event (0: no round stream)")
+		logFormat  = flag.String("log-format", "text", "log output format: text|json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug|info|warn|error (debug shows the access log)")
+		debugAddr  = flag.String("debug-addr", "", "if set, serve net/http/pprof under /debug/pprof/ on this extra address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "greedyd: %v\n", err)
+		os.Exit(2)
+	}
+
 	svc := service.New(service.Config{
-		CacheBytes:      *cacheBytes,
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		ResultTTL:       *ttl,
-		MaxUploadBytes:  *maxUpload,
-		DynamicSessions: *dynSess,
+		CacheBytes:       *cacheBytes,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		ResultTTL:        *ttl,
+		MaxUploadBytes:   *maxUpload,
+		DynamicSessions:  *dynSess,
+		TraceCapacity:    *traceCap,
+		TraceRoundSample: *traceSamp,
+		Logger:           logger,
 	})
 	defer svc.Close()
 
@@ -53,18 +118,43 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server error", "addr", *debugAddr, "error", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
+		logger.Info("shutdown signal received")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("greedyd: listening on %s (cache %d bytes, workers %d)", *addr, *cacheBytes, *workers)
+	started := time.Now()
+	logger.Info("greedyd listening",
+		"addr", *addr,
+		"cache_bytes", *cacheBytes,
+		"workers", *workers,
+		"queue_depth", *queueDepth,
+		"ttl", ttl.String(),
+		"trace_capacity", *traceCap,
+		"trace_round_sample", *traceSamp,
+		"pid", os.Getpid())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("greedyd: %v", err)
+		logger.Error("server error", "error", err)
+		os.Exit(1)
 	}
-	log.Printf("greedyd: shut down")
+	logger.Info("greedyd shut down", "uptime", time.Since(started).Round(time.Millisecond).String())
 }

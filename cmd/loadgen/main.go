@@ -43,6 +43,7 @@ import (
 	greedy "repro"
 	"repro/internal/bench"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -66,6 +67,7 @@ func main() {
 		churn       = flag.Bool("churn", false, "mixed submit/update workload: PATCH edge churn + dynamic-plan jobs on the newest version")
 		churnBatch  = flag.Int("churn-batch", 8, "updates per PATCH batch in -churn mode")
 		churnEvery  = flag.Duration("churn-interval", 50*time.Millisecond, "delay between PATCH batches in -churn mode")
+		traceSlow   = flag.Bool("trace", false, "after the run, fetch and pretty-print the server-side trace of the slowest completed job")
 	)
 	flag.Parse()
 
@@ -160,6 +162,7 @@ func main() {
 	type sample struct {
 		problem string
 		latency time.Duration
+		jobID   string
 	}
 	var (
 		mu       sync.Mutex
@@ -220,9 +223,14 @@ func main() {
 					}
 				}
 				lat := time.Since(start)
+				if lat < 0 {
+					// Clock stepped backwards mid-measurement; a negative
+					// latency would corrupt the percentile report.
+					lat = 0
+				}
 				mu.Lock()
 				if st.State == service.StateDone {
-					samples = append(samples, sample{problem: problem, latency: lat})
+					samples = append(samples, sample{problem: problem, latency: lat, jobID: st.ID})
 				} else {
 					failures++
 				}
@@ -321,9 +329,10 @@ func main() {
 			i := int(p * float64(len(lats)-1))
 			return lats[i]
 		}
-		fmt.Printf("loadgen: %-5s n=%-6d p50=%-10v p90=%-10v p99=%-10v max=%v\n",
+		fmt.Printf("loadgen: %-5s n=%-6d p50=%-10v p90=%-10v p99=%-10v p999=%-10v max=%v\n",
 			name, len(lats), q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
-			q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+			q(0.99).Round(time.Microsecond), q(0.999).Round(time.Microsecond),
+			lats[len(lats)-1].Round(time.Microsecond))
 	}
 	printLine("all", all)
 	names := make([]string, 0, len(byProblem))
@@ -335,8 +344,59 @@ func main() {
 		printLine(p, byProblem[p])
 	}
 
+	if *traceSlow {
+		slowest := samples[0]
+		for _, s := range samples[1:] {
+			if s.latency > slowest.latency {
+				slowest = s
+			}
+		}
+		printSlowestTrace(ctx, client, slowest.jobID, slowest.problem, slowest.latency)
+	}
+
 	if failures > 0 {
 		os.Exit(1)
+	}
+}
+
+// printSlowestTrace fetches and pretty-prints the server-side trace of
+// the run's slowest completed job: each event at its offset from the
+// job's first recorded event, with the fields that carry information
+// for its kind. A long queue span points at saturation, a slow run
+// span with few sampled rounds at a hard input, repeated repair events
+// at patch churn.
+func printSlowestTrace(ctx context.Context, client *service.Client, jobID, problem string, lat time.Duration) {
+	tr, err := client.JobTrace(ctx, jobID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: trace of slowest job %s unavailable: %v\n", jobID, err)
+		return
+	}
+	fmt.Printf("loadgen: slowest job %s (%s, client-observed %v): %d trace events\n",
+		jobID, problem, lat.Round(time.Microsecond), len(tr.Events))
+	if len(tr.Events) == 0 {
+		fmt.Println("loadgen:   (events already overwritten in the server's ring buffer)")
+		return
+	}
+	t0 := tr.Events[0].Time
+	for _, ev := range tr.Events {
+		var detail []string
+		add := func(format string, args ...any) { detail = append(detail, fmt.Sprintf(format, args...)) }
+		if ev.Name != "" {
+			add("%s", ev.Name)
+		}
+		if ev.DurMS != 0 {
+			add("dur=%.3fms", ev.DurMS)
+		}
+		if ev.Round != 0 {
+			add("round=%d prefix=%d attempted=%d accepted=%d inspections=%d",
+				ev.Round, ev.Prefix, ev.Attempted, ev.Accepted, ev.Inspections)
+		}
+		if ev.Kind == trace.KindRepair {
+			add("batch=%d seeds=%d visited=%d flipped=%d frontier_peak=%d changed=%d",
+				ev.Batch, ev.Seeds, ev.Visited, ev.Flipped, ev.FrontierPeak, ev.Changed)
+		}
+		fmt.Printf("loadgen:   +%-12v %-9s %s\n",
+			ev.Time.Sub(t0).Round(time.Microsecond), ev.Kind, strings.Join(detail, " "))
 	}
 }
 

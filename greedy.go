@@ -123,7 +123,7 @@ type config struct {
 	dynamic    bool
 	grain      int
 	pointered  bool
-	observer   func(RoundInfo)
+	observers  []func(RoundInfo)
 }
 
 // An Option configures the solver entry points.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -212,6 +213,27 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobSt
 		case <-time.After(poll):
 		}
 	}
+}
+
+// JobTrace fetches the recorded trace events of one job (oldest
+// first). The server answers 404 when tracing is disabled or the job
+// is unknown.
+func (c *Client) JobTrace(ctx context.Context, id string) (TraceResponse, error) {
+	var out TraceResponse
+	_, err := c.getJSON(ctx, "/v1/jobs/"+id+"/trace", &out)
+	return out, err
+}
+
+// TraceRecent fetches the most recent trace events across all jobs and
+// requests; limit <= 0 uses the server default.
+func (c *Client) TraceRecent(ctx context.Context, limit int) (TraceResponse, error) {
+	path := "/v1/trace/recent"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var out TraceResponse
+	_, err := c.getJSON(ctx, path, &out)
+	return out, err
 }
 
 // Metrics fetches the metrics snapshot.

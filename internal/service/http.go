@@ -7,10 +7,12 @@ import (
 	"mime"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
+	"repro/internal/trace"
 
 	greedy "repro"
 )
@@ -28,8 +30,15 @@ import (
 //	GET    /v1/jobs/{id}         job status, with live round progress
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 //	GET    /v1/jobs/{id}/result  result payload of a done job
-//	GET    /v1/metrics           metrics snapshot
+//	GET    /v1/jobs/{id}/trace   recorded trace events of one job
+//	GET    /v1/trace/recent      most recent trace events (?limit=N)
+//	GET    /v1/metrics           metrics snapshot (JSON)
+//	GET    /metrics              metrics (Prometheus text exposition)
 //	GET    /healthz              liveness
+//
+// The returned handler is wrapped in the observability middleware: by
+// status-class request counters, a request-latency histogram, KindHTTP
+// trace events, and a structured access log.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleGraphCreate)
@@ -41,9 +50,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/trace/recent", s.handleTraceRecent)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePromMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	return s.instrument(mux)
 }
 
 // errorBody is the uniform error response.
@@ -346,6 +358,59 @@ func (s *Service) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		// Not finished: return the status with 202 so clients can poll.
 		writeJSON(w, http.StatusAccepted, st)
 	}
+}
+
+// ErrTraceDisabled is returned by the trace endpoints when the service
+// was configured with tracing off (negative TraceCapacity).
+var ErrTraceDisabled = errors.New("service: tracing disabled")
+
+// TraceResponse is the body of the trace endpoints: flight-recorder
+// events, oldest first. Total counts every event ever recorded, so
+// clients can detect that older events of a long job were overwritten.
+type TraceResponse struct {
+	JobID  string        `json:"job_id,omitempty"`
+	Total  uint64        `json:"total_events"`
+	Events []trace.Event `json:"events"`
+}
+
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.trace.Enabled() {
+		writeError(w, http.StatusNotFound, ErrTraceDisabled)
+		return
+	}
+	id := r.PathValue("id")
+	events := s.trace.Job(id)
+	if len(events) == 0 {
+		// Distinguish "job unknown" (404) from "job known but its events
+		// were overwritten or not yet recorded" (200 with empty list).
+		if _, err := s.engine.Status(id); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		events = []trace.Event{}
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{JobID: id, Total: s.trace.Total(), Events: events})
+}
+
+func (s *Service) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
+	if !s.trace.Enabled() {
+		writeError(w, http.StatusNotFound, ErrTraceDisabled)
+		return
+	}
+	limit := 256
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad limit %q (want a positive integer)", q))
+			return
+		}
+		limit = n
+	}
+	events := s.trace.Recent(limit)
+	if events == nil {
+		events = []trace.Event{}
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{Total: s.trace.Total(), Events: events})
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"log/slog"
 	"runtime"
 	"strconv"
 	"sync"
@@ -16,6 +18,7 @@ import (
 	greedy "repro"
 	"repro/internal/dynamic"
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // Problem names a computation the service can run.
@@ -257,6 +260,8 @@ type Engine struct {
 	reg     *Registry
 	metrics *Metrics
 	ttl     time.Duration
+	trace   *trace.Recorder // nil when tracing is disabled
+	log     *slog.Logger
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -300,6 +305,11 @@ type EngineConfig struct {
 	// 0 means 8, negative disables the cache (dynamic jobs always
 	// recompute).
 	DynamicSessions int
+	// Trace receives job lifecycle spans, sampled round events, and
+	// per-Apply repair events; nil disables recording.
+	Trace *trace.Recorder
+	// Logger receives job state-transition logs; nil discards them.
+	Logger *slog.Logger
 }
 
 // NewEngine starts an engine over reg. metrics may be nil.
@@ -326,10 +336,16 @@ func NewEngine(reg *Registry, metrics *Metrics, cfg EngineConfig) *Engine {
 	if sessCap < 0 {
 		sessCap = 0
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	e := &Engine{
 		reg:      reg,
 		metrics:  metrics,
 		ttl:      ttl,
+		trace:    cfg.Trace,
+		log:      logger,
 		jobs:     make(map[string]*Job),
 		byKey:    make(map[string]*Job),
 		sessions: make(map[sessKey]*dynamic.Maintainer),
@@ -379,16 +395,20 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, bool, error) {
 		st := e.statusLocked(prior)
 		e.mu.Unlock()
 		e.metrics.jobSubmitted(true)
+		e.trace.Append(trace.Event{Kind: trace.KindSubmit, Job: st.ID, Name: "dedup"})
+		e.log.Debug("job dedup", "job", st.ID, "state", string(st.State))
 		return st, true, nil
 	}
 	e.mu.Unlock()
 
 	// Pin the graph for the job's whole lifetime: from this point until
 	// completion the registry cannot evict it.
+	acqStart := time.Now()
 	h, err := e.reg.Acquire(spec.GraphID)
 	if err != nil {
 		return JobStatus{}, false, err
 	}
+	acqDur := time.Since(acqStart)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
@@ -415,6 +435,8 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, bool, error) {
 		h.Release()
 		cancel()
 		e.metrics.jobSubmitted(true)
+		e.trace.Append(trace.Event{Kind: trace.KindSubmit, Job: st.ID, Name: "dedup"})
+		e.log.Debug("job dedup", "job", st.ID, "state", string(st.State))
 		return st, true, nil
 	}
 	select {
@@ -430,6 +452,11 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, bool, error) {
 	st := e.statusLocked(job)
 	e.mu.Unlock()
 	e.metrics.jobSubmitted(false)
+	e.trace.Append(trace.Event{Kind: trace.KindSubmit, Job: job.ID, Name: string(spec.Problem)})
+	e.trace.Append(trace.Event{Kind: trace.KindCheckout, Job: job.ID, Name: spec.GraphID,
+		DurMS: float64(acqDur) / float64(time.Millisecond)})
+	e.log.Debug("job submitted", "job", job.ID, "graph", spec.GraphID,
+		"problem", string(spec.Problem), "algorithm", spec.Plan.Algorithm.String())
 	return st, false, nil
 }
 
@@ -609,6 +636,9 @@ func (e *Engine) worker() {
 		job.state = StateRunning
 		job.startedAt = time.Now()
 		e.mu.Unlock()
+		queueMS := float64(job.startedAt.Sub(job.submittedAt)) / float64(time.Millisecond)
+		e.trace.Append(trace.Event{Kind: trace.KindQueue, Job: job.ID, DurMS: queueMS})
+		e.log.Debug("job running", "job", job.ID, "queue_ms", queueMS)
 		e.run(job, solver)
 	}
 }
@@ -642,6 +672,7 @@ func (e *Engine) run(job *Job, solver *greedy.Solver) {
 	run := job.finishedAt.Sub(job.startedAt)
 	e2e := job.finishedAt.Sub(job.submittedAt)
 	state := job.state
+	errMsg := job.err
 	e.mu.Unlock()
 
 	job.cancel() // release the context's resources
@@ -656,6 +687,16 @@ func (e *Engine) run(job *Job, solver *greedy.Solver) {
 		repair = payload.Repair
 	}
 	e.metrics.jobFinished(job.Spec.Problem, state, adaptiveRan, repair, run, e2e)
+
+	runMS := float64(run) / float64(time.Millisecond)
+	e2eMS := float64(e2e) / float64(time.Millisecond)
+	e.trace.Append(trace.Event{Kind: trace.KindRun, Job: job.ID, DurMS: runMS})
+	e.trace.Append(trace.Event{Kind: trace.KindDone, Job: job.ID, Name: string(state), DurMS: e2eMS})
+	if state == StateFailed {
+		e.log.Warn("job failed", "job", job.ID, "error", errMsg, "run_ms", runMS, "e2e_ms", e2eMS)
+	} else {
+		e.log.Debug("job finished", "job", job.ID, "state", string(state), "run_ms", runMS, "e2e_ms", e2eMS)
+	}
 }
 
 // execute runs the computation; panics in the algorithm layers are
@@ -670,13 +711,26 @@ func (e *Engine) execute(job *Job, solver *greedy.Solver) (payload ResultPayload
 	g := h.Graph()
 	plan := job.Spec.Plan
 	// Observe round progress into the job's atomics: Status reads them
-	// live while the round loop runs.
+	// live while the round loop runs. The trace stream rides the same
+	// observer, gated by one lock-free modulo test per round so an
+	// unsampled round does no trace work at all.
 	opts := append(plan.Options(), greedy.WithRoundObserver(func(ri greedy.RoundInfo) {
 		job.progRounds.Store(ri.Round)
 		job.progPrefix.Store(int64(ri.PrefixSize))
 		job.progAttempted.Add(int64(ri.Attempted))
 		job.progResolved.Add(int64(ri.Accepted))
 		job.progInspections.Add(ri.EdgeInspections)
+		if e.trace.ShouldSampleRound(ri.Round) {
+			e.trace.Append(trace.Event{
+				Kind:        trace.KindRound,
+				Job:         job.ID,
+				Round:       ri.Round,
+				Prefix:      ri.PrefixSize,
+				Attempted:   int64(ri.Attempted),
+				Accepted:    int64(ri.Accepted),
+				Inspections: ri.EdgeInspections,
+			})
+		}
 	}))
 	payload = ResultPayload{
 		GraphID: h.ID(),
@@ -819,14 +873,29 @@ func (e *Engine) executeDynamic(job *Job, payload ResultPayload) (ResultPayload,
 	key := sessKey{graphID: h.ID(), problem: problem, seed: plan.Seed}
 
 	mt := e.checkoutSession(key)
+	resolution := "hit" // exact-version session checkout: a free read
 	if mt == nil {
 		prior, from, chain := e.lineageSession(key)
 		if prior != nil {
 			repair := dynamic.RepairStats{}
 			advanced := prior
-			for _, batch := range chain {
+			for i, batch := range chain {
 				st, err := advanced.Apply(job.ctx, batch)
 				repair.Add(st)
+				cost := st.MIS
+				if problem == ProblemMM {
+					cost = st.MM
+				}
+				e.trace.Append(trace.Event{
+					Kind:         trace.KindRepair,
+					Job:          job.ID,
+					Batch:        i + 1,
+					Seeds:        cost.Seeds,
+					Visited:      cost.Visited,
+					Flipped:      cost.Flipped,
+					FrontierPeak: cost.FrontierPeak,
+					Changed:      cost.Changed,
+				})
 				if err != nil {
 					// The session is inconsistent (cancelled mid-repair)
 					// or cannot accept the patch; drop it. Propagate
@@ -843,6 +912,7 @@ func (e *Engine) executeDynamic(job *Job, payload ResultPayload) (ResultPayload,
 			// or corrupted lineage chain.
 			if advanced != nil && advanced.NumEdges() == g.NumEdges() {
 				mt = advanced
+				resolution = "replay"
 				payload.Repaired = true
 				payload.RepairedFrom = from
 				payload.RepairBatches = len(chain)
@@ -856,6 +926,7 @@ func (e *Engine) executeDynamic(job *Job, payload ResultPayload) (ResultPayload,
 		}
 	}
 	if mt == nil {
+		resolution = "scratch"
 		fresh, err := dynamic.NewMaintainer(job.ctx, g, dynamic.Config{
 			MIS:   problem == ProblemMIS,
 			MM:    problem == ProblemMM,
@@ -875,6 +946,8 @@ func (e *Engine) executeDynamic(job *Job, payload ResultPayload) (ResultPayload,
 	}
 	// (A checkout hit at the exact version reads the maintained state
 	// with zero Stats: no work was performed.)
+	e.trace.Append(trace.Event{Kind: trace.KindResolve, Job: job.ID, Name: resolution,
+		Batch: payload.RepairBatches})
 	switch problem {
 	case ProblemMIS:
 		res := mt.MISResult()

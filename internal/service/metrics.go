@@ -84,7 +84,11 @@ func (h *histogram) quantile(q float64) float64 {
 
 // HistogramSnapshot is the JSON view of one latency histogram.
 type HistogramSnapshot struct {
-	Count   int64     `json:"count"`
+	Count int64 `json:"count"`
+	// SumMS is the total observed time — with Count, the pair every
+	// cumulative-histogram consumer (Prometheus above all) needs and
+	// quantiles cannot reconstruct.
+	SumMS   float64   `json:"sum_ms"`
 	MeanMS  float64   `json:"mean_ms"`
 	P50MS   float64   `json:"p50_ms"`
 	P90MS   float64   `json:"p90_ms"`
@@ -92,6 +96,25 @@ type HistogramSnapshot struct {
 	MaxMS   float64   `json:"max_ms"`
 	Bounds  []float64 `json:"bucket_upper_bounds_ms"`
 	Buckets []int64   `json:"bucket_counts"`
+}
+
+// SumSeconds returns the total observed time in seconds (the unit
+// Prometheus histograms are exposed in).
+func (h HistogramSnapshot) SumSeconds() float64 { return h.SumMS / 1000 }
+
+// CumulativeBuckets returns the bucket counts accumulated in le order:
+// element i is the number of observations at or below the i-th upper
+// bound, and the final element (the +Inf bucket) equals Count. The raw
+// Buckets field stays per-bucket, which is what the JSON consumers
+// already plot.
+func (h HistogramSnapshot) CumulativeBuckets() []int64 {
+	out := make([]int64, len(h.Buckets))
+	var cum int64
+	for i, c := range h.Buckets {
+		cum += c
+		out[i] = cum
+	}
+	return out
 }
 
 // Metrics aggregates the service counters surfaced by /v1/metrics.
@@ -116,14 +139,33 @@ type Metrics struct {
 
 	latency map[Problem]*histogram // measured over execution (run) time
 	e2e     map[Problem]*histogram // measured from submission to completion
+
+	// HTTP serving counters, fed by the instrumentation middleware:
+	// requests by status class (index status/100, 0 unused) and a
+	// latency histogram over every served request.
+	httpByClass [6]int64
+	httpLatency *histogram
 }
 
 // NewMetrics returns an empty metrics aggregator.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		latency: make(map[Problem]*histogram),
-		e2e:     make(map[Problem]*histogram),
+		latency:     make(map[Problem]*histogram),
+		e2e:         make(map[Problem]*histogram),
+		httpLatency: newHistogram(),
 	}
+}
+
+// httpRequest records one served HTTP request.
+func (m *Metrics) httpRequest(status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	class := status / 100
+	if class < 1 || class > 5 {
+		class = 5
+	}
+	m.httpByClass[class]++
+	m.httpLatency.observe(d.Seconds())
 }
 
 func (m *Metrics) jobSubmitted(dedup bool) {
@@ -252,13 +294,25 @@ type RuntimeCounters struct {
 	Goroutines      int    `json:"goroutines"`
 }
 
+// HTTPCounters is the HTTP-serving section of a metrics snapshot.
+type HTTPCounters struct {
+	// Requests maps status class ("2xx".."5xx") to served requests.
+	Requests map[string]int64  `json:"requests_by_class"`
+	Latency  HistogramSnapshot `json:"latency"`
+}
+
 // Snapshot is the full /v1/metrics response.
 type Snapshot struct {
 	Jobs       JobCounters                   `json:"jobs"`
 	Registry   RegistryCounters              `json:"registry"`
 	Runtime    RuntimeCounters               `json:"runtime"`
+	HTTP       HTTPCounters                  `json:"http"`
 	RunLatency map[Problem]HistogramSnapshot `json:"run_latency"`
 	E2ELatency map[Problem]HistogramSnapshot `json:"e2e_latency"`
+	// TraceEvents is the total number of trace events recorded (0 when
+	// tracing is disabled); filled in by the Service, which owns the
+	// recorder.
+	TraceEvents uint64 `json:"trace_events"`
 }
 
 func snapshotHistogram(h *histogram) HistogramSnapshot {
@@ -272,6 +326,7 @@ func snapshotHistogram(h *histogram) HistogramSnapshot {
 	}
 	return HistogramSnapshot{
 		Count:   h.count,
+		SumMS:   h.sum * 1000,
 		MeanMS:  mean * 1000,
 		P50MS:   h.quantile(0.50) * 1000,
 		P90MS:   h.quantile(0.90) * 1000,
@@ -308,6 +363,16 @@ func (m *Metrics) snapshot() Snapshot {
 		},
 		RunLatency: make(map[Problem]HistogramSnapshot, len(m.latency)),
 		E2ELatency: make(map[Problem]HistogramSnapshot, len(m.e2e)),
+		HTTP: HTTPCounters{
+			Requests: map[string]int64{
+				"1xx": m.httpByClass[1],
+				"2xx": m.httpByClass[2],
+				"3xx": m.httpByClass[3],
+				"4xx": m.httpByClass[4],
+				"5xx": m.httpByClass[5],
+			},
+			Latency: snapshotHistogram(m.httpLatency),
+		},
 	}
 	for p, h := range m.latency {
 		s.RunLatency[p] = snapshotHistogram(h)

@@ -1,10 +1,16 @@
 package service
 
 import (
+	"context"
+	"io"
 	"math"
+	"net/http"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
+	greedy "repro"
 	"repro/internal/dynamic"
 )
 
@@ -147,5 +153,357 @@ func TestMetricsAdaptiveExecutedCounter(t *testing.T) {
 	}
 	if s.Jobs.Failed != 1 || s.Jobs.Cancelled != 1 {
 		t.Errorf("failed/cancelled = %d/%d, want 1/1", s.Jobs.Failed, s.Jobs.Cancelled)
+	}
+}
+
+// TestHistogramSnapshotAccessors: the sum/count accessors the
+// Prometheus path depends on — SumSeconds converts the snapshot's
+// millisecond sum back to seconds, CumulativeBuckets accumulates the
+// per-bucket counts in le order and ends at Count — including the
+// zero-observation histogram, whose exposition must still be valid.
+func TestHistogramSnapshotAccessors(t *testing.T) {
+	h := newHistogram()
+	obs := []float64{0.0005, 0.002, 4}
+	var want float64
+	for _, v := range obs {
+		h.observe(v)
+		want += v
+	}
+	snap := snapshotHistogram(h)
+	if got := snap.SumSeconds(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SumSeconds = %g, want %g", got, want)
+	}
+	cum := snap.CumulativeBuckets()
+	if len(cum) != len(snap.Buckets) {
+		t.Fatalf("cumulative length %d != bucket length %d", len(cum), len(snap.Buckets))
+	}
+	if cum[len(cum)-1] != snap.Count {
+		t.Errorf("final cumulative bucket %d != count %d", cum[len(cum)-1], snap.Count)
+	}
+	var run int64
+	for i, c := range cum {
+		if c < run {
+			t.Errorf("cumulative bucket %d decreases: %d < %d", i, c, run)
+		}
+		if diff := c - run; diff != snap.Buckets[i] {
+			t.Errorf("bucket %d: cumulative diff %d != raw count %d", i, diff, snap.Buckets[i])
+		}
+		run = c
+	}
+
+	empty := snapshotHistogram(newHistogram())
+	if empty.SumSeconds() != 0 {
+		t.Errorf("empty SumSeconds = %g", empty.SumSeconds())
+	}
+	ecum := empty.CumulativeBuckets()
+	if ecum[len(ecum)-1] != 0 {
+		t.Errorf("empty final cumulative bucket = %d", ecum[len(ecum)-1])
+	}
+}
+
+// TestPromWriterDuplicateFamilyPanics: declaring a family twice is a
+// programming error the writer refuses to serialize — real collectors
+// reject duplicate family names, so the bug must not reach a scrape.
+func TestPromWriterDuplicateFamilyPanics(t *testing.T) {
+	p := &promWriter{w: io.Discard, declared: make(map[string]bool)}
+	p.counter("x_total", "a counter.", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate family declaration did not panic")
+		}
+	}()
+	p.counter("x_total", "a counter.", 2)
+}
+
+// TestPrometheusZeroObservationHistogram: a scrape of a fresh service
+// must still expose every always-present histogram family with a full,
+// valid zero exposition (all buckets 0, sum 0, count 0) and declare
+// the per-problem families with no series — never omit the metadata.
+func TestPrometheusZeroObservationHistogram(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	// The middleware records the scrape itself only after the handler
+	// returned, so the first-ever scrape sees zero observations.
+	for _, want := range []string{
+		"greedyd_http_request_seconds_count 0\n",
+		"greedyd_http_request_seconds_sum 0\n",
+		`greedyd_http_request_seconds_bucket{le="+Inf"} 0` + "\n",
+		"# TYPE greedyd_job_run_seconds histogram\n",
+		"# TYPE greedyd_job_e2e_seconds histogram\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("zero-observation exposition missing %q", strings.TrimSpace(want))
+		}
+	}
+	// No jobs ran: the per-problem families must have headers but no
+	// samples.
+	if strings.Contains(body, "greedyd_job_run_seconds_bucket") {
+		t.Error("job_run_seconds has series despite zero executed jobs")
+	}
+}
+
+// TestPrometheusExposition scrapes GET /metrics after real traffic and
+// validates the text format line by line: every family declares HELP
+// then TYPE exactly once, every sample sits inside its family's block,
+// histogram buckets are cumulative with le="+Inf" equal to _count, and
+// the counters reflect the traffic that was just generated.
+func TestPrometheusExposition(t *testing.T) {
+	srv, c := newTestServer(t, Config{Workers: 1, TraceRoundSample: 1})
+	ctx := context.Background()
+
+	info, err := c.Generate(ctx, GenSpec{Generator: "random", N: 1000, M: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Submit(ctx, JobRequest{GraphID: info.ID, Problem: "mis", Plan: greedy.ResolvePlan(greedy.WithSeed(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := c.Wait(ctx, sub.ID, time.Millisecond); err != nil || st.State != StateDone {
+		t.Fatalf("wait: state=%v err=%v", st.State, err)
+	}
+	// One deliberate 404 so the 4xx class is non-zero.
+	if resp, err := http.Get(srv.URL + "/v1/jobs/jmissing"); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("expected 404, got %d", resp.StatusCode)
+		}
+	} else {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != promContentType {
+		t.Errorf("content type %q, want %q", ct, promContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if !strings.HasSuffix(body, "\n") {
+		t.Fatal("exposition does not end with a newline")
+	}
+
+	type hseries struct {
+		cum      []int64
+		infSeen  bool
+		inf      int64
+		sum      float64
+		sumSeen  bool
+		count    int64
+		cntSeen  bool
+		lastBond float64
+	}
+	helpSeen := make(map[string]bool)
+	typeSeen := make(map[string]string)
+	hists := make(map[string]map[string]*hseries) // family -> label key -> series
+	values := make(map[string]float64)            // "name{labels}" -> value of last sample
+	cur, curType := "", ""
+
+	labelKeyOf := func(labels string) (string, string, bool) {
+		// Split off a trailing le label (the writer renders it last).
+		if labels == "" {
+			return "", "", false
+		}
+		i := strings.LastIndex(labels, `le="`)
+		if i < 0 {
+			return labels, "", false
+		}
+		le := strings.TrimSuffix(labels[i+len(`le="`):], `"`)
+		key := strings.TrimSuffix(labels[:i], ",")
+		return key, le, true
+	}
+
+	for n, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		lineNo := n + 1
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) != 2 || fields[1] == "" {
+				t.Fatalf("line %d: HELP without text: %q", lineNo, line)
+			}
+			name := fields[0]
+			if helpSeen[name] {
+				t.Fatalf("line %d: duplicate HELP for family %s", lineNo, name)
+			}
+			helpSeen[name] = true
+			cur, curType = name, ""
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			if name != cur {
+				t.Fatalf("line %d: TYPE %s not immediately after its HELP (current family %s)", lineNo, name, cur)
+			}
+			if _, dup := typeSeen[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for family %s", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", lineNo, typ)
+			}
+			typeSeen[name] = typ
+			curType = typ
+		case line == "" || strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected line %q", lineNo, line)
+		default:
+			if curType == "" {
+				t.Fatalf("line %d: sample before any TYPE declaration: %q", lineNo, line)
+			}
+			name, labels := line, ""
+			rest := ""
+			if i := strings.IndexByte(line, '{'); i >= 0 {
+				j := strings.LastIndexByte(line, '}')
+				if j < i {
+					t.Fatalf("line %d: malformed labels: %q", lineNo, line)
+				}
+				name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+			} else {
+				fields := strings.Fields(line)
+				if len(fields) != 2 {
+					t.Fatalf("line %d: malformed sample: %q", lineNo, line)
+				}
+				name, rest = fields[0], fields[1]
+			}
+			val, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", lineNo, rest, err)
+			}
+			values[name+"{"+labels+"}"] = val
+
+			base := name
+			if curType == "histogram" {
+				for _, suf := range []string{"_bucket", "_sum", "_count"} {
+					if strings.TrimSuffix(name, suf) == cur {
+						base = cur
+						break
+					}
+				}
+			}
+			if base != cur {
+				t.Fatalf("line %d: sample %s outside its family block (current family %s)", lineNo, name, cur)
+			}
+			if curType != "histogram" {
+				continue
+			}
+			key, le, isBucket := labelKeyOf(labels)
+			if hists[cur] == nil {
+				hists[cur] = make(map[string]*hseries)
+			}
+			hs := hists[cur][key]
+			if hs == nil {
+				hs = &hseries{lastBond: math.Inf(-1)}
+				hists[cur][key] = hs
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if !isBucket {
+					t.Fatalf("line %d: bucket sample without le label: %q", lineNo, line)
+				}
+				if le == "+Inf" {
+					hs.infSeen, hs.inf = true, int64(val)
+					break
+				}
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("line %d: bad le %q: %v", lineNo, le, err)
+				}
+				if bound <= hs.lastBond {
+					t.Fatalf("line %d: le bounds not increasing (%g after %g)", lineNo, bound, hs.lastBond)
+				}
+				hs.lastBond = bound
+				hs.cum = append(hs.cum, int64(val))
+			case strings.HasSuffix(name, "_sum"):
+				hs.sum, hs.sumSeen = val, true
+			case strings.HasSuffix(name, "_count"):
+				hs.count, hs.cntSeen = int64(val), true
+			}
+		}
+	}
+
+	// Every family declared both HELP and TYPE.
+	for name := range helpSeen {
+		if _, ok := typeSeen[name]; !ok {
+			t.Errorf("family %s has HELP but no TYPE", name)
+		}
+	}
+	for name := range typeSeen {
+		if !helpSeen[name] {
+			t.Errorf("family %s has TYPE but no HELP", name)
+		}
+	}
+
+	// The families the dashboards depend on are present.
+	for _, want := range []string{
+		"greedyd_jobs_submitted_total", "greedyd_jobs_executed_total",
+		"greedyd_jobs_queued", "greedyd_registry_graphs",
+		"greedyd_trace_events_total", "greedyd_goroutines",
+		"greedyd_http_requests_total", "greedyd_http_request_seconds",
+		"greedyd_job_run_seconds", "greedyd_job_e2e_seconds",
+	} {
+		if _, ok := typeSeen[want]; !ok {
+			t.Errorf("family %s missing from exposition", want)
+		}
+	}
+
+	// Histogram invariants: cumulative buckets, +Inf present and equal
+	// to _count, sum and count emitted for every series.
+	for fam, series := range hists {
+		for key, hs := range series {
+			var prev int64
+			for i, c := range hs.cum {
+				if c < prev {
+					t.Errorf("%s{%s}: bucket %d not cumulative (%d < %d)", fam, key, i, c, prev)
+				}
+				prev = c
+			}
+			if !hs.infSeen || !hs.sumSeen || !hs.cntSeen {
+				t.Fatalf("%s{%s}: incomplete histogram (inf=%v sum=%v count=%v)", fam, key, hs.infSeen, hs.sumSeen, hs.cntSeen)
+			}
+			if hs.inf != hs.count {
+				t.Errorf("%s{%s}: le=+Inf bucket %d != count %d", fam, key, hs.inf, hs.count)
+			}
+			if len(hs.cum) > 0 && hs.cum[len(hs.cum)-1] > hs.inf {
+				t.Errorf("%s{%s}: last finite bucket %d exceeds +Inf %d", fam, key, hs.cum[len(hs.cum)-1], hs.inf)
+			}
+			if hs.count > 0 && hs.sum <= 0 {
+				t.Errorf("%s{%s}: %d observations but sum %g", fam, key, hs.count, hs.sum)
+			}
+		}
+	}
+
+	// The traffic just generated is visible.
+	if v := values["greedyd_jobs_executed_total{}"]; v < 1 {
+		t.Errorf("jobs_executed_total = %g, want >= 1", v)
+	}
+	if v := values[`greedyd_http_requests_total{class="2xx"}`]; v < 2 {
+		t.Errorf("2xx requests = %g, want >= 2", v)
+	}
+	if v := values[`greedyd_http_requests_total{class="4xx"}`]; v < 1 {
+		t.Errorf("4xx requests = %g, want >= 1", v)
+	}
+	if v := values["greedyd_trace_events_total{}"]; v < 1 {
+		t.Errorf("trace_events_total = %g, want >= 1", v)
+	}
+	if mis, ok := hists["greedyd_job_run_seconds"][`problem="mis"`]; !ok || mis.count < 1 {
+		t.Errorf("job_run_seconds{problem=\"mis\"} missing or empty")
 	}
 }

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// statusWriter records the status code and body bytes a handler wrote
+// so the middleware can report them in metrics, traces, and the access
+// log without changing handler code.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Unwrap lets http.ResponseController reach the wrapped writer's
+// optional interfaces (Flusher etc.) through this decorator.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument wraps the API mux with the observability middleware:
+// every request is counted into the by-status-class HTTP counters,
+// timed into the request-latency histogram, recorded as a KindHTTP
+// trace event, and access-logged. Successful requests log at Debug
+// (poll- and scrape-heavy clients would drown Info), client errors at
+// Warn, server errors at Error.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			// Handler wrote nothing: net/http sends an implicit 200.
+			sw.status = http.StatusOK
+		}
+		d := time.Since(start)
+		s.metrics.httpRequest(sw.status, d)
+		s.trace.Append(trace.Event{
+			Kind:   trace.KindHTTP,
+			Name:   r.Method + " " + r.URL.Path,
+			DurMS:  float64(d) / float64(time.Millisecond),
+			Status: sw.status,
+			Bytes:  sw.bytes,
+		})
+		logf := s.log.Debug
+		switch {
+		case sw.status >= 500:
+			logf = s.log.Error
+		case sw.status >= 400:
+			logf = s.log.Warn
+		}
+		logf("http request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(d)/float64(time.Millisecond))
+	})
+}

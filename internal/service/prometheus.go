@@ -1,0 +1,187 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// This file renders the service's metrics snapshot in the Prometheus
+// text exposition format (version 0.0.4) for GET /metrics. It reuses
+// the same Snapshot that backs the JSON view at /v1/metrics — one
+// source of truth, two wire forms — and owns only the formatting:
+// every family is emitted exactly once with its HELP/TYPE header, the
+// histograms are converted from the snapshot's per-bucket counts to
+// the cumulative buckets + _sum + _count Prometheus requires, and
+// label values are sorted so scrapes are byte-deterministic for a
+// fixed snapshot.
+
+// promContentType is the exposition-format content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promWriter accumulates exposition lines. Families must be declared
+// before samples; declaring one twice panics, which the exposition
+// test would surface — duplicate family names are a scrape error in
+// real collectors.
+type promWriter struct {
+	w        io.Writer
+	err      error
+	declared map[string]bool
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	if p.declared[name] {
+		panic("prometheus family declared twice: " + name)
+	}
+	p.declared[name] = true
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample emits one sample line; labels is the pre-rendered interior of
+// the label braces ("" for none).
+func (p *promWriter) sample(name, labels string, value string) {
+	if labels == "" {
+		p.printf("%s %s\n", name, value)
+		return
+	}
+	p.printf("%s{%s} %s\n", name, labels, value)
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func promInt(v int64) string     { return strconv.FormatInt(v, 10) }
+
+// counter declares and emits a single unlabeled counter.
+func (p *promWriter) counter(name, help string, v int64) {
+	p.family(name, help, "counter")
+	p.sample(name, "", promInt(v))
+}
+
+// gauge declares and emits a single unlabeled gauge.
+func (p *promWriter) gauge(name, help string, v float64) {
+	p.family(name, help, "gauge")
+	p.sample(name, "", promFloat(v))
+}
+
+// histogram declares one histogram family and emits one series per
+// (labels, snapshot) pair: cumulative le buckets ending at +Inf (which
+// by construction equals _count), then _sum and _count.
+func (p *promWriter) histogram(name, help string, series []promSeries) {
+	p.family(name, help, "histogram")
+	for _, s := range series {
+		cum := s.h.CumulativeBuckets()
+		for i, b := range s.h.Bounds {
+			le := promFloat(b / 1000) // snapshot bounds are milliseconds
+			p.sample(name+"_bucket", joinLabels(s.labels, `le="`+le+`"`), promInt(cum[i]))
+		}
+		inf := int64(0)
+		if len(cum) > 0 {
+			inf = cum[len(cum)-1]
+		}
+		p.sample(name+"_bucket", joinLabels(s.labels, `le="+Inf"`), promInt(inf))
+		p.sample(name+"_sum", s.labels, promFloat(s.h.SumSeconds()))
+		p.sample(name+"_count", s.labels, promInt(s.h.Count))
+	}
+}
+
+type promSeries struct {
+	labels string // rendered label-brace interior, "" for none
+	h      HistogramSnapshot
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// problemSeries renders a problem-labeled histogram map in sorted
+// problem order.
+func problemSeries(m map[Problem]HistogramSnapshot) []promSeries {
+	problems := make([]string, 0, len(m))
+	for p := range m {
+		problems = append(problems, string(p))
+	}
+	sort.Strings(problems)
+	out := make([]promSeries, 0, len(problems))
+	for _, p := range problems {
+		out = append(out, promSeries{labels: `problem="` + p + `"`, h: m[Problem(p)]})
+	}
+	return out
+}
+
+// WritePrometheus renders snap in the Prometheus text exposition
+// format. Exported for the exposition tests and embedders that mount
+// the service under their own telemetry endpoint.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	p := &promWriter{w: w, declared: make(map[string]bool)}
+
+	// Job lifecycle counters.
+	p.counter("greedyd_jobs_submitted_total", "Job submissions accepted (dedup hits included).", snap.Jobs.Submitted)
+	p.counter("greedyd_jobs_dedup_hits_total", "Submissions absorbed by an existing job with the same idempotency key.", snap.Jobs.DedupHits)
+	p.counter("greedyd_jobs_executed_total", "Jobs that ran to successful completion.", snap.Jobs.Executed)
+	p.counter("greedyd_jobs_adaptive_executed_total", "Executed jobs that ran the adaptive prefix schedule.", snap.Jobs.AdaptiveExecuted)
+	p.counter("greedyd_jobs_repaired_total", "Executed dynamic jobs answered by incremental session repair.", snap.Jobs.Repaired)
+	p.counter("greedyd_repair_visited_total", "Frontier items re-decided across all repaired jobs.", snap.Jobs.RepairVisited)
+	p.counter("greedyd_repair_flipped_total", "Membership flips propagated across all repaired jobs.", snap.Jobs.RepairFlipped)
+	p.counter("greedyd_jobs_failed_total", "Jobs that ended in failure.", snap.Jobs.Failed)
+	p.counter("greedyd_jobs_cancelled_total", "Jobs cancelled while queued or running.", snap.Jobs.Cancelled)
+	p.counter("greedyd_jobs_expired_total", "Finished jobs reaped after the result TTL.", snap.Jobs.Expired)
+
+	// Resident job-state gauges.
+	p.gauge("greedyd_jobs_queued", "Jobs currently queued.", float64(snap.Jobs.Queued))
+	p.gauge("greedyd_jobs_running", "Jobs currently running.", float64(snap.Jobs.Running))
+	p.gauge("greedyd_jobs_done_resident", "Done jobs retained in the result store.", float64(snap.Jobs.Done))
+	p.gauge("greedyd_jobs_failed_resident", "Failed jobs retained in the result store.", float64(snap.Jobs.FailedNow))
+	p.gauge("greedyd_jobs_cancelled_resident", "Cancelled jobs retained in the result store.", float64(snap.Jobs.CancelledNow))
+
+	// Registry.
+	p.gauge("greedyd_registry_graphs", "Graphs resident in the registry.", float64(snap.Registry.Graphs))
+	p.gauge("greedyd_registry_pinned", "Resident graphs pinned by in-flight work.", float64(snap.Registry.Pinned))
+	p.gauge("greedyd_registry_bytes_resident", "Bytes of resident graph storage.", float64(snap.Registry.BytesResident))
+	p.gauge("greedyd_registry_byte_budget", "Registry byte budget (0 = unlimited).", float64(snap.Registry.ByteBudget))
+	p.counter("greedyd_registry_hits_total", "Registry lookups that found a resident graph.", snap.Registry.Hits)
+	p.counter("greedyd_registry_misses_total", "Registry lookups of unknown graph ids.", snap.Registry.Misses)
+	p.counter("greedyd_registry_evictions_total", "Graphs evicted by the byte-budget LRU.", snap.Registry.Evictions)
+	p.counter("greedyd_registry_patches_total", "Graph versions derived via PATCH.", snap.Registry.Patches)
+
+	// Go runtime.
+	p.gauge("greedyd_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", float64(snap.Runtime.HeapAllocBytes))
+	p.counter("greedyd_alloc_bytes_total", "Cumulative bytes allocated (runtime.MemStats.TotalAlloc).", int64(snap.Runtime.TotalAllocBytes))
+	p.counter("greedyd_mallocs_total", "Cumulative heap objects allocated.", int64(snap.Runtime.Mallocs))
+	p.counter("greedyd_gc_cycles_total", "Completed GC cycles.", int64(snap.Runtime.NumGC))
+	p.gauge("greedyd_goroutines", "Live goroutines.", float64(snap.Runtime.Goroutines))
+
+	// Trace recorder.
+	p.counter("greedyd_trace_events_total", "Trace events recorded (0 when tracing is disabled).", int64(snap.TraceEvents))
+
+	// HTTP serving.
+	p.family("greedyd_http_requests_total", "HTTP requests served, by status class.", "counter")
+	for _, class := range []string{"1xx", "2xx", "3xx", "4xx", "5xx"} {
+		p.sample("greedyd_http_requests_total", `class="`+class+`"`, promInt(snap.HTTP.Requests[class]))
+	}
+	p.histogram("greedyd_http_request_seconds", "HTTP request service time.", []promSeries{{h: snap.HTTP.Latency}})
+
+	// Per-problem job latency histograms.
+	p.histogram("greedyd_job_run_seconds", "Job execution (run) time of successful jobs, by problem.", problemSeries(snap.RunLatency))
+	p.histogram("greedyd_job_e2e_seconds", "Submission-to-completion time of successful jobs, by problem.", problemSeries(snap.E2ELatency))
+
+	return p.err
+}
+
+// handlePromMetrics serves GET /metrics: the Prometheus text view of
+// the same snapshot /v1/metrics serves as JSON.
+func (s *Service) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	w.Header().Set("Content-Type", promContentType)
+	_ = WritePrometheus(w, snap)
+}

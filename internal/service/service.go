@@ -15,11 +15,14 @@ package service
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // Config configures a Service.
@@ -45,6 +48,19 @@ type Config struct {
 	// DynamicSessions bounds the engine's cached dynamic sessions; 0
 	// means 8, negative disables session reuse.
 	DynamicSessions int
+	// TraceCapacity sizes the trace ring buffer (events retained); 0
+	// means 16384, negative disables tracing entirely (the trace
+	// endpoints answer 404 and no events are recorded).
+	TraceCapacity int
+	// TraceRoundSample records every Nth round of a running job as a
+	// trace event; 0 disables the round stream (job lifecycle spans and
+	// repair events are still recorded). Sampling keeps the per-round
+	// hot path allocation-free: the observer does one modulo test.
+	TraceRoundSample int
+	// Logger receives structured access and job-lifecycle logs; nil
+	// discards them (the default for embedded/test use — greedyd
+	// installs a real handler).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -66,29 +82,41 @@ func (c Config) withDefaults() Config {
 	if c.MaxPatchUpdates <= 0 {
 		c.MaxPatchUpdates = 1 << 20
 	}
+	if c.TraceCapacity == 0 {
+		c.TraceCapacity = 1 << 14
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
-// Service ties the registry, job engine and metrics together.
+// Service ties the registry, job engine, metrics, trace recorder and
+// logger together.
 type Service struct {
 	cfg      Config
 	metrics  *Metrics
 	registry *Registry
 	engine   *Engine
+	trace    *trace.Recorder // nil when tracing is disabled
+	log      *slog.Logger
 }
 
 // New starts a service.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
+	rec := trace.NewRecorder(cfg.TraceCapacity, cfg.TraceRoundSample)
 	reg := NewRegistry(cfg.CacheBytes, m)
 	eng := NewEngine(reg, m, EngineConfig{
 		Workers:         cfg.Workers,
 		QueueDepth:      cfg.QueueDepth,
 		ResultTTL:       cfg.ResultTTL,
 		DynamicSessions: cfg.DynamicSessions,
+		Trace:           rec,
+		Logger:          cfg.Logger,
 	})
-	return &Service{cfg: cfg, metrics: m, registry: reg, engine: eng}
+	return &Service{cfg: cfg, metrics: m, registry: reg, engine: eng, trace: rec, log: cfg.Logger}
 }
 
 // Registry exposes the graph registry (used by tests and embedders).
@@ -96,6 +124,9 @@ func (s *Service) Registry() *Registry { return s.registry }
 
 // Engine exposes the job engine (used by tests and embedders).
 func (s *Service) Engine() *Engine { return s.engine }
+
+// Trace exposes the trace recorder (nil when tracing is disabled).
+func (s *Service) Trace() *trace.Recorder { return s.trace }
 
 // Close stops the worker pool and janitor.
 func (s *Service) Close() { s.engine.Close() }
@@ -122,6 +153,7 @@ func (s *Service) Snapshot() Snapshot {
 	reg.Evictions = snap.Registry.Evictions
 	reg.Patches = snap.Registry.Patches
 	snap.Registry = reg
+	snap.TraceEvents = s.trace.Total()
 	return snap
 }
 

@@ -1,0 +1,268 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	greedy "repro"
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// kindsOf projects a trace onto its event kinds, in recorded order.
+func kindsOf(events []trace.Event) []trace.Kind {
+	out := make([]trace.Kind, len(events))
+	for i, ev := range events {
+		out[i] = ev.Kind
+	}
+	return out
+}
+
+func indexOfKind(events []trace.Event, k trace.Kind) int {
+	for i, ev := range events {
+		if ev.Kind == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestJobTraceLifecycle: a static job's trace carries the full span
+// sequence — submit, checkout, queue, run, done — in lifecycle order,
+// plus sampled round events when round sampling is on.
+func TestJobTraceLifecycle(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, TraceRoundSample: 1})
+	ctx := context.Background()
+
+	info, err := c.Generate(ctx, GenSpec{Generator: "random", N: 2000, M: 8000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Submit(ctx, JobRequest{GraphID: info.ID, Problem: "mis", Plan: greedy.ResolvePlan(greedy.WithSeed(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := c.Wait(ctx, sub.ID, time.Millisecond); err != nil || st.State != StateDone {
+		t.Fatalf("wait: state=%v err=%v", st.State, err)
+	}
+
+	tr, err := c.JobTrace(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.JobID != sub.ID {
+		t.Fatalf("trace job id %q, want %q", tr.JobID, sub.ID)
+	}
+	for _, ev := range tr.Events {
+		if ev.Job != sub.ID {
+			t.Fatalf("event for job %q in trace of %q: %+v", ev.Job, sub.ID, ev)
+		}
+	}
+	// Lifecycle kinds present and ordered.
+	order := []trace.Kind{trace.KindSubmit, trace.KindCheckout, trace.KindQueue, trace.KindRun, trace.KindDone}
+	prev := -1
+	for _, k := range order {
+		i := indexOfKind(tr.Events, k)
+		if i < 0 {
+			t.Fatalf("trace missing %s event; kinds: %v", k, kindsOf(tr.Events))
+		}
+		if i < prev {
+			t.Fatalf("event %s out of lifecycle order; kinds: %v", k, kindsOf(tr.Events))
+		}
+		prev = i
+	}
+	if i := indexOfKind(tr.Events, trace.KindRound); i < 0 {
+		t.Fatalf("round sampling on but no round events; kinds: %v", kindsOf(tr.Events))
+	} else if tr.Events[i].Round < 1 || tr.Events[i].Attempted <= 0 {
+		t.Fatalf("implausible round event: %+v", tr.Events[i])
+	}
+	done := tr.Events[indexOfKind(tr.Events, trace.KindDone)]
+	if done.Name != string(StateDone) || done.DurMS < 0 {
+		t.Fatalf("bad done event: %+v", done)
+	}
+	// Seqs strictly increase (oldest first).
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].Seq <= tr.Events[i-1].Seq {
+			t.Fatalf("seq not increasing at %d: %+v", i, tr.Events[i])
+		}
+	}
+}
+
+// TestJobTraceDynamicRepair: the trace of a repaired dynamic job
+// carries a resolve event naming the replay path and per-batch repair
+// events whose visited/flipped counts sum to exactly the payload's
+// aggregated Repair stats — the acceptance criterion of the flight
+// recorder: what the API reports and what the trace recorded are the
+// same work.
+func TestJobTraceDynamicRepair(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	base, err := c.Generate(ctx, GenSpec{Generator: "random", N: 1000, M: 5000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynPlan := greedy.ResolvePlan(greedy.WithSeed(5), greedy.WithDynamic())
+
+	// Seed the session on the base version.
+	seed, err := c.Submit(ctx, JobRequest{GraphID: base.ID, Problem: "mis", Plan: dynPlan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, seed.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	seedTr, err := c.JobTrace(ctx, seed.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := indexOfKind(seedTr.Events, trace.KindResolve); i < 0 || seedTr.Events[i].Name != "scratch" {
+		t.Fatalf("seeding job resolve != scratch; kinds: %v", kindsOf(seedTr.Events))
+	}
+
+	// Derive a patched version and run a dynamic job on it: repaired.
+	// The registry is content-addressed, so regenerating the graph
+	// locally finds a real edge to delete and a non-edge to insert.
+	g := graph.Random(1000, 5000, 2)
+	nb := g.Neighbors(1)
+	if len(nb) == 0 {
+		t.Fatal("vertex 1 has no neighbors")
+	}
+	del := dynamic.Update{Op: dynamic.OpDel, U: 1, V: nb[0]}
+	ins := dynamic.Update{Op: dynamic.OpAdd, U: 3, V: 900}
+	for g.HasEdge(ins.U, ins.V) || ins.U == ins.V {
+		ins.V++
+	}
+	v2, err := c.Patch(ctx, base.ID, patchOf(del, ins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Submit(ctx, JobRequest{GraphID: v2.ID, Problem: "mis", Plan: dynPlan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := c.Wait(ctx, rep.ID, time.Millisecond); err != nil || st.State != StateDone {
+		t.Fatalf("wait: state=%v err=%v", st.State, err)
+	}
+	raw, done, err := c.Result(ctx, rep.ID)
+	if err != nil || !done {
+		t.Fatalf("result: done=%v err=%v", done, err)
+	}
+	var payload ResultPayload
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if !payload.Repaired || payload.Repair == nil {
+		t.Fatalf("job was not repaired: %+v", payload)
+	}
+
+	tr, err := c.JobTrace(ctx, rep.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := indexOfKind(tr.Events, trace.KindResolve)
+	if ri < 0 || tr.Events[ri].Name != "replay" {
+		t.Fatalf("repaired job resolve != replay; kinds: %v", kindsOf(tr.Events))
+	}
+	if tr.Events[ri].Batch != payload.RepairBatches {
+		t.Fatalf("resolve batches %d != payload %d", tr.Events[ri].Batch, payload.RepairBatches)
+	}
+	var visited, flipped, batches int
+	for _, ev := range tr.Events {
+		if ev.Kind != trace.KindRepair {
+			continue
+		}
+		batches++
+		visited += ev.Visited
+		flipped += ev.Flipped
+	}
+	if batches == 0 {
+		t.Fatalf("no repair events in repaired job's trace; kinds: %v", kindsOf(tr.Events))
+	}
+	if batches != payload.RepairBatches {
+		t.Fatalf("repair events %d != payload batches %d", batches, payload.RepairBatches)
+	}
+	if visited != payload.Repair.MIS.Visited || flipped != payload.Repair.MIS.Flipped {
+		t.Fatalf("trace repair work visited/flipped = %d/%d, payload says %d/%d",
+			visited, flipped, payload.Repair.MIS.Visited, payload.Repair.MIS.Flipped)
+	}
+}
+
+// TestTraceRecentAndLimits: /v1/trace/recent answers the newest events
+// across jobs and requests, honors ?limit, and rejects bad limits.
+func TestTraceRecentAndLimits(t *testing.T) {
+	srv, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	info, err := c.Generate(ctx, GenSpec{Generator: "random", N: 500, M: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Submit(ctx, JobRequest{GraphID: info.ID, Problem: "mm", Plan: greedy.ResolvePlan(greedy.WithSeed(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, sub.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	recent, err := c.TraceRecent(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recent.Events) == 0 || recent.Total == 0 {
+		t.Fatalf("recent trace empty: %+v", recent)
+	}
+	// HTTP request spans ride the same recorder.
+	if indexOfKind(recent.Events, trace.KindHTTP) < 0 {
+		t.Fatalf("no HTTP events in recent trace; kinds: %v", kindsOf(recent.Events))
+	}
+	limited, err := c.TraceRecent(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Events) != 3 {
+		t.Fatalf("limit=3 returned %d events", len(limited.Events))
+	}
+	// The limited view is the newest suffix.
+	if limited.Events[len(limited.Events)-1].Seq != recent.Events[len(recent.Events)-1].Seq &&
+		limited.Events[len(limited.Events)-1].Seq < recent.Events[len(recent.Events)-1].Seq {
+		t.Fatalf("limited view is not the newest suffix")
+	}
+	resp, err := http.Get(srv.URL + "/v1/trace/recent?limit=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit answered %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestTraceDisabledAndUnknownJob: negative TraceCapacity disables the
+// subsystem — both endpoints answer 404 — and with tracing on, a trace
+// request for an unknown job answers 404 rather than an empty trace.
+func TestTraceDisabledAndUnknownJob(t *testing.T) {
+	srvOff, cOff := newTestServer(t, Config{Workers: 1, TraceCapacity: -1})
+	ctx := context.Background()
+	if _, err := cOff.TraceRecent(ctx, 0); err == nil {
+		t.Fatal("trace/recent succeeded with tracing disabled")
+	}
+	resp, err := http.Get(srvOff.URL + "/v1/trace/recent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled trace endpoint answered %d, want 404", resp.StatusCode)
+	}
+
+	_, c := newTestServer(t, Config{Workers: 1})
+	if _, err := c.JobTrace(ctx, "jmissing"); err == nil {
+		t.Fatal("trace of unknown job succeeded")
+	}
+}

@@ -67,8 +67,18 @@ type RoundInfo struct {
 // (never concurrently); it must not block for long, or it becomes the
 // round loop's critical path. The observer is read-only: computing with
 // or without one yields bit-identical results.
+//
+// Observers compose: repeating the option — across NewSolver defaults
+// and per-call options — registers every function, and each round is
+// reported to all of them in registration order (defaults first). This
+// is what lets an embedding layer attach its own telemetry observer
+// without clobbering a user-supplied one.
 func WithRoundObserver(fn func(RoundInfo)) Option {
-	return func(c *config) { c.observer = fn }
+	return func(c *config) {
+		if fn != nil {
+			c.observers = append(c.observers, fn)
+		}
+	}
 }
 
 // Solver runs the paper's algorithms with a reusable Workspace: the
@@ -165,20 +175,26 @@ func (s *Solver) orderFor(c config, n int) (Order, error) {
 	return ord, nil
 }
 
-// observerFor adapts the facade observer to the internal round hook.
+// observerFor adapts the facade observers to the internal round hook,
+// fanning each round report out to every registered observer. With no
+// observers it returns nil, so the unobserved hot path stays exactly
+// the pre-observer code (and allocation-free).
 func observerFor(c config) func(core.RoundStat) {
-	if c.observer == nil {
+	if len(c.observers) == 0 {
 		return nil
 	}
-	fn := c.observer
+	obs := c.observers
 	return func(rs core.RoundStat) {
-		fn(RoundInfo{
+		ri := RoundInfo{
 			Round:           rs.Round,
 			PrefixSize:      rs.Prefix,
 			Attempted:       rs.Attempted,
 			Accepted:        rs.Resolved,
 			EdgeInspections: rs.Inspections,
-		})
+		}
+		for _, fn := range obs {
+			fn(ri)
+		}
 	}
 }
 

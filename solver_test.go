@@ -288,6 +288,49 @@ func TestSolverRoundObserverConsistency(t *testing.T) {
 	}
 }
 
+// TestSolverRoundObserverFanOut: WithRoundObserver composes — a
+// default observer on the Solver and a per-call observer both see
+// every round, in registration order (defaults first), with identical
+// payloads. This is the contract the service layer's trace recording
+// relies on: attaching telemetry must not clobber a user observer.
+func TestSolverRoundObserverFanOut(t *testing.T) {
+	g := greedy.RandomGraph(5_000, 25_000, 17)
+	ctx := context.Background()
+	var defaultSeen, callSeen []greedy.RoundInfo
+	var order []string
+	s := greedy.NewSolver(
+		greedy.WithPrefixFrac(0.05),
+		greedy.WithRoundObserver(func(ri greedy.RoundInfo) {
+			defaultSeen = append(defaultSeen, ri)
+			order = append(order, "default")
+		}),
+	)
+	res, err := s.MIS(ctx, g, greedy.WithRoundObserver(func(ri greedy.RoundInfo) {
+		callSeen = append(callSeen, ri)
+		order = append(order, "call")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(defaultSeen)) != res.Stats.Rounds || int64(len(callSeen)) != res.Stats.Rounds {
+		t.Fatalf("observers saw %d/%d rounds, stats say %d", len(defaultSeen), len(callSeen), res.Stats.Rounds)
+	}
+	for i := range defaultSeen {
+		if defaultSeen[i] != callSeen[i] {
+			t.Fatalf("round %d: observers disagree: %+v vs %+v", i+1, defaultSeen[i], callSeen[i])
+		}
+	}
+	for i := 0; i < len(order); i += 2 {
+		if order[i] != "default" || order[i+1] != "call" {
+			t.Fatalf("fan-out order at round %d: %v, want default before call", i/2+1, order[i:i+2])
+		}
+	}
+	// A nil observer is ignored rather than registered.
+	if _, err := s.MIS(ctx, g, greedy.WithRoundObserver(nil)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSolverDefaultsAndOverrides(t *testing.T) {
 	g := greedy.RandomGraph(2_000, 8_000, 19)
 	ctx := context.Background()
