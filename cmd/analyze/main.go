@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -23,42 +24,53 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: it parses args, writes the
+// report to stdout and problems to stderr, and returns the process exit
+// code (0 ok, 2 usage/load error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in       = flag.String("in", "", "input graph file (empty: use -gen)")
-		gen      = flag.String("gen", "random", "generator when no -in: random|rmat|grid|hypercube|ba|smallworld")
-		n        = flag.Int("n", 100_000, "generated vertex count")
-		m        = flag.Int("m", 500_000, "generated edge count")
-		seed     = flag.Uint64("seed", 42, "seed for generator and priorities")
-		orders   = flag.Bool("orders", false, "also analyze structured (non-random) orders")
-		prefixes = flag.Bool("prefixes", false, "also analyze prefix diagnostics (Lemmas 3.1/3.3/4.3)")
+		in       = fs.String("in", "", "input graph file (empty: use -gen)")
+		gen      = fs.String("gen", "random", "generator when no -in: random|rmat|grid|hypercube|ba|smallworld")
+		n        = fs.Int("n", 100_000, "generated vertex count")
+		m        = fs.Int("m", 500_000, "generated edge count")
+		seed     = fs.Uint64("seed", 42, "seed for generator and priorities")
+		orders   = fs.Bool("orders", false, "also analyze structured (non-random) orders")
+		prefixes = fs.Bool("prefixes", false, "also analyze prefix diagnostics (Lemmas 3.1/3.3/4.3)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	g, err := load(*in, *gen, *n, *m, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "analyze: %v\n", err)
+		return 2
 	}
 
-	fmt.Printf("graph: %s\n", graph.Stats(g))
+	fmt.Fprintf(stdout, "graph: %s\n", graph.Stats(g))
 	nn := g.NumVertices()
 	ord := core.NewRandomOrder(nn, *seed+1)
 	lg := math.Log2(float64(nn))
 
 	info := core.DependenceSteps(g, ord)
-	fmt.Printf("MIS (random order): dependence length=%d  longest path=%d  log2(n)^2=%.0f  |MIS|=%d\n",
+	fmt.Fprintf(stdout, "MIS (random order): dependence length=%d  longest path=%d  log2(n)^2=%.0f  |MIS|=%d\n",
 		info.Steps, core.LongestPath(g, ord), lg*lg, countTrue(info.InSet))
 
 	el := g.EdgeList()
 	if el.NumEdges() > 0 {
 		mmOrd := core.NewRandomOrder(el.NumEdges(), *seed+2)
 		mmInfo := matching.DependenceSteps(el, mmOrd)
-		fmt.Printf("MM  (random order): dependence length=%d  |MM|=%d\n",
+		fmt.Fprintf(stdout, "MM  (random order): dependence length=%d  |MM|=%d\n",
 			mmInfo.Steps, countTrue(mmInfo.InMatching))
 	}
 
 	if *orders {
-		fmt.Println("\nMIS dependence length by priority order:")
+		fmt.Fprintln(stdout, "\nMIS dependence length by priority order:")
 		for _, o := range []struct {
 			name string
 			ord  core.Order
@@ -70,17 +82,17 @@ func main() {
 			{"degree-asc", core.DegreeOrder(g, true)},
 			{"degree-desc", core.DegreeOrder(g, false)},
 		} {
-			fmt.Printf("  %-15s %d\n", o.name, core.DependenceSteps(g, o.ord).Steps)
+			fmt.Fprintf(stdout, "  %-15s %d\n", o.name, core.DependenceSteps(g, o.ord).Steps)
 		}
 	}
 
 	if *prefixes {
 		d := g.MaxDegree()
 		if d == 0 {
-			return
+			return 0
 		}
-		fmt.Println("\nprefix diagnostics (multiples of n/maxdeg):")
-		fmt.Printf("  %10s %12s %12s %14s %14s\n", "prefix", "longestPath", "maxRemDeg", "internalEdges", "vWithInternal")
+		fmt.Fprintln(stdout, "\nprefix diagnostics (multiples of n/maxdeg):")
+		fmt.Fprintf(stdout, "  %10s %12s %12s %14s %14s\n", "prefix", "longestPath", "maxRemDeg", "internalEdges", "vWithInternal")
 		for _, mult := range []float64{0.25, 0.5, 1, 2, 4, 8} {
 			p := int(mult * float64(nn) / float64(d))
 			if p < 1 {
@@ -90,13 +102,14 @@ func main() {
 				p = nn
 			}
 			edges, withInt := core.PrefixInternalEdges(g, ord, p)
-			fmt.Printf("  %10d %12d %12d %14d %14d\n",
+			fmt.Fprintf(stdout, "  %10d %12d %12d %14d %14d\n",
 				p,
 				core.PrefixLongestPath(g, ord, p),
 				core.MaxDegreeAfterPrefix(g, ord, p),
 				edges, withInt)
 		}
 	}
+	return 0
 }
 
 func countTrue(bs []bool) int {

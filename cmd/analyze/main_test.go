@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRunSmoke drives the full report (orders + prefixes) on a small
+// generated graph and checks each section appears.
+func TestRunSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-gen", "random", "-n", "500", "-m", "2000", "-seed", "9", "-orders", "-prefixes"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"graph: ",
+		"MIS (random order): dependence length=",
+		"MM  (random order): dependence length=",
+		"MIS dependence length by priority order:",
+		"degree-desc",
+		"prefix diagnostics",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q\n%s", want, out.String())
+		}
+	}
+	if errb.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", errb.String())
+	}
+}
+
+// TestRunDeterministic: same flags, same bytes — the report is part of
+// the repo's reproducibility surface.
+func TestRunDeterministic(t *testing.T) {
+	args := []string{"-gen", "ba", "-n", "300", "-seed", "4", "-orders"}
+	var a, b bytes.Buffer
+	if code := run(args, &a, &b); code != 0 {
+		t.Fatalf("first run exit %d: %s", code, b.String())
+	}
+	var c, d bytes.Buffer
+	if code := run(args, &c, &d); code != 0 {
+		t.Fatalf("second run exit %d: %s", code, d.String())
+	}
+	if a.String() != c.String() {
+		t.Fatalf("same flags produced different reports:\n--- a ---\n%s\n--- b ---\n%s", a.String(), c.String())
+	}
+}
+
+// TestRunFromFile round-trips through -in: write an adjacency file,
+// analyze it, and check the vertex count in the stats line.
+func TestRunFromFile(t *testing.T) {
+	g := graph.Grid2D(8, 8)
+	path := filepath.Join(t.TempDir(), "g.adj")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteAdjacency(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-in", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "n=64") {
+		t.Errorf("stats line does not mention n=64:\n%s", out.String())
+	}
+}
+
+// TestRunBadFlags: unknown generator and missing file are reported on
+// stderr with exit code 2, not a panic or a silent zero report.
+func TestRunBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-gen", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("unknown generator: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown generator") {
+		t.Errorf("stderr %q does not name the bad generator", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-in", filepath.Join(t.TempDir(), "missing.adj")}, &out, &errb); code != 2 {
+		t.Errorf("missing input file: exit %d, want 2", code)
+	}
+}

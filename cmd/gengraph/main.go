@@ -20,45 +20,51 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: it parses args, writes the
+// graph to stdout (or -o), stats and problems to stderr, and returns
+// the process exit code (0 ok, 1 write error, 2 usage/build error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gengraph", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kind   = flag.String("kind", "random", "random|rmat|grid|torus|complete|star|path|cycle|tree|bipartite|regular")
-		n      = flag.Int("n", 1_000_000, "vertex count (random, star, path, cycle, tree, complete, regular)")
-		m      = flag.Int("m", 5_000_000, "edge count (random, rmat, bipartite)")
-		logn   = flag.Int("logn", 20, "log2 vertex count (rmat)")
-		rows   = flag.Int("rows", 1000, "rows (grid, torus)")
-		cols   = flag.Int("cols", 1000, "cols (grid, torus)")
-		left   = flag.Int("left", 1000, "left part size (bipartite)")
-		right  = flag.Int("right", 1000, "right part size (bipartite)")
-		degree = flag.Int("degree", 8, "target degree (regular)")
-		seed   = flag.Uint64("seed", 42, "generator seed")
-		format = flag.String("format", "adjacency", "adjacency|edges|binary")
-		out    = flag.String("o", "-", "output file (- for stdout)")
-		stats  = flag.Bool("stats", false, "print graph statistics to stderr")
+		kind   = fs.String("kind", "random", "random|rmat|grid|torus|complete|star|path|cycle|tree|bipartite|regular")
+		n      = fs.Int("n", 1_000_000, "vertex count (random, star, path, cycle, tree, complete, regular)")
+		m      = fs.Int("m", 5_000_000, "edge count (random, rmat, bipartite)")
+		logn   = fs.Int("logn", 20, "log2 vertex count (rmat)")
+		rows   = fs.Int("rows", 1000, "rows (grid, torus)")
+		cols   = fs.Int("cols", 1000, "cols (grid, torus)")
+		left   = fs.Int("left", 1000, "left part size (bipartite)")
+		right  = fs.Int("right", 1000, "right part size (bipartite)")
+		degree = fs.Int("degree", 8, "target degree (regular)")
+		seed   = fs.Uint64("seed", 42, "generator seed")
+		format = fs.String("format", "adjacency", "adjacency|edges|binary")
+		out    = fs.String("o", "-", "output file (- for stdout)")
+		stats  = fs.Bool("stats", false, "print graph statistics to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	g, err := build(*kind, *n, *m, *logn, *rows, *cols, *left, *right, *degree, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "gengraph: %v\n", err)
+		return 2
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "%s\n", graph.Stats(g))
+		fmt.Fprintf(stderr, "%s\n", graph.Stats(g))
 	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
+	var f *os.File
 	if *out != "-" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "gengraph: %v\n", err)
+			return 1
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "gengraph: close: %v\n", err)
-				os.Exit(1)
-			}
-		}()
 		w = f
 	}
 	switch *format {
@@ -71,10 +77,16 @@ func main() {
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
-		os.Exit(1)
+	if f != nil {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("close: %w", cerr)
+		}
 	}
+	if err != nil {
+		fmt.Fprintf(stderr, "gengraph: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 func build(kind string, n, m, logn, rows, cols, left, right, degree int, seed uint64) (*graph.Graph, error) {

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRunFormatsRoundTrip generates a small graph in every output
+// format and parses each back, checking the graph survives.
+func TestRunFormatsRoundTrip(t *testing.T) {
+	for _, format := range []string{"adjacency", "edges", "binary"} {
+		t.Run(format, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := run([]string{"-kind", "random", "-n", "200", "-m", "600", "-seed", "11", "-format", format}, &out, &errb)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errb.String())
+			}
+			g, err := graph.ReadAuto(bytes.NewReader(out.Bytes()))
+			if err != nil {
+				t.Fatalf("parse %s output back: %v", format, err)
+			}
+			if g.NumVertices() != 200 {
+				t.Errorf("round-tripped n = %d, want 200", g.NumVertices())
+			}
+			if g.NumEdges() == 0 {
+				t.Error("round-tripped graph has no edges")
+			}
+		})
+	}
+}
+
+// TestRunDeterministic: same flags, same bytes — generated inputs must
+// be reproducible across runs and machines.
+func TestRunDeterministic(t *testing.T) {
+	args := []string{"-kind", "tree", "-n", "400", "-seed", "6"}
+	var a, b bytes.Buffer
+	if code := run(args, &a, &b); code != 0 {
+		t.Fatalf("first run exit %d: %s", code, b.String())
+	}
+	var c, d bytes.Buffer
+	if code := run(args, &c, &d); code != 0 {
+		t.Fatalf("second run exit %d: %s", code, d.String())
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("same flags produced different graph bytes")
+	}
+}
+
+// TestRunToFileWithStats writes to -o and checks the stats side channel
+// lands on stderr, not in the output file.
+func TestRunToFileWithStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.adj")
+	var out, errb bytes.Buffer
+	code := run([]string{"-kind", "grid", "-rows", "6", "-cols", "7", "-stats", "-o", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty with -o: %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "n=42") {
+		t.Errorf("stats line missing from stderr: %q", errb.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadAuto(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 42 {
+		t.Errorf("file graph n = %d, want 42", g.NumVertices())
+	}
+}
+
+// TestRunBadFlags: unknown kind and unknown format exit with the
+// documented codes.
+func TestRunBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kind", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("unknown kind: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown kind") {
+		t.Errorf("stderr %q does not name the bad kind", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-kind", "path", "-n", "10", "-format", "nope"}, &out, &errb); code != 1 {
+		t.Errorf("unknown format: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,105 @@
+// Command greedylint runs the repo's determinism and concurrency
+// analyzers (internal/analysis) over the named packages — the
+// machine-checked form of the invariants every PR otherwise re-proves
+// by hand: no clock/env/map-order reads on result paths, no mixed
+// atomic/plain field access, cancellation reachable inside every round
+// loop, nil-guarded recorder methods with a lean critical section, and
+// race-free parallel loop bodies.
+//
+// Usage:
+//
+//	greedylint [-json] [-list] [packages...]
+//
+// Packages default to ./... . Exit status is 0 when no findings, 1 when
+// findings were reported, 2 on a load or usage error. When the
+// GITHUB_STEP_SUMMARY environment variable names a writable file (as it
+// does inside GitHub Actions), a Markdown summary of the findings is
+// appended to it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("greedylint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "greedylint: %v\n", err)
+		return 2
+	}
+	diags := analysis.RunAnalyzers(pkgs, analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "greedylint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	writeJobSummary(diags, len(pkgs))
+
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "greedylint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// writeJobSummary appends a Markdown findings table to the GitHub
+// Actions step summary file, when one is configured.
+func writeJobSummary(diags []analysis.Diagnostic, pkgCount int) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if len(diags) == 0 {
+		fmt.Fprintf(f, "### greedylint\n\nNo findings in %d packages. ✅\n", pkgCount)
+		return
+	}
+	fmt.Fprintf(f, "### greedylint\n\n%d finding(s) in %d packages:\n\n", len(diags), pkgCount)
+	fmt.Fprintf(f, "| Location | Analyzer | Finding |\n|---|---|---|\n")
+	for _, d := range diags {
+		fmt.Fprintf(f, "| `%s:%d` | %s | %s |\n", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+	}
+}

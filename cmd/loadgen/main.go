@@ -86,14 +86,14 @@ func main() {
 	// Fail fast with a non-zero exit when the server is unreachable,
 	// instead of spinning submit failures for the whole duration and
 	// printing an all-zero report.
-	if _, err := client.Metrics(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "loadgen: server unreachable at %s: %v\n", *addr, err)
+	if _, perr := client.Metrics(ctx); perr != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: server unreachable at %s: %v\n", *addr, perr)
 		os.Exit(1)
 	}
 
 	if *cancelDemo {
-		if err := runCancelDemo(ctx, client, *n, *m, *graphSeed, *poll); err != nil {
-			fmt.Fprintf(os.Stderr, "loadgen: cancel demo: %v\n", err)
+		if derr := runCancelDemo(ctx, client, *n, *m, *graphSeed, *poll); derr != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: cancel demo: %v\n", derr)
 			os.Exit(1)
 		}
 		return
@@ -109,8 +109,8 @@ func main() {
 	}
 	mix := strings.Split(*problems, ",")
 	for _, p := range mix {
-		if _, err := service.ParseProblem(strings.TrimSpace(p)); err != nil {
-			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		if _, perr := service.ParseProblem(strings.TrimSpace(p)); perr != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", perr)
 			os.Exit(2)
 		}
 	}
@@ -197,13 +197,13 @@ func main() {
 				problem := strings.TrimSpace(mix[rng.Intn(len(mix))])
 				seed := uint64(rng.Intn(*jobSeeds))
 				start := time.Now()
-				resp, err := client.Submit(ctx, service.JobRequest{
+				resp, serr := client.Submit(ctx, service.JobRequest{
 					GraphID: latestID.Load().(string),
 					Problem: problem,
 					Plan: greedy.Plan{Algorithm: algo, Seed: seed, PrefixFrac: *prefixFrac,
 						AdaptivePrefix: *adaptive, Dynamic: *churn},
 				})
-				if err != nil {
+				if serr != nil {
 					mu.Lock()
 					failures++
 					mu.Unlock()
@@ -214,8 +214,8 @@ func main() {
 				}
 				st := resp.JobStatus
 				if st.State != service.StateDone && st.State != service.StateFailed {
-					st, err = client.Wait(ctx, st.ID, *poll)
-					if err != nil {
+					st, serr = client.Wait(ctx, st.ID, *poll)
+					if serr != nil {
 						mu.Lock()
 						failures++
 						mu.Unlock()
@@ -488,8 +488,8 @@ func runCancelDemo(ctx context.Context, client *service.Client, n, m int, seed u
 		st.Progress.Rounds, st.Progress.Attempted, st.Progress.Resolved, st.Progress.EdgeInspections)
 
 	cancelAt := time.Now()
-	if _, err := client.Cancel(ctx, sub.ID); err != nil {
-		return fmt.Errorf("DELETE: %w", err)
+	if _, cerr := client.Cancel(ctx, sub.ID); cerr != nil {
+		return fmt.Errorf("DELETE: %w", cerr)
 	}
 	final, err := client.Wait(ctx, sub.ID, poll)
 	if err != nil {

@@ -1,0 +1,147 @@
+// Package analysistest runs an analyzer over fixture packages and
+// compares its findings against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the repo's
+// stdlib-only driver.
+//
+// Fixture layout: internal/analysis/testdata/src/<analyzer>/<pkg>/...
+// Each fixture file marks expected findings with a trailing comment on
+// the offending line:
+//
+//	bad := time.Now() // want `time\.Now`
+//
+// The backquoted text is a regular expression matched against the
+// diagnostic message. Every diagnostic must be matched by a want and
+// every want must be matched by a diagnostic, on the exact line.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// Run loads every package directory under root (recursively; any
+// directory containing .go files), runs the analyzer, and checks the
+// findings against the fixtures' want comments.
+func Run(t *testing.T, root string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	dirs := fixtureDirs(t, root)
+	if len(dirs) == 0 {
+		t.Fatalf("no fixture packages under %s", root)
+	}
+	// go list wildcard patterns never match testdata directories, so
+	// each fixture package is named explicitly.
+	pkgs, err := analysis.Load(".", dirs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" -> expectations
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ent := range ents {
+			if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, ent.Name())
+			af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cg := range af.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", path, m[1], err)
+						}
+						pos := fset.Position(c.Pos())
+						key := posKey(pos.Filename, pos.Line)
+						wants[key] = append(wants[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := posKey(d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected finding matching %q, got none", key, w.re)
+			}
+		}
+	}
+	return diags
+}
+
+// fixtureDirs returns every directory under root containing .go files,
+// as ./-prefixed relative paths suitable for go list.
+func fixtureDirs(t *testing.T, root string) []string {
+	t.Helper()
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, "./"+filepath.ToSlash(path))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+func posKey(file string, line int) string {
+	// Fixture files are compared by absolute path as the loader reports
+	// them; normalize to absolute so want positions match.
+	abs, err := filepath.Abs(file)
+	if err != nil {
+		abs = file
+	}
+	return fmt.Sprintf("%s:%d", abs, line)
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicmix catches torn-access races on struct fields: once any site
+// in a package accesses a field through sync/atomic (a pointer-based
+// atomic.LoadInt32(&s.f) / atomic.AddInt64(&s.f, ...) call), every
+// other access to that field must be atomic too — a plain load can
+// observe a torn or stale value, and a plain store can be lost, and the
+// race detector only catches the interleavings that actually happen in
+// a given run. Fields of the typed atomic kinds (atomic.Int64,
+// atomic.Uint32, ...) are checked for the analogous mistake: copying
+// the value out with a plain read of the field instead of calling its
+// methods.
+//
+// Initialization and reset paths that run strictly before the field is
+// shared (constructors, Workspace.Reset) may use plain stores — those
+// functions carry //lint:allow atomicmix <reason> in their doc comment,
+// which exempts the whole function.
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "forbid mixing sync/atomic and plain access to the same struct field",
+	Run:  runAtomicmix,
+}
+
+// typedAtomicNames are the sync/atomic value types whose fields must
+// only be touched through their methods.
+var typedAtomicNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Pointer": true,
+	"Uint32": true, "Uint64": true, "Uintptr": true, "Value": true,
+}
+
+func runAtomicmix(pass *Pass) {
+	info := pass.TypesInfo
+
+	// fieldOf resolves a selector expression to the struct field it
+	// names, or nil.
+	fieldOf := func(sel *ast.SelectorExpr) *types.Var {
+		v, ok := info.Uses[sel.Sel].(*types.Var)
+		if ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+
+	// Pass A: find every field reached through a pointer-based
+	// sync/atomic call, and remember those selector nodes so pass B can
+	// skip them.
+	atomicFields := map[*types.Var]bool{}
+	atomicUses := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldOf(sel); fld != nil {
+					atomicFields[fld] = true
+					atomicUses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// isTypedAtomicField reports whether fld's type is one of the
+	// sync/atomic value types.
+	isTypedAtomicField := func(fld *types.Var) bool {
+		named, ok := fld.Type().(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && typedAtomicNames[obj.Name()]
+	}
+
+	// Pass B: every remaining access to an atomic field is a finding.
+	for _, f := range pass.Files {
+		walk(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld := fieldOf(sel)
+			if fld == nil {
+				return true
+			}
+			if atomicFields[fld] && !atomicUses[sel] {
+				pass.Reportf(sel.Pos(), "plain %s of field %s, which is accessed with sync/atomic elsewhere in this package: mixed access tears — use the atomic op, or annotate the enclosing pre-publication init/Reset with //lint:allow atomicmix <reason>", accessKind(sel, stack), fld.Name())
+				return true
+			}
+			if isTypedAtomicField(fld) && !usedAsMethodReceiver(sel, stack) {
+				pass.Reportf(sel.Pos(), "field %s has type sync/atomic.%s but is used as a plain value here: call its methods (Load/Store/Add/...) instead of copying or assigning it", fld.Name(), fld.Type().(*types.Named).Obj().Name())
+			}
+			return true
+		})
+	}
+}
+
+// accessKind classifies a selector access as read or write from its
+// immediate context.
+func accessKind(sel *ast.SelectorExpr, stack []ast.Node) string {
+	if len(stack) == 0 {
+		return "read"
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if ast.Unparen(lhs) == sel {
+				return "write"
+			}
+		}
+	case *ast.IncDecStmt:
+		if ast.Unparen(parent.X) == sel {
+			return "write"
+		}
+	case *ast.UnaryExpr:
+		if parent.Op == token.AND {
+			return "address-of"
+		}
+	}
+	return "read"
+}
+
+// usedAsMethodReceiver reports whether sel is immediately the receiver
+// of a method selection (x.field.Load()) or has its address taken for
+// one (&x.field used as a receiver happens implicitly, so a bare & is
+// accepted too — taking the address is not a data access).
+func usedAsMethodReceiver(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		return parent.X == sel
+	case *ast.UnaryExpr:
+		return parent.Op == token.AND
+	}
+	return false
+}

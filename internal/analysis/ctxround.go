@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxround enforces the "cancellation lands within one round" contract:
+// in the algorithm packages, any function that accepts a
+// context.Context and contains a loop must consult the context inside
+// at least one loop body — a ctx.Err() / ctx.Done() check, or passing
+// the context to a callee that is invoked every iteration. A round loop
+// that takes a context but never looks at it inside the loop can only
+// observe cancellation before the loop starts, which silently regresses
+// the bounded-cancellation guarantee the service layer's DELETE
+// /v1/jobs handler relies on (a cancelled running job must stop within
+// one round of its algorithm).
+//
+// Loops inside function literals are not counted as the function's own
+// loops: the literals passed to parallel.ForRange are the intra-round
+// work, and the contract is per-round, not per-item (hot inner loops
+// deliberately never see the context).
+var Ctxround = &Analyzer{
+	Name:  "ctxround",
+	Doc:   "context-taking round loops must reach a cancellation check inside the loop body",
+	Scope: scopeByBase("core", "matching", "spanning", "dynamic"),
+	Run:   runCtxround,
+}
+
+func runCtxround(pass *Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(info, fd)
+			if len(ctxParams) == 0 {
+				continue
+			}
+			loops := topLevelLoops(fd.Body)
+			if len(loops) == 0 {
+				continue
+			}
+			checked := false
+			for _, loop := range loops {
+				if usesAny(info, loopBody(loop), ctxParams) {
+					checked = true
+					break
+				}
+			}
+			if !checked {
+				pass.Reportf(fd.Name.Pos(), "%s takes a context.Context and loops, but no loop body consults the context: cancellation cannot land within one round — check ctx.Err() (or pass ctx to a per-iteration callee) inside the loop", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// contextParams returns the objects of fd's parameters whose type is
+// context.Context.
+func contextParams(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			tn := named.Obj()
+			if tn.Pkg() != nil && tn.Pkg().Path() == "context" && tn.Name() == "Context" {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// topLevelLoops collects the for/range statements of body that are not
+// nested inside a function literal.
+func topLevelLoops(body *ast.BlockStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	walk(body, func(n ast.Node, _ []ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n.(ast.Stmt))
+		}
+		return true
+	})
+	return loops
+}
+
+func loopBody(loop ast.Stmt) *ast.BlockStmt {
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// usesAny reports whether any identifier under n resolves to one of the
+// given objects.
+func usesAny(info *types.Info, n ast.Node, objs []types.Object) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		use := info.Uses[id]
+		for _, obj := range objs {
+			if use == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

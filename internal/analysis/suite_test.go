@@ -1,0 +1,127 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// The per-analyzer fixture tests: each runs one analyzer over its
+// testdata tree and checks findings against the `// want` comments —
+// positives must fire, negatives must stay silent, and the //lint:allow
+// escape hatch must suppress (the fixtures contain annotated sites with
+// no want).
+
+func TestNodeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/src/nodeterminism", analysis.Nodeterminism)
+}
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, "testdata/src/atomicmix", analysis.Atomicmix)
+}
+
+func TestCtxround(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ctxround", analysis.Ctxround)
+}
+
+func TestNilguard(t *testing.T) {
+	analysistest.Run(t, "testdata/src/nilguard", analysis.Nilguard)
+}
+
+func TestForrangealias(t *testing.T) {
+	analysistest.Run(t, "testdata/src/forrangealias", analysis.Forrangealias)
+}
+
+// TestAnalyzersFire is the seeded-violation self-test: every analyzer
+// must produce at least one finding on its seeded fixture. A broken
+// analyzer (one that silently stops matching anything) cannot pass —
+// even if its fixture's want comments were accidentally emptied, this
+// count check still fails.
+func TestAnalyzersFire(t *testing.T) {
+	fixtures := map[string]string{
+		"nodeterminism": "testdata/src/nodeterminism",
+		"atomicmix":     "testdata/src/atomicmix",
+		"ctxround":      "testdata/src/ctxround",
+		"nilguard":      "testdata/src/nilguard",
+		"forrangealias": "testdata/src/forrangealias",
+	}
+	all := analysis.All()
+	if len(all) != len(fixtures) {
+		t.Fatalf("suite has %d analyzers but %d seeded fixtures: add a fixture for every analyzer", len(all), len(fixtures))
+	}
+	for _, a := range all {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dir, ok := fixtures[a.Name]
+			if !ok {
+				t.Fatalf("no seeded fixture for analyzer %q", a.Name)
+			}
+			diags := analysistest.Run(t, dir, a)
+			fired := 0
+			for _, d := range diags {
+				if d.Analyzer == a.Name {
+					fired++
+				}
+			}
+			if fired == 0 {
+				t.Fatalf("analyzer %q produced no findings on its seeded-violation fixture: the analyzer is broken, not the tree clean", a.Name)
+			}
+		})
+	}
+}
+
+// TestAllowAudit checks the directive audit: a reasonless //lint:allow
+// and one naming an unknown analyzer are both reported, as
+// unsuppressible allowaudit findings.
+func TestAllowAudit(t *testing.T) {
+	pkgs, err := analysis.Load(".", "./testdata/src/allowaudit/pkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.RunAnalyzers(pkgs, analysis.All())
+	var reasonless, unknown bool
+	for _, d := range diags {
+		if d.Analyzer != "allowaudit" {
+			t.Errorf("unexpected non-audit finding: %s", d)
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "no reason string"):
+			reasonless = true
+		case strings.Contains(d.Message, "unknown analyzer"):
+			unknown = true
+		default:
+			t.Errorf("unexpected audit finding: %s", d)
+		}
+	}
+	if !reasonless {
+		t.Error("reasonless //lint:allow was not reported")
+	}
+	if !unknown {
+		t.Error("unknown-analyzer //lint:allow was not reported")
+	}
+}
+
+// TestSuiteNames pins the analyzer names: they are the vocabulary of
+// //lint:allow directives across the tree, so a rename is a breaking
+// change to every annotation.
+func TestSuiteNames(t *testing.T) {
+	want := []string{"nodeterminism", "atomicmix", "ctxround", "nilguard", "forrangealias"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}

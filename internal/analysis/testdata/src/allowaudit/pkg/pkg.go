@@ -1,0 +1,10 @@
+// Package pkg is an allow-audit fixture: directives without a reason
+// string or naming an unknown analyzer must be reported, and must not
+// suppress anything.
+package pkg
+
+//lint:allow atomicmix
+var reasonless int
+
+//lint:allow frobnicator this analyzer does not exist
+var unknown int

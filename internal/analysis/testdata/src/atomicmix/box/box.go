@@ -1,0 +1,59 @@
+// Package box is an atomicmix fixture: fields touched through
+// sync/atomic anywhere in the package must be touched that way
+// everywhere, and typed atomics must only be used through their
+// methods.
+package box
+
+import "sync/atomic"
+
+// Counter mixes access styles on purpose.
+type Counter struct {
+	hits   int64
+	misses int64
+	cold   int64
+	typed  atomic.Int64
+}
+
+// Hit is the atomic writer that makes hits an atomic field.
+func (c *Counter) Hit() { atomic.AddInt64(&c.hits, 1) }
+
+// Hits reads the atomic field without the atomic op.
+func (c *Counter) Hits() int64 { return c.hits } // want `plain read of field hits`
+
+// HitsOK is the correct read.
+func (c *Counter) HitsOK() int64 { return atomic.LoadInt64(&c.hits) }
+
+// Set stores the atomic field without the atomic op.
+func (c *Counter) Set(v int64) { c.hits = v } // want `plain write of field hits`
+
+// Bump mixes an increment in.
+func (c *Counter) Bump() { c.hits++ } // want `plain write of field hits`
+
+// Miss uses atomics for misses too.
+func (c *Counter) Miss() { atomic.AddInt64(&c.misses, 1) }
+
+// Reset reinitializes the counter before it is shared.
+//
+//lint:allow atomicmix pre-publication reset: no goroutine holds the counter while Reset runs
+func (c *Counter) Reset() {
+	c.hits = 0
+	c.misses = 0
+}
+
+// Cold is never accessed atomically, so plain access is fine.
+func (c *Counter) Cold() int64 { return c.cold }
+
+// SetCold likewise.
+func (c *Counter) SetCold(v int64) { c.cold = v }
+
+// TypedOK drives the typed atomic through its methods.
+func (c *Counter) TypedOK() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// TypedCopy copies the typed atomic out as a plain value.
+func (c *Counter) TypedCopy() int64 {
+	snapshot := c.typed // want `plain value`
+	return snapshot.Load()
+}

@@ -1,0 +1,89 @@
+// Package core is a ctxround fixture: its import-path base matches an
+// algorithm package, so context-taking functions with loops must
+// consult the context inside a loop body.
+package core
+
+import "context"
+
+// GoodDirect checks ctx.Err() every round.
+func GoodDirect(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GoodDone selects on Done inside the loop.
+func GoodDone(ctx context.Context, work chan int) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case w := <-work:
+			if w < 0 {
+				return nil
+			}
+		}
+	}
+}
+
+// GoodDelegated passes ctx to a per-iteration callee.
+func GoodDelegated(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := step(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BadPreflightOnly checks before the loop, never inside it.
+func BadPreflightOnly(ctx context.Context, n int) error { // want `no loop body consults the context`
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	_ = total
+	return nil
+}
+
+// BadRange ranges without ever consulting ctx.
+func BadRange(ctx context.Context, xs []int) error { // want `no loop body consults the context`
+	_ = ctx
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	_ = s
+	return nil
+}
+
+// NoLoops takes ctx but has nothing to cancel mid-flight: fine.
+func NoLoops(ctx context.Context) error { return ctx.Err() }
+
+// LiteralLoopsOnly loops only inside a function literal — the
+// intra-round work — so the per-round contract does not apply to it.
+func LiteralLoopsOnly(ctx context.Context, xs []int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sum := func() int {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	_ = sum()
+	return nil
+}
+
+func step(ctx context.Context, i int) error {
+	_ = i
+	return ctx.Err()
+}

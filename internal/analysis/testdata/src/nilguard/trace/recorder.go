@@ -1,0 +1,106 @@
+// Package trace is a nilguard fixture: exported pointer-receiver
+// methods must begin with a nil-receiver guard, and nothing blocking or
+// allocating may run while the recorder mutex is held.
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Recorder is a nil-is-disabled flight recorder stand-in.
+type Recorder struct {
+	mu  sync.Mutex
+	buf []int
+	n   int
+}
+
+// Enabled guards via a first-statement return expression.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Push guards with the canonical first-statement if.
+func (r *Recorder) Push(v int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf = append(r.buf, v)
+	r.mu.Unlock()
+}
+
+// Unguarded forgets the guard entirely.
+func (r *Recorder) Unguarded(v int) { // want `nil-receiver guard`
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = append(r.buf, v)
+}
+
+// LateGuard guards too late: the first statement already dereferences.
+func (r *Recorder) LateGuard() int { // want `nil-receiver guard`
+	n := r.n
+	if r == nil {
+		return 0
+	}
+	return n
+}
+
+// CompoundGuard guards inside a compound condition: accepted.
+func (r *Recorder) CompoundGuard() int {
+	if r == nil || r.n == 0 {
+		return 0
+	}
+	return r.n
+}
+
+// Dump formats while holding the mutex.
+func (r *Recorder) Dump() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fmt.Sprintf("%v", r.buf) // want `holding the recorder mutex`
+}
+
+// DumpAfter formats after releasing: fine.
+func (r *Recorder) DumpAfter() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	cp := make([]int, len(r.buf))
+	copy(cp, r.buf)
+	r.mu.Unlock()
+	return fmt.Sprint(cp)
+}
+
+// Notify sends on a channel under the lock.
+func (r *Recorder) Notify(ch chan int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch <- r.n // want `channel send`
+}
+
+// Append is the hot path: allocation under the lock is flagged there.
+func (r *Recorder) Append(v int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.buf == nil {
+		r.buf = make([]int, 0, 8) // want `hot Append path`
+	}
+	r.buf = append(r.buf, v)
+	r.mu.Unlock()
+}
+
+// value-receiver and unexported methods are out of scope.
+type view struct{ n int }
+
+// Len has a value receiver: a nil pointer cannot reach it.
+func (v view) Len() int { return v.n }
+
+func (r *Recorder) internal() int { return r.n }

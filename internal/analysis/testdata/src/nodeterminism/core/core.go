@@ -1,0 +1,63 @@
+// Package core is a nodeterminism fixture: its import-path base matches
+// a result-affecting package, so clock/env/RNG/map-order/GOMAXPROCS
+// reads must be flagged.
+package core
+
+import (
+	"math/rand" // want `import of math/rand`
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Seed derives a priority seed — from all the wrong places.
+func Seed() int64 {
+	s := time.Now().UnixNano() // want `time\.Now`
+	if os.Getenv("SEED") != "" { // want `os\.Getenv`
+		s++
+	}
+	s += int64(rand.Intn(100))
+	return s
+}
+
+// Elapsed measures inside a result path.
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `time\.Since`
+}
+
+// Window sizes a round window from the machine.
+func Window() int {
+	w := runtime.GOMAXPROCS(0) // want `reads GOMAXPROCS`
+	w += parallel.Procs()      // want `reads GOMAXPROCS`
+	return w
+}
+
+// GrowCap is the annotated escape hatch: the cap bounds growth and is
+// argued machine-independent, so the directive suppresses the finding.
+func GrowCap(n int) int {
+	c := parallel.Procs() * 256 //lint:allow nodeterminism growth cap only bounds the window; result argued machine-independent
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// Serialize feeds map iteration order into an output slice.
+func Serialize(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `range over map`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SliceRange iterates a slice: fine.
+func SliceRange(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -352,10 +352,10 @@ func runChurnProblem(problem string, g *graph.Graph, sizes []int, batches, reps 
 		for b := 0; b < batches; b++ {
 			batch := cm.Draw(size)
 			start := time.Now()
-			st, err := mt.Apply(ctx, batch)
+			st, aerr := mt.Apply(ctx, batch)
 			ms := float64(time.Since(start).Microseconds()) / 1000.0
-			if err != nil {
-				panic(fmt.Sprintf("bench: churn apply: %v", err))
+			if aerr != nil {
+				panic(fmt.Sprintf("bench: churn apply: %v", aerr))
 			}
 			cm.Commit(batch)
 			totalMS += ms

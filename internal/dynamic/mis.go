@@ -51,6 +51,8 @@ type misState struct {
 // library's prefix round loop and captures its status vector. Repair
 // scratch is pre-sized to the vertex universe so the first Apply pays
 // no universe-sized allocation.
+//
+//lint:allow ctxround ctx is consumed by PrefixMISCtx (checked every round); the remaining loop is one bounded O(n) status conversion, cheaper than a single solver round
 func newMISState(ctx context.Context, g *graph.Graph, ord core.Order, engine Engine, grain int) (*misState, core.Stats, error) {
 	res, err := core.PrefixMISCtx(ctx, g, ord, core.Options{Grain: grain})
 	if err != nil {

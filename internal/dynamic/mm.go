@@ -64,6 +64,8 @@ type mmState struct {
 // prefix round loop under the churn-stable edge order and converts it
 // into slot form. Repair scratch is pre-sized to the edge universe so
 // the first Apply pays no universe-sized allocation.
+//
+//lint:allow ctxround ctx is consumed by PrefixMMCtx (checked every round); the remaining loops are bounded O(m) slot/incidence conversions, cheaper than a single solver round
 func newMMState(ctx context.Context, g *graph.Graph, seed uint64, engine Engine, grain int) (*mmState, core.Stats, error) {
 	el := g.EdgeList()
 	m := el.NumEdges()

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
@@ -505,5 +506,65 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 	if mis, ok := hists["greedyd_job_run_seconds"][`problem="mis"`]; !ok || mis.count < 1 {
 		t.Errorf("job_run_seconds{problem=\"mis\"} missing or empty")
+	}
+}
+
+// TestPrometheusScrapeDeterministic pins the exposition's byte-level
+// determinism: the family order is fixed and per-problem series are
+// emitted sorted, so serializing the SAME snapshot repeatedly must
+// produce byte-identical output. (Two live scrapes legitimately differ
+// — the middleware counts the scrape itself — so the property is
+// snapshot-to-bytes, which is what a diff-based alerting pipeline or a
+// golden-file test downstream would rely on.)
+func TestPrometheusScrapeDeterministic(t *testing.T) {
+	svc := New(Config{Workers: 1, TraceRoundSample: 1})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	c := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+
+	// Traffic over two problems so the sorted per-problem series paths
+	// (run/e2e latency families) carry multiple label values.
+	info, err := c.Generate(ctx, GenSpec{Generator: "random", N: 500, M: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prob := range []string{"mis", "mm"} {
+		sub, err := c.Submit(ctx, JobRequest{GraphID: info.ID, Problem: prob, Plan: greedy.ResolvePlan(greedy.WithSeed(2))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err := c.Wait(ctx, sub.ID, time.Millisecond); err != nil || st.State != StateDone {
+			t.Fatalf("%s: wait: state=%v err=%v", prob, st.State, err)
+		}
+	}
+	// One live scrape exercises the HTTP handler path end to end.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	snap := svc.Snapshot()
+	var first []byte
+	for i := 0; i < 5; i++ {
+		var buf strings.Builder
+		if err := WritePrometheus(&buf, snap); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		if i == 0 {
+			first = []byte(buf.String())
+			if len(first) == 0 {
+				t.Fatal("empty exposition")
+			}
+			continue
+		}
+		if buf.String() != string(first) {
+			t.Fatalf("scrape %d differs from scrape 0 over the same snapshot:\n--- first ---\n%s\n--- scrape %d ---\n%s", i, first, i, buf.String())
+		}
 	}
 }
