@@ -1,6 +1,8 @@
-// Command loadgen drives closed-loop mixed MIS/MM/SF traffic against a
-// running greedyd and reports throughput, latency percentiles, and the
-// server's allocation cost per executed job. Each worker repeatedly
+// Command loadgen drives closed-loop mixed traffic (any of the five
+// problems: mis, mm, sf, coloring, hittingset — see -problems) against
+// a running greedyd and reports overall and per-problem throughput,
+// latency percentiles, and the server's allocation cost per executed
+// job. Each worker repeatedly
 // submits a job for a random (problem, seed) pair drawn from a bounded
 // pool — so a configurable fraction of traffic hits the daemon's
 // idempotency cache, as deterministic traffic would in production —
@@ -120,16 +122,18 @@ func main() {
 		os.Exit(2)
 	}
 	if *churn {
-		// Dynamic plans exist for MIS and MM only; drop sf from the mix
-		// rather than submitting jobs the daemon must reject.
+		// Dynamic plans exist for MIS and MM only; drop the other
+		// problems from the mix rather than submitting jobs the daemon
+		// must reject.
 		kept := mix[:0]
 		for _, p := range mix {
-			if strings.TrimSpace(p) != "sf" {
+			switch strings.TrimSpace(p) {
+			case "mis", "mm":
 				kept = append(kept, p)
 			}
 		}
 		if len(kept) < len(mix) {
-			fmt.Fprintln(os.Stderr, "loadgen: -churn drops sf from the problem mix (no dynamic spanning forest)")
+			fmt.Fprintln(os.Stderr, "loadgen: -churn keeps only mis/mm in the problem mix (dynamic plans exist for those alone)")
 		}
 		mix = kept
 		if len(mix) == 0 {
@@ -320,6 +324,10 @@ func main() {
 		byProblem[s.problem] = append(byProblem[s.problem], s.latency)
 		all = append(all, s.latency)
 	}
+	// Each line reports a problem's own completion rate alongside its
+	// latency percentiles: the mix is drawn uniformly at random, so a
+	// problem whose rate lags its share of the mix is the one holding
+	// workers (and the overall jobs/s) back.
 	printLine := func(name string, lats []time.Duration) {
 		if len(lats) == 0 {
 			return
@@ -329,8 +337,9 @@ func main() {
 			i := int(p * float64(len(lats)-1))
 			return lats[i]
 		}
-		fmt.Printf("loadgen: %-5s n=%-6d p50=%-10v p90=%-10v p99=%-10v p999=%-10v max=%v\n",
-			name, len(lats), q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+		fmt.Printf("loadgen: %-10s n=%-6d %6.1f jobs/s p50=%-10v p90=%-10v p99=%-10v p999=%-10v max=%v\n",
+			name, len(lats), float64(len(lats))/elapsed.Seconds(),
+			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 			q(0.99).Round(time.Microsecond), q(0.999).Round(time.Microsecond),
 			lats[len(lats)-1].Round(time.Microsecond))
 	}

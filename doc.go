@@ -21,6 +21,21 @@
 //	res, err := solver.MIS(ctx, g)                    // cancellable
 //	mm, err := solver.MM(ctx, g.EdgeList())
 //	sf, err := solver.SF(ctx, g.EdgeList())
+//	col, err := solver.Coloring(ctx, g)               // first-fit greedy coloring
+//	hs, err := solver.HittingSet(ctx, greedy.HittingSystemFromEdges(g.EdgeList()))
+//
+// All five problems run on one shared speculative-prefix engine
+// (internal/engine): per round the earliest unresolved iterates are
+// checked against earlier-priority state and the winners committed, so
+// every problem inherits the same determinism (sequential-greedy
+// results at any thread count), window schedules (fixed or adaptive),
+// cancellation and observer semantics. Coloring computes the first-fit
+// greedy coloring in priority order; HittingSet computes the greedy
+// hitting set of an arbitrary set system (NewSystem), with
+// HittingSystemFromEdges providing the classic greedy-vertex-cover
+// instance. WeightedOrder builds descending-weight priority orders
+// (seeded tiebreak), turning any of the five into its weighted-greedy
+// variant.
 //
 // A Solver owns a reusable Workspace: the per-run arrays (frontier,
 // status flags, reservations, priority orders) are allocated once,
@@ -57,7 +72,9 @@
 //
 // The wrappers preserve the historical panic-on-misuse behavior; the
 // Solver methods return those conditions as errors (ErrLubyMatching,
-// ErrOrderSize, ErrSpanningAlgorithm).
+// ErrOrderSize, ErrSpanningAlgorithm, ErrColoringAlgorithm,
+// ErrHittingSetAlgorithm). GreedyColoring and GreedyHittingSet are the
+// one-shot wrappers for the two newest problems.
 //
 // # Dynamic graphs
 //
@@ -89,8 +106,11 @@
 // round-trips through JSON with canonical algorithm names — the wire
 // form the service layer uses for job submission and deduplication.
 //
-// The internal packages hold the substance: internal/core (MIS,
-// priority-DAG analyzers), internal/matching (MM), internal/spanning,
+// The internal packages hold the substance: internal/engine (the one
+// speculative check/commit round loop all problems share),
+// internal/core (MIS, priority-DAG analyzers), internal/matching (MM),
+// internal/spanning, internal/coloring (first-fit greedy coloring),
+// internal/setcover (greedy hitting set over dual-CSR set systems),
 // internal/reservations (the deterministic-reservations framework),
 // internal/dynamic (incremental MIS/MM maintenance under edge churn),
 // internal/graph (CSR graphs, generators, I/O), internal/parallel

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/coloring"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/setcover"
 	"repro/internal/spanning"
 )
 
@@ -29,6 +31,13 @@ type (
 	MMResult = matching.Result
 	// SFResult is the outcome of a spanning forest run.
 	SFResult = spanning.Result
+	// ColoringResult is the outcome of a greedy coloring run.
+	ColoringResult = coloring.Result
+	// HittingSetResult is the outcome of a greedy hitting set run.
+	HittingSetResult = setcover.Result
+	// System is an immutable set system (universe of elements, family of
+	// sets) for the hitting set problem.
+	System = setcover.System
 	// Stats holds the machine-independent cost counters (rounds,
 	// attempts, edge inspections) the paper plots.
 	Stats = core.Stats
@@ -53,6 +62,28 @@ func RMatGraph(logN, m int, seed uint64) *Graph {
 // NewRandomOrder returns a uniformly random priority order on n items,
 // deterministic in (n, seed).
 func NewRandomOrder(n int, seed uint64) Order { return core.NewRandomOrder(n, seed) }
+
+// WeightedOrder returns the priority order that ranks items by
+// descending weight, with seed-hashed tiebreaks (see
+// core.WeightedOrder). Combined with WithOrder, it turns any of the
+// deterministic algorithms into its weighted-greedy variant —
+// highest-weight-first MIS, matching, coloring or hitting set — with
+// the usual bit-identical determinism at any thread count.
+func WeightedOrder(weights []float64, seed uint64) Order {
+	return core.WeightedOrder(weights, seed)
+}
+
+// NewSystem builds a set system over numElements elements for the
+// hitting set problem; each set is a list of element ids in
+// [0, numElements).
+func NewSystem(numElements int, sets [][]int32) (*System, error) {
+	return setcover.FromSets(numElements, sets)
+}
+
+// HittingSystemFromEdges builds the vertex-cover system of an edge
+// list: one two-element set per edge, over the vertices as elements.
+// The greedy hitting set of this system is the greedy vertex cover.
+func HittingSystemFromEdges(el EdgeList) *System { return setcover.FromEdges(el) }
 
 // Algorithm selects an implementation strategy.
 type Algorithm int
@@ -333,6 +364,37 @@ func SpanningForestEdges(el EdgeList, opts ...Option) *SFResult {
 	return res
 }
 
+// GreedyColoring computes the first-fit greedy coloring of g: vertices
+// in priority order, each taking the smallest color absent among its
+// earlier neighbors — the lexicographically-first greedy coloring. Like
+// the other free functions it wraps a pooled Solver and panics on
+// configuration errors (an unsupported algorithm, mismatched
+// WithOrder).
+func GreedyColoring(g *Graph, opts ...Option) *ColoringResult {
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	res, err := s.Coloring(context.Background(), g, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// GreedyHittingSet computes the greedy hitting set of a set system:
+// elements in priority order, each joining exactly when some set
+// containing it is not yet hit. Like the other free functions it wraps
+// a pooled Solver and panics on configuration errors (an unsupported
+// algorithm, mismatched WithOrder).
+func GreedyHittingSet(sys *System, opts ...Option) *HittingSetResult {
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	res, err := s.HittingSet(context.Background(), sys, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 // Verifiers, re-exported for callers that want the paper's checks.
 
 // IsMaximalIndependentSet reports whether inSet is independent and
@@ -357,6 +419,17 @@ func VerifyLexFirstMIS(g *Graph, ord Order, result *MISResult) error {
 // matching under ord.
 func VerifyLexFirstMM(el EdgeList, ord Order, result *MMResult) error {
 	return matching.VerifyLexFirst(el, ord, result)
+}
+
+// VerifyColoring checks that colors is a proper coloring of g (every
+// vertex colored, no monochromatic edge).
+func VerifyColoring(g *Graph, colors []int32) error {
+	return coloring.Verify(g, colors)
+}
+
+// VerifyHittingSet checks that inSet hits every nonempty set of sys.
+func VerifyHittingSet(sys *System, inSet []bool) error {
+	return sys.Verify(inSet)
 }
 
 // DependenceLength returns the dependence length of (g, ord): the number

@@ -31,7 +31,8 @@ var Nodeterminism = &Analyzer{
 	Name: "nodeterminism",
 	Doc:  "forbid clock, env, global RNG, map-order and GOMAXPROCS reads in result-affecting packages",
 	Scope: scopeByBase(
-		"core", "matching", "spanning", "dynamic",
+		"core", "matching", "spanning", "dynamic", "engine",
+		"coloring", "setcover",
 		"graph", "rng", "unionfind", "reservations",
 	),
 	Run: runNodeterminism,

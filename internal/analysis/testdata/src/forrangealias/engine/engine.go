@@ -1,0 +1,63 @@
+// Package engine is a forrangealias fixture shaped like the shared
+// speculative engine's two-phase round: the check and commit closures
+// run over chunks of the active window concurrently, so captured
+// scalars written without an index or an atomic are races.
+package engine
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// CheckRace tallies inspections into a captured counter from the
+// concurrent check phase.
+func CheckRace(active, outcome []int32) int64 {
+	var inspected int64
+	parallel.ForRange(len(active), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			outcome[i] = active[i] % 2
+			inspected++ // want `increments captured variable inspected`
+		}
+	})
+	return inspected
+}
+
+// CheckAtomic drains per-chunk counts through an atomic: sanctioned.
+func CheckAtomic(active, outcome []int32) int64 {
+	var inspected int64
+	parallel.ForRange(len(active), 0, func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			outcome[i] = active[i] % 2
+			local++
+		}
+		atomic.AddInt64(&inspected, local)
+	})
+	return inspected
+}
+
+// CommitAlias smuggles the address of a captured scalar into the
+// commit phase.
+func CommitAlias(outcome []int32) {
+	var last int32
+	parallel.ForRange(len(outcome), 0, func(lo, hi int) {
+		p := &last // want `takes the address of captured variable last`
+		for i := lo; i < hi; i++ {
+			if outcome[i] != 0 {
+				*p = outcome[i]
+			}
+		}
+	})
+}
+
+// CommitDisjoint writes disjoint outcome slots: the engine's idiom.
+func CommitDisjoint(state, outcome []int32) {
+	parallel.ForRange(len(outcome), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if outcome[i] == 1 {
+				state[i] = 1
+			}
+		}
+	})
+}

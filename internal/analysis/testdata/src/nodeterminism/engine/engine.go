@@ -1,0 +1,54 @@
+// Package engine is a nodeterminism fixture shaped like the shared
+// speculative check/commit engine: its import-path base is in the
+// analyzer's scope, so a round loop that sizes its window from the
+// machine or brakes on the wall clock must be flagged.
+package engine
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// RunRound drives one speculative round — with every machine-dependent
+// input the real engine must never read.
+func RunRound(active []int32) int {
+	window := runtime.GOMAXPROCS(0) * 8 // want `reads GOMAXPROCS`
+	if window > len(active) {
+		window = len(active)
+	}
+	start := time.Now() // want `time\.Now`
+	committed := 0
+	for i := 0; i < window; i++ {
+		if active[i]%2 == 0 {
+			committed++
+		}
+	}
+	if time.Since(start) > time.Millisecond { // want `time\.Since`
+		window /= 2
+	}
+	return committed
+}
+
+// Slack derives the controller's slack from the worker count.
+func Slack() int {
+	return parallel.Procs() * 8 // want `reads GOMAXPROCS`
+}
+
+// SlackAllowed is the annotated escape hatch the real engine uses for
+// its growth cap: the directive suppresses the finding.
+func SlackAllowed(n int) int {
+	c := parallel.Procs() * 8 //lint:allow nodeterminism cap only bounds window growth; the schedule stays a function of per-round counters
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// Observers notifies per-problem observers in map order.
+func Observers(hooks map[string]func(int), round int) {
+	for _, h := range hooks { // want `range over map`
+		h(round)
+	}
+}

@@ -210,7 +210,7 @@ func RunMatrix(cfg MatrixConfig) MatrixReport {
 		g := sc.build()
 		el := g.EdgeList()
 		sr := ScenarioReport{Scenario: sc}
-		for _, problem := range []string{"mis", "mm", "sf"} {
+		for _, problem := range []string{"mis", "mm", "sf", "coloring", "hittingset"} {
 			sr.Problems = append(sr.Problems, runProblem(problem, g, el, fracs, reps))
 		}
 		report.Scenarios = append(report.Scenarios, sr)
@@ -223,21 +223,31 @@ func RunMatrix(cfg MatrixConfig) MatrixReport {
 func runProblem(problem string, g *graph.Graph, el graph.EdgeList, fracs []float64, reps int) ProblemReport {
 	pr := ProblemReport{Problem: problem}
 	solver := greedy.NewSolver()
+	// The hitting-set instance (greedy vertex cover: each edge a
+	// two-element set) is built once so system construction is not
+	// charged to the solve times.
+	var sys *greedy.System
+	if problem == "hittingset" {
+		sys = greedy.HittingSystemFromEdges(el)
+	}
+	run := func(seq *executed, opts ...greedy.Option) *executed {
+		return execute(problem, solver, g, el, sys, seq, opts...)
+	}
 
-	seq := execute(problem, solver, g, el, nil, greedy.WithAlgorithm(greedy.AlgoSequential))
+	seq := run(nil, greedy.WithAlgorithm(greedy.AlgoSequential))
 	seq.run.Config = "seq"
 	seq.run.TimeMS = medianMS(reps, func() {
-		execute(problem, solver, g, el, nil, greedy.WithAlgorithm(greedy.AlgoSequential))
+		run(nil, greedy.WithAlgorithm(greedy.AlgoSequential))
 	})
 	pr.Runs = append(pr.Runs, seq.run)
 
 	bestFixedTime := 0.0
 	bestFixedWork := int64(0)
 	for _, frac := range fracs {
-		r := execute(problem, solver, g, el, seq, greedy.WithPrefixFrac(frac))
+		r := run(seq, greedy.WithPrefixFrac(frac))
 		r.run.Config = fmt.Sprintf("frac=%g", frac)
 		r.run.TimeMS = medianMS(reps, func() {
-			execute(problem, solver, g, el, nil, greedy.WithPrefixFrac(frac))
+			run(nil, greedy.WithPrefixFrac(frac))
 		})
 		pr.Runs = append(pr.Runs, r.run)
 		if bestFixedTime == 0 || r.run.TimeMS < bestFixedTime {
@@ -248,11 +258,11 @@ func runProblem(problem string, g *graph.Graph, el graph.EdgeList, fracs []float
 		}
 	}
 
-	ad := execute(problem, solver, g, el, seq, greedy.WithAdaptivePrefix())
+	ad := run(seq, greedy.WithAdaptivePrefix())
 	ad.run.Config = "adaptive"
 	ad.run.Adaptive = true
 	ad.run.TimeMS = medianMS(reps, func() {
-		execute(problem, solver, g, el, nil, greedy.WithAdaptivePrefix())
+		run(nil, greedy.WithAdaptivePrefix())
 	})
 	pr.Runs = append(pr.Runs, ad.run)
 
@@ -272,12 +282,14 @@ type executed struct {
 	mis *greedy.MISResult
 	mm  *greedy.MMResult
 	sf  *greedy.SFResult
+	col *greedy.ColoringResult
+	hs  *greedy.HittingSetResult
 }
 
 // execute runs one configuration once, recording counters, the window
 // trajectory, and agreement with the sequential baseline seq (nil
 // skips comparison — the timing path). Wrong answers panic.
-func execute(problem string, solver *greedy.Solver, g *graph.Graph, el graph.EdgeList, seq *executed, opts ...greedy.Option) *executed {
+func execute(problem string, solver *greedy.Solver, g *graph.Graph, el graph.EdgeList, sys *greedy.System, seq *executed, opts ...greedy.Option) *executed {
 	out := &executed{run: RunReport{Matches: true}}
 	plan := greedy.ResolvePlan(opts...)
 	if plan.AdaptivePrefix && seq != nil {
@@ -334,6 +346,30 @@ func execute(problem string, solver *greedy.Solver, g *graph.Graph, el graph.Edg
 				panic("bench: spanning forest size differs from sequential (not a spanning forest?)")
 			}
 		}
+	case "coloring":
+		res, err := solver.Coloring(ctx, g, opts...)
+		if err != nil {
+			panic(fmt.Sprintf("bench: coloring: %v", err))
+		}
+		out.col, stats, out.run.Size = res, res.Stats, res.NumColors
+		if verr := greedy.VerifyColoring(g, res.Colors); verr != nil {
+			panic(fmt.Sprintf("bench: coloring invalid: %v", verr))
+		}
+		if seq != nil && !res.Equal(seq.col) {
+			panic(fmt.Sprintf("bench: %s coloring differs from sequential", plan.Algorithm))
+		}
+	case "hittingset":
+		res, err := solver.HittingSet(ctx, sys, opts...)
+		if err != nil {
+			panic(fmt.Sprintf("bench: hittingset: %v", err))
+		}
+		out.hs, stats, out.run.Size = res, res.Stats, res.Size()
+		if verr := greedy.VerifyHittingSet(sys, res.InSet); verr != nil {
+			panic(fmt.Sprintf("bench: hitting set invalid: %v", verr))
+		}
+		if seq != nil && !res.Equal(seq.hs) {
+			panic(fmt.Sprintf("bench: %s hitting set differs from sequential", plan.Algorithm))
+		}
 	default:
 		panic(fmt.Sprintf("bench: unknown problem %q", problem))
 	}
@@ -353,8 +389,10 @@ func MatrixTable(r MatrixReport) Table {
 	}
 	for _, sc := range r.Scenarios {
 		for _, p := range sc.Problems {
+			// MM and SF iterate over edges; MIS, coloring and hitting
+			// set (vertex-cover elements) iterate over vertices.
 			items := sc.N
-			if p.Problem != "mis" {
+			if p.Problem == "mm" || p.Problem == "sf" {
 				items = sc.M
 			}
 			for _, run := range p.Runs {

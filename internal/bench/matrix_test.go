@@ -21,8 +21,17 @@ func TestRunMatrixSmoke(t *testing.T) {
 	names := map[string]bool{}
 	for _, sc := range report.Scenarios {
 		names[sc.Name] = true
-		if len(sc.Problems) != 3 {
-			t.Fatalf("%s: problem count %d, want 3", sc.Name, len(sc.Problems))
+		if len(sc.Problems) != 5 {
+			t.Fatalf("%s: problem count %d, want 5", sc.Name, len(sc.Problems))
+		}
+		problems := map[string]bool{}
+		for _, p := range sc.Problems {
+			problems[p.Problem] = true
+		}
+		for _, want := range []string{"mis", "mm", "sf", "coloring", "hittingset"} {
+			if !problems[want] {
+				t.Fatalf("%s: problem %q missing", sc.Name, want)
+			}
 		}
 		for _, p := range sc.Problems {
 			// seq + len(fracs) fixed + adaptive.

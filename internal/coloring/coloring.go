@@ -1,0 +1,291 @@
+// Package coloring implements greedy graph coloring — first-fit in
+// priority order — as a problem on the shared speculative-prefix engine
+// (internal/engine), extending the paper's conclusion ("we believe that
+// our approach can be applied to sequential greedy algorithms for other
+// problems") to a problem whose per-iterate decision is a value, not a
+// bit: each vertex takes the smallest color absent among its
+// earlier-priority neighbors. For a fixed order the parallel algorithm
+// returns exactly the sequential first-fit coloring — the
+// lexicographically-first greedy coloring — at any prefix size, grain
+// and thread count; the number of colors is at most maxdeg+1.
+package coloring
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// uncolored marks a vertex whose color is not yet decided.
+const uncolored int32 = -1
+
+// Stats reuses the engine counters (Rounds, Attempts, EdgeInspections,
+// PrefixSize) with the same conventions as MIS/MM/SF.
+type Stats = core.Stats
+
+// Result is the outcome of a greedy coloring computation.
+type Result struct {
+	// Colors[v] is the color of vertex v, in [0, NumColors).
+	Colors []int32
+	// NumColors is the number of distinct colors used (max color + 1).
+	NumColors int
+	// Stats are the run's cost counters.
+	Stats Stats
+}
+
+func newResult(colors []int32, stats Stats) *Result {
+	out := append([]int32(nil), colors...)
+	num := int32(0)
+	for _, c := range out {
+		if c+1 > num {
+			num = c + 1
+		}
+	}
+	return &Result{Colors: out, NumColors: int(num), Stats: stats}
+}
+
+// Equal reports whether two results assign identical colors.
+func (r *Result) Equal(other *Result) bool {
+	if len(r.Colors) != len(other.Colors) {
+		return false
+	}
+	for i := range r.Colors {
+		if r.Colors[i] != other.Colors[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Options configures the parallel coloring algorithm; the fields mirror
+// core.Options (PrefixSize/PrefixFrac apply to the number of vertices).
+type Options struct {
+	PrefixSize int
+	PrefixFrac float64
+	Grain      int
+	// Adaptive replaces the fixed window with the engine's measured
+	// schedule (see core.Options.Adaptive); the coloring stays
+	// bit-identical to the sequential first-fit one for every schedule.
+	Adaptive bool
+	// OnRound, if non-nil, is called after every round with that round's
+	// statistics (see core.RoundStat), on the round loop's goroutine.
+	OnRound func(core.RoundStat)
+	// Workspace, if non-nil, supplies pooled per-run buffers reused
+	// across runs. nil means allocate fresh buffers.
+	Workspace *Workspace
+}
+
+// engineOptions translates the coloring options into the engine's form,
+// wiring the pooled window buffers when ws is non-nil.
+func (o Options) engineOptions(ws *engine.Workspace) engine.Options {
+	return engine.Options{
+		PrefixSize: o.PrefixSize,
+		PrefixFrac: o.PrefixFrac,
+		Adaptive:   o.Adaptive,
+		Grain:      o.Grain,
+		OnRound:    o.OnRound,
+		Workspace:  ws,
+	}
+}
+
+// seqCancelMask paces the sequential scan's cancellation checks, as in
+// core.SequentialMISCtx.
+const seqCancelMask = 1<<12 - 1
+
+// SequentialColoring computes the first-fit greedy coloring of g under
+// ord: vertices in priority order, each taking the smallest color not
+// used by an already-colored neighbor.
+func SequentialColoring(g *graph.Graph, ord core.Order) *Result {
+	res, err := SequentialColoringCtx(context.Background(), g, ord, Options{})
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// SequentialColoringCtx is SequentialColoring with cooperative
+// cancellation (ctx is checked every few thousand vertices). Pooled
+// buffers come from opt.Workspace when set.
+func SequentialColoringCtx(ctx context.Context, g *graph.Graph, ord core.Order, opt Options) (*Result, error) {
+	n := g.NumVertices()
+	if ord.Len() != n {
+		panic("coloring: order size does not match graph")
+	}
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
+	}
+	colors := engine.Grow32(&ws.colors, n)
+	engine.Fill32(colors, uncolored)
+	// stamp[c] == v+1 marks color c as used by a neighbor of the vertex
+	// currently being decided; the stamped scratch avoids clearing it
+	// between vertices. Size maxdeg+1: first-fit never needs a color
+	// beyond a vertex's degree.
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := g.Degree(int32(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	stamp := engine.Grow32(&ws.stamp, maxDeg+1)
+	engine.Fill32(stamp, 0)
+
+	var inspections int64
+	for r := 0; r < n; r++ {
+		if r&seqCancelMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		v := ord.Order[r]
+		mark := int32(r) + 1
+		for _, u := range g.Neighbors(v) {
+			inspections++
+			if c := colors[u]; c >= 0 && int(c) < len(stamp) {
+				stamp[c] = mark
+			}
+		}
+		c := int32(0)
+		for stamp[c] == mark {
+			c++
+		}
+		colors[v] = c
+	}
+	return newResult(colors, Stats{
+		Rounds:          int64(n),
+		Attempts:        int64(n),
+		EdgeInspections: inspections,
+	}), nil
+}
+
+// PrefixColoring computes the first-fit greedy coloring with the
+// prefix-based speculative engine. Each round, every active vertex
+// scans its earlier-priority neighbors: if any is still uncolored the
+// vertex retries next round; otherwise it takes the smallest absent
+// color and commits. The earliest active vertex always commits, so the
+// loop makes progress, and because a vertex decides only after all of
+// its earlier neighbors are final, the coloring equals the sequential
+// first-fit one for every window schedule, grain and thread count.
+func PrefixColoring(g *graph.Graph, ord core.Order, opt Options) *Result {
+	res, err := PrefixColoringCtx(context.Background(), g, ord, opt)
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// PrefixColoringCtx is PrefixColoring with cooperative cancellation:
+// ctx is checked once per round, so a cancelled context aborts within
+// one round and returns ctx.Err(). Pooled buffers come from
+// opt.Workspace when set.
+func PrefixColoringCtx(ctx context.Context, g *graph.Graph, ord core.Order, opt Options) (*Result, error) {
+	n := g.NumVertices()
+	if ord.Len() != n {
+		panic("coloring: order size does not match graph")
+	}
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
+	}
+	colors := engine.Grow32(&ws.colors, n)
+	engine.Fill32(colors, uncolored)
+
+	prob := &colorProblem{g: g, rank: ord.Rank, colors: colors}
+	stats, err := engine.Run(ctx, ord.Order, prob, opt.engineOptions(&ws.eng))
+	if err != nil {
+		return nil, err
+	}
+	return newResult(colors, stats), nil
+}
+
+// colorProblem is the engine adapter for first-fit coloring. The check
+// phase reads only colors written in previous rounds and the commit
+// phase writes each vertex's own color, so no atomics are needed — the
+// engine's fork-join barrier is the synchronization, exactly as in the
+// MIS problem. The outcome payload is color+1: the engine only gives
+// meaning to zero ("retry"), so any committed color, including color 0,
+// maps to a nonzero outcome.
+type colorProblem struct {
+	g      *graph.Graph
+	rank   []int32
+	colors []int32
+}
+
+func (p *colorProblem) Check(act, outcome []int32, lo, hi int) int64 {
+	var local int64
+	for i := lo; i < hi; i++ {
+		c, insp := checkFirstFit(p.g, act[i], p.rank, p.colors)
+		local += insp
+		if c >= 0 {
+			outcome[i] = c + 1
+		}
+	}
+	return local
+}
+
+func (p *colorProblem) Commit(act, outcome []int32, lo, hi int) int64 {
+	for i := lo; i < hi; i++ {
+		if outcome[i] != engine.Undecided {
+			p.colors[act[i]] = outcome[i] - 1
+		}
+	}
+	return 0
+}
+
+// checkFirstFit decides vertex v against its earlier-priority
+// neighbors: it returns (-1, inspections) if some earlier neighbor is
+// still uncolored (retry next round), else the smallest color absent
+// among them. The scan is allocation-free: it finds the answer through
+// 64-color bitmask windows, rescanning the neighbor list once per
+// window, so a vertex whose answer is color c costs
+// O(deg·⌈(c+1)/64⌉) inspections — one pass for the overwhelming
+// majority of vertices, and never any per-vertex scratch that the
+// engine's concurrent chunks would have to allocate or share.
+func checkFirstFit(g *graph.Graph, v int32, rank []int32, colors []int32) (int32, int64) {
+	rv := rank[v]
+	var inspections int64
+	for base := int32(0); ; base += 64 {
+		var mask uint64
+		for _, u := range g.Neighbors(v) {
+			if rank[u] >= rv {
+				continue
+			}
+			inspections++
+			c := colors[u]
+			if c == uncolored {
+				return -1, inspections
+			}
+			if c >= base && c < base+64 {
+				mask |= 1 << uint(c-base)
+			}
+		}
+		if mask != ^uint64(0) {
+			return base + int32(bits.TrailingZeros64(^mask)), inspections
+		}
+	}
+}
+
+// Verify checks that colors is a proper coloring of g: every vertex
+// colored (non-negative) and no edge monochromatic. It returns nil on
+// success and a descriptive error on the first violation.
+func Verify(g *graph.Graph, colors []int32) error {
+	n := g.NumVertices()
+	if len(colors) != n {
+		return fmt.Errorf("coloring: %d colors for %d vertices", len(colors), n)
+	}
+	for v := 0; v < n; v++ {
+		if colors[v] < 0 {
+			return fmt.Errorf("coloring: vertex %d uncolored", v)
+		}
+		for _, u := range g.Neighbors(int32(v)) {
+			if colors[u] == colors[int32(v)] {
+				return fmt.Errorf("coloring: edge {%d,%d} monochromatic (color %d)", v, u, colors[v])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package coloring
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func testGraphs(tb testing.TB) map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"random":   graph.Random(600, 2400, 7),
+		"rmat":     graph.RMat(9, 2000, 11, graph.DefaultRMatOptions()),
+		"grid":     graph.Grid2D(24, 25),
+		"star":     graph.Star(301),
+		"complete": graph.Complete(41),
+		"path":     graph.Path(500),
+		"empty":    graph.Empty(128),
+		"tree":     graph.RandomTree(400, 3),
+	}
+}
+
+// The prefix coloring must equal the sequential first-fit coloring for
+// every prefix size, fraction and grain — the engine-parity oracle for
+// the coloring problem.
+func TestPrefixColoringMatchesSequential(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		n := g.NumVertices()
+		ord := core.NewRandomOrder(n, 99)
+		want := SequentialColoring(g, ord)
+		if err := Verify(g, want.Colors); err != nil {
+			t.Fatalf("%s: sequential reference invalid: %v", name, err)
+		}
+		for _, opt := range []Options{
+			{PrefixSize: 1},
+			{PrefixSize: 7, Grain: 3},
+			{PrefixFrac: 0.01},
+			{PrefixFrac: 0.2, Grain: 17},
+			{PrefixFrac: 1},
+			{Adaptive: true},
+			{Adaptive: true, PrefixFrac: 0.05},
+		} {
+			got := PrefixColoring(g, ord, opt)
+			if !got.Equal(want) {
+				t.Fatalf("%s opts %+v: prefix coloring differs from sequential", name, opt)
+			}
+			if err := Verify(g, got.Colors); err != nil {
+				t.Fatalf("%s opts %+v: %v", name, opt, err)
+			}
+		}
+	}
+}
+
+// The identity order on a path forces the worst-case dependence chain;
+// the result must still match the sequential coloring.
+func TestPrefixColoringIdentityOrder(t *testing.T) {
+	g := graph.Path(300)
+	ord := core.IdentityOrder(300)
+	want := SequentialColoring(g, ord)
+	got := PrefixColoring(g, ord, Options{PrefixFrac: 1})
+	if !got.Equal(want) {
+		t.Fatal("identity order: prefix differs from sequential")
+	}
+	if want.NumColors != 2 {
+		t.Fatalf("identity-order path should 2-color, got %d", want.NumColors)
+	}
+}
+
+// Determinism across thread counts: the paper's central claim carries
+// to the coloring problem on the shared engine.
+func TestPrefixColoringThreadIndependent(t *testing.T) {
+	g := graph.Random(900, 5400, 21)
+	ord := core.NewRandomOrder(900, 5)
+	want := SequentialColoring(g, ord)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		got := PrefixColoring(g, ord, Options{PrefixFrac: 0.05, Grain: 7})
+		if !got.Equal(want) {
+			t.Fatalf("GOMAXPROCS=%d: coloring differs from sequential", procs)
+		}
+		adaptive := PrefixColoring(g, ord, Options{Adaptive: true})
+		if !adaptive.Equal(want) {
+			t.Fatalf("GOMAXPROCS=%d: adaptive coloring differs from sequential", procs)
+		}
+	}
+}
+
+// Workspace reuse must not leak state between runs.
+func TestColoringWorkspaceReuse(t *testing.T) {
+	ws := new(Workspace)
+	big := graph.Random(500, 2000, 3)
+	small := graph.Complete(20)
+	bigOrd := core.NewRandomOrder(500, 1)
+	smallOrd := core.NewRandomOrder(20, 2)
+	wantBig := SequentialColoring(big, bigOrd)
+	wantSmall := SequentialColoring(small, smallOrd)
+	for i := 0; i < 3; i++ {
+		if got := PrefixColoring(big, bigOrd, Options{Workspace: ws, PrefixFrac: 0.1}); !got.Equal(wantBig) {
+			t.Fatalf("run %d big: pooled run differs", i)
+		}
+		if got := PrefixColoring(small, smallOrd, Options{Workspace: ws, Adaptive: true}); !got.Equal(wantSmall) {
+			t.Fatalf("run %d small: pooled run differs", i)
+		}
+	}
+}
+
+// Cancellation aborts within a round with ctx.Err().
+func TestPrefixColoringCancel(t *testing.T) {
+	g := graph.Random(400, 1600, 9)
+	ord := core.NewRandomOrder(400, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PrefixColoringCtx(ctx, g, ord, Options{}); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := SequentialColoringCtx(ctx, g, ord, Options{}); err != context.Canceled {
+		t.Fatalf("sequential: want context.Canceled, got %v", err)
+	}
+}
+
+// The complete graph needs exactly n colors; a high-color vertex
+// exercises the multi-window path of checkFirstFit.
+func TestColoringManyColors(t *testing.T) {
+	g := graph.Complete(130) // forces colors 0..129: three 64-color windows
+	ord := core.NewRandomOrder(130, 17)
+	want := SequentialColoring(g, ord)
+	if want.NumColors != 130 {
+		t.Fatalf("complete graph: want 130 colors, got %d", want.NumColors)
+	}
+	got := PrefixColoring(g, ord, Options{PrefixFrac: 0.3})
+	if !got.Equal(want) {
+		t.Fatal("complete graph: prefix differs from sequential")
+	}
+}
+
+func BenchmarkPrefixColoring(b *testing.B) {
+	g := graph.Random(20000, 100000, 42)
+	ord := core.NewRandomOrder(20000, 42)
+	ws := new(Workspace)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PrefixColoring(g, ord, Options{Workspace: ws})
+	}
+}

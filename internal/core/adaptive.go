@@ -1,185 +1,40 @@
 package core
 
-import "repro/internal/parallel"
+import "repro/internal/engine"
 
-// Adaptive prefix scheduling: a per-run controller that resizes the
-// prefix window between rounds of the prefix-based algorithms.
-//
-// The prefix size is the paper's central work/parallelism knob (Figure
-// 1): small windows approach the sequential algorithm (no redundant
-// work, n rounds), large windows approach Algorithm 2 (maximum
-// parallelism, maximum retries). The paper finds fixed fractions
-// between 1e-3 and 1e-2 near the running-time optimum, but the optimum
-// drifts with graph structure and core count. The controller replaces
-// the fixed fraction with a measured schedule in the style of Birn et
-// al. (Efficient Parallel and External Matching): after every round it
-// looks at the fraction of attempted iterates that resolved and at the
-// edge-inspection cost per unit of progress, and doubles the window
-// while acceptance is high, halves it when acceptance collapses or the
-// marginal inspection cost explodes, always bounded by [1, n].
-//
-// Correctness is unaffected by any window schedule: the window only
-// changes HOW MANY of the earliest unresolved iterates run in a round,
-// never their relative order, and the prefix-based algorithms commit an
-// iterate only when every earlier neighbor is resolved — so MIS and MM
-// return the sequential greedy result for every schedule, exactly as
-// they do for every fixed prefix (Theorem 4.5 does not use the prefix
-// size, only the prefix-of-the-unresolved invariant). The schedule
-// itself is deterministic: it is a pure function of the per-round
-// (attempted, resolved, inspections) counters, which are identical at
-// any thread count and grain, so adaptive runs remain bit-identical
-// across machines and reruns — the property the service layer's
-// idempotency keys rely on.
-
-// Controller policy constants. The grow threshold is deliberately high:
-// with acceptance ~e^(-d·δ/2) on a degree-d graph at window fraction δ,
-// growing while ≥ 90% of attempts resolve caps redundant work at ~11%
-// over sequential while still reaching windows well past the paper's
-// fixed 0.005 sweet spot (fewer, fatter rounds — less barrier
-// overhead).
-const (
-	// adaptiveGrowRatio is the resolved/attempted ratio at or above
-	// which the window doubles.
-	adaptiveGrowRatio = 0.90
-	// adaptiveShrinkRatio is the ratio below which the window halves.
-	adaptiveShrinkRatio = 0.50
-	// adaptiveCostBrake halves the window whenever this round's
-	// inspections-per-resolved exceeds the running average by this
-	// factor, regardless of the acceptance ratio — the guard against
-	// windows whose retries inflate edge-inspection work faster than
-	// they retire iterates.
-	adaptiveCostBrake = 2.0
-	// adaptiveCostAlpha is the EWMA weight of the newest cost sample.
-	adaptiveCostAlpha = 0.25
-	// AdaptiveStartWindow is the initial window when no explicit
-	// PrefixSize/PrefixFrac seeds the controller: one default grain
-	// chunk, small enough that the doubling phase costs only
-	// ~log2(optimum) cheap rounds.
-	AdaptiveStartWindow = 256
-	// adaptiveSlackChunks caps window GROWTH at this many default-grain
-	// chunks per processor. A round's window exists to feed the cores;
-	// beyond a handful of chunks of slack per core, enlarging it buys
-	// no additional parallelism while still paying redundant work and
-	// cache pressure — measurably so at GOMAXPROCS=1, where the
-	// uncapped controller happily doubles to the full input because
-	// acceptance stays high (the paper's Figure 1 work curve is mild)
-	// even though every retried iterate is pure loss on one core. The
-	// cap makes the schedule parallelism-aware the same way the paper's
-	// fixed sweet spot is machine-tuned, and it scales with the
-	// machine: 8·P·256 is frac ~0.01 of a 200k-vertex input at P=1 and
-	// the full paper band at 32 cores. It is computed from the DEFAULT
-	// grain, not Options.Grain, so the schedule never depends on the
-	// chunking knob; ratio-driven shrinking is never capped.
-	adaptiveSlackChunks = 8
-)
+// Adaptive prefix scheduling lives in internal/engine since the round
+// loop itself moved there (the controller is part of the engine's
+// window machinery); these aliases keep the core package's historical
+// surface — the one the sibling packages, the facade and the tests
+// grew against — pointing at the single implementation. See
+// engine/adaptive.go for the policy discussion.
 
 // AdaptiveController resizes the prefix window of one run. It is not
-// safe for concurrent use; the round loops call it between rounds.
-type AdaptiveController struct {
-	window  int
-	growCap int
-	max     int
-	cost    float64 // EWMA of inspections per resolved iterate
-}
+// safe for concurrent use; the round loop calls it between rounds.
+type AdaptiveController = engine.AdaptiveController
+
+// AdaptiveStartWindow is the initial window when no explicit
+// PrefixSize/PrefixFrac seeds the controller.
+const AdaptiveStartWindow = engine.AdaptiveStartWindow
 
 // NewAdaptiveController returns a controller starting at window
-// initial, bounded by [1, max]; growth (but not the initial window,
-// which an explicit prefix may pin higher, nor shrinking) stops at
-// growCap.
+// initial, bounded by [1, max]; growth stops at growCap.
 func NewAdaptiveController(initial, growCap, max int) *AdaptiveController {
-	if max < 1 {
-		max = 1
-	}
-	if initial < 1 {
-		initial = 1
-	}
-	if initial > max {
-		initial = max
-	}
-	if growCap > max {
-		growCap = max
-	}
-	if growCap < 1 {
-		growCap = 1
-	}
-	return &AdaptiveController{window: initial, growCap: growCap, max: max}
+	return engine.NewAdaptiveController(initial, growCap, max)
 }
 
 // AdaptiveGrowCap returns the parallel-slack growth cap for an input
-// of n items: adaptiveSlackChunks default-grain chunks per processor,
-// clamped to [AdaptiveStartWindow, n]. Deterministic for a fixed
-// GOMAXPROCS — the only machine knob the schedule reads.
-func AdaptiveGrowCap(n int) int {
-	//lint:allow nodeterminism the cap only bounds how fast the window may grow; the committed prefix is decided by the order alone, so the RESULT is identical at every processor count (verified by TestAdaptiveMISMatchesSequential)
-	c := adaptiveSlackChunks * parallel.Procs() * parallel.DefaultGrain
-	if c < AdaptiveStartWindow {
-		c = AdaptiveStartWindow
-	}
-	if c > n {
-		c = n
-	}
-	if c < 1 {
-		c = 1
-	}
-	return c
-}
-
-// Window returns the window to use for the next round.
-func (c *AdaptiveController) Window() int { return c.window }
-
-// Observe feeds one completed round's counters into the controller and
-// updates the window for the next round: double on high acceptance,
-// halve on low acceptance or exploding marginal cost, clamp to
-// [1, max]. Deterministic: equal inputs produce equal schedules.
-func (c *AdaptiveController) Observe(attempted, resolved int, inspections int64) {
-	if attempted <= 0 {
-		return
-	}
-	ratio := float64(resolved) / float64(attempted)
-	den := resolved
-	if den < 1 {
-		den = 1
-	}
-	cost := float64(inspections) / float64(den)
-	switch {
-	case c.cost > 0 && cost > adaptiveCostBrake*c.cost:
-		c.window /= 2
-	case ratio >= adaptiveGrowRatio && c.window < c.growCap:
-		if c.window > c.growCap/2 {
-			c.window = c.growCap
-		} else {
-			c.window *= 2
-		}
-	case ratio < adaptiveShrinkRatio:
-		c.window /= 2
-	}
-	if c.window < 1 {
-		c.window = 1
-	}
-	if c.window > c.max {
-		c.window = c.max
-	}
-	if c.cost == 0 {
-		c.cost = cost
-	} else {
-		c.cost += adaptiveCostAlpha * (cost - c.cost)
-	}
-}
+// of n items (see engine.AdaptiveGrowCap).
+func AdaptiveGrowCap(n int) int { return engine.AdaptiveGrowCap(n) }
 
 // adaptiveInitial resolves the initial window of an adaptive run: an
 // explicit PrefixSize or PrefixFrac seeds the controller (the fixed
 // configuration becomes the starting point), otherwise the run starts
 // at AdaptiveStartWindow, clamped to [1, n].
 func (o Options) adaptiveInitial(n int) int {
-	if o.PrefixSize > 0 || o.PrefixFrac > 0 {
-		return o.prefixFor(n)
-	}
-	w := AdaptiveStartWindow
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
+	return o.engineOptions(nil).AdaptiveInitial(n)
 }
+
+// adaptiveSlackChunks mirrors engine.AdaptiveSlackChunks for the cap
+// arithmetic tests pinned in this package.
+const adaptiveSlackChunks = engine.AdaptiveSlackChunks

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/graph"
@@ -83,4 +84,37 @@ func Reverse(ord Order) Order {
 		rev[n-1-r] = v
 	}
 	return FromOrder(rev)
+}
+
+// WeightedOrder returns the order that ranks items by descending
+// weight, breaking ties by a seed-derived hash (so equal-weight items
+// are ordered pseudo-randomly, not by id — within a weight class the
+// paper's random-order analysis applies) and finally by id. It realizes
+// weighted greedy: running a prefix algorithm under this order computes
+// the weighted-greedy solution — highest-weight-first MIS, matching,
+// coloring or hitting set — with the usual determinism at any thread
+// count. Deterministic in (weights, seed); weights need not be
+// distinct. It panics if any weight is NaN (NaN admits no total order).
+func WeightedOrder(weights []float64, seed uint64) Order {
+	n := len(weights)
+	for i, w := range weights {
+		if w != w {
+			panic(fmt.Sprintf("core: WeightedOrder weight %d is NaN", i))
+		}
+	}
+	order := rng.Identity(n)
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		wa, wb := weights[a], weights[b]
+		if wa != wb {
+			return wa > wb
+		}
+		ha := rng.Hash2(uint64(a), seed)
+		hb := rng.Hash2(uint64(b), seed)
+		if ha != hb {
+			return ha < hb
+		}
+		return a < b
+	})
+	return FromOrder(order)
 }

@@ -2,10 +2,9 @@ package core
 
 import (
 	"context"
-	"sync/atomic"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
-	"repro/internal/parallel"
 )
 
 // PrefixMIS computes the lexicographically-first MIS of g under ord with
@@ -47,6 +46,11 @@ func PrefixMIS(g *graph.Graph, ord Order, opt Options) *Result {
 // checked once per round (the hot inner loops never see it), so a
 // cancelled context aborts the run within one round and returns
 // ctx.Err(). Pooled buffers come from opt.Workspace when set.
+//
+// The round loop itself is the shared speculative-prefix engine
+// (internal/engine); this function contributes only the MIS problem:
+// the check that decides a vertex against its earlier neighbors and
+// the commit that publishes the decision.
 func PrefixMISCtx(ctx context.Context, g *graph.Graph, ord Order, opt Options) (*Result, error) {
 	n := g.NumVertices()
 	if ord.Len() != n {
@@ -58,136 +62,77 @@ func PrefixMISCtx(ctx context.Context, g *graph.Graph, ord Order, opt Options) (
 	}
 	status := Grow32(&ws.status, n)
 	Fill32(status, statusUndecided)
-	prefix := opt.prefixFor(n)
-	grain := opt.grain()
-	rank := ord.Rank
-	// The window is the per-round cap on attempted iterates: the fixed
-	// prefix, or — under adaptive scheduling — whatever the controller
-	// settled on after the previous round. Any window sequence yields
-	// the sequential greedy MIS: the active set always holds the
-	// earliest unresolved vertices in rank order, and the check phase
-	// only commits vertices whose earlier neighbors are all resolved.
-	window := prefix
-	var ctrl *AdaptiveController
-	if opt.Adaptive {
-		ctrl = NewAdaptiveController(opt.adaptiveInitial(n), AdaptiveGrowCap(n), n)
-		window = ctrl.Window()
-	}
-	maxWindow := window
 
-	var parents *parentsCSR
-	var ptr []int32
+	var prob engine.Problem
 	if opt.Pointered {
-		parents = buildParents(g, ord)
-		ptr = Grow32(&ws.ptr, n)
+		ptr := Grow32(&ws.ptr, n)
 		Fill32(ptr, 0)
+		prob = &misPointeredProblem{status: status, parents: buildParents(g, ord), ptr: ptr}
+	} else {
+		prob = &misProblem{g: g, rank: ord.Rank, status: status}
 	}
-
-	stats := Stats{}
-	active := GrowActive(&ws.active, window)
-	// Hand grown frontier storage back to the workspace: adaptive
-	// windows outgrow the initial capacity by appends, which would
-	// otherwise leave the pooled buffer at its original size.
-	defer func() { ws.active = active[:0] }()
-	var outcome []int32
-	nextRank := 0
-	resolved := 0
-	var inspections atomic.Int64
-	var prevInspections int64
-
-	for resolved < n {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		// Refill the window with the earliest unresolved vertices.
-		for len(active) < window && nextRank < n {
-			active = append(active, ord.Order[nextRank])
-			nextRank++
-		}
-		// A shrunken window attempts only the earliest unresolved
-		// vertices; the tail of the active set waits for a later round.
-		act := active
-		if len(act) > window {
-			act = act[:window]
-		}
-		roundWindow := window
-		if roundWindow > maxWindow {
-			maxWindow = roundWindow
-		}
-		stats.Rounds++
-		stats.Attempts += int64(len(act))
-		outcome = Grow32(&ws.outcome, len(act))
-
-		// Check phase: decide each active vertex against the statuses
-		// of the previous rounds. Statuses are not written here, so the
-		// reads are stable and race-free.
-		if opt.Pointered {
-			parallel.ForRange(len(act), grain, func(lo, hi int) {
-				var local int64
-				for i := lo; i < hi; i++ {
-					var insp int64
-					outcome[i], insp = checkPointered(act[i], status, parents, ptr)
-					local += insp
-				}
-				inspections.Add(local)
-			})
-		} else {
-			parallel.ForRange(len(act), grain, func(lo, hi int) {
-				var local int64
-				for i := lo; i < hi; i++ {
-					var insp int64
-					outcome[i], insp = checkScratch(g, act[i], rank, status)
-					local += insp
-				}
-				inspections.Add(local)
-			})
-		}
-
-		// Update phase: apply the decisions. Each vertex writes only its
-		// own status.
-		parallel.ForRange(len(act), grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				if outcome[i] != statusUndecided {
-					status[act[i]] = outcome[i]
-				}
-			}
-		})
-
-		before := len(act)
-		kept := parallel.PackInPlace(act, grain, func(i int) bool {
-			return outcome[i] == statusUndecided
-		})
-		if len(act) < len(active) {
-			// Slide the unattempted tail up against the kept retries;
-			// both are rank-sorted and every kept retry precedes the
-			// tail, so the active set stays the earliest unresolved
-			// vertices in order.
-			moved := copy(active[len(kept):], active[len(act):])
-			active = active[:len(kept)+moved]
-		} else {
-			active = kept
-		}
-		resolvedThis := before - len(kept)
-		resolved += resolvedThis
-		cur := inspections.Load()
-		if ctrl != nil {
-			ctrl.Observe(before, resolvedThis, cur-prevInspections)
-			window = ctrl.Window()
-		}
-		if opt.OnRound != nil {
-			opt.OnRound(RoundStat{
-				Round:       stats.Rounds,
-				Prefix:      roundWindow,
-				Attempted:   before,
-				Resolved:    resolvedThis,
-				Inspections: cur - prevInspections,
-			})
-		}
-		prevInspections = cur
+	stats, err := engine.Run(ctx, ord.Order, prob, opt.engineOptions(&ws.eng))
+	if err != nil {
+		return nil, err
 	}
-	stats.PrefixSize = maxWindow
-	stats.EdgeInspections = inspections.Load()
 	return newResult(status, stats), nil
+}
+
+// misProblem is the engine adapter for the PBBS-style scratch check:
+// the check phase reads only statuses written in previous rounds, and
+// the commit phase writes each vertex's own status — no atomics at
+// all, the fork-join barrier between phases is the synchronization.
+type misProblem struct {
+	g      *graph.Graph
+	rank   []int32
+	status []int32
+}
+
+func (p *misProblem) Check(act, outcome []int32, lo, hi int) int64 {
+	var local int64
+	for i := lo; i < hi; i++ {
+		var insp int64
+		outcome[i], insp = checkScratch(p.g, act[i], p.rank, p.status)
+		local += insp
+	}
+	return local
+}
+
+func (p *misProblem) Commit(act, outcome []int32, lo, hi int) int64 {
+	for i := lo; i < hi; i++ {
+		if outcome[i] != statusUndecided {
+			p.status[act[i]] = outcome[i]
+		}
+	}
+	return 0
+}
+
+// misPointeredProblem is the engine adapter for the Lemma 4.1
+// parent-pointer check; ptr[v] is v's private scan cursor, written only
+// by v's own check, so the phase stays write-disjoint.
+type misPointeredProblem struct {
+	status  []int32
+	parents *parentsCSR
+	ptr     []int32
+}
+
+func (p *misPointeredProblem) Check(act, outcome []int32, lo, hi int) int64 {
+	var local int64
+	for i := lo; i < hi; i++ {
+		var insp int64
+		outcome[i], insp = checkPointered(act[i], p.status, p.parents, p.ptr)
+		local += insp
+	}
+	return local
+}
+
+func (p *misPointeredProblem) Commit(act, outcome []int32, lo, hi int) int64 {
+	for i := lo; i < hi; i++ {
+		if outcome[i] != statusUndecided {
+			p.status[act[i]] = outcome[i]
+		}
+	}
+	return 0
 }
 
 // checkScratch decides vertex v by scanning all of its earlier neighbors

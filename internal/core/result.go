@@ -1,9 +1,7 @@
 package core
 
 import (
-	"fmt"
-	"math"
-
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 )
@@ -12,41 +10,24 @@ import (
 // monotone: it moves from undecided to exactly one of in/out and never
 // changes again — the invariant that makes the optimistic parallel
 // attempts safe (a vertex only enters the MIS after observing final
-// "out" for every earlier neighbor).
+// "out" for every earlier neighbor). The values deliberately coincide
+// with the engine's Undecided/Committed/Dropped outcome codes, so the
+// prefix loop's per-round outcome array and the status array speak the
+// same language.
 const (
-	statusUndecided int32 = 0
-	statusIn        int32 = 1
-	statusOut       int32 = 2
+	statusUndecided = engine.Undecided
+	statusIn        = engine.Committed
+	statusOut       = engine.Dropped
 )
 
 // Stats records machine-independent cost measures of a run, the
-// quantities plotted by the paper's Figures 1 and 2.
-type Stats struct {
-	// Rounds is the number of outer-loop rounds: prefixes taken by the
-	// prefix-based algorithm (one per round, failed iterates retried),
-	// steps of the step-synchronous algorithms, or rounds of Luby. The
-	// paper uses it as the (inverse) parallelism estimate in Figures
-	// 1(b)/1(e). A sequential run has Rounds == number of items.
-	Rounds int64
-	// Attempts is the total number of iterate-processings summed over
-	// rounds, the paper's "total work" (Figures 1(a)/1(d)): a sequential
-	// run attempts each item exactly once, so Attempts == items; parallel
-	// runs retry failed iterates and so do more work.
-	Attempts int64
-	// EdgeInspections counts neighbor-status reads, a finer-grained work
-	// measure reported alongside Attempts.
-	EdgeInspections int64
-	// PrefixSize is the resolved prefix size used by prefix-based runs
-	// (0 for the other algorithms). Adaptive runs report the largest
-	// window any round actually used (a growth decision after the final
-	// round is not reported — no round ran at that size).
-	PrefixSize int
-}
+// quantities plotted by the paper's Figures 1 and 2. It is the
+// engine's Stats type; see engine.Stats for the field conventions.
+type Stats = engine.Stats
 
-func (s Stats) String() string {
-	return fmt.Sprintf("rounds=%d attempts=%d inspections=%d prefix=%d",
-		s.Rounds, s.Attempts, s.EdgeInspections, s.PrefixSize)
-}
+// RoundStat describes one completed round of a round-synchronous
+// algorithm, passed to Options.OnRound; see engine.RoundStat.
+type RoundStat = engine.RoundStat
 
 // Result is the outcome of an MIS computation.
 type Result struct {
@@ -127,71 +108,30 @@ type Options struct {
 	Workspace *Workspace
 }
 
-// RoundStat describes one completed round of a round-synchronous
-// algorithm, passed to Options.OnRound. Summed over a run, Attempted is
-// the paper's total work (Figure 1(a)/1(d)), the number of callbacks is
-// Rounds (Figure 1(b)/1(e)), and Inspections is the edge-inspection
-// work measure — so an observer sees the paper's Figure 1 quantities
-// accumulate live.
-type RoundStat struct {
-	// Round is the 1-based round index.
-	Round int64
-	// Prefix is the window size of this round: the maximum number of
-	// iterates attempted (0 for algorithms without a prefix window).
-	// Fixed-prefix runs report the same value every round; adaptive
-	// runs report the controller's current window, so an observer
-	// watches the schedule evolve.
-	Prefix int
-	// Attempted is the number of iterates processed this round.
-	Attempted int
-	// Resolved is the number of iterates that reached their final
-	// status (accepted into the solution or ruled out) this round.
-	Resolved int
-	// Inspections is the number of neighbor/endpoint status reads
-	// performed this round.
-	Inspections int64
+// engineOptions translates the MIS options into the engine's form,
+// wiring the pooled window buffers when ws is non-nil.
+func (o Options) engineOptions(ws *engine.Workspace) engine.Options {
+	return engine.Options{
+		PrefixSize: o.PrefixSize,
+		PrefixFrac: o.PrefixFrac,
+		Adaptive:   o.Adaptive,
+		Grain:      o.Grain,
+		OnRound:    o.OnRound,
+		Workspace:  ws,
+	}
 }
 
 // DefaultPrefixFrac is the default prefix fraction, chosen near the
 // running-time optimum the paper observes (prefix/input between 1e-3
 // and 1e-2 on both inputs).
-const DefaultPrefixFrac = 0.005
+const DefaultPrefixFrac = engine.DefaultPrefixFrac
 
-// CeilFrac returns ⌈frac·n⌉ with integer rounding semantics: a decimal
-// fraction whose binary representation lands the product a hair above
-// an integer (0.005·1000 = 5.000000000000001 in float64) still yields
-// that integer, not one past it. The product is nudged down by one part
-// in 10^12 — orders of magnitude above the representation error of any
-// (frac, n) pair in range, orders of magnitude below one iterate —
-// before the ceiling, so the result is the documented value on every
-// platform instead of whatever int truncation of the raw product gives.
-// frac ≥ 1 returns n; frac ≤ 0 or n ≤ 0 returns 0.
-func CeilFrac(frac float64, n int) int {
-	if n <= 0 || frac <= 0 {
-		return 0
-	}
-	if frac >= 1 {
-		return n
-	}
-	return int(math.Ceil(frac * float64(n) * (1 - 1e-12)))
-}
+// CeilFrac returns ⌈frac·n⌉ with exact integer rounding semantics; see
+// engine.CeilFrac, the single implementation.
+func CeilFrac(frac float64, n int) int { return engine.CeilFrac(frac, n) }
 
 func (o Options) prefixFor(n int) int {
-	p := o.PrefixSize
-	if p <= 0 {
-		frac := o.PrefixFrac
-		if frac <= 0 {
-			frac = DefaultPrefixFrac
-		}
-		p = CeilFrac(frac, n)
-	}
-	if p < 1 {
-		p = 1
-	}
-	if p > n {
-		p = n
-	}
-	return p
+	return o.engineOptions(nil).PrefixFor(n)
 }
 
 func (o Options) grain() int {

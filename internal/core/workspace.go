@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/engine"
+
 // Workspace holds the pooled per-run buffers of the MIS algorithms so a
 // caller that computes many results (a solver facade, a serving worker)
 // pays the allocations once and reuses them across runs on same-or-
@@ -11,39 +13,25 @@ package core
 // A Workspace may be used by one run at a time; it is not safe for
 // concurrent use. The zero value is ready to use.
 type Workspace struct {
-	status  []int32
-	ptr     []int32
-	claim   []int32
-	active  []int32
-	outcome []int32
+	status []int32
+	ptr    []int32
+	claim  []int32
+	active []int32
+	eng    engine.Workspace
 }
+
+// Pooled-buffer helpers, forwarded from the engine package (the single
+// source of truth shared by the algorithm packages).
 
 // Grow32 returns *buf resized to n int32s, reallocating only when the
 // pooled capacity is insufficient. Contents are unspecified: callers
 // must reinitialize the slice (Fill32 or full overwrite) before reads.
 // Exported for the sibling algorithm packages' workspaces.
-func Grow32(buf *[]int32, n int) []int32 {
-	s := *buf
-	if cap(s) < n {
-		s = make([]int32, n)
-	}
-	s = s[:n]
-	*buf = s
-	return s
-}
+func Grow32(buf *[]int32, n int) []int32 { return engine.Grow32(buf, n) }
 
 // Fill32 sets every element of s to v.
-func Fill32(s []int32, v int32) {
-	for i := range s {
-		s[i] = v
-	}
-}
+func Fill32(s []int32, v int32) { engine.Fill32(s, v) }
 
 // GrowActive returns an empty int32 slice with capacity at least n
 // backed by *buf, for frontier/window arrays rebuilt by appends.
-func GrowActive(buf *[]int32, n int) []int32 {
-	if cap(*buf) < n {
-		*buf = make([]int32, 0, n)
-	}
-	return (*buf)[:0]
-}
+func GrowActive(buf *[]int32, n int) []int32 { return engine.GrowActive(buf, n) }

@@ -1,0 +1,285 @@
+// Package engine is the repo's single implementation of the paper's
+// prefix-based speculative round loop — the pattern every greedy
+// problem here shares: take the earliest unresolved iterates in
+// priority-rank order as the active window, check each against the
+// state left by strictly earlier-priority iterates, commit the winners,
+// and retry the losers next round together with newly admitted
+// iterates. MIS, maximal matching, spanning forest (strict and
+// relaxed), greedy coloring and greedy hitting set all ride this one
+// loop; what differs between them — how an iterate is checked and what
+// committing it writes — is supplied through the Problem interface,
+// exactly the factoring of parlaylib's speculative_for.
+//
+// The engine owns everything the four formerly hand-specialized loops
+// duplicated: window refill and the shrink-tail slide that keeps the
+// active set equal to the earliest unresolved iterates in rank order,
+// the two-phase fork-join execution over parallel.ForRange, adaptive
+// window control (AdaptiveController), per-round context checks,
+// pooled window/outcome buffers, and the per-round observer hook.
+//
+// Determinism contract: a Problem's Check phase may read only state
+// written in previous rounds (plus per-iterate reservation bids made
+// through the parallel package's atomic write-min helpers), and its
+// Commit phase may write only state no other in-flight iterate writes.
+// Under that contract the committed solution is a pure function of the
+// priority order — identical for every window schedule, grain and
+// GOMAXPROCS — which is the paper's Theorem 4.5 argument and the
+// property the service layer's idempotency keys rely on.
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// Per-iterate outcome codes. The engine itself gives meaning only to
+// Undecided: an iterate whose outcome is still Undecided after the
+// commit phase is retried next round; any other value resolves it.
+// Committed and Dropped are the conventional values (aligned with the
+// in/out status codes of the problem packages); a Problem may store any
+// nonzero payload instead — greedy coloring records color+1 — as long
+// as zero keeps meaning "retry".
+const (
+	Undecided int32 = 0
+	Committed int32 = 1
+	Dropped   int32 = 2
+)
+
+// A Problem supplies the two phases of one speculative round over a
+// chunk [lo, hi) of the active window act. Both phases run under
+// parallel.ForRange, so an implementation is called once per chunk —
+// one dynamic dispatch per grain-sized block, not per iterate — and
+// runs concurrently with itself on disjoint chunks. The fork-join
+// barrier between the phases is the only synchronization the engine
+// provides; it is also all the round-synchronous algorithms need.
+//
+// Check decides iterates against the state of previous rounds: for
+// each i in [lo, hi) it may write outcome[i] (leave Undecided to
+// retry) and place reservation bids, but must not write state another
+// active iterate's Check reads this round. Commit applies the
+// decisions: it may write the problem's solution state for iterates it
+// resolves, and must set outcome[i] nonzero for every iterate resolved
+// this round. Both return the number of neighbor/endpoint inspections
+// performed, the paper's fine-grained work measure.
+type Problem interface {
+	Check(act, outcome []int32, lo, hi int) int64
+	Commit(act, outcome []int32, lo, hi int) int64
+}
+
+// A Resetter is implemented by reservation-based problems that must
+// clear this round's bids after the commit phase so stale bids cannot
+// block future rounds. Reset runs as a third fork-join phase.
+type Resetter interface {
+	Reset(act, outcome []int32, lo, hi int)
+}
+
+// Options configures one engine run; the zero value runs the default
+// fixed window (DefaultPrefixFrac of the input) at the default grain.
+type Options struct {
+	// PrefixSize fixes the number of iterates examined per round. If
+	// zero, PrefixFrac is used instead.
+	PrefixSize int
+	// PrefixFrac sets the window as ⌈PrefixFrac·n⌉ (see CeilFrac); if
+	// both are zero, DefaultPrefixFrac applies.
+	PrefixFrac float64
+	// Adaptive replaces the fixed window with the measured
+	// doubling/halving schedule of AdaptiveController. An explicit
+	// PrefixSize/PrefixFrac seeds the initial window; otherwise runs
+	// start at AdaptiveStartWindow. The schedule is a deterministic
+	// function of the per-round counters, so adaptive runs remain
+	// bit-identical across machines and reruns.
+	Adaptive bool
+	// Grain is the parallel-loop grain; 0 means parallel.DefaultGrain.
+	Grain int
+	// OnRound, if non-nil, is called after every round with that
+	// round's statistics, on the round loop's goroutine.
+	OnRound func(RoundStat)
+	// Workspace, if non-nil, supplies the pooled window/outcome buffers
+	// reused across runs. nil allocates fresh buffers.
+	Workspace *Workspace
+}
+
+// PrefixFor resolves the fixed window size the options denote for an
+// input of n iterates: PrefixSize, else ⌈PrefixFrac·n⌉, else
+// ⌈DefaultPrefixFrac·n⌉, clamped to [1, n].
+func (o Options) PrefixFor(n int) int {
+	p := o.PrefixSize
+	if p <= 0 {
+		frac := o.PrefixFrac
+		if frac <= 0 {
+			frac = DefaultPrefixFrac
+		}
+		p = CeilFrac(frac, n)
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// AdaptiveInitial resolves the initial window of an adaptive run: an
+// explicit PrefixSize or PrefixFrac seeds the controller (the fixed
+// configuration becomes the starting point), otherwise the run starts
+// at AdaptiveStartWindow, clamped to [1, n].
+func (o Options) AdaptiveInitial(n int) int {
+	if o.PrefixSize > 0 || o.PrefixFrac > 0 {
+		return o.PrefixFor(n)
+	}
+	w := AdaptiveStartWindow
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o Options) grain() int {
+	if o.Grain <= 0 {
+		return parallel.DefaultGrain
+	}
+	return o.Grain
+}
+
+// Workspace holds the engine's pooled per-run buffers (the active
+// window and the per-iterate outcome array), reused across runs on
+// same-or-smaller inputs. Problem-side state (statuses, mates,
+// reservations) lives in the problem packages' own workspaces. Not
+// safe for concurrent use; the zero value is ready.
+type Workspace struct {
+	active  []int32
+	outcome []int32
+}
+
+// Run executes the speculative-prefix round loop over the iterates of
+// order (a rank→iterate array: order[r] is the iterate with priority
+// rank r) until all of them are resolved, and returns the run's cost
+// counters. ctx is checked once per round — the hot phases never see
+// it — so a cancelled context aborts within one round and returns
+// ctx.Err().
+func Run(ctx context.Context, order []int32, p Problem, opt Options) (Stats, error) {
+	n := len(order)
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
+	}
+	// The window is the per-round cap on attempted iterates: the fixed
+	// prefix, or — under adaptive scheduling — whatever the controller
+	// settled on after the previous round. Any window sequence yields
+	// the same committed solution for a deterministic Problem: the
+	// active set always holds the earliest unresolved iterates in rank
+	// order, and Check only commits iterates whose earlier-priority
+	// dependencies are resolved.
+	window := opt.PrefixFor(n)
+	grain := opt.grain()
+	var ctrl *AdaptiveController
+	if opt.Adaptive {
+		ctrl = NewAdaptiveController(opt.AdaptiveInitial(n), AdaptiveGrowCap(n), n)
+		window = ctrl.Window()
+	}
+	maxWindow := window
+
+	stats := Stats{}
+	active := GrowActive(&ws.active, window)
+	// Hand grown frontier storage back to the workspace: adaptive
+	// windows outgrow the initial capacity by appends, which would
+	// otherwise leave the pooled buffer at its original size.
+	defer func() { ws.active = active[:0] }()
+	var outcome []int32
+	resetter, hasReset := p.(Resetter)
+	nextRank := 0
+	resolved := 0
+	var inspections atomic.Int64
+	var prevInspections int64
+
+	for resolved < n {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		// Refill the window with the earliest unresolved iterates.
+		for len(active) < window && nextRank < n {
+			active = append(active, order[nextRank])
+			nextRank++
+		}
+		// A shrunken window attempts only the earliest unresolved
+		// iterates; the tail of the active set waits for a later round.
+		act := active
+		if len(act) > window {
+			act = act[:window]
+		}
+		roundWindow := window
+		if roundWindow > maxWindow {
+			maxWindow = roundWindow
+		}
+		stats.Rounds++
+		stats.Attempts += int64(len(act))
+		// The outcome array starts every round all-Undecided: problems
+		// are entitled to leave a slot untouched to mean "retry", so
+		// stale values from the previous round must not leak through the
+		// pooled buffer.
+		outcome = Grow32(&ws.outcome, len(act))
+		Fill32(outcome, Undecided)
+
+		// Check phase: decide each active iterate against the state of
+		// previous rounds. The problem writes outcome[i] (and places
+		// reservation bids); the fork-join barrier below makes those
+		// writes visible to the commit phase.
+		parallel.ForRange(len(act), grain, func(lo, hi int) {
+			inspections.Add(p.Check(act, outcome, lo, hi))
+		})
+
+		// Commit phase: apply the decisions to the problem's state.
+		parallel.ForRange(len(act), grain, func(lo, hi int) {
+			inspections.Add(p.Commit(act, outcome, lo, hi))
+		})
+
+		// Reset phase (reservation-based problems only): clear this
+		// round's bids.
+		if hasReset {
+			parallel.ForRange(len(act), grain, func(lo, hi int) {
+				resetter.Reset(act, outcome, lo, hi)
+			})
+		}
+
+		before := len(act)
+		kept := parallel.PackInPlace(act, grain, func(i int) bool {
+			return outcome[i] == Undecided
+		})
+		if len(act) < len(active) {
+			// Slide the unattempted tail up against the kept retries;
+			// both are rank-sorted and every kept retry precedes the
+			// tail, so the active set stays the earliest unresolved
+			// iterates in order.
+			moved := copy(active[len(kept):], active[len(act):])
+			active = active[:len(kept)+moved]
+		} else {
+			active = kept
+		}
+		resolvedThis := before - len(kept)
+		resolved += resolvedThis
+		cur := inspections.Load()
+		if ctrl != nil {
+			ctrl.Observe(before, resolvedThis, cur-prevInspections)
+			window = ctrl.Window()
+		}
+		if opt.OnRound != nil {
+			opt.OnRound(RoundStat{
+				Round:       stats.Rounds,
+				Prefix:      roundWindow,
+				Attempted:   before,
+				Resolved:    resolvedThis,
+				Inspections: cur - prevInspections,
+			})
+		}
+		prevInspections = cur
+	}
+	stats.PrefixSize = maxWindow
+	stats.EdgeInspections = inspections.Load()
+	return stats, nil
+}

@@ -1,0 +1,316 @@
+package engine_test
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+const maxRank = int32(1<<31 - 1)
+
+// residueProblem is a minimal reservation-based Problem: item i belongs
+// to class i%k, and the earliest-priority item of each class commits
+// while every other member drops — the toy analogue of the MIS/MM
+// write-min pattern, exercising all three phases (Check bids, Commit
+// resolves the winning bidder, Reset clears the bids).
+type residueProblem struct {
+	k      int32
+	rank   []int32 // item -> priority rank
+	owner  []int32 // class -> committed rank, maxRank while unowned
+	reserv []int32 // class -> this round's write-min bid
+	result []int32 // item -> final outcome code
+}
+
+func newResidueProblem(n int, k int32, rank []int32) *residueProblem {
+	p := &residueProblem{k: k, rank: rank,
+		owner:  make([]int32, k),
+		reserv: make([]int32, k),
+		result: make([]int32, n),
+	}
+	for c := range p.owner {
+		p.owner[c] = maxRank
+		p.reserv[c] = maxRank
+	}
+	return p
+}
+
+func (p *residueProblem) Check(act, outcome []int32, lo, hi int) int64 {
+	for i := lo; i < hi; i++ {
+		id := act[i]
+		cls := id % p.k
+		if atomic.LoadInt32(&p.owner[cls]) < p.rank[id] {
+			outcome[i] = engine.Dropped
+			p.result[id] = engine.Dropped
+			continue
+		}
+		parallel.WriteMin32(&p.reserv[cls], p.rank[id])
+	}
+	return int64(hi - lo)
+}
+
+func (p *residueProblem) Commit(act, outcome []int32, lo, hi int) int64 {
+	for i := lo; i < hi; i++ {
+		if outcome[i] != engine.Undecided {
+			continue
+		}
+		id := act[i]
+		cls := id % p.k
+		if atomic.LoadInt32(&p.reserv[cls]) == p.rank[id] {
+			atomic.StoreInt32(&p.owner[cls], p.rank[id])
+			outcome[i] = engine.Committed
+			p.result[id] = engine.Committed
+		}
+	}
+	return 0
+}
+
+func (p *residueProblem) Reset(act, outcome []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		atomic.StoreInt32(&p.reserv[act[i]%p.k], maxRank)
+	}
+}
+
+// sequentialResidue is the oracle: scan in rank order, first item of
+// each class wins.
+func sequentialResidue(n int, k int32, order []int32) []int32 {
+	result := make([]int32, n)
+	taken := make([]bool, k)
+	for _, id := range order {
+		if cls := id % k; !taken[cls] {
+			taken[cls] = true
+			result[id] = engine.Committed
+		} else {
+			result[id] = engine.Dropped
+		}
+	}
+	return result
+}
+
+func ranksOf(order []int32) []int32 { return rng.InversePerm(order) }
+
+// The engine must produce the sequential greedy result for every window
+// schedule and grain — on a problem with real cross-round retries (a
+// class whose earliest member is late in rank order keeps its other
+// members bidding and losing until the winner enters the window).
+func TestRunMatchesSequentialEverySchedule(t *testing.T) {
+	const n, k = 3000, 37
+	order := rng.Perm(n, 7)
+	rank := ranksOf(order)
+	want := sequentialResidue(n, k, order)
+	for _, opt := range []engine.Options{
+		{PrefixSize: 1},
+		{PrefixSize: 5, Grain: 2},
+		{PrefixFrac: 0.01},
+		{PrefixFrac: 0.3, Grain: 64},
+		{PrefixFrac: 1},
+		{},
+		{Adaptive: true},
+		{Adaptive: true, PrefixSize: 3},
+		{Adaptive: true, PrefixFrac: 0.02, Grain: 5},
+	} {
+		p := newResidueProblem(n, k, rank)
+		stats, err := engine.Run(context.Background(), order, p, opt)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opt, err)
+		}
+		for id := range p.result {
+			if p.result[id] != want[id] {
+				t.Fatalf("opts %+v: item %d = %d, want %d", opt, id, p.result[id], want[id])
+			}
+		}
+		if stats.Rounds <= 0 || stats.Attempts < int64(n) || stats.EdgeInspections <= 0 {
+			t.Fatalf("opts %+v: implausible stats %+v", opt, stats)
+		}
+	}
+}
+
+// Thread-count independence: the same schedule at different GOMAXPROCS
+// resolves identically (the paper's central operational claim, held by
+// the engine for every Problem honoring the contract).
+func TestRunThreadIndependent(t *testing.T) {
+	const n, k = 5000, 11
+	order := rng.Perm(n, 13)
+	rank := ranksOf(order)
+	want := sequentialResidue(n, k, order)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		p := newResidueProblem(n, k, rank)
+		if _, err := engine.Run(context.Background(), order, p, engine.Options{PrefixFrac: 0.05, Grain: 3}); err != nil {
+			t.Fatal(err)
+		}
+		for id := range p.result {
+			if p.result[id] != want[id] {
+				t.Fatalf("GOMAXPROCS=%d: item %d diverged", procs, id)
+			}
+		}
+	}
+}
+
+// chainProblem resolves item v only after item v-1 has resolved, and
+// leaves outcome slots UNTOUCHED to mean retry — the Problem style that
+// depends on the engine re-zeroing its pooled outcome buffer every
+// round. A stale nonzero value would silently drop a retried iterate.
+type chainProblem struct {
+	done      []int32
+	committed atomic.Int64
+}
+
+func (p *chainProblem) Check(act, outcome []int32, lo, hi int) int64 {
+	for i := lo; i < hi; i++ {
+		v := act[i]
+		if v == 0 || atomic.LoadInt32(&p.done[v-1]) == 1 {
+			outcome[i] = engine.Committed
+		}
+	}
+	return int64(hi - lo)
+}
+
+func (p *chainProblem) Commit(act, outcome []int32, lo, hi int) int64 {
+	for i := lo; i < hi; i++ {
+		if outcome[i] == engine.Committed {
+			atomic.StoreInt32(&p.done[act[i]], 1)
+			p.committed.Add(1)
+		}
+	}
+	return 0
+}
+
+// Reusing one Workspace across runs must not leak the previous run's
+// outcomes into the next: the second run here retries most iterates
+// many times (reverse order = one resolution per round at the chain
+// head), so any stale Committed slot from run one would break it.
+func TestWorkspaceReuseRezeroesOutcomes(t *testing.T) {
+	const n = 300
+	ws := new(engine.Workspace)
+	run := func(order []int32, opt engine.Options) *chainProblem {
+		p := &chainProblem{done: make([]int32, n)}
+		opt.Workspace = ws
+		if _, err := engine.Run(context.Background(), order, p, opt); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Run 1 resolves everything in one round (identity order, full
+	// window), leaving the pooled outcome buffer all-Committed.
+	first := run(rng.Identity(n), engine.Options{PrefixFrac: 1})
+	if got := first.committed.Load(); got != n {
+		t.Fatalf("run 1 committed %d of %d", got, n)
+	}
+	// Run 2 starts from the tail of the chain: every iterate except the
+	// head must stay Undecided for many rounds.
+	rev := make([]int32, n)
+	for i := range rev {
+		rev[i] = int32(n - 1 - i)
+	}
+	second := run(rev, engine.Options{PrefixFrac: 1})
+	if got := second.committed.Load(); got != n {
+		t.Fatalf("run 2 committed %d of %d (stale pooled outcomes?)", got, n)
+	}
+	for v, d := range second.done {
+		if d != 1 {
+			t.Fatalf("run 2 left item %d unresolved", v)
+		}
+	}
+}
+
+// The per-round observer sees a consistent view: attempted sums to
+// Stats.Attempts, resolved sums to n, prefix never exceeds the final
+// Stats.PrefixSize, and rounds arrive in order.
+func TestOnRoundStatsConsistent(t *testing.T) {
+	const n, k = 2000, 17
+	order := rng.Perm(n, 3)
+	p := newResidueProblem(n, k, ranksOf(order))
+	var attempted, resolved, inspections int64
+	lastRound := int64(0)
+	maxPrefix := 0
+	stats, err := engine.Run(context.Background(), order, p, engine.Options{Adaptive: true, OnRound: func(rs engine.RoundStat) {
+		if rs.Round != lastRound+1 {
+			t.Fatalf("round %d after %d", rs.Round, lastRound)
+		}
+		lastRound = rs.Round
+		attempted += int64(rs.Attempted)
+		resolved += int64(rs.Resolved)
+		inspections += rs.Inspections
+		if rs.Prefix > maxPrefix {
+			maxPrefix = rs.Prefix
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastRound != stats.Rounds {
+		t.Fatalf("observer saw %d rounds, stats %d", lastRound, stats.Rounds)
+	}
+	if attempted != stats.Attempts {
+		t.Fatalf("observer attempted %d, stats %d", attempted, stats.Attempts)
+	}
+	if resolved != n {
+		t.Fatalf("observer resolved %d, want %d", resolved, n)
+	}
+	if inspections != stats.EdgeInspections {
+		t.Fatalf("observer inspections %d, stats %d", inspections, stats.EdgeInspections)
+	}
+	if maxPrefix > stats.PrefixSize {
+		t.Fatalf("observer max prefix %d exceeds stats %d", maxPrefix, stats.PrefixSize)
+	}
+}
+
+// Cancellation aborts between rounds with ctx.Err().
+func TestRunCancel(t *testing.T) {
+	const n = 1000
+	order := rng.Perm(n, 1)
+	p := newResidueProblem(n, 7, ranksOf(order))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := engine.Run(ctx, order, p, engine.Options{}); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// PrefixFor / AdaptiveInitial / CeilFrac edge cases.
+func TestWindowResolution(t *testing.T) {
+	cases := []struct {
+		opt  engine.Options
+		n    int
+		want int
+	}{
+		{engine.Options{PrefixSize: 10}, 100, 10},
+		{engine.Options{PrefixSize: 10}, 5, 5},           // clamp to n
+		{engine.Options{PrefixFrac: 0.5}, 10, 5},         // ceil(0.5*10)
+		{engine.Options{PrefixFrac: 0.001}, 10, 1},       // floor at 1
+		{engine.Options{}, 1000, engine.CeilFrac(engine.DefaultPrefixFrac, 1000)},
+		{engine.Options{PrefixSize: 3, PrefixFrac: 0.9}, 100, 3}, // size wins
+	}
+	for _, c := range cases {
+		if got := c.opt.PrefixFor(c.n); got != c.want {
+			t.Errorf("PrefixFor(%+v, %d) = %d, want %d", c.opt, c.n, got, c.want)
+		}
+	}
+	if got := (engine.Options{}).AdaptiveInitial(1 << 20); got != engine.AdaptiveStartWindow {
+		t.Errorf("AdaptiveInitial default = %d, want %d", got, engine.AdaptiveStartWindow)
+	}
+	if got := (engine.Options{}).AdaptiveInitial(10); got != 10 {
+		t.Errorf("AdaptiveInitial clamp = %d, want 10", got)
+	}
+	if got := (engine.Options{PrefixSize: 64}).AdaptiveInitial(1 << 20); got != 64 {
+		t.Errorf("AdaptiveInitial explicit = %d, want 64", got)
+	}
+}
+
+// An empty order resolves immediately with zero rounds.
+func TestRunEmpty(t *testing.T) {
+	p := newResidueProblem(0, 1, nil)
+	stats, err := engine.Run(context.Background(), nil, p, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 0 || stats.Attempts != 0 {
+		t.Fatalf("empty run produced stats %+v", stats)
+	}
+}

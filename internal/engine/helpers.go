@@ -1,0 +1,60 @@
+package engine
+
+import "math"
+
+// Pooled-buffer and window-arithmetic helpers, the single source of
+// truth the algorithm packages share (they used to carry per-package
+// copies).
+
+// Grow32 returns *buf resized to n int32s, reallocating only when the
+// pooled capacity is insufficient. Contents are unspecified: callers
+// must reinitialize the slice (Fill32 or full overwrite) before reads.
+func Grow32(buf *[]int32, n int) []int32 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]int32, n)
+	}
+	s = s[:n]
+	*buf = s
+	return s
+}
+
+// Fill32 sets every element of s to v.
+func Fill32(s []int32, v int32) {
+	for i := range s {
+		s[i] = v
+	}
+}
+
+// GrowActive returns an empty int32 slice with capacity at least n
+// backed by *buf, for frontier/window arrays rebuilt by appends.
+func GrowActive(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, 0, n)
+	}
+	return (*buf)[:0]
+}
+
+// DefaultPrefixFrac is the default prefix fraction, chosen near the
+// running-time optimum the paper observes (prefix/input between 1e-3
+// and 1e-2 on both inputs).
+const DefaultPrefixFrac = 0.005
+
+// CeilFrac returns ⌈frac·n⌉ with integer rounding semantics: a decimal
+// fraction whose binary representation lands the product a hair above
+// an integer (0.005·1000 = 5.000000000000001 in float64) still yields
+// that integer, not one past it. The product is nudged down by one part
+// in 10^12 — orders of magnitude above the representation error of any
+// (frac, n) pair in range, orders of magnitude below one iterate —
+// before the ceiling, so the result is the documented value on every
+// platform instead of whatever int truncation of the raw product gives.
+// frac ≥ 1 returns n; frac ≤ 0 or n ≤ 0 returns 0.
+func CeilFrac(frac float64, n int) int {
+	if n <= 0 || frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return n
+	}
+	return int(math.Ceil(frac * float64(n) * (1 - 1e-12)))
+}

@@ -1,0 +1,57 @@
+package engine
+
+import "fmt"
+
+// Stats records machine-independent cost measures of a run, the
+// quantities plotted by the paper's Figures 1 and 2.
+type Stats struct {
+	// Rounds is the number of outer-loop rounds: prefixes taken by the
+	// prefix-based algorithm (one per round, failed iterates retried),
+	// steps of the step-synchronous algorithms, or rounds of Luby. The
+	// paper uses it as the (inverse) parallelism estimate in Figures
+	// 1(b)/1(e). A sequential run has Rounds == number of items.
+	Rounds int64
+	// Attempts is the total number of iterate-processings summed over
+	// rounds, the paper's "total work" (Figures 1(a)/1(d)): a sequential
+	// run attempts each item exactly once, so Attempts == items; parallel
+	// runs retry failed iterates and so do more work.
+	Attempts int64
+	// EdgeInspections counts neighbor-status reads, a finer-grained work
+	// measure reported alongside Attempts.
+	EdgeInspections int64
+	// PrefixSize is the resolved prefix size used by prefix-based runs
+	// (0 for the other algorithms). Adaptive runs report the largest
+	// window any round actually used (a growth decision after the final
+	// round is not reported — no round ran at that size).
+	PrefixSize int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("rounds=%d attempts=%d inspections=%d prefix=%d",
+		s.Rounds, s.Attempts, s.EdgeInspections, s.PrefixSize)
+}
+
+// RoundStat describes one completed round of a round-synchronous
+// algorithm, passed to Options.OnRound. Summed over a run, Attempted is
+// the paper's total work (Figure 1(a)/1(d)), the number of callbacks is
+// Rounds (Figure 1(b)/1(e)), and Inspections is the edge-inspection
+// work measure — so an observer sees the paper's Figure 1 quantities
+// accumulate live.
+type RoundStat struct {
+	// Round is the 1-based round index.
+	Round int64
+	// Prefix is the window size of this round: the maximum number of
+	// iterates attempted (0 for algorithms without a prefix window).
+	// Fixed-prefix runs report the same value every round; adaptive
+	// runs report the controller's current window, so an observer
+	// watches the schedule evolve.
+	Prefix int
+	// Attempted is the number of iterates processed this round.
+	Attempted int
+	// Resolved is the number of iterates that reached their final
+	// status (accepted into the solution or ruled out) this round.
+	Resolved int
+	// Inspections is the number of neighbor/endpoint status reads
+	// performed this round.
+	Inspections int64
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 )
@@ -37,12 +38,16 @@ func PrefixMM(el graph.EdgeList, ord core.Order, opt Options) *Result {
 // PrefixMMCtx is PrefixMM with cooperative cancellation: ctx is checked
 // once per round, so a cancelled context aborts within one round and
 // returns ctx.Err(). Pooled buffers come from opt.Workspace when set.
+//
+// The round loop is the shared speculative-prefix engine
+// (internal/engine); this function contributes the matching problem:
+// reserve both endpoints in the check phase, commit when holding both
+// reservations, clear the bids in the reset phase.
 func PrefixMMCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Options) (*Result, error) {
 	m := el.NumEdges()
 	if ord.Len() != m {
 		panic("matching: order size does not match edge list")
 	}
-	const maxRank = int32(1<<31 - 1)
 	ws := opt.Workspace
 	if ws == nil {
 		ws = new(Workspace)
@@ -55,135 +60,85 @@ func PrefixMMCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Opt
 	// vertex v this round.
 	reserv := grow32(&ws.reserv, el.N)
 	fill32(reserv, maxRank)
-	rank := ord.Rank
-	prefix := opt.prefixFor(m)
-	grain := opt.grain()
-	// Per-round window cap: fixed, or driven by the adaptive
-	// controller. Any window sequence returns the sequential greedy
-	// matching — the active set always holds the earliest unresolved
-	// edges in rank order (see PrefixMM).
-	window := prefix
-	var ctrl *core.AdaptiveController
-	if opt.Adaptive {
-		ctrl = core.NewAdaptiveController(opt.adaptiveInitial(m), core.AdaptiveGrowCap(m), m)
-		window = ctrl.Window()
+
+	prob := &mmProblem{el: el, rank: ord.Rank, status: status, mate: mate, reserv: reserv}
+	stats, err := engine.Run(ctx, ord.Order, prob, opt.engineOptions(&ws.eng))
+	if err != nil {
+		return nil, err
 	}
-	maxWindow := window
-
-	stats := Stats{}
-	var inspections atomic.Int64
-	var prevInspections int64
-	active := growActive(&ws.active, window)
-	defer func() { ws.active = active[:0] }()
-	nextRank := 0
-	resolved := 0
-
-	for resolved < m {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		for len(active) < window && nextRank < m {
-			active = append(active, ord.Order[nextRank])
-			nextRank++
-		}
-		// A shrunken window attempts only the earliest unresolved
-		// edges; the tail waits for a later round.
-		act := active
-		if len(act) > window {
-			act = act[:window]
-		}
-		roundWindow := window
-		if roundWindow > maxWindow {
-			maxWindow = roundWindow
-		}
-		stats.Rounds++
-		stats.Attempts += int64(len(act))
-
-		// Phase 1: reserve. An edge whose endpoint is already matched
-		// resolves immediately; otherwise it bids for both endpoints.
-		parallel.ForRange(len(act), grain, func(lo, hi int) {
-			var local int64
-			for i := lo; i < hi; i++ {
-				e := act[i]
-				edge := el.Edges[e]
-				local += 2
-				if atomic.LoadInt32(&mate[edge.U]) != unmatched ||
-					atomic.LoadInt32(&mate[edge.V]) != unmatched {
-					atomic.StoreInt32(&status[e], statusOut)
-					continue
-				}
-				re := rank[e]
-				parallel.WriteMin32(&reserv[edge.U], re)
-				parallel.WriteMin32(&reserv[edge.V], re)
-			}
-			inspections.Add(local)
-		})
-
-		// Phase 2: commit. An edge holding both endpoints is matched;
-		// it is the earliest unresolved edge on both sides.
-		parallel.ForRange(len(act), grain, func(lo, hi int) {
-			var local int64
-			for i := lo; i < hi; i++ {
-				e := act[i]
-				if atomic.LoadInt32(&status[e]) != statusUndecided {
-					continue
-				}
-				edge := el.Edges[e]
-				re := rank[e]
-				local += 2
-				if atomic.LoadInt32(&reserv[edge.U]) == re &&
-					atomic.LoadInt32(&reserv[edge.V]) == re {
-					atomic.StoreInt32(&status[e], statusIn)
-					atomic.StoreInt32(&mate[edge.U], edge.V)
-					atomic.StoreInt32(&mate[edge.V], edge.U)
-				}
-			}
-			inspections.Add(local)
-		})
-
-		// Phase 3: clear this round's reservations so stale bids from
-		// failed or resolved edges cannot block future rounds.
-		parallel.ForRange(len(act), grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				edge := el.Edges[act[i]]
-				atomic.StoreInt32(&reserv[edge.U], maxRank)
-				atomic.StoreInt32(&reserv[edge.V], maxRank)
-			}
-		})
-
-		before := len(act)
-		kept := parallel.PackInPlace(act, grain, func(i int) bool {
-			return status[act[i]] == statusUndecided
-		})
-		if len(act) < len(active) {
-			// Slide the unattempted tail up against the kept retries;
-			// rank order is preserved on both sides of the seam.
-			moved := copy(active[len(kept):], active[len(act):])
-			active = active[:len(kept)+moved]
-		} else {
-			active = kept
-		}
-		resolvedThis := before - len(kept)
-		resolved += resolvedThis
-		cur := inspections.Load()
-		if ctrl != nil {
-			ctrl.Observe(before, resolvedThis, cur-prevInspections)
-			window = ctrl.Window()
-		}
-		if opt.OnRound != nil {
-			opt.OnRound(core.RoundStat{
-				Round:       stats.Rounds,
-				Prefix:      roundWindow,
-				Attempted:   before,
-				Resolved:    resolvedThis,
-				Inspections: cur - prevInspections,
-			})
-		}
-		prevInspections = cur
-	}
-	stats.PrefixSize = maxWindow
-	stats.EdgeInspections = inspections.Load()
 	return newResult(el, status, stats), nil
+}
+
+// maxRank is the neutral reservation value: larger than any edge rank.
+const maxRank = int32(1<<31 - 1)
+
+// mmProblem is the engine adapter for deterministic-reservation
+// matching. The endpoint arrays (mate, reserv) are shared between
+// concurrently checked edges, so cross-edge writes go through atomics:
+// a priority write-min for the bids, plain atomic stores elsewhere
+// (two committing edges never share an endpoint — both hold their
+// endpoints' reservations — so those stores are race-free, and the
+// loads pair with them for the race detector's benefit).
+type mmProblem struct {
+	el     graph.EdgeList
+	rank   []int32
+	status []int32
+	mate   []int32
+	reserv []int32
+}
+
+// Check is the reserve phase: an edge whose endpoint is already matched
+// resolves immediately; otherwise it bids for both endpoints.
+func (p *mmProblem) Check(act, outcome []int32, lo, hi int) int64 {
+	var local int64
+	for i := lo; i < hi; i++ {
+		e := act[i]
+		edge := p.el.Edges[e]
+		local += 2
+		if atomic.LoadInt32(&p.mate[edge.U]) != unmatched ||
+			atomic.LoadInt32(&p.mate[edge.V]) != unmatched {
+			atomic.StoreInt32(&p.status[e], statusOut)
+			outcome[i] = engine.Dropped
+			continue
+		}
+		re := p.rank[e]
+		parallel.WriteMin32(&p.reserv[edge.U], re)
+		parallel.WriteMin32(&p.reserv[edge.V], re)
+	}
+	return local
+}
+
+// Commit matches every edge holding both of its endpoints' reservations:
+// it is the earliest unresolved edge on both sides.
+func (p *mmProblem) Commit(act, outcome []int32, lo, hi int) int64 {
+	var local int64
+	for i := lo; i < hi; i++ {
+		if outcome[i] != engine.Undecided {
+			continue
+		}
+		e := act[i]
+		edge := p.el.Edges[e]
+		re := p.rank[e]
+		local += 2
+		if atomic.LoadInt32(&p.reserv[edge.U]) == re &&
+			atomic.LoadInt32(&p.reserv[edge.V]) == re {
+			atomic.StoreInt32(&p.status[e], statusIn)
+			outcome[i] = engine.Committed
+			atomic.StoreInt32(&p.mate[edge.U], edge.V)
+			atomic.StoreInt32(&p.mate[edge.V], edge.U)
+		}
+	}
+	return local
+}
+
+// Reset clears this round's reservations so stale bids from failed or
+// resolved edges cannot block future rounds.
+func (p *mmProblem) Reset(act, outcome []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		edge := p.el.Edges[act[i]]
+		atomic.StoreInt32(&p.reserv[edge.U], maxRank)
+		atomic.StoreInt32(&p.reserv[edge.V], maxRank)
+	}
 }
 
 // ParallelMM is Algorithm 4 proper: PrefixMM run with the full edge set

@@ -14,6 +14,7 @@ package matching
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 )
@@ -104,39 +105,19 @@ type Options struct {
 	Workspace *Workspace
 }
 
-func (o Options) prefixFor(m int) int {
-	p := o.PrefixSize
-	if p <= 0 {
-		frac := o.PrefixFrac
-		if frac <= 0 {
-			frac = core.DefaultPrefixFrac
-		}
-		// Integer ceiling (⌈frac·m⌉): float truncation used to land one
-		// below the documented prefix for fractions like 0.005.
-		p = core.CeilFrac(frac, m)
+// engineOptions translates the matching options into the engine's form,
+// wiring the pooled window buffers when ws is non-nil. Prefix
+// resolution (size/frac/default, adaptive seeding) lives in the engine,
+// the single source of truth shared with the other problem packages.
+func (o Options) engineOptions(ws *engine.Workspace) engine.Options {
+	return engine.Options{
+		PrefixSize: o.PrefixSize,
+		PrefixFrac: o.PrefixFrac,
+		Adaptive:   o.Adaptive,
+		Grain:      o.Grain,
+		OnRound:    o.OnRound,
+		Workspace:  ws,
 	}
-	if p < 1 {
-		p = 1
-	}
-	if p > m {
-		p = m
-	}
-	return p
-}
-
-// adaptiveInitial mirrors core.Options.adaptiveInitial for edge inputs.
-func (o Options) adaptiveInitial(m int) int {
-	if o.PrefixSize > 0 || o.PrefixFrac > 0 {
-		return o.prefixFor(m)
-	}
-	w := core.AdaptiveStartWindow
-	if w > m {
-		w = m
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
 }
 
 func (o Options) grain() int {

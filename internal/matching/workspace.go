@@ -1,6 +1,9 @@
 package matching
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
 
 // Workspace holds the pooled per-run buffers of the matching algorithms
 // (statuses, mates, reservations, frontier arrays), reused across runs
@@ -15,6 +18,7 @@ type Workspace struct {
 	active  []int32
 	claimed []int32
 	stamp   []int32
+	eng     engine.Workspace
 }
 
 // Pooled-buffer helpers shared with the other algorithm packages.

@@ -29,7 +29,7 @@ func TestE2ELoadgenSmoke(t *testing.T) {
 		jobsPerWkr = 25
 		seedPool   = 3
 	)
-	problems := []string{"mis", "mm", "sf"}
+	problems := []string{"mis", "mm", "sf", "coloring", "hittingset"}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -78,8 +78,8 @@ func TestE2ELoadgenSmoke(t *testing.T) {
 	if snap.Jobs.Submitted != workers*jobsPerWkr {
 		t.Fatalf("submitted %d, want %d", snap.Jobs.Submitted, workers*jobsPerWkr)
 	}
-	// At most 3 problems x 3 seeds distinct specs can execute; the other
-	// ~91 submissions must be dedup hits.
+	// At most 5 problems x 3 seeds distinct specs can execute; the
+	// remaining submissions must be dedup hits.
 	maxExec := int64(len(problems) * seedPool)
 	if snap.Jobs.Executed > maxExec {
 		t.Fatalf("executed %d, want <= %d (dedup broken)", snap.Jobs.Executed, maxExec)

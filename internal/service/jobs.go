@@ -24,21 +24,26 @@ import (
 // Problem names a computation the service can run.
 type Problem string
 
-// The three problems of the paper: maximal independent set, maximal
-// matching, and the §7 spanning forest extension.
+// The problems the service runs: the paper's maximal independent set
+// and maximal matching, the §7 spanning forest extension, and the two
+// further greedy problems opened by the shared speculative engine —
+// first-fit graph coloring and greedy hitting set (as greedy vertex
+// cover: each edge a two-element set over its endpoints).
 const (
-	ProblemMIS Problem = "mis"
-	ProblemMM  Problem = "mm"
-	ProblemSF  Problem = "sf"
+	ProblemMIS        Problem = "mis"
+	ProblemMM         Problem = "mm"
+	ProblemSF         Problem = "sf"
+	ProblemColoring   Problem = "coloring"
+	ProblemHittingSet Problem = "hittingset"
 )
 
 // ParseProblem validates a problem name.
 func ParseProblem(s string) (Problem, error) {
 	switch Problem(s) {
-	case ProblemMIS, ProblemMM, ProblemSF:
+	case ProblemMIS, ProblemMM, ProblemSF, ProblemColoring, ProblemHittingSet:
 		return Problem(s), nil
 	default:
-		return "", fmt.Errorf("service: unknown problem %q (want mis|mm|sf)", s)
+		return "", fmt.Errorf("service: unknown problem %q (want mis|mm|sf|coloring|hittingset)", s)
 	}
 }
 
@@ -111,12 +116,15 @@ func (s JobSpec) Validate() error {
 	if p.Algorithm == greedy.AlgoLuby && s.Problem != ProblemMIS {
 		return fmt.Errorf("service: algorithm %q applies to MIS only", p.Algorithm)
 	}
-	// The spanning-forest facade implements only the sequential scan
-	// and the prefix-based algorithm; accepting other names would run
-	// prefix while reporting a different algorithm in the payload and
-	// split one computation across several dedup keys.
-	if s.Problem == ProblemSF && p.Algorithm != greedy.AlgoPrefix && p.Algorithm != greedy.AlgoSequential {
-		return fmt.Errorf("service: spanning forest supports algorithms prefix|sequential, not %q", p.Algorithm)
+	// The spanning forest, coloring and hitting set facades implement
+	// only the sequential scan and the prefix-based algorithm; accepting
+	// other names would run prefix while reporting a different algorithm
+	// in the payload and split one computation across several dedup keys.
+	switch s.Problem {
+	case ProblemSF, ProblemColoring, ProblemHittingSet:
+		if p.Algorithm != greedy.AlgoPrefix && p.Algorithm != greedy.AlgoSequential {
+			return fmt.Errorf("service: problem %q supports algorithms prefix|sequential, not %q", s.Problem, p.Algorithm)
+		}
 	}
 	// Adaptive scheduling adapts the prefix algorithm's window; the
 	// other algorithms have none, and accepting the combination would
@@ -127,7 +135,7 @@ func (s JobSpec) Validate() error {
 	// Dynamic (churn-stable) priorities exist for MIS and MM only, and
 	// Luby regenerates priorities every round — there is nothing for a
 	// session to maintain.
-	if p.Dynamic && s.Problem == ProblemSF {
+	if p.Dynamic && s.Problem != ProblemMIS && s.Problem != ProblemMM {
 		return fmt.Errorf("service: dynamic plans support problems mis|mm, not %q", s.Problem)
 	}
 	if p.Dynamic && p.Algorithm == greedy.AlgoLuby {
@@ -785,6 +793,35 @@ func (e *Engine) execute(job *Job, solver *greedy.Solver) (payload ResultPayload
 		} else {
 			payload.MembersOmitted = true
 		}
+	case ProblemColoring:
+		res, rerr := solver.Coloring(job.ctx, g, opts...)
+		if rerr != nil {
+			return payload, rerr
+		}
+		// Size is the number of colors used — the figure of merit for a
+		// coloring; Members carries the full color assignment (one int32
+		// per vertex, not a membership subset).
+		payload.Size = res.NumColors
+		payload.Checksum = colorsChecksum(res.Colors)
+		payload.Stats = res.Stats
+		if len(res.Colors) <= memberCap {
+			payload.Members = res.Colors
+		} else {
+			payload.MembersOmitted = true
+		}
+	case ProblemHittingSet:
+		res, rerr := solver.HittingSet(job.ctx, greedy.HittingSystemFromEdges(h.EdgeList()), opts...)
+		if rerr != nil {
+			return payload, rerr
+		}
+		payload.Size = res.Size()
+		payload.Checksum = membershipChecksum(res.InSet)
+		payload.Stats = res.Stats
+		if len(res.Set) <= memberCap {
+			payload.Members = res.Set
+		} else {
+			payload.MembersOmitted = true
+		}
 	default:
 		return payload, fmt.Errorf("service: unknown problem %q", job.Spec.Problem)
 	}
@@ -992,6 +1029,25 @@ func pairsOf(edges []graph.Edge) [][2]int32 {
 		out[i] = [2]int32{e.U, e.V}
 	}
 	return out
+}
+
+// colorsChecksum commits to a full color assignment with FNV-1a over
+// the little-endian int32 colors — the coloring analogue of
+// membershipChecksum (whose vector is boolean membership, not values).
+func colorsChecksum(colors []int32) string {
+	h := fnv.New64a()
+	buf := make([]byte, 0, 1<<14)
+	var b [4]byte
+	for _, c := range colors {
+		binary.LittleEndian.PutUint32(b[:], uint32(c))
+		buf = append(buf, b[:]...)
+		if len(buf)+4 > cap(buf) {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	h.Write(buf)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // membershipChecksum commits to a full membership vector with FNV-1a,

@@ -1,0 +1,274 @@
+package setcover
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/parallel"
+)
+
+// Element statuses; monotone undecided -> {in, out} exactly once, with
+// the values shared with the engine's outcome codes.
+const (
+	statusUndecided = engine.Undecided
+	statusIn        = engine.Committed
+	statusOut       = engine.Dropped
+)
+
+// Stats reuses the engine counters (Rounds, Attempts, EdgeInspections —
+// here element-of-set inspections — and PrefixSize).
+type Stats = core.Stats
+
+// Result is the outcome of a greedy hitting set computation.
+type Result struct {
+	// InSet[e] reports whether element e is in the hitting set.
+	InSet []bool
+	// Set lists the chosen elements in increasing element order.
+	Set []int32
+	// Stats are the run's cost counters.
+	Stats Stats
+}
+
+func newResult(status []int32, stats Stats) *Result {
+	n := len(status)
+	in := make([]bool, n)
+	parallel.For(n, 4096, func(i int) {
+		in[i] = status[i] == statusIn
+	})
+	set := parallel.PackIndex(n, 4096, func(i int) bool { return in[i] })
+	return &Result{InSet: in, Set: set, Stats: stats}
+}
+
+// Size returns the number of chosen elements.
+func (r *Result) Size() int { return len(r.Set) }
+
+// Equal reports whether two results choose exactly the same elements.
+func (r *Result) Equal(other *Result) bool {
+	if len(r.InSet) != len(other.InSet) {
+		return false
+	}
+	for i := range r.InSet {
+		if r.InSet[i] != other.InSet[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Options configures the parallel hitting set algorithm; the fields
+// mirror core.Options (PrefixSize/PrefixFrac apply to the number of
+// elements).
+type Options struct {
+	PrefixSize int
+	PrefixFrac float64
+	Grain      int
+	// Adaptive replaces the fixed window with the engine's measured
+	// schedule (see core.Options.Adaptive); the hitting set stays
+	// bit-identical to the sequential greedy one for every schedule.
+	Adaptive bool
+	// OnRound, if non-nil, is called after every round with that round's
+	// statistics (see core.RoundStat), on the round loop's goroutine.
+	OnRound func(core.RoundStat)
+	// Workspace, if non-nil, supplies pooled per-run buffers reused
+	// across runs. nil means allocate fresh buffers.
+	Workspace *Workspace
+}
+
+// engineOptions translates the options into the engine's form, wiring
+// the pooled window buffers when ws is non-nil.
+func (o Options) engineOptions(ws *engine.Workspace) engine.Options {
+	return engine.Options{
+		PrefixSize: o.PrefixSize,
+		PrefixFrac: o.PrefixFrac,
+		Adaptive:   o.Adaptive,
+		Grain:      o.Grain,
+		OnRound:    o.OnRound,
+		Workspace:  ws,
+	}
+}
+
+// seqCancelMask paces the sequential scan's cancellation checks, as in
+// core.SequentialMISCtx.
+const seqCancelMask = 1<<12 - 1
+
+// SequentialHittingSet computes the greedy hitting set of s under ord:
+// elements in priority order, each joining the hitting set exactly when
+// some set containing it is not yet hit.
+func SequentialHittingSet(s *System, ord core.Order) *Result {
+	res, err := SequentialHittingSetCtx(context.Background(), s, ord, Options{})
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// SequentialHittingSetCtx is SequentialHittingSet with cooperative
+// cancellation (ctx is checked every few thousand elements). Pooled
+// buffers come from opt.Workspace when set.
+func SequentialHittingSetCtx(ctx context.Context, s *System, ord core.Order, opt Options) (*Result, error) {
+	n := s.NumElements()
+	if ord.Len() != n {
+		panic("setcover: order size does not match system")
+	}
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
+	}
+	status := engine.Grow32(&ws.status, n)
+	engine.Fill32(status, statusUndecided)
+	hit := engine.Grow32(&ws.hit, s.NumSets())
+	engine.Fill32(hit, 0)
+
+	var inspections int64
+	for r := 0; r < n; r++ {
+		if r&seqCancelMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		e := ord.Order[r]
+		needed := false
+		for _, id := range s.SetsOf(e) {
+			inspections++
+			if hit[id] == 0 {
+				needed = true
+				break
+			}
+		}
+		if needed {
+			status[e] = statusIn
+			for _, id := range s.SetsOf(e) {
+				hit[id] = 1
+			}
+		} else {
+			status[e] = statusOut
+		}
+	}
+	return newResult(status, Stats{
+		Rounds:          int64(n),
+		Attempts:        int64(n),
+		EdgeInspections: inspections,
+	}), nil
+}
+
+// PrefixHittingSet computes the greedy hitting set with the
+// prefix-based speculative engine. Each round, every active element
+// examines its sets against the earlier-priority elements of each:
+//
+//   - if some set containing the element has ALL of its earlier
+//     elements decided out, that set is definitely unhit when the
+//     element's sequential turn comes, so the element joins the
+//     hitting set (vacuously, a set with no earlier elements);
+//   - if every set containing the element is already hit by an earlier
+//     element that is in, the element is definitely redundant and
+//     drops out (vacuously, an element contained in no set);
+//   - otherwise some set's fate still depends on an undecided earlier
+//     element, and the element retries next round.
+//
+// The earliest active element always decides, so the loop makes
+// progress, and because an element decides only from final
+// earlier-priority state the result equals the sequential greedy
+// hitting set for every window schedule, grain and thread count.
+func PrefixHittingSet(s *System, ord core.Order, opt Options) *Result {
+	res, err := PrefixHittingSetCtx(context.Background(), s, ord, opt)
+	if err != nil {
+		panic(err) // unreachable: only cancellation can fail
+	}
+	return res
+}
+
+// PrefixHittingSetCtx is PrefixHittingSet with cooperative
+// cancellation: ctx is checked once per round, so a cancelled context
+// aborts within one round and returns ctx.Err(). Pooled buffers come
+// from opt.Workspace when set.
+func PrefixHittingSetCtx(ctx context.Context, s *System, ord core.Order, opt Options) (*Result, error) {
+	n := s.NumElements()
+	if ord.Len() != n {
+		panic("setcover: order size does not match system")
+	}
+	ws := opt.Workspace
+	if ws == nil {
+		ws = new(Workspace)
+	}
+	status := engine.Grow32(&ws.status, n)
+	engine.Fill32(status, statusUndecided)
+
+	prob := &hsProblem{sys: s, rank: ord.Rank, status: status}
+	stats, err := engine.Run(ctx, ord.Order, prob, opt.engineOptions(&ws.eng))
+	if err != nil {
+		return nil, err
+	}
+	return newResult(status, stats), nil
+}
+
+// hsProblem is the engine adapter for greedy hitting set. Like the MIS
+// problem it needs no atomics: the check phase reads only statuses
+// written in previous rounds and the commit phase writes each element's
+// own status, with the engine's fork-join barrier as the only
+// synchronization.
+type hsProblem struct {
+	sys    *System
+	rank   []int32
+	status []int32
+}
+
+func (p *hsProblem) Check(act, outcome []int32, lo, hi int) int64 {
+	var local int64
+	for i := lo; i < hi; i++ {
+		var insp int64
+		outcome[i], insp = checkHitting(p.sys, act[i], p.rank, p.status)
+		local += insp
+	}
+	return local
+}
+
+func (p *hsProblem) Commit(act, outcome []int32, lo, hi int) int64 {
+	for i := lo; i < hi; i++ {
+		if outcome[i] != statusUndecided {
+			p.status[act[i]] = outcome[i]
+		}
+	}
+	return 0
+}
+
+// checkHitting decides element e against the earlier-priority elements
+// of its sets; see PrefixHittingSet for the rule. Returns the decision
+// (statusUndecided to retry) and the number of element inspections.
+func checkHitting(s *System, e int32, rank []int32, status []int32) (int32, int64) {
+	re := rank[e]
+	var inspections int64
+	allHit := true
+	for _, id := range s.SetsOf(e) {
+		allEarlierOut := true
+		hitByEarlier := false
+		for _, x := range s.ElemsOf(id) {
+			if rank[x] >= re {
+				continue
+			}
+			inspections++
+			switch status[x] {
+			case statusIn:
+				hitByEarlier = true
+			case statusUndecided:
+				allEarlierOut = false
+			default: // out: keeps allEarlierOut
+			}
+			if hitByEarlier {
+				break
+			}
+		}
+		if hitByEarlier {
+			continue
+		}
+		if allEarlierOut {
+			// Definitely unhit at e's sequential turn: e is needed.
+			return statusIn, inspections
+		}
+		allHit = false
+	}
+	if allHit {
+		return statusOut, inspections
+	}
+	return statusUndecided, inspections
+}

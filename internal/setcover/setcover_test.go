@@ -1,0 +1,177 @@
+package setcover
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// randomSystem builds a random set system with n elements and m sets of
+// size up to k, deterministic in seed. Some elements may appear in no
+// set and some sets may be empty.
+func randomSystem(n, m, k int, seed uint64) *System {
+	x := rng.NewXoshiro256(seed)
+	sets := make([][]int32, m)
+	for i := range sets {
+		sz := x.Intn(k + 1)
+		set := make([]int32, 0, sz)
+		for j := 0; j < sz; j++ {
+			set = append(set, int32(x.Intn(n)))
+		}
+		sets[i] = set
+	}
+	return MustFromSets(n, sets)
+}
+
+func testSystems(tb testing.TB) map[string]*System {
+	return map[string]*System{
+		"random":     randomSystem(500, 300, 6, 11),
+		"wide":       randomSystem(200, 40, 30, 7),
+		"singleton":  randomSystem(100, 400, 1, 3),
+		"vertexcov":  FromEdges(graph.Random(400, 1600, 5).EdgeList()),
+		"gridcov":    FromEdges(graph.Grid2D(20, 20).EdgeList()),
+		"emptysets":  MustFromSets(50, [][]int32{{}, {3, 4}, {}, {10}}),
+		"nosets":     MustFromSets(64, nil),
+		"duplicates": MustFromSets(8, [][]int32{{1, 1, 2}, {2, 2}, {0, 7, 7}}),
+	}
+}
+
+// The prefix hitting set must equal the sequential greedy one for every
+// prefix size, fraction and grain — the engine-parity oracle for the
+// hitting set problem.
+func TestPrefixHittingSetMatchesSequential(t *testing.T) {
+	for name, s := range testSystems(t) {
+		n := s.NumElements()
+		ord := core.NewRandomOrder(n, 99)
+		want := SequentialHittingSet(s, ord)
+		if err := s.Verify(want.InSet); err != nil {
+			t.Fatalf("%s: sequential reference invalid: %v", name, err)
+		}
+		for _, opt := range []Options{
+			{PrefixSize: 1},
+			{PrefixSize: 7, Grain: 3},
+			{PrefixFrac: 0.01},
+			{PrefixFrac: 0.2, Grain: 17},
+			{PrefixFrac: 1},
+			{Adaptive: true},
+			{Adaptive: true, PrefixFrac: 0.05},
+		} {
+			got := PrefixHittingSet(s, ord, opt)
+			if !got.Equal(want) {
+				t.Fatalf("%s opts %+v: prefix hitting set differs from sequential (%d vs %d)", name, opt, got.Size(), want.Size())
+			}
+			if err := s.Verify(got.InSet); err != nil {
+				t.Fatalf("%s opts %+v: %v", name, opt, err)
+			}
+		}
+	}
+}
+
+// Determinism across thread counts: the paper's central claim carries
+// to the hitting set problem on the shared engine.
+func TestPrefixHittingSetThreadIndependent(t *testing.T) {
+	s := randomSystem(900, 700, 8, 21)
+	ord := core.NewRandomOrder(900, 5)
+	want := SequentialHittingSet(s, ord)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		got := PrefixHittingSet(s, ord, Options{PrefixFrac: 0.05, Grain: 7})
+		if !got.Equal(want) {
+			t.Fatalf("GOMAXPROCS=%d: hitting set differs from sequential", procs)
+		}
+		adaptive := PrefixHittingSet(s, ord, Options{Adaptive: true})
+		if !adaptive.Equal(want) {
+			t.Fatalf("GOMAXPROCS=%d: adaptive hitting set differs from sequential", procs)
+		}
+	}
+}
+
+// Greedy vertex cover via FromEdges: the chosen elements must cover
+// every edge.
+func TestHittingSetCoversEdges(t *testing.T) {
+	g := graph.Random(300, 1200, 9)
+	el := g.EdgeList()
+	s := FromEdges(el)
+	ord := core.NewRandomOrder(s.NumElements(), 13)
+	res := PrefixHittingSet(s, ord, Options{})
+	for _, e := range el.Edges {
+		if !res.InSet[e.U] && !res.InSet[e.V] {
+			t.Fatalf("edge {%d,%d} uncovered", e.U, e.V)
+		}
+	}
+}
+
+// Workspace reuse must not leak state between runs.
+func TestHittingSetWorkspaceReuse(t *testing.T) {
+	ws := new(Workspace)
+	big := randomSystem(500, 350, 6, 1)
+	small := randomSystem(40, 30, 4, 2)
+	bigOrd := core.NewRandomOrder(500, 1)
+	smallOrd := core.NewRandomOrder(40, 2)
+	wantBig := SequentialHittingSet(big, bigOrd)
+	wantSmall := SequentialHittingSet(small, smallOrd)
+	for i := 0; i < 3; i++ {
+		if got := PrefixHittingSet(big, bigOrd, Options{Workspace: ws, PrefixFrac: 0.1}); !got.Equal(wantBig) {
+			t.Fatalf("run %d big: pooled run differs", i)
+		}
+		if got := PrefixHittingSet(small, smallOrd, Options{Workspace: ws, Adaptive: true}); !got.Equal(wantSmall) {
+			t.Fatalf("run %d small: pooled run differs", i)
+		}
+	}
+}
+
+// Cancellation aborts within a round with ctx.Err().
+func TestPrefixHittingSetCancel(t *testing.T) {
+	s := randomSystem(400, 300, 5, 9)
+	ord := core.NewRandomOrder(400, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PrefixHittingSetCtx(ctx, s, ord, Options{}); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := SequentialHittingSetCtx(ctx, s, ord, Options{}); err != context.Canceled {
+		t.Fatalf("sequential: want context.Canceled, got %v", err)
+	}
+}
+
+// FromSets validates element ids.
+func TestFromSetsValidation(t *testing.T) {
+	if _, err := FromSets(4, [][]int32{{0, 4}}); err == nil {
+		t.Fatal("want error for out-of-range element")
+	}
+	if _, err := FromSets(4, [][]int32{{-1}}); err == nil {
+		t.Fatal("want error for negative element")
+	}
+	if _, err := FromSets(-1, nil); err == nil {
+		t.Fatal("want error for negative universe")
+	}
+}
+
+// The dual CSR must invert correctly.
+func TestSystemDual(t *testing.T) {
+	s := MustFromSets(5, [][]int32{{0, 1}, {1, 2, 3}, {3}})
+	if got := s.SetsOf(1); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("SetsOf(1) = %v", got)
+	}
+	if got := s.SetsOf(4); len(got) != 0 {
+		t.Fatalf("SetsOf(4) = %v", got)
+	}
+	if got := s.ElemsOf(1); len(got) != 3 {
+		t.Fatalf("ElemsOf(1) = %v", got)
+	}
+}
+
+func BenchmarkPrefixHittingSet(b *testing.B) {
+	s := FromEdges(graph.Random(20000, 100000, 42).EdgeList())
+	ord := core.NewRandomOrder(s.NumElements(), 42)
+	ws := new(Workspace)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PrefixHittingSet(s, ord, Options{Workspace: ws})
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/unionfind"
 )
 
 // PrefixSFRelaxed computes a spanning forest with the PBBS-style
@@ -46,27 +48,26 @@ func PrefixSFRelaxed(el graph.EdgeList, ord core.Order, opt Options) *Result {
 // ctx is checked once per round, so a cancelled context aborts within
 // one round and returns ctx.Err(). Pooled buffers come from
 // opt.Workspace when set.
+//
+// The round loop is the shared speculative-prefix engine
+// (internal/engine); this function contributes the relaxed spanning
+// forest problem: bid only on the root that would be overwritten, link
+// on winning that single reservation, clear the bids in the reset
+// phase. The relaxed forest is deterministic per window schedule (and
+// the adaptive schedule is itself a deterministic function of the run),
+// but different schedules — like different fixed prefixes — may select
+// different, equally valid forests.
 func PrefixSFRelaxedCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Options) (*Result, error) {
 	m := el.NumEdges()
 	if ord.Len() != m {
 		panic("spanning: order size does not match edge list")
 	}
-	const maxRank = int32(1<<31 - 1)
-	grain := opt.Grain
-	if grain <= 0 {
-		grain = parallel.DefaultGrain
-	}
-	prefix := opt.prefixFor(m)
-	rank := ord.Rank
-
 	ws := opt.Workspace
 	if ws == nil {
 		ws = new(Workspace)
 	}
 	dsu := ws.freshDSU(el.N)
 	in := make([]bool, m)
-	status := grow32(&ws.status, m) // 0 undecided, 1 in, 2 out
-	fill32(status, 0)
 	reserv := grow32(&ws.reserv, el.N)
 	fill32(reserv, maxRank)
 	// Root snapshots from the reserve phase: child is the root that
@@ -76,127 +77,73 @@ func PrefixSFRelaxedCtx(ctx context.Context, el graph.EdgeList, ord core.Order, 
 	fill32(child, 0)
 	fill32(target, 0)
 
-	// Per-round window cap: fixed, or driven by the adaptive
-	// controller. The relaxed forest is deterministic per window
-	// schedule (and the adaptive schedule is itself a deterministic
-	// function of the run), but different schedules — like different
-	// fixed prefixes — may select different, equally valid forests.
-	window := prefix
-	var ctrl *core.AdaptiveController
-	if opt.Adaptive {
-		ctrl = core.NewAdaptiveController(opt.adaptiveInitial(m), core.AdaptiveGrowCap(m), m)
-		window = ctrl.Window()
+	prob := &sfRelaxedProblem{el: el, rank: ord.Rank, dsu: dsu, in: in, reserv: reserv, child: child, target: target}
+	stats, err := engine.Run(ctx, ord.Order, prob, opt.engineOptions(&ws.eng))
+	if err != nil {
+		return nil, err
 	}
-	maxWindow := window
-
-	stats := Stats{}
-	var inspections atomic.Int64
-	var prevInspections int64
-	active := growActive(&ws.active, window)
-	defer func() { ws.active = active[:0] }()
-	nextRank := 0
-	resolved := 0
-
-	for resolved < m {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		for len(active) < window && nextRank < m {
-			active = append(active, ord.Order[nextRank])
-			nextRank++
-		}
-		act := active
-		if len(act) > window {
-			act = act[:window]
-		}
-		roundWindow := window
-		if roundWindow > maxWindow {
-			maxWindow = roundWindow
-		}
-		stats.Rounds++
-		stats.Attempts += int64(len(act))
-
-		// Reserve: find roots; drop cycle edges; bid on the root that
-		// would be overwritten.
-		parallel.ForRange(len(act), grain, func(lo, hi int) {
-			var local int64
-			for i := lo; i < hi; i++ {
-				e := act[i]
-				edge := el.Edges[e]
-				ru := dsu.Find(edge.U)
-				rv := dsu.Find(edge.V)
-				local += 2
-				if ru == rv {
-					atomic.StoreInt32(&status[e], 2)
-					continue
-				}
-				if ru < rv {
-					ru, rv = rv, ru
-				}
-				child[e], target[e] = ru, rv
-				parallel.WriteMin32(&reserv[ru], rank[e])
-			}
-			inspections.Add(local)
-		})
-
-		// Commit: the winner of each written root links it. Distinct
-		// winners write distinct roots, so links never race; hanging
-		// larger under smaller keeps the structure a forest.
-		parallel.ForRange(len(act), grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e := act[i]
-				if atomic.LoadInt32(&status[e]) != 0 {
-					continue
-				}
-				if atomic.LoadInt32(&reserv[child[e]]) == rank[e] {
-					dsu.Link(child[e], target[e])
-					in[e] = true
-					atomic.StoreInt32(&status[e], 1)
-				}
-			}
-		})
-
-		// Reset this round's bids.
-		parallel.ForRange(len(act), grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e := act[i]
-				if atomic.LoadInt32(&status[e]) != 2 {
-					atomic.StoreInt32(&reserv[child[e]], maxRank)
-				}
-			}
-		})
-
-		before := len(act)
-		kept := parallel.PackInPlace(act, grain, func(i int) bool {
-			return status[act[i]] == 0
-		})
-		if len(act) < len(active) {
-			// Slide the unattempted tail up against the kept retries;
-			// rank order is preserved on both sides of the seam.
-			moved := copy(active[len(kept):], active[len(act):])
-			active = active[:len(kept)+moved]
-		} else {
-			active = kept
-		}
-		resolvedThis := before - len(kept)
-		resolved += resolvedThis
-		cur := inspections.Load()
-		if ctrl != nil {
-			ctrl.Observe(before, resolvedThis, cur-prevInspections)
-			window = ctrl.Window()
-		}
-		if opt.OnRound != nil {
-			opt.OnRound(core.RoundStat{
-				Round:       stats.Rounds,
-				Prefix:      roundWindow,
-				Attempted:   before,
-				Resolved:    resolvedThis,
-				Inspections: cur - prevInspections,
-			})
-		}
-		prevInspections = cur
-	}
-	stats.PrefixSize = maxWindow
-	stats.EdgeInspections = inspections.Load()
 	return newResult(el, in, stats), nil
+}
+
+// sfRelaxedProblem is the engine adapter for the PBBS-style one-root
+// reservation forest; see sfProblem for the sharing discipline.
+type sfRelaxedProblem struct {
+	el     graph.EdgeList
+	rank   []int32
+	dsu    *unionfind.Concurrent
+	in     []bool
+	reserv []int32
+	child  []int32
+	target []int32
+}
+
+// Check is the reserve phase: find roots, drop cycle edges, bid on the
+// root that would be overwritten (the larger id).
+func (p *sfRelaxedProblem) Check(act, outcome []int32, lo, hi int) int64 {
+	var local int64
+	for i := lo; i < hi; i++ {
+		e := act[i]
+		edge := p.el.Edges[e]
+		ru := p.dsu.Find(edge.U)
+		rv := p.dsu.Find(edge.V)
+		local += 2
+		if ru == rv {
+			outcome[i] = engine.Dropped
+			continue
+		}
+		if ru < rv {
+			ru, rv = rv, ru
+		}
+		p.child[e], p.target[e] = ru, rv
+		parallel.WriteMin32(&p.reserv[ru], p.rank[e])
+	}
+	return local
+}
+
+// Commit links the winner of each written root. Distinct winners write
+// distinct roots, so links never race; hanging larger under smaller
+// keeps the structure a forest.
+func (p *sfRelaxedProblem) Commit(act, outcome []int32, lo, hi int) int64 {
+	for i := lo; i < hi; i++ {
+		if outcome[i] != engine.Undecided {
+			continue
+		}
+		e := act[i]
+		if atomic.LoadInt32(&p.reserv[p.child[e]]) == p.rank[e] {
+			p.dsu.Link(p.child[e], p.target[e])
+			p.in[e] = true
+			outcome[i] = engine.Committed
+		}
+	}
+	return 0
+}
+
+// Reset clears this round's bids; edges dropped as cycles this round
+// never bid, so their (possibly stale) child snapshot is skipped.
+func (p *sfRelaxedProblem) Reset(act, outcome []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if outcome[i] != engine.Dropped {
+			atomic.StoreInt32(&p.reserv[p.child[act[i]]], maxRank)
+		}
+	}
 }

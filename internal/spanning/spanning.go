@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 	"repro/internal/unionfind"
@@ -126,39 +127,19 @@ type Options struct {
 	Workspace *Workspace
 }
 
-func (o Options) prefixFor(m int) int {
-	p := o.PrefixSize
-	if p <= 0 {
-		frac := o.PrefixFrac
-		if frac <= 0 {
-			frac = core.DefaultPrefixFrac
-		}
-		// Integer ceiling (⌈frac·m⌉): float truncation used to land one
-		// below the documented prefix for fractions like 0.005.
-		p = core.CeilFrac(frac, m)
+// engineOptions translates the spanning options into the engine's form,
+// wiring the pooled window buffers when ws is non-nil. Prefix
+// resolution (size/frac/default, adaptive seeding) lives in the engine,
+// the single source of truth shared with the other problem packages.
+func (o Options) engineOptions(ws *engine.Workspace) engine.Options {
+	return engine.Options{
+		PrefixSize: o.PrefixSize,
+		PrefixFrac: o.PrefixFrac,
+		Adaptive:   o.Adaptive,
+		Grain:      o.Grain,
+		OnRound:    o.OnRound,
+		Workspace:  ws,
 	}
-	if p < 1 {
-		p = 1
-	}
-	if p > m {
-		p = m
-	}
-	return p
-}
-
-// adaptiveInitial mirrors core.Options.adaptiveInitial for edge inputs.
-func (o Options) adaptiveInitial(m int) int {
-	if o.PrefixSize > 0 || o.PrefixFrac > 0 {
-		return o.prefixFor(m)
-	}
-	w := core.AdaptiveStartWindow
-	if w > m {
-		w = m
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
 }
 
 // PrefixSF computes the lexicographically-first spanning forest with
@@ -182,27 +163,22 @@ func PrefixSF(el graph.EdgeList, ord core.Order, opt Options) *Result {
 // PrefixSFCtx is PrefixSF with cooperative cancellation: ctx is checked
 // once per round, so a cancelled context aborts within one round and
 // returns ctx.Err(). Pooled buffers come from opt.Workspace when set.
+//
+// The round loop is the shared speculative-prefix engine
+// (internal/engine); this function contributes the strict spanning
+// forest problem: find roots and bid on both in the check phase, link
+// when holding both reservations, clear the bids in the reset phase.
 func PrefixSFCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Options) (*Result, error) {
 	m := el.NumEdges()
 	if ord.Len() != m {
 		panic("spanning: order size does not match edge list")
 	}
-	const maxRank = int32(1<<31 - 1)
-	grain := opt.Grain
-	if grain <= 0 {
-		grain = parallel.DefaultGrain
-	}
-	prefix := opt.prefixFor(m)
-	rank := ord.Rank
-
 	ws := opt.Workspace
 	if ws == nil {
 		ws = new(Workspace)
 	}
 	dsu := ws.freshDSU(el.N)
 	in := make([]bool, m)
-	status := grow32(&ws.status, m) // 0 undecided, 1 in, 2 out
-	fill32(status, 0)
 	reserv := grow32(&ws.reserv, el.N)
 	fill32(reserv, maxRank)
 	// Per-edge root snapshot from the reserve phase, reused by commit.
@@ -211,132 +187,92 @@ func PrefixSFCtx(ctx context.Context, el graph.EdgeList, ord core.Order, opt Opt
 	fill32(rootU, 0)
 	fill32(rootV, 0)
 
-	// Per-round window cap: fixed, or driven by the adaptive
-	// controller. Every schedule returns exactly the sequential forest
-	// — the active set always holds the earliest unresolved edges.
-	window := prefix
-	var ctrl *core.AdaptiveController
-	if opt.Adaptive {
-		ctrl = core.NewAdaptiveController(opt.adaptiveInitial(m), core.AdaptiveGrowCap(m), m)
-		window = ctrl.Window()
+	prob := &sfProblem{el: el, rank: ord.Rank, dsu: dsu, in: in, reserv: reserv, rootU: rootU, rootV: rootV}
+	stats, err := engine.Run(ctx, ord.Order, prob, opt.engineOptions(&ws.eng))
+	if err != nil {
+		return nil, err
 	}
-	maxWindow := window
-
-	stats := Stats{}
-	var inspections atomic.Int64
-	var prevInspections int64
-	active := growActive(&ws.active, window)
-	defer func() { ws.active = active[:0] }()
-	nextRank := 0
-	resolved := 0
-
-	for resolved < m {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		for len(active) < window && nextRank < m {
-			active = append(active, ord.Order[nextRank])
-			nextRank++
-		}
-		act := active
-		if len(act) > window {
-			act = act[:window]
-		}
-		roundWindow := window
-		if roundWindow > maxWindow {
-			maxWindow = roundWindow
-		}
-		stats.Rounds++
-		stats.Attempts += int64(len(act))
-
-		// Reserve: find roots; drop cycle edges; bid on both roots.
-		parallel.ForRange(len(act), grain, func(lo, hi int) {
-			var local int64
-			for i := lo; i < hi; i++ {
-				e := act[i]
-				edge := el.Edges[e]
-				ru := dsu.Find(edge.U)
-				rv := dsu.Find(edge.V)
-				local += 2
-				if ru == rv {
-					atomic.StoreInt32(&status[e], 2)
-					continue
-				}
-				rootU[e], rootV[e] = ru, rv
-				parallel.WriteMin32(&reserv[ru], rank[e])
-				parallel.WriteMin32(&reserv[rv], rank[e])
-			}
-			inspections.Add(local)
-		})
-
-		// Commit: an edge holding both roots links them (larger root id
-		// under smaller, so parent ids strictly decrease along links and
-		// the structure stays a forest even across concurrent commits,
-		// which necessarily touch disjoint root pairs).
-		parallel.ForRange(len(act), grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e := act[i]
-				if atomic.LoadInt32(&status[e]) != 0 {
-					continue
-				}
-				re := rank[e]
-				ru, rv := rootU[e], rootV[e]
-				if atomic.LoadInt32(&reserv[ru]) == re && atomic.LoadInt32(&reserv[rv]) == re {
-					if ru < rv {
-						dsu.Link(rv, ru)
-					} else {
-						dsu.Link(ru, rv)
-					}
-					in[e] = true
-					atomic.StoreInt32(&status[e], 1)
-				}
-			}
-		})
-
-		// Reset this round's bids.
-		parallel.ForRange(len(act), grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e := act[i]
-				if rootU[e] != rootV[e] {
-					atomic.StoreInt32(&reserv[rootU[e]], maxRank)
-					atomic.StoreInt32(&reserv[rootV[e]], maxRank)
-				}
-			}
-		})
-
-		before := len(act)
-		kept := parallel.PackInPlace(act, grain, func(i int) bool {
-			return status[act[i]] == 0
-		})
-		if len(act) < len(active) {
-			// Slide the unattempted tail up against the kept retries;
-			// rank order is preserved on both sides of the seam.
-			moved := copy(active[len(kept):], active[len(act):])
-			active = active[:len(kept)+moved]
-		} else {
-			active = kept
-		}
-		resolvedThis := before - len(kept)
-		resolved += resolvedThis
-		cur := inspections.Load()
-		if ctrl != nil {
-			ctrl.Observe(before, resolvedThis, cur-prevInspections)
-			window = ctrl.Window()
-		}
-		if opt.OnRound != nil {
-			opt.OnRound(core.RoundStat{
-				Round:       stats.Rounds,
-				Prefix:      roundWindow,
-				Attempted:   before,
-				Resolved:    resolvedThis,
-				Inspections: cur - prevInspections,
-			})
-		}
-		prevInspections = cur
-	}
-	stats.PrefixSize = maxWindow
-	stats.EdgeInspections = inspections.Load()
 	return newResult(el, in, stats), nil
+}
+
+// maxRank is the neutral reservation value: larger than any edge rank.
+const maxRank = int32(1<<31 - 1)
+
+// sfProblem is the engine adapter for the strict (sequential-
+// equivalent) spanning forest. The reservation array is shared between
+// concurrently checked edges, so bids go through the priority write-min
+// and the commit-phase reads and reset-phase clears pair with them
+// atomically; the root snapshots and forest bits are written only by
+// their own edge's phases, on opposite sides of the engine's fork-join
+// barriers.
+type sfProblem struct {
+	el     graph.EdgeList
+	rank   []int32
+	dsu    *unionfind.Concurrent
+	in     []bool
+	reserv []int32
+	rootU  []int32
+	rootV  []int32
+}
+
+// Check is the reserve phase: find roots, drop cycle edges, bid on both
+// roots.
+func (p *sfProblem) Check(act, outcome []int32, lo, hi int) int64 {
+	var local int64
+	for i := lo; i < hi; i++ {
+		e := act[i]
+		edge := p.el.Edges[e]
+		ru := p.dsu.Find(edge.U)
+		rv := p.dsu.Find(edge.V)
+		local += 2
+		if ru == rv {
+			outcome[i] = engine.Dropped
+			continue
+		}
+		p.rootU[e], p.rootV[e] = ru, rv
+		parallel.WriteMin32(&p.reserv[ru], p.rank[e])
+		parallel.WriteMin32(&p.reserv[rv], p.rank[e])
+	}
+	return local
+}
+
+// Commit links every edge holding both of its roots' reservations
+// (larger root id under smaller, so parent ids strictly decrease along
+// links and the structure stays a forest even across concurrent
+// commits, which necessarily touch disjoint root pairs).
+func (p *sfProblem) Commit(act, outcome []int32, lo, hi int) int64 {
+	for i := lo; i < hi; i++ {
+		if outcome[i] != engine.Undecided {
+			continue
+		}
+		e := act[i]
+		re := p.rank[e]
+		ru, rv := p.rootU[e], p.rootV[e]
+		if atomic.LoadInt32(&p.reserv[ru]) == re && atomic.LoadInt32(&p.reserv[rv]) == re {
+			if ru < rv {
+				p.dsu.Link(rv, ru)
+			} else {
+				p.dsu.Link(ru, rv)
+			}
+			p.in[e] = true
+			outcome[i] = engine.Committed
+		}
+	}
+	return 0
+}
+
+// Reset clears this round's bids. The root-snapshot guard skips edges
+// that never bid (a fresh cycle edge still has its zeroed — equal —
+// snapshot); a retried edge's stale snapshot only re-clears roots that
+// are already neutral.
+func (p *sfProblem) Reset(act, outcome []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e := act[i]
+		if p.rootU[e] != p.rootV[e] {
+			atomic.StoreInt32(&p.reserv[p.rootU[e]], maxRank)
+			atomic.StoreInt32(&p.reserv[p.rootV[e]], maxRank)
+		}
+	}
 }
 
 // IsForest reports whether the selected edges contain no cycle.

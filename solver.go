@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/coloring"
 	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/matching"
+	"repro/internal/setcover"
 	"repro/internal/spanning"
 )
 
@@ -34,6 +36,12 @@ var (
 	// order for dynamic matching (whose priorities are derived from the
 	// edges themselves).
 	ErrDynamicUnsupported = errors.New("greedy: dynamic priorities support MIS and MM under derived orders only")
+	// ErrColoringAlgorithm reports that an algorithm other than
+	// AlgoPrefix or AlgoSequential was requested for greedy coloring.
+	ErrColoringAlgorithm = errors.New("greedy: coloring supports algorithms prefix|sequential only")
+	// ErrHittingSetAlgorithm reports that an algorithm other than
+	// AlgoPrefix or AlgoSequential was requested for greedy hitting set.
+	ErrHittingSetAlgorithm = errors.New("greedy: hitting set supports algorithms prefix|sequential only")
 )
 
 // RoundInfo is a per-round progress report streamed to a
@@ -98,9 +106,11 @@ func WithRoundObserver(fn func(RoundInfo)) Option {
 type Solver struct {
 	defaults []Option
 
-	misWs core.Workspace
-	mmWs  matching.Workspace
-	sfWs  spanning.Workspace
+	misWs   core.Workspace
+	mmWs    matching.Workspace
+	sfWs    spanning.Workspace
+	colorWs coloring.Workspace
+	hsWs    setcover.Workspace
 
 	orders map[orderKey]Order
 }
@@ -323,6 +333,86 @@ func (s *Solver) SF(ctx context.Context, el EdgeList, opts ...Option) (*SFResult
 		return spanning.SequentialSFCtx(ctx, el, ord, opt)
 	}
 	return spanning.PrefixSFRelaxedCtx(ctx, el, ord, opt)
+}
+
+// Coloring computes the greedy (first-fit) coloring of g under the
+// configured options: vertices in priority order, each taking the
+// smallest color absent among its earlier neighbors. AlgoSequential
+// runs the reference scan; the default AlgoPrefix runs the speculative
+// engine and returns the identical — lexicographically-first — coloring
+// at any thread count and prefix size. Other algorithms are rejected
+// with ErrColoringAlgorithm, and WithDynamic with
+// ErrDynamicUnsupported. Cancellation follows the same one-round bound
+// as MIS.
+func (s *Solver) Coloring(ctx context.Context, g *Graph, opts ...Option) (*ColoringResult, error) {
+	c := s.config(opts)
+	if c.dynamic {
+		return nil, fmt.Errorf("%w: coloring has no dynamic variant", ErrDynamicUnsupported)
+	}
+	switch c.algorithm {
+	case AlgoPrefix, AlgoSequential:
+	default:
+		return nil, fmt.Errorf("%w: got %q", ErrColoringAlgorithm, c.algorithm)
+	}
+	if err := c.checkAdaptive(); err != nil {
+		return nil, err
+	}
+	ord, err := s.orderFor(c, g.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+	opt := coloring.Options{
+		PrefixFrac: c.prefixFrac,
+		PrefixSize: c.prefixSize,
+		Adaptive:   c.adaptive,
+		Grain:      c.grain,
+		OnRound:    observerFor(c),
+		Workspace:  &s.colorWs,
+	}
+	if c.algorithm == AlgoSequential {
+		return coloring.SequentialColoringCtx(ctx, g, ord, opt)
+	}
+	return coloring.PrefixColoringCtx(ctx, g, ord, opt)
+}
+
+// HittingSet computes the greedy hitting set of the set system sys
+// under the configured options: elements in priority order, each
+// joining the hitting set exactly when some set containing it is not
+// yet hit. AlgoSequential runs the reference scan; the default
+// AlgoPrefix runs the speculative engine and returns the identical
+// greedy hitting set at any thread count and prefix size. Other
+// algorithms are rejected with ErrHittingSetAlgorithm, and WithDynamic
+// with ErrDynamicUnsupported. Cancellation follows the same one-round
+// bound as MIS.
+func (s *Solver) HittingSet(ctx context.Context, sys *System, opts ...Option) (*HittingSetResult, error) {
+	c := s.config(opts)
+	if c.dynamic {
+		return nil, fmt.Errorf("%w: hitting set has no dynamic variant", ErrDynamicUnsupported)
+	}
+	switch c.algorithm {
+	case AlgoPrefix, AlgoSequential:
+	default:
+		return nil, fmt.Errorf("%w: got %q", ErrHittingSetAlgorithm, c.algorithm)
+	}
+	if err := c.checkAdaptive(); err != nil {
+		return nil, err
+	}
+	ord, err := s.orderFor(c, sys.NumElements())
+	if err != nil {
+		return nil, err
+	}
+	opt := setcover.Options{
+		PrefixFrac: c.prefixFrac,
+		PrefixSize: c.prefixSize,
+		Adaptive:   c.adaptive,
+		Grain:      c.grain,
+		OnRound:    observerFor(c),
+		Workspace:  &s.hsWs,
+	}
+	if c.algorithm == AlgoSequential {
+		return setcover.SequentialHittingSetCtx(ctx, sys, ord, opt)
+	}
+	return setcover.PrefixHittingSetCtx(ctx, sys, ord, opt)
 }
 
 // solverPool backs the package free functions: one-shot callers still
