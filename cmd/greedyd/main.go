@@ -6,8 +6,10 @@
 //
 // Observability: structured logs (slog, -log-format text|json), a
 // Prometheus exposition at GET /metrics, a trace flight recorder
-// served at GET /v1/trace/recent and GET /v1/jobs/{id}/trace, and —
-// when -debug-addr is set — net/http/pprof on a separate listener so
+// served at GET /v1/trace/recent and GET /v1/jobs/{id}/trace, a live
+// Server-Sent Events stream of trace events at GET /v1/events (see
+// cmd/greedytop for a terminal dashboard over it), and — when
+// -debug-addr is set — net/http/pprof on a separate listener so
 // profiling is never exposed on the public API address.
 //
 // Usage:
@@ -86,7 +88,10 @@ func main() {
 		maxUpload  = flag.Int64("max-upload-bytes", 512<<20, "maximum graph upload size")
 		dynSess    = flag.Int("dynamic-sessions", 0, "cached dynamic sessions (0: default 8, <0: disable repair)")
 		traceCap   = flag.Int("trace-capacity", 0, "trace ring buffer capacity in events (0: default 16384, <0: disable tracing)")
-		traceSamp  = flag.Int("trace-sample", 0, "record every Nth solver round as a trace event (0: no round stream)")
+		traceSamp  = flag.Int("trace-sample", 0, "record every Nth solver round as a trace event (0: no round stream; also enables per-phase engine profiling)")
+		streamSubs = flag.Int("stream-subscribers", 0, "maximum concurrent /v1/events subscribers (0: default 16, <0: disable streaming)")
+		streamQ    = flag.Int("stream-queue", 0, "per-subscriber event queue capacity (0: default 1024)")
+		streamHB   = flag.Duration("stream-heartbeat", 0, "/v1/events heartbeat interval (0: default 10s)")
 		logFormat  = flag.String("log-format", "text", "log output format: text|json")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug|info|warn|error (debug shows the access log)")
 		debugAddr  = flag.String("debug-addr", "", "if set, serve net/http/pprof under /debug/pprof/ on this extra address (e.g. localhost:6060)")
@@ -100,15 +105,18 @@ func main() {
 	}
 
 	svc := service.New(service.Config{
-		CacheBytes:       *cacheBytes,
-		Workers:          *workers,
-		QueueDepth:       *queueDepth,
-		ResultTTL:        *ttl,
-		MaxUploadBytes:   *maxUpload,
-		DynamicSessions:  *dynSess,
-		TraceCapacity:    *traceCap,
-		TraceRoundSample: *traceSamp,
-		Logger:           logger,
+		CacheBytes:        *cacheBytes,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		ResultTTL:         *ttl,
+		MaxUploadBytes:    *maxUpload,
+		DynamicSessions:   *dynSess,
+		TraceCapacity:     *traceCap,
+		TraceRoundSample:  *traceSamp,
+		StreamSubscribers: *streamSubs,
+		StreamQueue:       *streamQ,
+		StreamHeartbeat:   *streamHB,
+		Logger:            logger,
 	})
 	defer svc.Close()
 

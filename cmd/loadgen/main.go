@@ -70,6 +70,7 @@ func main() {
 		churnBatch  = flag.Int("churn-batch", 8, "updates per PATCH batch in -churn mode")
 		churnEvery  = flag.Duration("churn-interval", 50*time.Millisecond, "delay between PATCH batches in -churn mode")
 		traceSlow   = flag.Bool("trace", false, "after the run, fetch and pretty-print the server-side trace of the slowest completed job")
+		watch       = flag.Bool("watch", false, "subscribe to the server's /v1/events stream during the run and print a live status line every second")
 	)
 	flag.Parse()
 
@@ -191,6 +192,20 @@ func main() {
 		}()
 	}
 
+	// The watcher consumes the server's live event stream alongside the
+	// load: it observes completions and sampled phase profiles as the
+	// server emits them, rather than polling.
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	var watchWG sync.WaitGroup
+	if *watch {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			runWatcher(watchCtx, client)
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for i := 0; i < *concurrency; i++ {
 		wg.Add(1)
@@ -244,6 +259,8 @@ func main() {
 	}
 	wg.Wait()
 	churnWG.Wait()
+	stopWatch()
+	watchWG.Wait()
 	// Measured wall time, not the nominal -duration: workers finish
 	// their in-flight job after the deadline, and throughput must not
 	// be overstated by dividing by the shorter nominal window.
@@ -366,6 +383,71 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// runWatcher tails the server's /v1/events stream (done + phase events)
+// for the duration of the run and prints a one-line status every
+// second: completion throughput as the server reports it, which engine
+// phase is eating the sampled round time, and how many events the
+// stream dropped on the floor for this subscriber (from the server's
+// heartbeat comments).
+func runWatcher(ctx context.Context, client *service.Client) {
+	var done, phaseSamples int64
+	var phaseMS [4]float64 // check, commit, reset, slide
+	phaseNames := [4]string{"check", "commit", "reset", "slide"}
+	var dropped uint64
+	start := time.Now()
+	last := start
+	status := func() {
+		elapsed := time.Since(start).Seconds()
+		if elapsed <= 0 {
+			return
+		}
+		slowest := 0
+		var total float64
+		for i, ms := range phaseMS {
+			total += ms
+			if ms > phaseMS[slowest] {
+				slowest = i
+			}
+		}
+		line := fmt.Sprintf("loadgen: watch: %.1f jobs/s done", float64(done)/elapsed)
+		if total > 0 {
+			line += fmt.Sprintf(", slowest phase %s (%.0f%% of %d sampled rounds)",
+				phaseNames[slowest], 100*phaseMS[slowest]/total, phaseSamples)
+		}
+		line += fmt.Sprintf(", stream drops %d", dropped)
+		fmt.Println(line)
+	}
+	err := client.Events(ctx, service.EventFilter{Kinds: []string{"done", "phase"}},
+		func(ev service.StreamEvent) error {
+			if ev.IsComment() {
+				// Heartbeats read ": hb dropped=N".
+				if _, after, ok := strings.Cut(ev.Comment, "dropped="); ok {
+					fmt.Sscanf(after, "%d", &dropped)
+				}
+			} else if te, terr := ev.TraceEvent(); terr == nil {
+				switch te.Kind {
+				case trace.KindDone:
+					done++
+				case trace.KindPhase:
+					phaseSamples++
+					phaseMS[0] += te.CheckMS
+					phaseMS[1] += te.CommitMS
+					phaseMS[2] += te.ResetMS
+					phaseMS[3] += te.SlideMS
+				}
+			}
+			if time.Since(last) >= time.Second {
+				last = time.Now()
+				status()
+			}
+			return nil
+		})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "loadgen: watch: stream ended: %v\n", err)
+	}
+	status()
 }
 
 // printSlowestTrace fetches and pretty-prints the server-side trace of

@@ -145,16 +145,17 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 }
 
 type config struct {
-	algorithm  Algorithm
-	seed       uint64
-	order      *Order
-	prefixFrac float64
-	prefixSize int
-	adaptive   bool
-	dynamic    bool
-	grain      int
-	pointered  bool
-	observers  []func(RoundInfo)
+	algorithm    Algorithm
+	seed         uint64
+	order        *Order
+	prefixFrac   float64
+	prefixSize   int
+	adaptive     bool
+	dynamic      bool
+	grain        int
+	pointered    bool
+	phaseProfile bool
+	observers    []func(RoundInfo)
 }
 
 // An Option configures the solver entry points.
@@ -216,6 +217,18 @@ func WithGrain(grain int) Option { return func(c *config) { c.grain = grain } }
 // WithPointer enables the Lemma 4.1 parent-pointer optimization in the
 // prefix-based MIS.
 func WithPointer() Option { return func(c *config) { c.pointered = true } }
+
+// WithPhaseProfile enables per-phase wall-time attribution in the
+// round-synchronous engine: each RoundInfo reported to a
+// WithRoundObserver carries the round's check/commit/reset/slide
+// durations (CheckNS..SlideNS) and retry-tail size. The profile is
+// telemetry only — it never influences the computation, so it does NOT
+// participate in a Plan (two runs differing only in profiling are the
+// same computation and remain dedup-equal). Without an observer the
+// durations are measured and discarded; without this option the engine
+// performs no clock reads at all, keeping the dark path byte-identical
+// and allocation-free.
+func WithPhaseProfile() Option { return func(c *config) { c.phaseProfile = true } }
 
 func buildConfig(opts []Option) config {
 	c := config{seed: 1}

@@ -21,14 +21,25 @@ import (
 //     formatting, I/O, logging, channel operation, or sleep may run —
 //     Append sits on the solver's round observer path, and anything
 //     blocking under that mutex stalls every concurrent worker. In the
-//     hot Append path, allocation (make/new/composite literals) is
-//     forbidden under the lock too; the ring is sized once at
-//     construction.
+//     hot paths (Append, and the streaming fan-out's Publish/offer,
+//     which Append calls on the same observer path), allocation
+//     (make/new/composite literals) is forbidden under the lock too;
+//     rings are sized once at construction.
 var Nilguard = &Analyzer{
 	Name:  "nilguard",
 	Doc:   "nil-is-disabled recorder methods must guard the receiver; no blocking or allocation under the recorder mutex",
 	Scope: scopeByBase("trace"),
 	Run:   runNilguard,
+}
+
+// nilguardHotPaths are the functions on the solver's per-round observer
+// path: Append (the recorder write) plus the streaming fan-out it tees
+// into. Allocation under any mu-named lock inside them breaks the
+// 0-alloc contract the benchmarks pin.
+var nilguardHotPaths = map[string]bool{
+	"Append":  true,
+	"Publish": true,
+	"offer":   true,
 }
 
 // blockingPkgs are packages whose calls must not happen while the
@@ -128,7 +139,10 @@ func isNilIdent(e ast.Expr) bool {
 // flat lock/unlock shapes of the flight recorder and keeps the check
 // simple enough to trust.
 func checkMutexSection(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
-	hot := fd.Name.Name == "Append"
+	hot := ""
+	if nilguardHotPaths[fd.Name.Name] {
+		hot = fd.Name.Name
+	}
 	var scan func(stmts []ast.Stmt, locked bool) bool
 	scan = func(stmts []ast.Stmt, locked bool) bool {
 		for _, s := range stmts {
@@ -202,8 +216,9 @@ func isMutexName(name string) bool {
 
 // reportBlockingOps flags formatting/I-O/logging calls, channel
 // operations, selects, and sleeps under the recorder mutex; in hot
-// methods it also flags allocation.
-func reportBlockingOps(pass *Pass, info *types.Info, s ast.Stmt, hot bool) {
+// methods (hot is the function name, "" otherwise) it also flags
+// allocation.
+func reportBlockingOps(pass *Pass, info *types.Info, s ast.Stmt, hot string) {
 	ast.Inspect(s, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
@@ -216,16 +231,16 @@ func reportBlockingOps(pass *Pass, info *types.Info, s ast.Stmt, hot bool) {
 			if isPkgFunc(fn, "time", "Sleep") {
 				pass.Reportf(n.Pos(), "time.Sleep while holding the recorder mutex")
 			}
-			if hot {
+			if hot != "" {
 				if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "make" || id.Name == "new") {
 					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
-						pass.Reportf(n.Pos(), "%s under the recorder mutex in the hot Append path: the ring is sized once at construction — this path is pinned at 0 allocs", id.Name)
+						pass.Reportf(n.Pos(), "%s under the recorder mutex in the hot %s path: rings are sized once at construction — this path is pinned at 0 allocs", id.Name, hot)
 					}
 				}
 			}
 		case *ast.CompositeLit:
-			if hot {
-				pass.Reportf(n.Pos(), "composite literal allocation under the recorder mutex in the hot Append path")
+			if hot != "" {
+				pass.Reportf(n.Pos(), "composite literal allocation under the recorder mutex in the hot %s path", hot)
 			}
 		case *ast.SendStmt:
 			pass.Reportf(n.Pos(), "channel send while holding the recorder mutex: a full channel blocks every concurrent observer")

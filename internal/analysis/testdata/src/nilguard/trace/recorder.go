@@ -97,6 +97,58 @@ func (r *Recorder) Append(v int) {
 	r.mu.Unlock()
 }
 
+// Broadcaster is a streaming fan-out stand-in: Publish and offer ride
+// the same observer hot path as Append, so the allocation ban covers
+// them too.
+type Broadcaster struct {
+	mu   sync.Mutex
+	subs []*Sub
+	log  []int
+}
+
+// Sub is a subscription stand-in.
+type Sub struct {
+	mu   sync.Mutex
+	ring []int
+	n    int
+}
+
+// Publish is hot: composite literals under its lock are flagged.
+func (b *Broadcaster) Publish(v int) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.log = append(b.log, []int{v}...) // want `hot Publish path`
+	b.mu.Unlock()
+}
+
+// offer is hot despite being unexported: Publish calls it per
+// subscriber, and growing the ring under the lock is flagged.
+func (s *Sub) offer(v int) bool {
+	s.mu.Lock()
+	if s.n == len(s.ring) {
+		s.ring = make([]int, s.n+1) // want `hot offer path`
+	}
+	s.ring[s.n] = v
+	s.n++
+	s.mu.Unlock()
+	return true
+}
+
+// Collect is not a hot path: allocation under the lock is allowed
+// there (only blocking operations are not).
+func (b *Broadcaster) Collect() []int {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	out := make([]int, len(b.log))
+	copy(out, b.log)
+	b.mu.Unlock()
+	return out
+}
+
 // value-receiver and unexported methods are out of scope.
 type view struct{ n int }
 

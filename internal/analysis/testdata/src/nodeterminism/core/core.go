@@ -14,7 +14,7 @@ import (
 
 // Seed derives a priority seed — from all the wrong places.
 func Seed() int64 {
-	s := time.Now().UnixNano() // want `time\.Now`
+	s := time.Now().UnixNano()   // want `time\.Now`
 	if os.Getenv("SEED") != "" { // want `os\.Getenv`
 		s++
 	}

@@ -22,11 +22,15 @@ type ObserverResult struct {
 
 // ObserverOverhead measures what round observation costs the solver:
 // the same MIS computation bare, with the service's progress-counter
-// observer, and with the counter observer plus trace recording of
-// every round (TraceRoundSample=1 — the most expensive configuration;
-// production samples sparsely or not at all). The modes share one
-// Solver, warmed before timing, so the comparison isolates the
-// observer from buffer allocation.
+// observer, with per-phase wall-time profiling (WithPhaseProfile: four
+// to five clock reads per round bracketing check/commit/reset/slide),
+// and with the counter observer plus trace recording of every round
+// (TraceRoundSample=1 — the most expensive configuration; production
+// samples sparsely or not at all). The final mode is the live-telemetry
+// configuration greedyd runs under -trace-sample: counters, phase
+// profiling, and trace recording together. The modes share one Solver,
+// warmed before timing, so the comparison isolates the observer from
+// buffer allocation.
 func ObserverOverhead(w Workload, reps int) []ObserverResult {
 	g := w.Build()
 	solver := greedy.NewSolver()
@@ -68,7 +72,9 @@ func ObserverOverhead(w Workload, reps int) []ObserverResult {
 	}{
 		{"bare", nil},
 		{"counters", []greedy.Option{counters}},
+		{"counters+phases", []greedy.Option{counters, greedy.WithPhaseProfile()}},
 		{"counters+trace", []greedy.Option{counters, tracing}},
+		{"full-telemetry", []greedy.Option{counters, tracing, greedy.WithPhaseProfile()}},
 	}
 	out := make([]ObserverResult, 0, len(modes))
 	var base time.Duration

@@ -103,6 +103,12 @@ type Options struct {
 	// unset. The callback runs on the round loop's goroutine, between
 	// rounds; it must not block for long.
 	OnRound func(RoundStat)
+	// Clock, if non-nil, enables the engine's per-phase wall-time
+	// attribution (see engine.Options.Clock): a caller-injected
+	// monotonic nanosecond clock whose readings surface only through
+	// RoundStat's phase fields, never in results. nil (the default)
+	// keeps the dark path free of clock reads.
+	Clock func() int64
 	// Workspace, if non-nil, supplies pooled per-run buffers reused
 	// across runs (see Workspace). nil means allocate fresh buffers.
 	Workspace *Workspace
@@ -117,6 +123,7 @@ func (o Options) engineOptions(ws *engine.Workspace) engine.Options {
 		Adaptive:   o.Adaptive,
 		Grain:      o.Grain,
 		OnRound:    o.OnRound,
+		Clock:      o.Clock,
 		Workspace:  ws,
 	}
 }

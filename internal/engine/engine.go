@@ -96,6 +96,16 @@ type Options struct {
 	// OnRound, if non-nil, is called after every round with that
 	// round's statistics, on the round loop's goroutine.
 	OnRound func(RoundStat)
+	// Clock, if non-nil, enables per-phase wall-time attribution: it is
+	// read at every phase boundary and the deltas are reported through
+	// RoundStat's CheckNS/CommitNS/ResetNS/SlideNS fields. It must be a
+	// monotonic nanosecond clock. The engine itself never reads wall
+	// time (results are pure functions of the order, and this package is
+	// in nodeterminism's scope) — the caller injects the clock, and only
+	// telemetry ever sees its values. nil keeps the dark path
+	// byte-identical: no clock reads, no extra work beyond one nil test
+	// per phase.
+	Clock func() int64
 	// Workspace, if non-nil, supplies the pooled window/outcome buffers
 	// reused across runs. nil allocates fresh buffers.
 	Workspace *Workspace
@@ -197,6 +207,18 @@ func Run(ctx context.Context, order []int32, p Problem, opt Options) (Stats, err
 	resolved := 0
 	var inspections atomic.Int64
 	var prevInspections int64
+	// Phase profiling: tPrev carries the last clock reading across
+	// phase boundaries, so consecutive deltas tile the clock's span with
+	// no gaps — the inter-round work (OnRound callbacks, the ctx check,
+	// window refill) lands in the next round's slide bucket rather than
+	// vanishing. tPrev starts at the clock's epoch (solver entry, where
+	// the facade constructs the clock), not at loop entry, so one-time
+	// setup before the loop — priority-order derivation, workspace
+	// growth — is charged to the first round's slide bucket and the
+	// per-phase sums over a run reconstruct the run's wall time up to
+	// result extraction, not just the loop's.
+	clock := opt.Clock
+	var tPrev int64
 
 	for resolved < n {
 		if err := ctx.Err(); err != nil {
@@ -226,6 +248,13 @@ func Run(ctx context.Context, order []int32, p Problem, opt Options) (Stats, err
 		outcome = Grow32(&ws.outcome, len(act))
 		Fill32(outcome, Undecided)
 
+		var checkNS, commitNS, resetNS, slideNS int64
+		if clock != nil {
+			t := clock()
+			slideNS = t - tPrev
+			tPrev = t
+		}
+
 		// Check phase: decide each active iterate against the state of
 		// previous rounds. The problem writes outcome[i] (and places
 		// reservation bids); the fork-join barrier below makes those
@@ -233,11 +262,21 @@ func Run(ctx context.Context, order []int32, p Problem, opt Options) (Stats, err
 		parallel.ForRange(len(act), grain, func(lo, hi int) {
 			inspections.Add(p.Check(act, outcome, lo, hi))
 		})
+		if clock != nil {
+			t := clock()
+			checkNS = t - tPrev
+			tPrev = t
+		}
 
 		// Commit phase: apply the decisions to the problem's state.
 		parallel.ForRange(len(act), grain, func(lo, hi int) {
 			inspections.Add(p.Commit(act, outcome, lo, hi))
 		})
+		if clock != nil {
+			t := clock()
+			commitNS = t - tPrev
+			tPrev = t
+		}
 
 		// Reset phase (reservation-based problems only): clear this
 		// round's bids.
@@ -245,6 +284,11 @@ func Run(ctx context.Context, order []int32, p Problem, opt Options) (Stats, err
 			parallel.ForRange(len(act), grain, func(lo, hi int) {
 				resetter.Reset(act, outcome, lo, hi)
 			})
+			if clock != nil {
+				t := clock()
+				resetNS = t - tPrev
+				tPrev = t
+			}
 		}
 
 		before := len(act)
@@ -268,6 +312,11 @@ func Run(ctx context.Context, order []int32, p Problem, opt Options) (Stats, err
 			ctrl.Observe(before, resolvedThis, cur-prevInspections)
 			window = ctrl.Window()
 		}
+		if clock != nil {
+			t := clock()
+			slideNS += t - tPrev
+			tPrev = t
+		}
 		if opt.OnRound != nil {
 			opt.OnRound(RoundStat{
 				Round:       stats.Rounds,
@@ -275,6 +324,11 @@ func Run(ctx context.Context, order []int32, p Problem, opt Options) (Stats, err
 				Attempted:   before,
 				Resolved:    resolvedThis,
 				Inspections: cur - prevInspections,
+				RetryTail:   len(kept),
+				CheckNS:     checkNS,
+				CommitNS:    commitNS,
+				ResetNS:     resetNS,
+				SlideNS:     slideNS,
 			})
 		}
 		prevInspections = cur

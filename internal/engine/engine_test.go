@@ -281,9 +281,9 @@ func TestWindowResolution(t *testing.T) {
 		want int
 	}{
 		{engine.Options{PrefixSize: 10}, 100, 10},
-		{engine.Options{PrefixSize: 10}, 5, 5},           // clamp to n
-		{engine.Options{PrefixFrac: 0.5}, 10, 5},         // ceil(0.5*10)
-		{engine.Options{PrefixFrac: 0.001}, 10, 1},       // floor at 1
+		{engine.Options{PrefixSize: 10}, 5, 5},     // clamp to n
+		{engine.Options{PrefixFrac: 0.5}, 10, 5},   // ceil(0.5*10)
+		{engine.Options{PrefixFrac: 0.001}, 10, 1}, // floor at 1
 		{engine.Options{}, 1000, engine.CeilFrac(engine.DefaultPrefixFrac, 1000)},
 		{engine.Options{PrefixSize: 3, PrefixFrac: 0.9}, 100, 3}, // size wins
 	}

@@ -54,4 +54,23 @@ type RoundStat struct {
 	// Inspections is the number of neighbor/endpoint status reads
 	// performed this round.
 	Inspections int64
+	// RetryTail is the number of attempted iterates left Undecided this
+	// round — the retry set carried into the next round (Attempted -
+	// Resolved for prefix runs). A persistently large tail relative to
+	// the window is the signature of a hot dependency chain.
+	RetryTail int
+	// CheckNS/CommitNS/ResetNS/SlideNS decompose the round's wall time
+	// by phase, in nanoseconds: the check fork-join, the commit
+	// fork-join, the reservation-reset fork-join (0 for problems without
+	// one), and everything else — window refill, outcome fill, the
+	// pack-and-slide of the retry tail, and adaptive-controller
+	// bookkeeping. All four are 0 unless Options.Clock is set; when it
+	// is, consecutive rounds tile the loop's span with no gaps, so the
+	// per-phase sums over a run reconstruct where the loop's wall time
+	// went (the work/span decomposition the paper's Figure 1 analysis
+	// reasons about).
+	CheckNS  int64
+	CommitNS int64
+	ResetNS  int64
+	SlideNS  int64
 }

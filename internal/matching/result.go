@@ -100,6 +100,10 @@ type Options struct {
 	// round-synchronous algorithms with that round's statistics (see
 	// core.RoundStat). It runs on the round loop's goroutine.
 	OnRound func(core.RoundStat)
+	// Clock, if non-nil, enables the engine's per-phase wall-time
+	// attribution (see engine.Options.Clock); telemetry-only, injected
+	// by the caller.
+	Clock func() int64
 	// Workspace, if non-nil, supplies pooled per-run buffers reused
 	// across runs. nil means allocate fresh buffers.
 	Workspace *Workspace
@@ -116,6 +120,7 @@ func (o Options) engineOptions(ws *engine.Workspace) engine.Options {
 		Adaptive:   o.Adaptive,
 		Grain:      o.Grain,
 		OnRound:    o.OnRound,
+		Clock:      o.Clock,
 		Workspace:  ws,
 	}
 }

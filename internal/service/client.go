@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -241,4 +244,70 @@ func (c *Client) Metrics(ctx context.Context) (Snapshot, error) {
 	var out Snapshot
 	_, err := c.getJSON(ctx, "/v1/metrics", &out)
 	return out, err
+}
+
+// EventFilter restricts an event stream subscription (see
+// GET /v1/events): Job selects one job's events, Kinds the event kinds
+// of interest. The zero value streams everything.
+type EventFilter struct {
+	Job   string
+	Kinds []string
+}
+
+func (f EventFilter) query() string {
+	q := url.Values{}
+	if f.Job != "" {
+		q.Set("job", f.Job)
+	}
+	if len(f.Kinds) > 0 {
+		q.Set("kind", strings.Join(f.Kinds, ","))
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
+}
+
+// Events subscribes to the server's live trace-event stream and calls
+// fn for every received frame — data frames and heartbeat comments
+// alike (filter with StreamEvent.IsComment). It blocks until ctx is
+// cancelled (returning nil), the server ends the stream (nil after an
+// "evicted" frame, io.ErrUnexpectedEOF on an abrupt cut), or fn returns
+// an error (returned verbatim, stream closed).
+func (c *Client) Events(ctx context.Context, f EventFilter, fn func(StreamEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/events"+f.query(), nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", sseContentType)
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	if mt, _, err := mime.ParseMediaType(resp.Header.Get("Content-Type")); err != nil || mt != sseContentType {
+		return fmt.Errorf("service: event stream has content type %q, want %q",
+			resp.Header.Get("Content-Type"), sseContentType)
+	}
+	dec := NewSSEDecoder(resp.Body)
+	for {
+		ev, err := dec.Next()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			if ctx.Err() != nil {
+				// The transport surfaces cancellation as a read error
+				// mid-frame; report the cancellation, not the symptom.
+				return nil
+			}
+			return err
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
 }

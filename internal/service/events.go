@@ -1,0 +1,131 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// ErrStreamDisabled is returned by GET /v1/events when the service was
+// configured without streaming (negative StreamSubscribers) or without
+// tracing (negative TraceCapacity — there is no recorder to tee from).
+var ErrStreamDisabled = errors.New("service: event streaming disabled")
+
+// streamKinds are the kinds a ?kind= filter may name. Unknown kinds are
+// rejected with 400 rather than silently matching nothing.
+var streamKinds = map[trace.Kind]bool{
+	trace.KindSubmit:   true,
+	trace.KindCheckout: true,
+	trace.KindQueue:    true,
+	trace.KindResolve:  true,
+	trace.KindRound:    true,
+	trace.KindPhase:    true,
+	trace.KindRepair:   true,
+	trace.KindRun:      true,
+	trace.KindDone:     true,
+	trace.KindHTTP:     true,
+}
+
+// StreamEviction is the data payload of the terminal "evicted" SSE
+// event: the subscription fell behind, dropped Dropped events, and was
+// detached. The client should reconnect with a narrower filter or a
+// faster consumer.
+type StreamEviction struct {
+	Dropped uint64 `json:"dropped"`
+}
+
+// handleEvents serves GET /v1/events: a Server-Sent Events stream of
+// live trace events, teeing the flight recorder. Query parameters:
+//
+//	job=ID      only events of that job
+//	kind=a,b,c  only events of the named kinds (see trace.Kind)
+//
+// The stream carries one SSE frame per event (id: the recorder
+// sequence number, event: the kind, data: the trace.Event JSON), plus
+// periodic ": hb dropped=N" comment heartbeats carrying the
+// subscriber's cumulative drop count. A subscriber that falls a full
+// eviction budget behind receives a terminal "evicted" event and the
+// stream ends. At the admission limit new streams get 503.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if !s.trace.Enabled() || !s.bcast.Enabled() {
+		writeError(w, http.StatusNotFound, ErrStreamDisabled)
+		return
+	}
+	filter := trace.Filter{Job: strings.TrimSpace(r.URL.Query().Get("job"))}
+	if arg := strings.TrimSpace(r.URL.Query().Get("kind")); arg != "" {
+		filter.Kinds = make(map[trace.Kind]bool)
+		for _, part := range strings.Split(arg, ",") {
+			k := trace.Kind(strings.TrimSpace(part))
+			if !streamKinds[k] {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("service: unknown event kind %q", k))
+				return
+			}
+			filter.Kinds[k] = true
+		}
+	}
+	sub, err := s.bcast.Subscribe(filter)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer sub.Close()
+
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", sseContentType)
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies: do not buffer
+	w.WriteHeader(http.StatusOK)
+	if _, err := fmt.Fprintf(w, ": connected sub=%d\n\n", sub.ID()); err != nil {
+		return
+	}
+	if err := rc.Flush(); err != nil {
+		// The wrapped writer cannot stream (no Flusher under the
+		// middleware); nothing more we can do for this client.
+		return
+	}
+
+	heartbeat := time.NewTicker(s.cfg.StreamHeartbeat)
+	defer heartbeat.Stop()
+	buf := make([]trace.Event, 0, 256)
+	for {
+		beat := false
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.Ready():
+		case <-heartbeat.C:
+			beat = true
+		}
+		buf = buf[:0]
+		var dropped uint64
+		var evicted bool
+		buf, dropped, evicted = sub.Drain(buf)
+		for _, ev := range buf {
+			if err := writeSSEEvent(w, ev); err != nil {
+				return
+			}
+		}
+		if evicted {
+			// Terminal frame: tell the consumer how much it lost, then
+			// end the stream. The subscription slot frees on Close.
+			_ = writeSSEFrame(w, "", "evicted", StreamEviction{Dropped: dropped})
+			_ = rc.Flush()
+			return
+		}
+		if beat {
+			if _, err := fmt.Fprintf(w, ": hb dropped=%d\n\n", dropped); err != nil {
+				return
+			}
+		}
+		if len(buf) > 0 || beat {
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -32,6 +32,8 @@ import (
 //	GET    /v1/jobs/{id}/result  result payload of a done job
 //	GET    /v1/jobs/{id}/trace   recorded trace events of one job
 //	GET    /v1/trace/recent      most recent trace events (?limit=N)
+//	GET    /v1/events            live trace-event stream (SSE;
+//	                             ?job=ID&kind=a,b filters)
 //	GET    /v1/metrics           metrics snapshot (JSON)
 //	GET    /metrics              metrics (Prometheus text exposition)
 //	GET    /healthz              liveness
@@ -52,6 +54,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/trace/recent", s.handleTraceRecent)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics", s.handlePromMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)

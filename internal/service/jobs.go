@@ -182,6 +182,15 @@ type Job struct {
 	progAttempted   atomic.Int64
 	progResolved    atomic.Int64
 	progInspections atomic.Int64
+
+	// Cumulative per-phase wall time (nanoseconds) and the latest
+	// retry-tail size, written by the round observer when phase
+	// profiling is active (zero otherwise).
+	progCheckNS   atomic.Int64
+	progCommitNS  atomic.Int64
+	progResetNS   atomic.Int64
+	progSlideNS   atomic.Int64
+	progRetryTail atomic.Int64
 }
 
 // JobProgress is the live view of a running (or final view of a
@@ -201,6 +210,18 @@ type JobProgress struct {
 	Resolved int64 `json:"resolved"`
 	// EdgeInspections is the cumulative neighbor/endpoint reads.
 	EdgeInspections int64 `json:"edge_inspections"`
+
+	// Cumulative engine phase profile (present when phase profiling is
+	// active, i.e. when trace round sampling is on): wall time by
+	// check/commit/reset/slide phase and the latest retry-tail size.
+	// The four sums tile the round loop's span, so together they show
+	// where a run's time went — and their total tracks the job's run
+	// span to within the loop's startup/teardown cost.
+	CheckMS   float64 `json:"check_ms,omitempty"`
+	CommitMS  float64 `json:"commit_ms,omitempty"`
+	ResetMS   float64 `json:"reset_ms,omitempty"`
+	SlideMS   float64 `json:"slide_ms,omitempty"`
+	RetryTail int64   `json:"retry_tail,omitempty"`
 }
 
 // JobStatus is the public JSON view of a job.
@@ -561,6 +582,11 @@ func (e *Engine) statusLocked(job *Job) JobStatus {
 			Attempted:       job.progAttempted.Load(),
 			Resolved:        job.progResolved.Load(),
 			EdgeInspections: job.progInspections.Load(),
+			CheckMS:         float64(job.progCheckNS.Load()) / 1e6,
+			CommitMS:        float64(job.progCommitNS.Load()) / 1e6,
+			ResetMS:         float64(job.progResetNS.Load()) / 1e6,
+			SlideMS:         float64(job.progSlideNS.Load()) / 1e6,
+			RetryTail:       job.progRetryTail.Load(),
 		}
 	}
 	if !job.startedAt.IsZero() {
@@ -728,6 +754,14 @@ func (e *Engine) execute(job *Job, solver *greedy.Solver) (payload ResultPayload
 		job.progAttempted.Add(int64(ri.Attempted))
 		job.progResolved.Add(int64(ri.Accepted))
 		job.progInspections.Add(ri.EdgeInspections)
+		profiled := ri.CheckNS|ri.CommitNS|ri.ResetNS|ri.SlideNS != 0
+		if profiled {
+			job.progCheckNS.Add(ri.CheckNS)
+			job.progCommitNS.Add(ri.CommitNS)
+			job.progResetNS.Add(ri.ResetNS)
+			job.progSlideNS.Add(ri.SlideNS)
+			job.progRetryTail.Store(int64(ri.RetryTail))
+		}
 		if e.trace.ShouldSampleRound(ri.Round) {
 			e.trace.Append(trace.Event{
 				Kind:        trace.KindRound,
@@ -738,8 +772,28 @@ func (e *Engine) execute(job *Job, solver *greedy.Solver) (payload ResultPayload
 				Accepted:    int64(ri.Accepted),
 				Inspections: ri.EdgeInspections,
 			})
+			if profiled {
+				e.trace.Append(trace.Event{
+					Kind:      trace.KindPhase,
+					Job:       job.ID,
+					Round:     ri.Round,
+					Prefix:    ri.PrefixSize,
+					CheckMS:   float64(ri.CheckNS) / 1e6,
+					CommitMS:  float64(ri.CommitNS) / 1e6,
+					ResetMS:   float64(ri.ResetNS) / 1e6,
+					SlideMS:   float64(ri.SlideNS) / 1e6,
+					RetryTail: ri.RetryTail,
+				})
+			}
 		}
 	}))
+	// Phase profiling rides the same sampling gate as the round stream:
+	// when round events are being recorded, pay for the clock reads and
+	// get the per-phase decomposition; otherwise the engine performs no
+	// clock reads at all and the dark path stays byte-identical.
+	if e.trace.RoundSampleEvery() > 0 {
+		opts = append(opts, greedy.WithPhaseProfile())
+	}
 	payload = ResultPayload{
 		GraphID: h.ID(),
 		Problem: job.Spec.Problem,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dynamic"
+	"repro/internal/trace"
 )
 
 // latencyBounds are the upper bounds (seconds) of the latency histogram
@@ -292,6 +293,20 @@ type RuntimeCounters struct {
 	Mallocs         uint64 `json:"mallocs"`
 	NumGC           uint32 `json:"num_gc"`
 	Goroutines      int    `json:"goroutines"`
+	// HeapGoalBytes is the GC's current heap size target
+	// (/gc/heap/goal:bytes).
+	HeapGoalBytes uint64 `json:"heap_goal_bytes"`
+	// GOMAXPROCS is the scheduler's processor limit — the engine's
+	// fork-join width ceiling.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GCPauses is the stop-the-world pause distribution
+	// (/gc/pauses:seconds) since process start.
+	GCPauses RuntimeHistogram `json:"gc_pauses"`
+	// SchedLatency is the goroutine scheduling-latency distribution
+	// (/sched/latencies:seconds) since process start — the time between
+	// a goroutine becoming runnable and running, which bounds how
+	// promptly the engine's fork-join workers start.
+	SchedLatency RuntimeHistogram `json:"sched_latency"`
 }
 
 // HTTPCounters is the HTTP-serving section of a metrics snapshot.
@@ -299,6 +314,24 @@ type HTTPCounters struct {
 	// Requests maps status class ("2xx".."5xx") to served requests.
 	Requests map[string]int64  `json:"requests_by_class"`
 	Latency  HistogramSnapshot `json:"latency"`
+}
+
+// StreamCounters is the /v1/events fan-out section of a metrics
+// snapshot; filled in by the Service, which owns the broadcaster.
+type StreamCounters struct {
+	// Enabled reports whether streaming is configured at all; when
+	// false the other fields are zero.
+	Enabled bool `json:"enabled"`
+	// Subscribers is the number of currently attached subscriptions.
+	Subscribers int `json:"subscribers"`
+	// Published counts events offered to the fan-out since start.
+	Published uint64 `json:"published"`
+	// Dropped counts events discarded across all subscriber queues.
+	Dropped uint64 `json:"dropped"`
+	// Evicted counts subscriptions force-detached for falling behind.
+	Evicted uint64 `json:"evicted"`
+	// PerSub describes each attached subscription (drops, queue depth).
+	PerSub []trace.SubscriberStat `json:"per_subscriber,omitempty"`
 }
 
 // Snapshot is the full /v1/metrics response.
@@ -313,6 +346,10 @@ type Snapshot struct {
 	// tracing is disabled); filled in by the Service, which owns the
 	// recorder.
 	TraceEvents uint64 `json:"trace_events"`
+	// Stream is the live event-stream fan-out state.
+	Stream StreamCounters `json:"stream"`
+	// Build identifies the running binary.
+	Build BuildInfo `json:"build"`
 }
 
 func snapshotHistogram(h *histogram) HistogramSnapshot {

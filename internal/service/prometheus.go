@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // This file renders the service's metrics snapshot in the Prometheus
@@ -92,6 +93,33 @@ func (p *promWriter) histogram(name, help string, series []promSeries) {
 	}
 }
 
+// runtimeHistogram declares and emits one runtime/metrics-backed
+// histogram. The runtime does not track a sum, so _sum is estimated
+// from bucket midpoints (the convention collectors use for these
+// families); _count is exact.
+func (p *promWriter) runtimeHistogram(name, help string, h RuntimeHistogram) {
+	p.family(name, help, "histogram")
+	var cum uint64
+	var sum, lower float64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		le := "+Inf"
+		mid := lower
+		if !isInf(bound) {
+			le = promFloat(bound)
+			mid = (lower + bound) / 2
+			lower = bound
+		}
+		sum += float64(h.Counts[i]) * mid
+		p.sample(name+"_bucket", `le="`+le+`"`, promInt(int64(cum)))
+	}
+	if n := len(h.Bounds); n == 0 || !isInf(h.Bounds[n-1]) {
+		p.sample(name+"_bucket", `le="+Inf"`, promInt(int64(cum)))
+	}
+	p.sample(name+"_sum", "", promFloat(sum))
+	p.sample(name+"_count", "", promInt(int64(cum)))
+}
+
 type promSeries struct {
 	labels string // rendered label-brace interior, "" for none
 	h      HistogramSnapshot
@@ -102,6 +130,13 @@ func joinLabels(a, b string) string {
 		return b
 	}
 	return a + "," + b
+}
+
+// promLabelValue escapes a label value per the exposition format
+// (backslash, double quote, newline).
+func promLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
 }
 
 // problemSeries renders a problem-labeled histogram map in sorted
@@ -160,9 +195,32 @@ func WritePrometheus(w io.Writer, snap Snapshot) error {
 	p.counter("greedyd_mallocs_total", "Cumulative heap objects allocated.", int64(snap.Runtime.Mallocs))
 	p.counter("greedyd_gc_cycles_total", "Completed GC cycles.", int64(snap.Runtime.NumGC))
 	p.gauge("greedyd_goroutines", "Live goroutines.", float64(snap.Runtime.Goroutines))
+	p.gauge("greedyd_gc_heap_goal_bytes", "GC heap size target (/gc/heap/goal:bytes).", float64(snap.Runtime.HeapGoalBytes))
+	p.gauge("greedyd_gomaxprocs", "Scheduler processor limit (fork-join width ceiling).", float64(snap.Runtime.GOMAXPROCS))
+	p.runtimeHistogram("greedyd_gc_pause_seconds", "Stop-the-world GC pause distribution (/gc/pauses:seconds).", snap.Runtime.GCPauses)
+	p.runtimeHistogram("greedyd_sched_latency_seconds", "Goroutine runnable-to-running latency distribution (/sched/latencies:seconds).", snap.Runtime.SchedLatency)
+
+	// Build identity.
+	p.family("greedyd_build_info", "Build metadata of the running binary; value is always 1.", "gauge")
+	p.sample("greedyd_build_info",
+		`go_version="`+promLabelValue(snap.Build.GoVersion)+
+			`",path="`+promLabelValue(snap.Build.Path)+
+			`",version="`+promLabelValue(snap.Build.Version)+
+			`",revision="`+promLabelValue(snap.Build.Revision)+`"`, "1")
 
 	// Trace recorder.
 	p.counter("greedyd_trace_events_total", "Trace events recorded (0 when tracing is disabled).", int64(snap.TraceEvents))
+
+	// Event-stream fan-out.
+	p.gauge("greedyd_stream_subscribers", "Attached /v1/events subscriptions.", float64(snap.Stream.Subscribers))
+	p.counter("greedyd_stream_events_published_total", "Events offered to the stream fan-out.", int64(snap.Stream.Published))
+	p.counter("greedyd_stream_events_dropped_total", "Events discarded across subscriber queues.", int64(snap.Stream.Dropped))
+	p.counter("greedyd_stream_evictions_total", "Subscriptions detached for falling behind.", int64(snap.Stream.Evicted))
+	p.family("greedyd_stream_subscriber_dropped", "Events dropped per attached subscription.", "gauge")
+	for _, sub := range snap.Stream.PerSub {
+		p.sample("greedyd_stream_subscriber_dropped",
+			`subscriber="`+strconv.FormatUint(sub.ID, 10)+`"`, promInt(int64(sub.Dropped)))
+	}
 
 	// HTTP serving.
 	p.family("greedyd_http_requests_total", "HTTP requests served, by status class.", "counter")

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"math"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"sync"
+)
+
+// This file reads the Go runtime's self-telemetry (runtime/metrics)
+// into snapshot form: the GC pause and scheduler-latency distributions
+// and the heap goal, which together explain most "why was this round
+// slow" questions that the engine's own phase profiles cannot — a 2ms
+// commit phase with a 1.8ms GC pause inside it is a GC problem, not a
+// parallelism problem.
+
+// RuntimeHistogram is a runtime/metrics float64 distribution in
+// snapshot form: Bounds[i] is the inclusive upper bound (seconds) of
+// bucket i, Counts[i] its population. The last bound may be +Inf.
+// Empty leading/trailing buckets are coalesced away; because the
+// runtime's counts are cumulative since process start, the retained
+// window only ever grows, so Prometheus le labels are stable once
+// seen.
+type RuntimeHistogram struct {
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+}
+
+// Count returns the total population.
+func (h RuntimeHistogram) Count() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// runtimeSampleNames are the runtime/metrics keys the snapshot carries.
+// All exist since Go 1.17; readRuntimeTelemetry tolerates absent ones
+// (KindBad) so a toolchain change cannot break /metrics.
+var runtimeSampleNames = []string{
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+	"/gc/heap/goal:bytes",
+}
+
+// readRuntimeTelemetry fills the runtime/metrics portion of a
+// RuntimeCounters.
+func readRuntimeTelemetry(rc *RuntimeCounters) {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Name {
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				rc.GCPauses = convertRuntimeHistogram(s.Value.Float64Histogram())
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				rc.SchedLatency = convertRuntimeHistogram(s.Value.Float64Histogram())
+			}
+		case "/gc/heap/goal:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				rc.HeapGoalBytes = s.Value.Uint64()
+			}
+		}
+	}
+	rc.GOMAXPROCS = runtime.GOMAXPROCS(0)
+}
+
+// convertRuntimeHistogram reshapes a runtime/metrics histogram
+// (len(Buckets) == len(Counts)+1 boundaries, possibly ±Inf at the ends)
+// into upper-bound form, coalescing empty leading/trailing buckets so
+// the wire form stays small while the retained bounds remain a fixed
+// subset of the runtime's layout.
+func convertRuntimeHistogram(h *metrics.Float64Histogram) RuntimeHistogram {
+	if h == nil || len(h.Counts) == 0 {
+		return RuntimeHistogram{}
+	}
+	lo, hi := 0, len(h.Counts)-1
+	for lo < hi && h.Counts[lo] == 0 {
+		lo++
+	}
+	for hi > lo && h.Counts[hi] == 0 {
+		hi--
+	}
+	out := RuntimeHistogram{
+		Bounds: make([]float64, 0, hi-lo+1),
+		Counts: make([]uint64, 0, hi-lo+1),
+	}
+	for i := lo; i <= hi; i++ {
+		// Bucket i spans [Buckets[i], Buckets[i+1]); report the upper
+		// boundary. A -Inf lower edge needs no special case — only
+		// upper bounds are retained.
+		out.Bounds = append(out.Bounds, h.Buckets[i+1])
+		out.Counts = append(out.Counts, h.Counts[i])
+	}
+	return out
+}
+
+// BuildInfo identifies the running binary: Go toolchain, main module
+// path/version, and the VCS revision when the binary was built from a
+// checkout. Rendered as the greedyd_build_info gauge.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+// readBuildInfo caches the binary's build metadata (it cannot change
+// while the process lives).
+var readBuildInfo = sync.OnceValue(func() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Path = info.Main.Path
+	bi.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Dirty = s.Value == "true"
+		}
+	}
+	return bi
+})
+
+// isInf reports +Inf (used by the Prometheus renderer for le labels).
+func isInf(v float64) bool { return math.IsInf(v, 1) }

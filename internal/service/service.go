@@ -56,7 +56,23 @@ type Config struct {
 	// trace event; 0 disables the round stream (job lifecycle spans and
 	// repair events are still recorded). Sampling keeps the per-round
 	// hot path allocation-free: the observer does one modulo test.
+	// Round sampling also gates engine phase profiling: sampled jobs
+	// run with an injected clock and emit per-phase (check/commit/
+	// reset/slide) events alongside the round events.
 	TraceRoundSample int
+	// StreamSubscribers bounds concurrent /v1/events subscriptions; 0
+	// means 16, negative disables streaming (the endpoint answers 404).
+	// Streaming requires tracing: with TraceCapacity negative there is
+	// no recorder to tee from, and the endpoint answers 404 regardless.
+	StreamSubscribers int
+	// StreamQueue is the per-subscriber event queue capacity; 0 means
+	// 1024. A subscriber whose queue overflows accumulates drops and is
+	// evicted after StreamQueue drops (one full queue's worth).
+	StreamQueue int
+	// StreamHeartbeat is the SSE heartbeat interval; 0 means 10s.
+	// Heartbeat comments carry the subscriber's cumulative drop count,
+	// so a consumer can see its own losses without polling /v1/metrics.
+	StreamHeartbeat time.Duration
 	// Logger receives structured access and job-lifecycle logs; nil
 	// discards them (the default for embedded/test use — greedyd
 	// installs a real handler).
@@ -85,6 +101,15 @@ func (c Config) withDefaults() Config {
 	if c.TraceCapacity == 0 {
 		c.TraceCapacity = 1 << 14
 	}
+	if c.StreamSubscribers == 0 {
+		c.StreamSubscribers = 16
+	}
+	if c.StreamQueue <= 0 {
+		c.StreamQueue = 1024
+	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 10 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -98,7 +123,8 @@ type Service struct {
 	metrics  *Metrics
 	registry *Registry
 	engine   *Engine
-	trace    *trace.Recorder // nil when tracing is disabled
+	trace    *trace.Recorder    // nil when tracing is disabled
+	bcast    *trace.Broadcaster // nil when streaming is disabled
 	log      *slog.Logger
 }
 
@@ -107,6 +133,14 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
 	rec := trace.NewRecorder(cfg.TraceCapacity, cfg.TraceRoundSample)
+	var bcast *trace.Broadcaster
+	if rec.Enabled() {
+		// Streaming tees off the recorder, so it exists only when
+		// tracing does. NewBroadcaster returns nil for negative
+		// StreamSubscribers — streaming explicitly disabled.
+		bcast = trace.NewBroadcaster(cfg.StreamSubscribers, cfg.StreamQueue, 0)
+		rec.SetBroadcaster(bcast)
+	}
 	reg := NewRegistry(cfg.CacheBytes, m)
 	eng := NewEngine(reg, m, EngineConfig{
 		Workers:         cfg.Workers,
@@ -116,7 +150,7 @@ func New(cfg Config) *Service {
 		Trace:           rec,
 		Logger:          cfg.Logger,
 	})
-	return &Service{cfg: cfg, metrics: m, registry: reg, engine: eng, trace: rec, log: cfg.Logger}
+	return &Service{cfg: cfg, metrics: m, registry: reg, engine: eng, trace: rec, bcast: bcast, log: cfg.Logger}
 }
 
 // Registry exposes the graph registry (used by tests and embedders).
@@ -127,6 +161,10 @@ func (s *Service) Engine() *Engine { return s.engine }
 
 // Trace exposes the trace recorder (nil when tracing is disabled).
 func (s *Service) Trace() *trace.Recorder { return s.trace }
+
+// Broadcaster exposes the event-stream fan-out (nil when streaming is
+// disabled).
+func (s *Service) Broadcaster() *trace.Broadcaster { return s.bcast }
 
 // Close stops the worker pool and janitor.
 func (s *Service) Close() { s.engine.Close() }
@@ -147,6 +185,8 @@ func (s *Service) Snapshot() Snapshot {
 		NumGC:           ms.NumGC,
 		Goroutines:      runtime.NumGoroutine(),
 	}
+	readRuntimeTelemetry(&snap.Runtime)
+	snap.Build = readBuildInfo()
 	reg := s.registry.counters()
 	reg.Hits = snap.Registry.Hits
 	reg.Misses = snap.Registry.Misses
@@ -154,6 +194,17 @@ func (s *Service) Snapshot() Snapshot {
 	reg.Patches = snap.Registry.Patches
 	snap.Registry = reg
 	snap.TraceEvents = s.trace.Total()
+	if s.bcast.Enabled() {
+		st := s.bcast.Stats()
+		snap.Stream = StreamCounters{
+			Enabled:     true,
+			Subscribers: st.Subscribers,
+			Published:   st.Published,
+			Dropped:     st.Dropped,
+			Evicted:     st.Evicted,
+			PerSub:      s.bcast.Subscribers(),
+		}
+	}
 	return snap
 }
 

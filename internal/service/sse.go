@@ -1,0 +1,133 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// sseContentType is the Server-Sent Events media type served by
+// GET /v1/events and required by the client.
+const sseContentType = "text/event-stream"
+
+// writeSSEFrame emits one SSE frame: optional "id:" and "event:" lines
+// followed by a "data:" line carrying v as JSON and the blank dispatch
+// line. Data is a single line — json.Marshal never emits newlines.
+func writeSSEFrame(w io.Writer, id, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if id != "" {
+		if _, err := fmt.Fprintf(w, "id: %s\n", id); err != nil {
+			return err
+		}
+	}
+	if event != "" {
+		if _, err := fmt.Fprintf(w, "event: %s\n", event); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(w, "data: %s\n\n", data)
+	return err
+}
+
+// writeSSEEvent frames one trace event: the recorder sequence number is
+// the SSE id (so a reconnecting client can detect gaps) and the kind is
+// the SSE event name (so EventSource listeners can subscribe by kind).
+func writeSSEEvent(w io.Writer, ev trace.Event) error {
+	return writeSSEFrame(w, fmt.Sprintf("%d", ev.Seq), string(ev.Kind), ev)
+}
+
+// StreamEvent is one parsed frame of a text/event-stream: either a data
+// frame (Event/Data set, ID when the server sent one) or a comment-only
+// frame such as the server's heartbeat (Comment set, everything else
+// empty).
+type StreamEvent struct {
+	// ID is the frame's "id:" field ("" when absent). The server uses
+	// the recorder sequence number.
+	ID string
+	// Event is the frame's "event:" field — a trace.Kind, or "evicted"
+	// for the terminal overflow frame.
+	Event string
+	// Data is the frame's "data:" payload; multiple data lines are
+	// joined with newlines per the SSE specification.
+	Data []byte
+	// Comment holds ":"-prefixed comment lines ("hb dropped=0" for the
+	// server's heartbeat); multiple comment lines are joined with
+	// newlines.
+	Comment string
+}
+
+// IsComment reports whether the frame carried only comments (the
+// server's heartbeat).
+func (e StreamEvent) IsComment() bool { return e.Event == "" && len(e.Data) == 0 }
+
+// TraceEvent decodes the frame's data payload as a trace event.
+func (e StreamEvent) TraceEvent() (trace.Event, error) {
+	var ev trace.Event
+	err := json.Unmarshal(e.Data, &ev)
+	return ev, err
+}
+
+// SSEDecoder incrementally parses a Server-Sent Events stream. It
+// implements the subset of the SSE grammar the service emits: "id:",
+// "event:" and "data:" fields, ":" comments, and blank-line dispatch.
+type SSEDecoder struct {
+	r *bufio.Reader
+}
+
+// NewSSEDecoder wraps r for frame-at-a-time reading.
+func NewSSEDecoder(r io.Reader) *SSEDecoder {
+	return &SSEDecoder{r: bufio.NewReader(r)}
+}
+
+// Next blocks until one complete frame (terminated by a blank line) has
+// been read and returns it. It returns io.EOF at clean end of stream; a
+// frame cut off mid-accumulation returns io.ErrUnexpectedEOF.
+func (d *SSEDecoder) Next() (StreamEvent, error) {
+	var ev StreamEvent
+	var data, comments []string
+	started := false
+	for {
+		line, err := d.r.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && (started || line != "") {
+				err = io.ErrUnexpectedEOF
+			}
+			return StreamEvent{}, err
+		}
+		line = strings.TrimSuffix(strings.TrimSuffix(line, "\n"), "\r")
+		if line == "" {
+			if !started {
+				// Leading blank lines separate frames; skip them.
+				continue
+			}
+			ev.Data = []byte(strings.Join(data, "\n"))
+			if len(ev.Data) == 0 {
+				ev.Data = nil
+			}
+			ev.Comment = strings.Join(comments, "\n")
+			return ev, nil
+		}
+		started = true
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "": // ":comment" — field name is empty
+			comments = append(comments, value)
+		case "id":
+			ev.ID = value
+		case "event":
+			ev.Event = value
+		case "data":
+			data = append(data, value)
+		default:
+			// Unknown fields are ignored per the SSE specification.
+		}
+	}
+}

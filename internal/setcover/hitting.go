@@ -70,6 +70,10 @@ type Options struct {
 	// OnRound, if non-nil, is called after every round with that round's
 	// statistics (see core.RoundStat), on the round loop's goroutine.
 	OnRound func(core.RoundStat)
+	// Clock, if non-nil, enables the engine's per-phase wall-time
+	// attribution (see engine.Options.Clock); telemetry-only, injected
+	// by the caller.
+	Clock func() int64
 	// Workspace, if non-nil, supplies pooled per-run buffers reused
 	// across runs. nil means allocate fresh buffers.
 	Workspace *Workspace
@@ -84,6 +88,7 @@ func (o Options) engineOptions(ws *engine.Workspace) engine.Options {
 		Adaptive:   o.Adaptive,
 		Grain:      o.Grain,
 		OnRound:    o.OnRound,
+		Clock:      o.Clock,
 		Workspace:  ws,
 	}
 }

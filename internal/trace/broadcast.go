@@ -1,0 +1,346 @@
+// Streaming fan-out for the flight recorder: a Broadcaster tees every
+// appended event to bounded per-subscriber queues, which the service's
+// /v1/events SSE endpoint drains. The design constraints are the
+// recorder's own (enforced by greedylint's nilguard): the publish path
+// holds no lock while performing channel operations, allocates nothing,
+// and never blocks on a slow consumer — a subscriber that cannot keep
+// up accumulates drops against its own queue and is evicted once the
+// drops pass its eviction budget, so one stalled TCP connection cannot
+// stall the solver's round observers.
+//
+// Concurrency shape: the subscriber list is an immutable slice behind
+// an atomic pointer (copy-on-write under Broadcaster.mu on
+// subscribe/close, lock-free snapshot on publish). Each subscription
+// owns a preallocated event ring guarded by its own mutex and a
+// capacity-1 doorbell channel; Publish copies the event into the ring
+// under sub.mu, then rings the doorbell with a non-blocking send after
+// unlocking. Consumers block on the doorbell and drain the ring in
+// batches.
+package trace
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSubscribersFull reports that the broadcaster is at its admission
+// limit; the caller should reject the new stream (the SSE endpoint
+// maps it to 503).
+var ErrSubscribersFull = errors.New("trace: subscriber limit reached")
+
+// Filter restricts which events a subscription receives. The zero
+// value matches everything. Matching runs on the publish path, so it
+// is a field test and a map probe — never an allocation.
+type Filter struct {
+	// Job, if nonempty, admits only events of that job id.
+	Job string
+	// Kinds, if nonempty, admits only events whose kind is a key.
+	Kinds map[Kind]bool
+}
+
+func (f Filter) match(ev Event) bool {
+	if f.Job != "" && ev.Job != f.Job {
+		return false
+	}
+	if len(f.Kinds) > 0 && !f.Kinds[ev.Kind] {
+		return false
+	}
+	return true
+}
+
+// BroadcastStats is an aggregate snapshot of a broadcaster's fan-out
+// counters since construction.
+type BroadcastStats struct {
+	// Subscribers is the number of currently attached subscriptions
+	// (evicted-but-not-yet-closed ones included; they still occupy an
+	// admission slot until their consumer notices and closes).
+	Subscribers int `json:"subscribers"`
+	// Published counts events offered to the fan-out (after the
+	// recorder accepted them; per-subscriber filters apply after this
+	// count).
+	Published uint64 `json:"published"`
+	// Dropped counts events discarded across all subscriber queues
+	// (including queues of since-closed subscribers).
+	Dropped uint64 `json:"dropped"`
+	// Evicted counts subscriptions force-detached for falling behind.
+	Evicted uint64 `json:"evicted"`
+}
+
+// SubscriberStat describes one attached subscription.
+type SubscriberStat struct {
+	ID      uint64 `json:"id"`
+	Dropped uint64 `json:"dropped"`
+	Queued  int    `json:"queued"`
+	Evicted bool   `json:"evicted"`
+}
+
+// Broadcaster fans recorder events out to bounded subscriber queues.
+// The zero value is not usable; a nil *Broadcaster is valid and drops
+// everything (streaming disabled).
+type Broadcaster struct {
+	mu   sync.Mutex // guards copy-on-write of subs and id assignment
+	subs atomic.Pointer[[]*Subscription]
+
+	nextID   uint64
+	maxSubs  int
+	queueCap int
+	evictAt  uint64
+
+	published atomic.Uint64
+	dropped   atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// NewBroadcaster sizes the fan-out: at most maxSubs concurrent
+// subscriptions, each with a queueCap-event ring, evicted once it has
+// dropped evictAfter events. maxSubs <= 0 or queueCap <= 0 returns nil
+// — the valid "streaming disabled" broadcaster. evictAfter <= 0
+// defaults to queueCap (one full queue's worth of drops).
+func NewBroadcaster(maxSubs, queueCap, evictAfter int) *Broadcaster {
+	if maxSubs <= 0 || queueCap <= 0 {
+		return nil
+	}
+	if evictAfter <= 0 {
+		evictAfter = queueCap
+	}
+	return &Broadcaster{
+		maxSubs:  maxSubs,
+		queueCap: queueCap,
+		evictAt:  uint64(evictAfter),
+	}
+}
+
+// Enabled reports whether the broadcaster fans out anything (false for
+// the nil broadcaster).
+func (b *Broadcaster) Enabled() bool { return b != nil }
+
+// Publish offers ev to every attached subscription whose filter
+// matches, never blocking: a full queue counts a drop against that
+// subscriber, and a subscriber whose drops pass its eviction budget is
+// detached. Safe for concurrent use; allocation-free (nilguard's hot
+// set covers it).
+func (b *Broadcaster) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	b.published.Add(1)
+	subs := b.subs.Load()
+	if subs == nil {
+		return
+	}
+	for _, s := range *subs {
+		dropped, evicted, ring := s.offer(ev)
+		if dropped {
+			b.dropped.Add(1)
+		}
+		if evicted {
+			b.evictions.Add(1)
+		}
+		if ring {
+			// The doorbell send happens with no lock held: offer has
+			// already released sub.mu, and the channel has capacity 1,
+			// so the send never blocks the publisher.
+			select {
+			case s.bell <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// Subscribe attaches a new subscription receiving every future event
+// matching f. It fails with ErrSubscribersFull when maxSubs
+// subscriptions are attached; the caller owns the returned
+// subscription and must Close it.
+func (b *Broadcaster) Subscribe(f Filter) (*Subscription, error) {
+	if b == nil {
+		return nil, ErrSubscribersFull
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var cur []*Subscription
+	if p := b.subs.Load(); p != nil {
+		cur = *p
+	}
+	if len(cur) >= b.maxSubs {
+		return nil, ErrSubscribersFull
+	}
+	b.nextID++
+	s := &Subscription{
+		id:      b.nextID,
+		b:       b,
+		filter:  f,
+		ring:    make([]Event, b.queueCap),
+		evictAt: b.evictAt,
+		bell:    make(chan struct{}, 1),
+	}
+	next := make([]*Subscription, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, s)
+	b.subs.Store(&next)
+	return s, nil
+}
+
+// remove detaches s from the subscriber list (idempotent).
+func (b *Broadcaster) remove(s *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.subs.Load()
+	if p == nil {
+		return
+	}
+	cur := *p
+	next := make([]*Subscription, 0, len(cur))
+	for _, x := range cur {
+		if x != s {
+			next = append(next, x)
+		}
+	}
+	b.subs.Store(&next)
+}
+
+// Stats returns the aggregate fan-out counters.
+func (b *Broadcaster) Stats() BroadcastStats {
+	if b == nil {
+		return BroadcastStats{}
+	}
+	st := BroadcastStats{
+		Published: b.published.Load(),
+		Dropped:   b.dropped.Load(),
+		Evicted:   b.evictions.Load(),
+	}
+	if p := b.subs.Load(); p != nil {
+		st.Subscribers = len(*p)
+	}
+	return st
+}
+
+// Subscribers returns a per-subscription snapshot, ordered by
+// subscription id (attachment order).
+func (b *Broadcaster) Subscribers() []SubscriberStat {
+	if b == nil {
+		return nil
+	}
+	p := b.subs.Load()
+	if p == nil {
+		return nil
+	}
+	out := make([]SubscriberStat, 0, len(*p))
+	for _, s := range *p {
+		out = append(out, s.stat())
+	}
+	return out
+}
+
+// Subscription is one attached consumer: a bounded event ring fed by
+// Publish and drained by the consumer, with a doorbell channel for
+// wakeups. Methods are safe for one concurrent consumer alongside the
+// publishers.
+type Subscription struct {
+	id     uint64
+	b      *Broadcaster
+	filter Filter
+	bell   chan struct{}
+
+	mu      sync.Mutex
+	ring    []Event // fixed-size circular buffer
+	start   int     // index of oldest queued event
+	count   int     // queued events
+	dropped uint64
+	evictAt uint64
+	evicted bool
+	closed  bool
+}
+
+// ID returns the broadcaster-assigned subscription id (1-based,
+// attachment order).
+func (s *Subscription) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Ready returns the doorbell channel: it receives after new events (or
+// an eviction) arrive. A single token coalesces any number of
+// publishes, so a consumer must drain until empty after each receive.
+func (s *Subscription) Ready() <-chan struct{} {
+	if s == nil {
+		return nil
+	}
+	return s.bell
+}
+
+// offer enqueues ev if the filter matches and the ring has room. It
+// reports whether the event was dropped, whether this call evicted the
+// subscription, and whether the doorbell should ring. No allocation,
+// and no channel operation — the caller rings the doorbell after this
+// returns (nilguard's hot set covers offer).
+func (s *Subscription) offer(ev Event) (dropped, evicted, ring bool) {
+	if !s.filter.match(ev) {
+		return false, false, false
+	}
+	s.mu.Lock()
+	if s.evicted || s.closed {
+		s.mu.Unlock()
+		return false, false, false
+	}
+	if s.count == len(s.ring) {
+		s.dropped++
+		if s.dropped >= s.evictAt {
+			s.evicted = true
+			s.mu.Unlock()
+			// Ring so a consumer blocked on the doorbell wakes up and
+			// observes the eviction instead of waiting forever.
+			return true, true, true
+		}
+		s.mu.Unlock()
+		return true, false, false
+	}
+	s.ring[(s.start+s.count)%len(s.ring)] = ev
+	s.count++
+	s.mu.Unlock()
+	return false, false, true
+}
+
+// Drain appends every queued event to buf (which may be nil; pass a
+// buffer with spare capacity to avoid allocation) and returns the
+// extended buffer, the total events dropped so far, and whether the
+// subscription has been evicted for falling behind. After an eviction
+// the consumer should report the drop count and Close.
+func (s *Subscription) Drain(buf []Event) ([]Event, uint64, bool) {
+	if s == nil {
+		return buf, 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < s.count; i++ {
+		buf = append(buf, s.ring[(s.start+i)%len(s.ring)])
+	}
+	s.start = (s.start + s.count) % len(s.ring)
+	s.count = 0
+	return buf, s.dropped, s.evicted
+}
+
+// Close detaches the subscription from its broadcaster (idempotent).
+// Queued events are discarded; subsequent Publishes skip it.
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already && s.b != nil {
+		s.b.remove(s)
+	}
+}
+
+// stat snapshots the subscription's counters.
+func (s *Subscription) stat() SubscriberStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SubscriberStat{ID: s.id, Dropped: s.dropped, Queued: s.count, Evicted: s.evicted}
+}

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBroadcastFanoutAndFilter: each subscriber receives exactly the
+// events its filter admits, in publish order, and the aggregate
+// counters account for every publish.
+func TestBroadcastFanoutAndFilter(t *testing.T) {
+	b := NewBroadcaster(4, 16, 0)
+	all, err := b.Subscribe(Filter{})
+	if err != nil {
+		t.Fatalf("Subscribe(all): %v", err)
+	}
+	defer all.Close()
+	phases, err := b.Subscribe(Filter{Job: "J1", Kinds: map[Kind]bool{KindPhase: true}})
+	if err != nil {
+		t.Fatalf("Subscribe(phases): %v", err)
+	}
+	defer phases.Close()
+
+	b.Publish(Event{Seq: 1, Kind: KindSubmit, Job: "J1"})
+	b.Publish(Event{Seq: 2, Kind: KindPhase, Job: "J1", Round: 8})
+	b.Publish(Event{Seq: 3, Kind: KindPhase, Job: "J2", Round: 4})
+	b.Publish(Event{Seq: 4, Kind: KindDone, Job: "J1"})
+
+	got, dropped, evicted := all.Drain(nil)
+	if len(got) != 4 || dropped != 0 || evicted {
+		t.Fatalf("all: got %d events dropped=%d evicted=%v, want 4/0/false", len(got), dropped, evicted)
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("all event %d: seq %d, want %d (publish order)", i, ev.Seq, i+1)
+		}
+	}
+	got, _, _ = phases.Drain(nil)
+	if len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("filtered subscriber got %+v, want only seq 2 (phase of J1)", got)
+	}
+	st := b.Stats()
+	if st.Published != 4 || st.Subscribers != 2 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want published=4 subscribers=2 dropped=0", st)
+	}
+}
+
+// TestSlowConsumerEviction: a subscriber that never drains accumulates
+// drops once its queue fills and is evicted after a full eviction
+// budget, its doorbell rings so a blocked consumer observes it, and
+// later publishes skip it entirely.
+func TestSlowConsumerEviction(t *testing.T) {
+	const queue = 4
+	b := NewBroadcaster(2, queue, 0) // evictAfter defaults to queue
+	slow, err := b.Subscribe(Filter{})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer slow.Close()
+
+	// Fill the queue, then overflow it by exactly the eviction budget.
+	for i := 0; i < 2*queue; i++ {
+		b.Publish(Event{Seq: uint64(i + 1), Kind: KindRound})
+	}
+	select {
+	case <-slow.Ready():
+	case <-time.After(time.Second):
+		t.Fatal("doorbell never rang for an evicted subscriber")
+	}
+	got, dropped, evicted := slow.Drain(nil)
+	if !evicted {
+		t.Fatalf("subscriber not evicted after %d drops (budget %d)", dropped, queue)
+	}
+	if dropped != queue {
+		t.Fatalf("dropped = %d, want %d", dropped, queue)
+	}
+	if len(got) != queue || got[0].Seq != 1 {
+		t.Fatalf("drained %d events starting at seq %d; want the %d oldest retained", len(got), got[0].Seq, queue)
+	}
+	st := b.Stats()
+	if st.Dropped != queue || st.Evicted != 1 {
+		t.Fatalf("stats = %+v, want dropped=%d evicted=1", st, queue)
+	}
+	// An evicted subscriber is dead weight, not a drop counter: further
+	// publishes must not inflate its drops.
+	b.Publish(Event{Seq: 100, Kind: KindRound})
+	if _, d, _ := slow.Drain(nil); d != queue {
+		t.Fatalf("post-eviction publish changed drop count to %d, want %d", d, queue)
+	}
+}
+
+// TestFastConsumerSeesEverything: a consumer that keeps up (the
+// publisher stays within the queue bound of the consumer's progress,
+// as a round observer naturally does between sampled rounds) receives
+// every published event exactly once, in order, with zero drops.
+func TestFastConsumerSeesEverything(t *testing.T) {
+	const total = 10_000
+	const queue = 256
+	b := NewBroadcaster(1, queue, 0)
+	sub, err := b.Subscribe(Filter{})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Close()
+
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= total; i++ {
+			// Flow control: never run more than half a queue ahead of
+			// the consumer, so any drop the test observes is a real
+			// fan-out bug rather than a too-slow test goroutine.
+			for int64(i)-consumed.Load() > queue/2 {
+				runtime.Gosched()
+			}
+			b.Publish(Event{Seq: uint64(i), Kind: KindRound})
+		}
+	}()
+
+	var got []Event
+	deadline := time.After(10 * time.Second)
+	for len(got) < total {
+		select {
+		case <-sub.Ready():
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d events", len(got), total)
+		}
+		var dropped uint64
+		got, dropped, _ = sub.Drain(got)
+		consumed.Store(int64(len(got)))
+		if dropped != 0 {
+			t.Fatalf("a keeping-up consumer dropped %d events", dropped)
+		}
+	}
+	wg.Wait()
+	got, _, _ = sub.Drain(got) // anything between last Ready and producer exit
+	if len(got) != total {
+		t.Fatalf("received %d events, want %d", len(got), total)
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d (in-order, exactly-once)", i, ev.Seq, i+1)
+		}
+	}
+}
+
+// TestAdmissionLimit: Subscribe fails with ErrSubscribersFull at the
+// limit and admits again after a Close frees the slot.
+func TestAdmissionLimit(t *testing.T) {
+	b := NewBroadcaster(2, 4, 0)
+	s1, err := b.Subscribe(Filter{})
+	if err != nil {
+		t.Fatalf("Subscribe 1: %v", err)
+	}
+	s2, err := b.Subscribe(Filter{})
+	if err != nil {
+		t.Fatalf("Subscribe 2: %v", err)
+	}
+	defer s2.Close()
+	if _, err := b.Subscribe(Filter{}); err != ErrSubscribersFull {
+		t.Fatalf("Subscribe at limit: err = %v, want ErrSubscribersFull", err)
+	}
+	s1.Close()
+	s3, err := b.Subscribe(Filter{})
+	if err != nil {
+		t.Fatalf("Subscribe after Close: %v", err)
+	}
+	s3.Close()
+}
+
+// TestNilBroadcaster: the nil broadcaster is the valid disabled state
+// for every method.
+func TestNilBroadcaster(t *testing.T) {
+	var b *Broadcaster
+	if b.Enabled() {
+		t.Fatal("nil broadcaster reports Enabled")
+	}
+	b.Publish(Event{Kind: KindRound})
+	if _, err := b.Subscribe(Filter{}); err != ErrSubscribersFull {
+		t.Fatalf("nil Subscribe err = %v, want ErrSubscribersFull", err)
+	}
+	if st := b.Stats(); st != (BroadcastStats{}) {
+		t.Fatalf("nil Stats = %+v, want zero", st)
+	}
+	if subs := b.Subscribers(); subs != nil {
+		t.Fatalf("nil Subscribers = %v, want nil", subs)
+	}
+	var s *Subscription
+	s.Close()
+	if _, _, evicted := s.Drain(nil); evicted {
+		t.Fatal("nil subscription reports evicted")
+	}
+}
+
+// BenchmarkPublish measures the fan-out cost per event with one
+// attached (never-draining, steadily dropping) subscriber — the cost
+// Append pays per recorded event when streaming is on.
+func BenchmarkPublish(b *testing.B) {
+	bc := NewBroadcaster(2, 1024, 1<<62)
+	sub, err := bc.Subscribe(Filter{})
+	if err != nil {
+		b.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Close()
+	ev := Event{Kind: KindRound, Job: "J", Round: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bc.Publish(ev)
+	}
+}
+
+// TestPublishZeroAlloc pins the streaming hot path at zero allocations,
+// with and without the recorder in front: the nilguard analyzer forbids
+// allocation under the locks, and this test forbids it anywhere on the
+// path.
+func TestPublishZeroAlloc(t *testing.T) {
+	b := NewBroadcaster(2, 1024, 0)
+	sub, err := b.Subscribe(Filter{})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Close()
+	ev := Event{Kind: KindPhase, Job: "J", Round: 8, CheckMS: 0.5}
+
+	if allocs := testing.AllocsPerRun(100, func() { b.Publish(ev) }); allocs != 0 {
+		t.Errorf("Publish allocates %.1f/op with a subscriber attached, want 0", allocs)
+	}
+	sub.Drain(nil)
+
+	r := NewRecorder(64, 1)
+	r.SetBroadcaster(b)
+	full := Event{Kind: KindPhase, Job: "J", Round: 8, Time: time.Unix(0, 1)}
+	if allocs := testing.AllocsPerRun(100, func() { r.Append(full) }); allocs != 0 {
+		t.Errorf("Append allocates %.1f/op with streaming attached, want 0", allocs)
+	}
+}

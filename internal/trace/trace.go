@@ -15,6 +15,7 @@ package trace
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,6 +42,11 @@ const (
 	// KindRound is a sampled round-observer report: the Figure 1
 	// quantities of one round of the algorithm.
 	KindRound Kind = "round"
+	// KindPhase is a sampled per-phase profile of one engine round: the
+	// round's wall time decomposed into the check/commit/reset
+	// fork-joins and the window-slide remainder, plus the retry-tail
+	// size. Emitted alongside KindRound when phase profiling is active.
+	KindPhase Kind = "phase"
 	// KindRepair is one Maintainer.Apply during a dynamic job's
 	// patch-chain replay: the change-driven frontier repair cost of one
 	// update batch.
@@ -72,12 +78,21 @@ type Event struct {
 	// DurMS is the span duration in milliseconds (0 for point events).
 	DurMS float64 `json:"duration_ms,omitempty"`
 
-	// Round-sample payload (KindRound).
+	// Round-sample payload (KindRound, KindPhase).
 	Round       int64 `json:"round,omitempty"`
 	Prefix      int   `json:"prefix,omitempty"`
 	Attempted   int64 `json:"attempted,omitempty"`
 	Accepted    int64 `json:"accepted,omitempty"`
 	Inspections int64 `json:"inspections,omitempty"`
+
+	// Phase-profile payload (KindPhase): one sampled round's wall time
+	// by engine phase, in milliseconds, plus the retry tail carried
+	// into the next round.
+	CheckMS   float64 `json:"check_ms,omitempty"`
+	CommitMS  float64 `json:"commit_ms,omitempty"`
+	ResetMS   float64 `json:"reset_ms,omitempty"`
+	SlideMS   float64 `json:"slide_ms,omitempty"`
+	RetryTail int     `json:"retry_tail,omitempty"`
 
 	// Repair payload (KindRepair): the frontier cost of one batch.
 	Batch        int `json:"batch,omitempty"`
@@ -102,6 +117,12 @@ type Recorder struct {
 	total uint64 // events ever appended; buf[(total-1) % cap] is newest
 
 	sampleEvery int64
+
+	// bcast, when set, receives every appended event for live fan-out.
+	// It is read with an atomic load on the Append path and published
+	// to only after r.mu is released, so streaming adds nothing to the
+	// recorder's critical section.
+	bcast atomic.Pointer[Broadcaster]
 }
 
 // NewRecorder returns a recorder holding the last capacity events.
@@ -140,6 +161,26 @@ func (r *Recorder) RoundSampleEvery() int {
 	return int(r.sampleEvery)
 }
 
+// SetBroadcaster attaches a live fan-out: every event Append accepts
+// is also offered to b (after the recorder's lock is released, with
+// its Seq and Time stamped). A nil b detaches. Safe to call
+// concurrently with Append.
+func (r *Recorder) SetBroadcaster(b *Broadcaster) {
+	if r == nil {
+		return
+	}
+	r.bcast.Store(b)
+}
+
+// Broadcaster returns the attached fan-out (nil when streaming is
+// off).
+func (r *Recorder) Broadcaster() *Broadcaster {
+	if r == nil {
+		return nil
+	}
+	return r.bcast.Load()
+}
+
 // Append records an event, stamping Seq and, if unset, Time. The event
 // is copied by value; Append performs no allocation once the ring is
 // at capacity (the fill phase appends into preallocated backing).
@@ -159,6 +200,11 @@ func (r *Recorder) Append(ev Event) {
 		r.buf[(r.total-1)%uint64(cap(r.buf))] = ev
 	}
 	r.mu.Unlock()
+	// Fan out after unlocking: the broadcaster's queues have their own
+	// locks, and the doorbell channel ops must never run under r.mu.
+	if b := r.bcast.Load(); b != nil {
+		b.Publish(ev)
+	}
 }
 
 // Total returns the number of events ever appended (including ones the

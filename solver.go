@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/coloring"
 	"repro/internal/core"
@@ -68,6 +69,22 @@ type RoundInfo struct {
 	// EdgeInspections is the number of neighbor/endpoint status reads
 	// performed this round.
 	EdgeInspections int64
+	// RetryTail is the number of attempted iterates left undecided this
+	// round — the retry set carried into the next round. A persistently
+	// large tail relative to the window is the signature of a hot
+	// dependency chain.
+	RetryTail int
+	// CheckNS/CommitNS/ResetNS/SlideNS decompose the round's wall time
+	// by engine phase, in nanoseconds: the check fork-join, the commit
+	// fork-join, the reservation-reset fork-join (0 for problems
+	// without one), and everything else (window refill, outcome fill,
+	// the retry-tail pack-and-slide, adaptive bookkeeping). All four
+	// are 0 unless WithPhaseProfile is set; when it is, the per-phase
+	// sums over a run tile the round loop's span with no gaps.
+	CheckNS  int64
+	CommitNS int64
+	ResetNS  int64
+	SlideNS  int64
 }
 
 // WithRoundObserver streams per-round statistics to fn as the run
@@ -201,11 +218,30 @@ func observerFor(c config) func(core.RoundStat) {
 			Attempted:       rs.Attempted,
 			Accepted:        rs.Resolved,
 			EdgeInspections: rs.Inspections,
+			RetryTail:       rs.RetryTail,
+			CheckNS:         rs.CheckNS,
+			CommitNS:        rs.CommitNS,
+			ResetNS:         rs.ResetNS,
+			SlideNS:         rs.SlideNS,
 		}
 		for _, fn := range obs {
 			fn(ri)
 		}
 	}
+}
+
+// clockFor returns the monotonic nanosecond clock the engine brackets
+// its phases with under WithPhaseProfile, or nil (no clock reads at
+// all) when profiling is off. The clock lives here, not in the engine:
+// the result-affecting packages are under the nodeterminism analyzer
+// and never read wall time themselves — the facade injects it, and its
+// readings surface only through RoundInfo telemetry.
+func clockFor(c config) func() int64 {
+	if !c.phaseProfile {
+		return nil
+	}
+	start := time.Now()
+	return func() int64 { return int64(time.Since(start)) }
 }
 
 // MIS computes a maximal independent set of g under the configured
@@ -224,6 +260,7 @@ func (s *Solver) MIS(ctx context.Context, g *Graph, opts ...Option) (*MISResult,
 		Grain:      c.grain,
 		Pointered:  c.pointered,
 		OnRound:    observerFor(c),
+		Clock:      clockFor(c),
 		Workspace:  &s.misWs,
 	}
 	// Luby regenerates priorities from the seed every round; deriving
@@ -284,6 +321,7 @@ func (s *Solver) MM(ctx context.Context, el EdgeList, opts ...Option) (*MMResult
 		Adaptive:   c.adaptive,
 		Grain:      c.grain,
 		OnRound:    observerFor(c),
+		Clock:      clockFor(c),
 		Workspace:  &s.mmWs,
 	}
 	switch c.algorithm {
@@ -327,6 +365,7 @@ func (s *Solver) SF(ctx context.Context, el EdgeList, opts ...Option) (*SFResult
 		Adaptive:   c.adaptive,
 		Grain:      c.grain,
 		OnRound:    observerFor(c),
+		Clock:      clockFor(c),
 		Workspace:  &s.sfWs,
 	}
 	if c.algorithm == AlgoSequential {
@@ -367,6 +406,7 @@ func (s *Solver) Coloring(ctx context.Context, g *Graph, opts ...Option) (*Color
 		Adaptive:   c.adaptive,
 		Grain:      c.grain,
 		OnRound:    observerFor(c),
+		Clock:      clockFor(c),
 		Workspace:  &s.colorWs,
 	}
 	if c.algorithm == AlgoSequential {
@@ -407,6 +447,7 @@ func (s *Solver) HittingSet(ctx context.Context, sys *System, opts ...Option) (*
 		Adaptive:   c.adaptive,
 		Grain:      c.grain,
 		OnRound:    observerFor(c),
+		Clock:      clockFor(c),
 		Workspace:  &s.hsWs,
 	}
 	if c.algorithm == AlgoSequential {
