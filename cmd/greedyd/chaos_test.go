@@ -1,0 +1,281 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The chaos harness: boot the real greedyd binary, acknowledge a burst
+// of jobs, SIGKILL the process mid-burst, restart it on the same data
+// directory, and hold it to the durability contract — every
+// acknowledged job is eventually served, under its original id, with
+// a checksum byte-identical to a control run that never crashed.
+
+// buildGreedyd compiles the daemon once per test run.
+func buildGreedyd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "greedyd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one live greedyd process under test control.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+	logs *bytes.Buffer
+}
+
+// startDaemon boots greedyd with the given extra flags and waits for
+// /healthz. The caller owns shutdown (kill or sigkill).
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	var logs bytes.Buffer
+	cmd := exec.Command(bin, append([]string{"-addr", addr}, args...)...)
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, base: "http://" + addr, logs: &logs}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			_ = d.cmd.Process.Kill()
+			_ = d.cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("greedyd never became healthy at %s\nlogs:\n%s", addr, logs.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// sigkill delivers an uncatchable kill — the crash the journal's
+// fsync-before-ack discipline is designed to survive — and reaps the
+// process.
+func (d *daemon) sigkill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = d.cmd.Wait()
+}
+
+func (d *daemon) postJSON(t *testing.T, path, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(d.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: bad body %q: %v", path, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (d *daemon) getJSON(t *testing.T, path string, out any) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("GET %s: bad body %q: %v", path, raw, err)
+		}
+	}
+	return resp.StatusCode, raw
+}
+
+type jobAck struct {
+	ID string `json:"job_id"`
+}
+
+type jobState struct {
+	ID    string `json:"job_id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+// chaosSpecs is the job burst both the control and the chaos run
+// submit: one long job that wedges the single worker plus quick jobs
+// acknowledged behind it, so a kill right after the acks is guaranteed
+// to catch unserved acknowledgements.
+func chaosSpecs(bigID, smallID string) []string {
+	specs := []string{fmt.Sprintf(
+		`{"graph_id":%q,"problem":"mis","plan":{"algorithm":"prefix","seed":7,"prefix_size":2}}`, bigID)}
+	for seed := 10; seed < 14; seed++ {
+		specs = append(specs, fmt.Sprintf(
+			`{"graph_id":%q,"problem":"mis","plan":{"algorithm":"prefix","seed":%d}}`, smallID, seed))
+	}
+	return specs
+}
+
+// ingestChaosGraphs registers the two graphs every run uses and
+// returns their content-addressed ids (identical across runs by
+// construction).
+func ingestChaosGraphs(t *testing.T, d *daemon) (bigID, smallID string) {
+	t.Helper()
+	var g struct {
+		ID string `json:"id"`
+	}
+	if code := d.postJSON(t, "/v1/graphs", `{"generator":"random","n":300000,"m":600000,"seed":1}`, &g); code >= 300 {
+		t.Fatalf("generate big graph: HTTP %d", code)
+	}
+	bigID = g.ID
+	if code := d.postJSON(t, "/v1/graphs", `{"generator":"random","n":2000,"m":8000,"seed":2}`, &g); code >= 300 {
+		t.Fatalf("generate small graph: HTTP %d", code)
+	}
+	return bigID, g.ID
+}
+
+// waitServed polls a job until it reaches state done and returns its
+// result checksum.
+func waitServed(t *testing.T, d *daemon, id string) string {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st jobState
+		code, raw := d.getJSON(t, "/v1/jobs/"+id, &st)
+		if code != http.StatusOK {
+			t.Fatalf("status %s: HTTP %d %s", id, code, raw)
+		}
+		switch st.State {
+		case "done":
+			var res struct {
+				Checksum string `json:"checksum"`
+			}
+			if code, raw := d.getJSON(t, "/v1/jobs/"+id+"/result", &res); code != http.StatusOK {
+				t.Fatalf("result %s: HTTP %d %s", id, code, raw)
+			}
+			if res.Checksum == "" {
+				t.Fatalf("job %s served without a checksum", id)
+			}
+			return res.Checksum
+		case "failed", "cancelled", "deadline_exceeded":
+			t.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never served (state %s)\nlogs:\n%s", id, st.State, d.logs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestChaosKillRecoverServesEveryAck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes")
+	}
+	bin := buildGreedyd(t)
+
+	// Control run: no crash, collect the expected checksum per spec.
+	control := startDaemon(t, bin, "-data-dir", t.TempDir(), "-workers", "2")
+	bigID, smallID := ingestChaosGraphs(t, control)
+	specs := chaosSpecs(bigID, smallID)
+	want := make([]string, len(specs))
+	for i, spec := range specs {
+		var ack jobAck
+		if code := submitJob(t, control, spec, &ack); code != http.StatusAccepted {
+			t.Fatalf("control submit %d: HTTP %d", i, code)
+		}
+		want[i] = waitServed(t, control, ack.ID)
+	}
+	control.sigkill(t)
+
+	// Chaos run: workers wedged via the fault-injection flag so no job
+	// can complete, a burst of acks, then kill -9 — the harshest
+	// ack-but-never-serve crash the journal must cover.
+	dataDir := t.TempDir()
+	chaos := startDaemon(t, bin, "-data-dir", dataDir, "-workers", "1",
+		"-failpoints", "worker.run=sleep:300s")
+	cb, cs := ingestChaosGraphs(t, chaos)
+	if cb != bigID || cs != smallID {
+		t.Fatalf("content addressing drifted across runs: %s/%s vs %s/%s", cb, cs, bigID, smallID)
+	}
+	acked := make([]string, len(specs))
+	for i, spec := range specs {
+		var ack jobAck
+		if code := submitJob(t, chaos, spec, &ack); code != http.StatusAccepted {
+			t.Fatalf("chaos submit %d: HTTP %d", i, code)
+		}
+		acked[i] = ack.ID
+	}
+	chaos.sigkill(t)
+
+	// Restart on the same directory: every acknowledged job must be
+	// served with the control run's exact checksum, under its old id.
+	revived := startDaemon(t, bin, "-data-dir", dataDir, "-workers", "2")
+	for i, id := range acked {
+		if got := waitServed(t, revived, id); got != want[i] {
+			t.Fatalf("job %s (spec %d): checksum %s after recovery, control said %s", id, i, got, want[i])
+		}
+	}
+
+	// The metrics must attribute the re-served jobs to recovery and the
+	// Prometheus exposition must carry the durability families.
+	var snap struct {
+		Jobs struct {
+			Recovered int64 `json:"recovered"`
+		} `json:"jobs"`
+		Persist struct {
+			Enabled bool `json:"enabled"`
+		} `json:"persist"`
+	}
+	if code, raw := revived.getJSON(t, "/v1/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d %s", code, raw)
+	}
+	if snap.Jobs.Recovered < 1 {
+		t.Fatalf("recovered = %d, want >= 1", snap.Jobs.Recovered)
+	}
+	if !snap.Persist.Enabled {
+		t.Fatal("persist reports disabled on a -data-dir boot")
+	}
+	_, prom := revived.getJSON(t, "/metrics", nil)
+	for _, family := range []string{"greedyd_persist_enabled 1", "greedyd_jobs_recovered_total", "greedyd_persist_wal_appends_total"} {
+		if !bytes.Contains(prom, []byte(family)) {
+			t.Fatalf("prometheus exposition missing %q", family)
+		}
+	}
+}
+
+// submitJob posts one job spec.
+func submitJob(t *testing.T, d *daemon, spec string, ack *jobAck) int {
+	t.Helper()
+	return d.postJSON(t, "/v1/jobs", spec, ack)
+}

@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/service"
 )
 
@@ -95,6 +96,10 @@ func main() {
 		logFormat  = flag.String("log-format", "text", "log output format: text|json")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug|info|warn|error (debug shows the access log)")
 		debugAddr  = flag.String("debug-addr", "", "if set, serve net/http/pprof under /debug/pprof/ on this extra address (e.g. localhost:6060)")
+		dataDir    = flag.String("data-dir", "", "if set, persist graphs and the job journal here; restart recovers acknowledged jobs (empty: in-memory only)")
+		drainTO    = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown window for in-flight jobs before they are cancelled")
+		watermark  = flag.Float64("ingest-watermark", 0, "fraction of -cache-bytes at which graph ingest pauses with 503 (0: default 0.9, <0: disable)")
+		failpoints = flag.String("failpoints", "", "arm fault-injection failpoints, e.g. persist.fsync=error*1 (also via GREEDYD_FAILPOINTS; testing only)")
 	)
 	flag.Parse()
 
@@ -104,7 +109,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc := service.New(service.Config{
+	spec := *failpoints
+	if spec == "" {
+		spec = os.Getenv("GREEDYD_FAILPOINTS")
+	}
+	if spec != "" {
+		if err := fault.ArmSpec(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "greedyd: -failpoints: %v\n", err)
+			os.Exit(2)
+		}
+		logger.Warn("fault injection armed", "spec", spec)
+	}
+
+	svc, err := service.New(service.Config{
 		CacheBytes:        *cacheBytes,
 		Workers:           *workers,
 		QueueDepth:        *queueDepth,
@@ -117,8 +134,13 @@ func main() {
 		StreamQueue:       *streamQ,
 		StreamHeartbeat:   *streamHB,
 		Logger:            logger,
+		DataDir:           *dataDir,
+		IngestWatermark:   *watermark,
 	})
-	defer svc.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "greedyd: %v\n", err)
+		os.Exit(1)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -142,10 +164,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	svcDone := make(chan struct{})
 	go func() {
 		<-ctx.Done()
-		logger.Info("shutdown signal received")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		logger.Info("shutdown signal received", "drain_timeout", drainTO.String())
+		// Drain the service first: Shutdown closes the shutdown channel,
+		// so /v1/events streams emit their terminal "shutdown" frame and
+		// return, which in turn lets srv.Shutdown below finish waiting
+		// for active handlers.
+		go func() {
+			svc.Shutdown(*drainTO)
+			close(svcDone)
+		}()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTO+10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 	}()
@@ -157,12 +188,18 @@ func main() {
 		"workers", *workers,
 		"queue_depth", *queueDepth,
 		"ttl", ttl.String(),
+		"data_dir", *dataDir,
 		"trace_capacity", *traceCap,
 		"trace_round_sample", *traceSamp,
 		"pid", os.Getpid())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		svc.Close()
 		logger.Error("server error", "error", err)
 		os.Exit(1)
 	}
+	// ErrServerClosed means the signal goroutine ran srv.Shutdown; wait
+	// for the concurrent service drain (worker pool + journal + blobs)
+	// to finish before the process exits.
+	<-svcDone
 	logger.Info("greedyd shut down", "uptime", time.Since(started).Round(time.Millisecond).String())
 }

@@ -83,7 +83,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: -adaptive requires -algorithm prefix, got %q\n", algo)
 		os.Exit(2)
 	}
-	client := &service.Client{BaseURL: strings.TrimRight(*addr, "/")}
+	// Overload answers (429 queue-full, 503 draining/ingest-paused) are
+	// retried inside the client, honoring the server's Retry-After, so
+	// the submit loop below only counts genuine failures.
+	client := &service.Client{
+		BaseURL: strings.TrimRight(*addr, "/"),
+		Retry:   service.BackoffPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond},
+	}
 	ctx := context.Background()
 
 	// Fail fast with a non-zero exit when the server is unreachable,
@@ -223,12 +229,11 @@ func main() {
 						AdaptivePrefix: *adaptive, Dynamic: *churn},
 				})
 				if serr != nil {
+					// The client already backed off through transient
+					// overload; whatever reaches here is a real failure.
 					mu.Lock()
 					failures++
 					mu.Unlock()
-					// Back off instead of hot-spinning against a server
-					// that is rejecting or has gone away mid-run.
-					time.Sleep(10 * time.Millisecond)
 					continue
 				}
 				st := resp.JobStatus

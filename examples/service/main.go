@@ -19,7 +19,10 @@ import (
 )
 
 func main() {
-	svc := service.New(service.Config{Workers: 2})
+	svc, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer svc.Close()
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()

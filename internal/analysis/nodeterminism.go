@@ -27,9 +27,15 @@ import (
 //     the adaptive-window growth cap in internal/core/adaptive.go is
 //     the one argued-safe site (the cap bounds growth, never the
 //     schedule's dependence on per-round counters).
+//   - importing repro/internal/fault (fault injection): failpoints are
+//     exempt from this analyzer precisely because they live outside
+//     the result path, where they may perturb when and whether work
+//     completes but never what bytes are computed. A failpoint planted
+//     in a scope package would void that argument, so the import
+//     itself is the violation.
 var Nodeterminism = &Analyzer{
 	Name: "nodeterminism",
-	Doc:  "forbid clock, env, global RNG, map-order and GOMAXPROCS reads in result-affecting packages",
+	Doc:  "forbid clock, env, global RNG, map-order, GOMAXPROCS and fault-injection in result-affecting packages",
 	Scope: scopeByBase(
 		"core", "matching", "spanning", "dynamic", "engine",
 		"coloring", "setcover",
@@ -47,6 +53,9 @@ func runNodeterminism(pass *Pass) {
 			}
 			if p == "math/rand" || p == "math/rand/v2" {
 				pass.Reportf(imp.Pos(), "import of %s in a result-affecting package: use internal/rng's seeded splitmix64 so results are a pure function of the seed", p)
+			}
+			if p == "repro/internal/fault" {
+				pass.Reportf(imp.Pos(), "import of %s in a result-affecting package: failpoints may perturb scheduling and I/O but never the computed bytes — plant them in the service or persistence layers instead", p)
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/fault" // want `import of repro/internal/fault`
 	"repro/internal/parallel"
 )
 
@@ -60,4 +61,10 @@ func SliceRange(xs []int) int {
 		t += x
 	}
 	return t
+}
+
+// Perturb plants a failpoint on the result path — forbidden: the
+// failpoint exemption rests on fault living outside these packages.
+func Perturb() error {
+	return fault.Inject(fault.WorkerRun)
 }

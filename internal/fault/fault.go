@@ -1,0 +1,203 @@
+// Package fault is the repo's fault-injection harness: named
+// failpoints planted at the seams where production failures originate
+// — persistence writes, fsync, worker execution, SSE flushes — and
+// armed from the outside (a flag or environment spec) so chaos tests
+// can exercise the exact error paths a healthy run never takes.
+//
+// Failpoints are exempt from the nodeterminism analyzer by
+// construction, not by annotation: they are planted only in
+// result-neutral paths (I/O, scheduling, transport), and greedylint
+// forbids the result-affecting packages from importing this package at
+// all, so a failpoint can perturb *when* and *whether* work completes
+// but never *what* the computed bytes are.
+//
+// Cost when disarmed: every Inject call is a single atomic load and a
+// branch — no map lookup, no lock, no allocation. The process-global
+// armed bit flips only when a spec arms at least one point, which
+// never happens outside tests and chaos runs.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The failpoints planted in the codebase. Arming an unknown name is an
+// error, so a renamed plant cannot silently orphan a chaos spec.
+const (
+	// BlobWrite fires in the blob store before a graph blob is
+	// committed (temp file written, pre-rename).
+	BlobWrite = "persist.blob.write"
+	// Fsync fires in place of every persist-layer fsync.
+	Fsync = "persist.fsync"
+	// WALAppend fires in the job journal before an accept record is
+	// appended.
+	WALAppend = "persist.wal.append"
+	// WorkerRun fires at the head of job execution, inside the worker's
+	// panic guard — mode "panic" exercises the recover path, "sleep"
+	// simulates a slow or wedged solver.
+	WorkerRun = "worker.run"
+	// SSEFlush fires before each /v1/events write+flush cycle.
+	SSEFlush = "sse.flush"
+)
+
+// knownPoints is the plant registry; ArmSpec rejects names not in it.
+var knownPoints = map[string]bool{
+	BlobWrite: true,
+	Fsync:     true,
+	WALAppend: true,
+	WorkerRun: true,
+	SSEFlush:  true,
+}
+
+// ErrInjected is the sentinel wrapped by every error-mode injection.
+var ErrInjected = errors.New("fault: injected failure")
+
+// mode is what an armed failpoint does when hit.
+type mode int
+
+const (
+	modeError mode = iota
+	modePanic
+	modeSleep
+)
+
+// point is one armed failpoint's state; guarded by mu.
+type point struct {
+	mode      mode
+	delay     time.Duration
+	remaining int64 // hits left to fire; -1 means unlimited
+	hits      int64 // times this point actually fired
+}
+
+var (
+	// armed is the global fast-path gate: false means every Inject
+	// returns nil after one atomic load.
+	armed atomic.Bool
+
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// Inject fires the named failpoint if it is armed: it returns an
+// injected error, panics, or sleeps according to the armed mode, and
+// returns nil when the point is disarmed or its hit budget is spent.
+func Inject(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	return injectSlow(name)
+}
+
+func injectSlow(name string) error {
+	mu.Lock()
+	p := points[name]
+	if p == nil || p.remaining == 0 {
+		mu.Unlock()
+		return nil
+	}
+	if p.remaining > 0 {
+		p.remaining--
+	}
+	p.hits++
+	m, delay := p.mode, p.delay
+	mu.Unlock()
+	switch m {
+	case modePanic:
+		panic(fmt.Sprintf("fault: injected panic at %q", name))
+	case modeSleep:
+		time.Sleep(delay)
+		return nil
+	default:
+		return fmt.Errorf("%w at %q", ErrInjected, name)
+	}
+}
+
+// Hits returns how many times the named failpoint has fired since it
+// was last armed.
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p := points[name]; p != nil {
+		return p.hits
+	}
+	return 0
+}
+
+// Reset disarms every failpoint.
+func Reset() {
+	mu.Lock()
+	points = map[string]*point{}
+	armed.Store(false)
+	mu.Unlock()
+}
+
+// ArmSpec arms failpoints from a spec string — the form the greedyd
+// -failpoints flag and the GREEDYD_FAILPOINTS environment variable
+// carry. The grammar is a comma- or semicolon-separated list of
+//
+//	<name>=<mode>
+//
+// where <mode> is one of
+//
+//	error             return ErrInjected
+//	panic             panic (exercises recover paths)
+//	sleep:<duration>  block for the Go duration (e.g. sleep:50ms)
+//
+// optionally suffixed with *<count> to fire only the first <count>
+// hits (e.g. "persist.fsync=error*2"). An empty spec arms nothing.
+func ArmSpec(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ';' }) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, modeSpec, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("fault: bad failpoint spec %q (want name=mode)", part)
+		}
+		name = strings.TrimSpace(name)
+		if !knownPoints[name] {
+			return fmt.Errorf("fault: unknown failpoint %q", name)
+		}
+		count := int64(-1)
+		if base, c, ok := strings.Cut(modeSpec, "*"); ok {
+			n, err := strconv.ParseInt(strings.TrimSpace(c), 10, 64)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("fault: bad hit count in %q", part)
+			}
+			count = n
+			modeSpec = base
+		}
+		p := &point{remaining: count}
+		switch {
+		case modeSpec == "error":
+			p.mode = modeError
+		case modeSpec == "panic":
+			p.mode = modePanic
+		case strings.HasPrefix(modeSpec, "sleep:"):
+			d, err := time.ParseDuration(strings.TrimPrefix(modeSpec, "sleep:"))
+			if err != nil || d < 0 {
+				return fmt.Errorf("fault: bad sleep duration in %q", part)
+			}
+			p.mode = modeSleep
+			p.delay = d
+		default:
+			return fmt.Errorf("fault: unknown mode %q in %q (want error|panic|sleep:<dur>)", modeSpec, part)
+		}
+		mu.Lock()
+		points[name] = p
+		armed.Store(true)
+		mu.Unlock()
+	}
+	return nil
+}

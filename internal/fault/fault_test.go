@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	Reset()
+	if err := Inject(Fsync); err != nil {
+		t.Fatalf("disarmed Inject returned %v", err)
+	}
+}
+
+func TestDisarmedAllocsFree(t *testing.T) {
+	Reset()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := Inject(WorkerRun); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed Inject allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := ArmSpec("persist.fsync=error"); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject(Fsync)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if got := Hits(Fsync); got != 1 {
+		t.Fatalf("Hits = %d, want 1", got)
+	}
+	// Other points stay dark.
+	if err := Inject(BlobWrite); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestCountedMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := ArmSpec("persist.wal.append=error*2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject(WALAppend); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 1: %v", err)
+	}
+	if err := Inject(WALAppend); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 2: %v", err)
+	}
+	if err := Inject(WALAppend); err != nil {
+		t.Fatalf("hit 3 should be exhausted, got %v", err)
+	}
+	if got := Hits(WALAppend); got != 2 {
+		t.Fatalf("Hits = %d, want 2", got)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := ArmSpec("worker.run=panic*1"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected injected panic")
+		}
+	}()
+	_ = Inject(WorkerRun)
+}
+
+func TestSleepMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := ArmSpec("sse.flush=sleep:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject(SSEFlush); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sleep mode returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	for _, bad := range []string{
+		"nosuch.point=error",
+		"persist.fsync",
+		"persist.fsync=explode",
+		"persist.fsync=sleep:xyz",
+		"persist.fsync=error*0",
+		"persist.fsync=error*-3",
+	} {
+		if err := ArmSpec(bad); err == nil {
+			t.Errorf("ArmSpec(%q) accepted", bad)
+		}
+	}
+	// Empty and separator-only specs arm nothing.
+	if err := ArmSpec(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := ArmSpec(" ,; "); err != nil {
+		t.Fatal(err)
+	}
+	if armed.Load() {
+		t.Fatal("empty spec armed the global gate")
+	}
+}
+
+func TestMultiPointSpec(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := ArmSpec("persist.fsync=error*1, persist.blob.write=error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject(Fsync); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fsync: %v", err)
+	}
+	if err := Inject(BlobWrite); !errors.Is(err, ErrInjected) {
+		t.Fatalf("blob: %v", err)
+	}
+}

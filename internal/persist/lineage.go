@@ -1,0 +1,151 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The lineage log remembers how patched graph versions were derived
+// (child ← parent + update batch), so the engine's dynamic-session
+// repair survives a restart: without it every post-restart dynamic job
+// recomputes from scratch — still correct, just slower. Because
+// lineage is an optimization, appends are not fsync'd; a lost tail
+// only costs repair opportunities.
+
+// lineageMagic is the first record of a lineage log file.
+var lineageMagic = []byte("greedylineage\x01")
+
+// LineageUpdate is one edge update of a recorded patch, mirroring
+// dynamic.Update without importing it (persist stays algorithm-free).
+type LineageUpdate struct {
+	Op string `json:"op"` // "add" | "del"
+	U  int32  `json:"u"`
+	V  int32  `json:"v"`
+}
+
+// LineageRecord is one derivation: Child was produced by applying
+// Updates to Parent.
+type LineageRecord struct {
+	Child   string          `json:"child"`
+	Parent  string          `json:"parent"`
+	Updates []LineageUpdate `json:"updates"`
+}
+
+// LineageLog is the append-only derivation log.
+type LineageLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	recs int64
+}
+
+// OpenLineage opens (creating if needed) the log at path and returns
+// the replayed records, oldest first. A corrupt tail is truncated away
+// on the next append cycle's natural overwrite — records after damage
+// are simply not replayed.
+func OpenLineage(path string) (*LineageLog, []LineageRecord, error) {
+	raw, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		raw = nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("persist: reading lineage log: %w", err)
+	}
+	recs, valid := DecodeLineage(raw)
+	// Truncate any corrupt tail so future appends frame correctly.
+	if valid < len(raw) {
+		if err := os.WriteFile(path, raw[:valid], 0o644); err != nil {
+			return nil, nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &LineageLog{f: f, w: bufio.NewWriterSize(f, 1<<14), recs: int64(len(recs))}
+	if valid == 0 {
+		if err := writeRecord(l.w, lineageMagic); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := l.w.Flush(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return l, recs, nil
+}
+
+// DecodeLineage replays a raw lineage image, returning the valid
+// records and the byte offset of the valid prefix. Exported for the
+// fuzz harness.
+func DecodeLineage(raw []byte) ([]LineageRecord, int) {
+	if len(raw) == 0 {
+		return nil, 0
+	}
+	r := bytes.NewReader(raw)
+	total := len(raw)
+	sawMagic := false
+	var recs []LineageRecord
+	var buf []byte
+	for {
+		offset := total - r.Len()
+		var err error
+		buf, err = readRecord(r, buf)
+		if err != nil {
+			return recs, offset
+		}
+		if !sawMagic {
+			if !bytes.Equal(buf, lineageMagic) {
+				return nil, 0
+			}
+			sawMagic = true
+			continue
+		}
+		var rec LineageRecord
+		if err := json.Unmarshal(buf, &rec); err != nil || rec.Child == "" || rec.Parent == "" {
+			return recs, offset
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// Append records one derivation. Flushed but not fsync'd.
+func (l *LineageLog) Append(rec LineageRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return fmt.Errorf("persist: lineage log closed")
+	}
+	if err := writeRecord(l.w, raw); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	l.recs++
+	return nil
+}
+
+// Close flushes and closes the log.
+func (l *LineageLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return nil
+	}
+	err := l.w.Flush()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f, l.w = nil, nil
+	return err
+}

@@ -1,0 +1,72 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is one data directory's worth of durability:
+//
+//	<dir>/graphs/<id>.blob   content-addressed graph blobs
+//	<dir>/jobs.wal           acknowledged-job journal
+//	<dir>/lineage.wal        patch-derivation log
+//
+// A nil *Store is the disabled state: greedyd without -data-dir never
+// constructs one, and every caller in the service layer nil-checks, so
+// the persistence-off hot path does no persistence work at all.
+type Store struct {
+	dir     string
+	blobs   *BlobStore
+	journal *Journal
+	lineage *LineageLog
+}
+
+// Open opens (creating if needed) the data directory and replays its
+// journal and lineage log. The returned pending jobs are every
+// acknowledged-but-unfinished job a previous process died owing;
+// lineage records rebuild the patch-derivation index.
+func Open(dir string) (*Store, []PendingJob, []LineageRecord, error) {
+	if dir == "" {
+		return nil, nil, nil, fmt.Errorf("persist: empty data dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("persist: creating data dir: %w", err)
+	}
+	blobs, err := newBlobStore(filepath.Join(dir, "graphs"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	journal, pending, err := OpenJournal(filepath.Join(dir, "jobs.wal"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lineage, recs, err := OpenLineage(filepath.Join(dir, "lineage.wal"))
+	if err != nil {
+		journal.Close()
+		return nil, nil, nil, err
+	}
+	return &Store{dir: dir, blobs: blobs, journal: journal, lineage: lineage}, pending, recs, nil
+}
+
+// Dir returns the data directory root.
+func (s *Store) Dir() string { return s.dir }
+
+// Blobs returns the graph blob tier.
+func (s *Store) Blobs() *BlobStore { return s.blobs }
+
+// Journal returns the job WAL.
+func (s *Store) Journal() *Journal { return s.journal }
+
+// Lineage returns the derivation log.
+func (s *Store) Lineage() *LineageLog { return s.lineage }
+
+// Close closes the journal and lineage log. Blob files hold no open
+// handles between operations.
+func (s *Store) Close() error {
+	err := s.journal.Close()
+	if lerr := s.lineage.Close(); err == nil {
+		err = lerr
+	}
+	return err
+}

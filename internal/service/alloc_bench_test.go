@@ -32,7 +32,10 @@ func BenchmarkEngineUniqueJobsNoReuse(b *testing.B) {
 }
 
 func benchEngineUniqueJobs(b *testing.B, fresh bool) {
-	svc := New(Config{Workers: 1})
+	svc, err := New(Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer svc.Close()
 	info, _, err := svc.Generate(GenSpec{Generator: "random", N: 100_000, M: 500_000, Seed: 42})
 	if err != nil {

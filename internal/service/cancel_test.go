@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"strings"
 	"testing"
@@ -35,62 +36,47 @@ func submitLongJob(t *testing.T, svc *Service, seed uint64) (JobStatus, GraphInf
 // loop's cancellation path rather than aborting before round 1.
 func waitRunningWithProgress(t *testing.T, e *Engine, id string) JobStatus {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
-		st, err := e.Status(id)
-		if err != nil {
+	var st JobStatus
+	waitFor(t, 30*time.Second, "job "+id+" to report mid-run progress", func() bool {
+		var err error
+		if st, err = e.Status(id); err != nil {
 			t.Fatal(err)
-		}
-		if st.State == StateRunning && st.Progress != nil && st.Progress.Rounds > 0 {
-			return st
 		}
 		if st.State == StateDone || st.State == StateFailed {
 			t.Fatalf("job %s finished (%s) before mid-run progress was observed", id, st.State)
 		}
-		time.Sleep(time.Millisecond)
-	}
-	t.Fatalf("job %s never reported mid-run progress", id)
-	return JobStatus{}
+		return st.State == StateRunning && st.Progress != nil && st.Progress.Rounds > 0
+	})
+	return st
 }
 
 // waitRefs polls until the graph's refcount reaches want (the worker
 // releases its pin shortly after publishing a terminal job state).
 func waitRefs(t *testing.T, svc *Service, graphID string, want int) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	waitFor(t, 10*time.Second, fmt.Sprintf("graph %s to reach refs=%d", graphID, want), func() bool {
 		gi, ok := svc.Registry().Get(graphID)
 		if !ok {
 			t.Fatalf("graph %s gone while waiting for refs", graphID)
 		}
-		if gi.Refs == want {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("graph refs = %d, want %d", gi.Refs, want)
-		}
-		time.Sleep(time.Millisecond)
-	}
+		return gi.Refs == want
+	})
 }
 
 func waitState(t *testing.T, e *Engine, id string, want JobState) JobStatus {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
-		st, err := e.Status(id)
-		if err != nil {
+	var st JobStatus
+	waitFor(t, 30*time.Second, fmt.Sprintf("job %s to reach state %s", id, want), func() bool {
+		var err error
+		if st, err = e.Status(id); err != nil {
 			t.Fatal(err)
 		}
-		if st.State == want {
-			return st
-		}
-		if st.State == StateDone || st.State == StateFailed {
+		if st.State != want && (st.State == StateDone || st.State == StateFailed) {
 			t.Fatalf("job %s reached terminal state %s, want %s", id, st.State, want)
 		}
-		time.Sleep(time.Millisecond)
-	}
-	t.Fatalf("job %s never reached state %s", id, want)
-	return JobStatus{}
+		return st.State == want
+	})
+	return st
 }
 
 // TestCancelRunningJobFreesWorkerAndRefcount is the satellite contract:

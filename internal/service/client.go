@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"mime"
 	"net/http"
 	"net/url"
@@ -14,6 +15,69 @@ import (
 	"time"
 )
 
+// BackoffPolicy tells the client how to retry requests the server
+// refused with 429 (queue full) or 503 (draining, ingest paused) —
+// overload signals, not failures. A Retry-After header from the
+// server, computed from its observed drain rate, takes precedence over
+// the local schedule; without one the client backs off exponentially
+// with jitter so a fleet of retrying clients does not reconverge on
+// the same instant. The zero value disables retries entirely, keeping
+// the default client behavior transparent.
+type BackoffPolicy struct {
+	// MaxAttempts caps total tries, the first included; values below 2
+	// disable retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential schedule; 0 means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps every computed wait; 0 means 5s.
+	MaxDelay time.Duration
+}
+
+// wait computes the pause before retry number attempt (1-based).
+// retryAfter, when parseable, is the server's own estimate of when
+// capacity frees and is used verbatim (still capped by MaxDelay).
+func (p BackoffPolicy) wait(attempt int, retryAfter string) time.Duration {
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		return min(time.Duration(secs)*time.Second, maxDelay)
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := maxDelay
+	if shift := attempt - 1; shift < 20 && base<<shift < maxDelay {
+		d = base << shift
+	}
+	// Equal jitter: half deterministic so progress is guaranteed, half
+	// uniform so synchronized clients spread out.
+	return d/2 + rand.N(d/2+1)
+}
+
+// retryableStatus reports whether code is a server-directed backoff
+// signal rather than a terminal error.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// sleepCtx pauses for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // Client is a minimal Go client for the greedyd HTTP API, shared by
 // cmd/loadgen, the examples, and the end-to-end tests.
 type Client struct {
@@ -21,6 +85,10 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry governs automatic retries of JSON mutations (submit,
+	// generate, patch) the server refuses with 429 or 503. The zero
+	// value never retries.
+	Retry BackoffPolicy
 }
 
 func (c *Client) http() *http.Client {
@@ -40,25 +108,54 @@ func apiError(resp *http.Response) error {
 	return fmt.Errorf("service: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
 }
 
+// doJSON round-trips one JSON request, retrying per c.Retry when the
+// server answers with a backoff signal (429/503). The marshalled body
+// is replayed from raw on every attempt, so retried submissions stay
+// byte-identical — which is what makes them safe: the engine's
+// idempotency key dedups a retry whose predecessor was actually
+// accepted.
+func (c *Client) doJSON(ctx context.Context, method, path string, raw []byte, out any) (int, error) {
+	attempts := max(c.Retry.MaxAttempts, 1)
+	for attempt := 1; ; attempt++ {
+		var body io.Reader
+		if raw != nil {
+			body = bytes.NewReader(raw)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+		if err != nil {
+			return 0, err
+		}
+		if raw != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode >= 400 {
+			apiErr := apiError(resp)
+			retryAfter := resp.Header.Get("Retry-After")
+			resp.Body.Close()
+			if attempt < attempts && retryableStatus(resp.StatusCode) {
+				if serr := sleepCtx(ctx, c.Retry.wait(attempt, retryAfter)); serr != nil {
+					return resp.StatusCode, apiErr
+				}
+				continue
+			}
+			return resp.StatusCode, apiErr
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		return resp.StatusCode, err
+	}
+}
+
 func (c *Client) postJSON(ctx context.Context, path string, in, out any) (int, error) {
 	raw, err := json.Marshal(in)
 	if err != nil {
 		return 0, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(raw))
-	if err != nil {
-		return 0, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		return resp.StatusCode, apiError(resp)
-	}
-	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	return c.doJSON(ctx, http.MethodPost, path, raw, out)
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) (int, error) {
@@ -111,21 +208,9 @@ func (c *Client) Patch(ctx context.Context, id string, req PatchRequest) (PatchR
 	if err != nil {
 		return PatchResponse{}, err
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPatch, c.BaseURL+"/v1/graphs/"+id, bytes.NewReader(raw))
-	if err != nil {
-		return PatchResponse{}, err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(httpReq)
-	if err != nil {
-		return PatchResponse{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		return PatchResponse{}, apiError(resp)
-	}
 	var out PatchResponse
-	return out, json.NewDecoder(resp.Body).Decode(&out)
+	_, err = c.doJSON(ctx, http.MethodPatch, "/v1/graphs/"+id, raw, &out)
+	return out, err
 }
 
 // GraphStats fetches the degree/connectivity statistics of a
@@ -196,8 +281,8 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, bool, error) {
 	}
 }
 
-// Wait polls a job until it finishes (done, failed, or cancelled) or
-// ctx expires.
+// Wait polls a job until it finishes (done, failed, cancelled, or
+// deadline_exceeded) or ctx expires.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
 	if poll <= 0 {
 		poll = 2 * time.Millisecond
@@ -207,7 +292,7 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobSt
 		if err != nil {
 			return st, err
 		}
-		if st.State == StateDone || st.State == StateFailed || st.State == StateCancelled {
+		if st.State == StateDone || st.State == StateFailed || st.State == StateCancelled || st.State == StateDeadline {
 			return st, nil
 		}
 		select {

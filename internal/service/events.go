@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/trace"
 )
 
@@ -36,6 +37,24 @@ var streamKinds = map[trace.Kind]bool{
 // faster consumer.
 type StreamEviction struct {
 	Dropped uint64 `json:"dropped"`
+}
+
+// StreamShutdown is the data payload of the terminal "shutdown" SSE
+// event: the server is draining, and the stream ends cleanly rather
+// than dying with the listener. Clients distinguishing a graceful
+// drain from a crash key off this frame.
+type StreamShutdown struct {
+	Reason string `json:"reason"`
+}
+
+// flushSSE flushes the response stream; the sse.flush failpoint lets
+// the chaos harness simulate a consumer whose connection dies mid-
+// stream.
+func flushSSE(rc *http.ResponseController) error {
+	if err := fault.Inject(fault.SSEFlush); err != nil {
+		return err
+	}
+	return rc.Flush()
 }
 
 // handleEvents serves GET /v1/events: a Server-Sent Events stream of
@@ -83,7 +102,7 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if _, err := fmt.Fprintf(w, ": connected sub=%d\n\n", sub.ID()); err != nil {
 		return
 	}
-	if err := rc.Flush(); err != nil {
+	if err := flushSSE(rc); err != nil {
 		// The wrapped writer cannot stream (no Flusher under the
 		// middleware); nothing more we can do for this client.
 		return
@@ -96,6 +115,13 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		beat := false
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.shutdownCh:
+			// Graceful drain: a terminal frame tells consumers the server
+			// is going away on purpose, then the stream ends before the
+			// listener is torn down.
+			_ = writeSSEFrame(w, "", "shutdown", StreamShutdown{Reason: "draining"})
+			_ = rc.Flush()
 			return
 		case <-sub.Ready():
 		case <-heartbeat.C:
@@ -123,7 +149,7 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if len(buf) > 0 || beat {
-			if err := rc.Flush(); err != nil {
+			if err := flushSSE(rc); err != nil {
 				return
 			}
 		}

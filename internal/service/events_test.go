@@ -147,13 +147,9 @@ func TestEventStreamLifecycle(t *testing.T) {
 		}
 		return false
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for !hasDone(jobEvents()) {
-		if time.Now().After(deadline) {
-			t.Fatal("stream never delivered the job's done event")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 10*time.Second, "the stream to deliver the job's done event", func() bool {
+		return hasDone(jobEvents())
+	})
 	stopStream()
 	if err := <-streamDone; err != nil {
 		t.Fatalf("stream ended with error: %v", err)
@@ -312,19 +308,15 @@ func TestPhaseDurationsTileRunSpan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(30 * time.Second)
-	for st.State != StateDone {
-		if st.State == StateFailed || st.State == StateCancelled {
-			t.Fatalf("job ended %s", st.State)
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("job never finished")
-		}
-		time.Sleep(time.Millisecond)
+	waitFor(t, 30*time.Second, "job "+st.ID+" to finish", func() bool {
 		if st, err = svc.Engine().Status(st.ID); err != nil {
 			t.Fatal(err)
 		}
-	}
+		if st.State == StateFailed || st.State == StateCancelled {
+			t.Fatalf("job ended %s", st.State)
+		}
+		return st.State == StateDone
+	})
 	if st.Progress == nil {
 		t.Fatal("done job has no progress")
 	}

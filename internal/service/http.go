@@ -84,6 +84,15 @@ type GraphResponse struct {
 }
 
 func (s *Service) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
+	// Memory watermark: when resident bytes press against the budget
+	// and demotion cannot relieve it (pins, no disk tier), refuse new
+	// graphs rather than let ingest crowd out running jobs.
+	if s.registry.IngestPaused() {
+		s.metrics.ingestPausedEvent()
+		w.Header().Set("Retry-After", strconv.Itoa(s.engine.RetryAfterSeconds()))
+		writeError(w, http.StatusServiceUnavailable, ErrIngestPaused)
+		return
+	}
 	ct := r.Header.Get("Content-Type")
 	if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == "application/json" {
 		var spec GenSpec
@@ -266,6 +275,9 @@ type JobRequest struct {
 	GraphID string      `json:"graph_id"`
 	Problem string      `json:"problem"`
 	Plan    greedy.Plan `json:"plan"`
+	// TimeoutMS, when positive, bounds the job's execution wall time;
+	// a run that overshoots terminates in state deadline_exceeded.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // JobResponse is the body returned by job submission.
@@ -291,9 +303,10 @@ func (s *Service) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec := JobSpec{
-		GraphID: req.GraphID,
-		Problem: problem,
-		Plan:    req.Plan,
+		GraphID:   req.GraphID,
+		Problem:   problem,
+		Plan:      req.Plan,
+		TimeoutMS: req.TimeoutMS,
 	}
 	st, deduped, err := s.engine.Submit(spec)
 	switch {
@@ -302,6 +315,13 @@ func (s *Service) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	case errors.Is(err, ErrQueueFull):
+		// Overload, not outage: 429 with a Retry-After computed from the
+		// observed drain rate, so well-behaved clients spread their
+		// retries across the time the backlog actually needs.
+		w.Header().Set("Retry-After", strconv.Itoa(s.engine.RetryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrClosed):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
@@ -353,7 +373,7 @@ func (s *Service) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(raw)
-	case StateFailed, StateCancelled:
+	case StateFailed, StateCancelled, StateDeadline:
 		// Terminal without a result: 422 stops result pollers (202 would
 		// have them spin until the janitor reaps the job).
 		writeJSON(w, http.StatusUnprocessableEntity, st)

@@ -16,7 +16,10 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Client) {
 	t.Helper()
-	svc := New(cfg)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		srv.Close()

@@ -9,15 +9,19 @@ import (
 	"hash/fnv"
 	"io"
 	"log/slog"
+	"math"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	greedy "repro"
 	"repro/internal/dynamic"
+	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/persist"
 	"repro/internal/trace"
 )
 
@@ -56,6 +60,12 @@ const (
 	StateDone      JobState = "done"
 	StateFailed    JobState = "failed"
 	StateCancelled JobState = "cancelled"
+	// StateDeadline is the terminal state of a job that ran past its own
+	// timeout_ms budget. Like failed and cancelled jobs it is not a
+	// dedup target — a deadline says nothing about the answer, so a
+	// resubmission (same timeout on an idler box, or a larger one) must
+	// start a fresh execution rather than absorb into the timed-out run.
+	StateDeadline JobState = "deadline_exceeded"
 )
 
 // Job engine errors.
@@ -76,6 +86,11 @@ type JobSpec struct {
 	GraphID string      `json:"graph_id"`
 	Problem Problem     `json:"problem"`
 	Plan    greedy.Plan `json:"plan"`
+	// TimeoutMS, when positive, bounds the job's execution wall time:
+	// the worker runs it under a context deadline and a run that
+	// overshoots terminates in state deadline_exceeded. 0 means no
+	// per-job deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Key returns the idempotency key (graphID, problem, plan): submissions
@@ -98,8 +113,12 @@ type JobSpec struct {
 // what the session cache held — describe the particular execution.
 func (s JobSpec) Key() string {
 	p := s.Plan
-	return fmt.Sprintf("%s|%s|%s|%d|%g|%d|%t|%t|%d|%t",
-		s.GraphID, s.Problem, p.Algorithm, p.Seed, p.PrefixFrac, p.PrefixSize, p.AdaptivePrefix, p.Dynamic, p.Grain, p.Pointered)
+	// TimeoutMS participates: the answer bytes do not depend on it, but
+	// a submission with a tighter budget must not absorb into a looser
+	// run whose caller was willing to wait longer (and vice versa) —
+	// the terminal state itself can differ.
+	return fmt.Sprintf("%s|%s|%s|%d|%g|%d|%t|%t|%d|%t|%d",
+		s.GraphID, s.Problem, p.Algorithm, p.Seed, p.PrefixFrac, p.PrefixSize, p.AdaptivePrefix, p.Dynamic, p.Grain, p.Pointered, s.TimeoutMS)
 }
 
 // Validate rejects specs no algorithm can run. The same conditions the
@@ -149,6 +168,9 @@ func (s JobSpec) Validate() error {
 	}
 	if p.Grain < 0 {
 		return fmt.Errorf("service: negative grain %d", p.Grain)
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("service: negative timeout_ms %d", s.TimeoutMS)
 	}
 	return nil
 }
@@ -292,10 +314,23 @@ type Engine struct {
 	trace   *trace.Recorder // nil when tracing is disabled
 	log     *slog.Logger
 
+	// journal, when non-nil, is the durable WAL of accepted jobs: every
+	// Submit fsyncs an accept record before returning, every terminal
+	// transition appends a completion marker, and boot re-enqueues
+	// whatever the journal still owes (see Recover).
+	journal *persist.Journal
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	byKey  map[string]*Job
 	closed bool
+	// shuttingDown marks a Drain in progress: jobs cancelled by the
+	// shutdown itself skip their journal completion marker, so a
+	// crash-equivalent drain still re-serves them at next boot.
+	shuttingDown bool
+	// doneTimes is a ring of recent completion timestamps (newest last),
+	// the drain-rate sample behind RetryAfterSeconds.
+	doneTimes []time.Time
 
 	// Dynamic-session cache: maintained solutions keyed by (graph
 	// version, problem, seed), checked out exclusively while a worker
@@ -339,6 +374,10 @@ type EngineConfig struct {
 	Trace *trace.Recorder
 	// Logger receives job state-transition logs; nil discards them.
 	Logger *slog.Logger
+	// Journal, when non-nil, makes accepted jobs durable: accept records
+	// are fsync'd before Submit returns and completions are marked, so
+	// a restart can re-enqueue what a crash interrupted.
+	Journal *persist.Journal
 }
 
 // NewEngine starts an engine over reg. metrics may be nil.
@@ -375,6 +414,7 @@ func NewEngine(reg *Registry, metrics *Metrics, cfg EngineConfig) *Engine {
 		ttl:      ttl,
 		trace:    cfg.Trace,
 		log:      logger,
+		journal:  cfg.Journal,
 		jobs:     make(map[string]*Job),
 		byKey:    make(map[string]*Job),
 		sessions: make(map[sessKey]*dynamic.Maintainer),
@@ -395,7 +435,7 @@ func NewEngine(reg *Registry, metrics *Metrics, cfg EngineConfig) *Engine {
 // new submission. Failed and cancelled jobs are not targets:
 // resubmitting retries.
 func dedupTarget(j *Job) bool {
-	return j.state != StateFailed && j.state != StateCancelled
+	return j.state != StateFailed && j.state != StateCancelled && j.state != StateDeadline
 }
 
 // dropKeyLocked removes job from the dedup index (if it still owns its
@@ -468,16 +508,60 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, bool, error) {
 		e.log.Debug("job dedup", "job", st.ID, "state", string(st.State))
 		return st, true, nil
 	}
-	select {
-	case e.queue <- job:
-	default:
+	// Admission control before the durable write: a full queue is the
+	// common overload signal and must not cost an fsync per rejection.
+	if len(e.queue) == cap(e.queue) {
 		e.mu.Unlock()
 		h.Release()
 		cancel()
+		e.metrics.admissionRejectedEvent()
+		return JobStatus{}, false, ErrQueueFull
+	}
+	// Claim the dedup key now so concurrent equal submissions absorb
+	// into this job while its accept record is being fsync'd; the job
+	// is not yet visible to Status/Cancel (the caller has no id until
+	// we return), so the journal I/O below runs outside the lock.
+	e.byKey[key] = job
+	e.mu.Unlock()
+
+	if e.journal != nil {
+		// The accept record is on disk — fsync'd — before the caller
+		// sees the ack and before any worker can complete the job, so
+		// "acknowledged implies eventually served" survives kill -9 and
+		// completion markers never precede their accepts.
+		if jerr := e.journal.Accept(job.ID, spec); jerr != nil {
+			e.metrics.persistError()
+			e.failUnstarted(job, "journal append failed: "+jerr.Error())
+			h.Release()
+			cancel()
+			return JobStatus{}, false, fmt.Errorf("service: journaling job: %w", jerr)
+		}
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.completeAlways(job.ID)
+		e.failUnstarted(job, "engine closed")
+		h.Release()
+		cancel()
+		return JobStatus{}, false, ErrClosed
+	}
+	select {
+	case e.queue <- job:
+	default:
+		// The queue filled while the accept record was written; mark
+		// the journal complete so the rejection is not "recovered" into
+		// an execution the caller was told never happened.
+		e.mu.Unlock()
+		e.completeAlways(job.ID)
+		e.failUnstarted(job, "queue full")
+		h.Release()
+		cancel()
+		e.metrics.admissionRejectedEvent()
 		return JobStatus{}, false, ErrQueueFull
 	}
 	e.jobs[job.ID] = job
-	e.byKey[key] = job
 	st := e.statusLocked(job)
 	e.mu.Unlock()
 	e.metrics.jobSubmitted(false)
@@ -487,6 +571,160 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, bool, error) {
 	e.log.Debug("job submitted", "job", job.ID, "graph", spec.GraphID,
 		"problem", string(spec.Problem), "algorithm", spec.Plan.Algorithm.String())
 	return st, false, nil
+}
+
+// failUnstarted finalizes a job that was never enqueued: it becomes a
+// resident failed job — so any caller that dedup'd onto it while its
+// accept record was in flight still resolves the id — and releases its
+// dedup key so the next equal submission retries.
+func (e *Engine) failUnstarted(job *Job, msg string) {
+	e.mu.Lock()
+	job.state = StateFailed
+	job.err = msg
+	job.finishedAt = time.Now()
+	e.jobs[job.ID] = job
+	e.dropKeyLocked(job)
+	e.mu.Unlock()
+	e.metrics.jobFinished(job.Spec.Problem, StateFailed, false, nil, 0, 0)
+}
+
+// completeAlways writes a journal completion marker regardless of drain
+// state; used when an acceptance is revoked before any caller saw the
+// ack, and for explicit user cancellations (which must not be undone by
+// recovery).
+func (e *Engine) completeAlways(id string) {
+	if e.journal == nil {
+		return
+	}
+	if err := e.journal.Complete(id); err != nil {
+		e.metrics.persistError()
+	}
+}
+
+// completeFinished marks a journaled job's terminal transition. Jobs
+// cancelled by a drain in progress keep their accept record open on
+// purpose: the drain is crash-equivalent for them, and the journal's
+// promise is that an acknowledged job is eventually served.
+func (e *Engine) completeFinished(id string, state JobState) {
+	if e.journal == nil {
+		return
+	}
+	if state == StateCancelled {
+		e.mu.Lock()
+		shuttingDown := e.shuttingDown
+		e.mu.Unlock()
+		if shuttingDown {
+			return
+		}
+	}
+	if err := e.journal.Complete(id); err != nil {
+		e.metrics.persistError()
+	}
+}
+
+// Recover re-enqueues a job the journal still owes from a previous
+// process: it runs under its original id, so clients polling across the
+// restart converge, and recomputation (not output replay) serves it —
+// determinism makes the recomputed bytes identical. Specs that no
+// longer validate or name a graph the blob tier cannot produce become
+// resident failed jobs, completing their journal debt.
+func (e *Engine) Recover(id string, spec JobSpec) error {
+	// Keep the id generator ahead of every recovered id so fresh
+	// submissions never collide with re-enqueued ones.
+	if n, err := strconv.ParseInt(strings.TrimPrefix(id, "j"), 10, 64); err == nil {
+		for {
+			cur := e.nextID.Load()
+			if cur >= n || e.nextID.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	fail := func(msg string) {
+		job := &Job{ID: id, Spec: spec}
+		e.failUnstarted(job, msg)
+		e.completeAlways(id)
+	}
+	if err := spec.Validate(); err != nil {
+		fail("unrecoverable: " + err.Error())
+		return err
+	}
+	h, err := e.reg.Acquire(spec.GraphID)
+	if err != nil {
+		fail("unrecoverable: " + err.Error())
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		ID:          id,
+		Spec:        spec,
+		state:       StateQueued,
+		submittedAt: time.Now(),
+		handle:      h,
+		ctx:         ctx,
+		cancel:      cancel,
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		h.Release()
+		cancel()
+		return ErrClosed
+	}
+	select {
+	case e.queue <- job:
+	default:
+		e.mu.Unlock()
+		h.Release()
+		cancel()
+		fail("unrecoverable: queue full at recovery")
+		return ErrQueueFull
+	}
+	e.jobs[job.ID] = job
+	if key := spec.Key(); e.byKey[key] == nil {
+		e.byKey[key] = job
+	}
+	e.mu.Unlock()
+	e.metrics.jobRecovered()
+	e.trace.Append(trace.Event{Kind: trace.KindSubmit, Job: id, Name: "recover"})
+	e.log.Info("job recovered", "job", id, "graph", spec.GraphID, "problem", string(spec.Problem))
+	return nil
+}
+
+// RetryAfterSeconds estimates how long a rejected submitter should wait
+// before retrying, from the observed drain rate: the time for the
+// current queue (plus the retrier) to drain at the recent pace, clamped
+// to [1, 60] seconds. With no completed jobs to estimate from it
+// answers 1.
+func (e *Engine) RetryAfterSeconds() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	queued := len(e.queue)
+	n := len(e.doneTimes)
+	if n < 2 {
+		return 1
+	}
+	span := e.doneTimes[n-1].Sub(e.doneTimes[0]).Seconds()
+	if span <= 0 {
+		return 1
+	}
+	rate := float64(n-1) / span // completions per second
+	secs := int(math.Ceil(float64(queued+1) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// recordCompletion feeds the drain-rate ring; callers hold e.mu.
+func (e *Engine) recordCompletionLocked(t time.Time) {
+	const ringCap = 64
+	e.doneTimes = append(e.doneTimes, t)
+	if len(e.doneTimes) > ringCap {
+		e.doneTimes = e.doneTimes[len(e.doneTimes)-ringCap:]
+	}
 }
 
 // Status returns the current state of a job.
@@ -514,7 +752,7 @@ func (e *Engine) Cancel(id string) (JobStatus, error) {
 		return JobStatus{}, fmt.Errorf("%w: %q", ErrJobNotFound, id)
 	}
 	switch job.state {
-	case StateDone, StateFailed:
+	case StateDone, StateFailed, StateDeadline:
 		st := e.statusLocked(job)
 		e.mu.Unlock()
 		return st, fmt.Errorf("%w: %q is %s", ErrJobFinished, id, st.State)
@@ -533,6 +771,9 @@ func (e *Engine) Cancel(id string) (JobStatus, error) {
 		// The worker that later pops this job sees the state and skips
 		// it; release the pin now so the graph is evictable immediately.
 		job.handle.Release()
+		// An explicit cancellation is a served outcome: mark the journal
+		// so recovery does not resurrect a job the user killed.
+		e.completeAlways(job.ID)
 		e.metrics.jobCancelled()
 		return st, nil
 	default: // running
@@ -599,7 +840,7 @@ func (e *Engine) statusLocked(job *Job) JobStatus {
 }
 
 // stateCounts returns the number of resident jobs in each state.
-func (e *Engine) stateCounts() (queued, running, done, failed, cancelled int64) {
+func (e *Engine) stateCounts() (queued, running, done, failed, cancelled, deadline int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, j := range e.jobs {
@@ -614,24 +855,54 @@ func (e *Engine) stateCounts() (queued, running, done, failed, cancelled int64) 
 			failed++
 		case StateCancelled:
 			cancelled++
+		case StateDeadline:
+			deadline++
 		}
 	}
 	return
 }
 
-// Close stops the engine: queued jobs are abandoned (their graph pins
-// released), running jobs are cancelled (their round loops abort
-// within one round), and workers and the janitor are joined. Safe to
-// call once.
-func (e *Engine) Close() {
+// Close stops the engine immediately: equivalent to Drain(0).
+func (e *Engine) Close() { e.Drain(0) }
+
+// Drain stops the engine gracefully: new submissions are refused at
+// once, then in-flight and queued work gets up to window to finish
+// naturally before whatever remains is cancelled (their round loops
+// abort within one round) and workers and the janitor are joined.
+// Journaled jobs cancelled by the drain keep their accept records, so
+// the next boot re-serves them — a drain that runs out of window
+// degrades into a clean crash, never into lost acknowledgements. Safe
+// to call once; later calls are no-ops.
+func (e *Engine) Drain(window time.Duration) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return
 	}
 	e.closed = true
-	// Cancel in-flight work so shutdown is bounded by one round, not by
-	// the longest job.
+	e.shuttingDown = true
+	e.mu.Unlock()
+
+	deadline := time.Now().Add(window)
+	for window > 0 {
+		e.mu.Lock()
+		busy := false
+		for _, j := range e.jobs {
+			if j.state == StateQueued || j.state == StateRunning {
+				busy = true
+				break
+			}
+		}
+		e.mu.Unlock()
+		if !busy || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	e.mu.Lock()
+	// Cancel what the window did not drain so shutdown is bounded by
+	// one round, not by the longest job.
 	for _, j := range e.jobs {
 		if j.state == StateRunning || j.state == StateQueued {
 			j.cancel()
@@ -679,7 +950,18 @@ func (e *Engine) worker() {
 
 // run executes one job on the worker's solver and records its outcome.
 func (e *Engine) run(job *Job, solver *greedy.Solver) {
-	payload, err := e.execute(job, solver)
+	// A per-job deadline wraps the job's own cancellation context, so
+	// timeout and explicit cancel both abort the round loop the same
+	// way; which one fired is disambiguated below.
+	runCtx := job.ctx
+	var cancelTimeout context.CancelFunc
+	if t := job.Spec.TimeoutMS; t > 0 {
+		runCtx, cancelTimeout = context.WithTimeout(job.ctx, time.Duration(t)*time.Millisecond)
+	}
+	payload, err := e.execute(runCtx, job, solver)
+	if cancelTimeout != nil {
+		cancelTimeout()
+	}
 
 	now := time.Now()
 	e.mu.Lock()
@@ -697,8 +979,17 @@ func (e *Engine) run(job *Job, solver *greedy.Solver) {
 			job.result = raw
 		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		job.state = StateCancelled
-		job.err = "cancelled while running"
+		// The deadline state is claimed only when the job's own budget
+		// fired: the outer context still live distinguishes a timeout
+		// from an explicit cancel (or engine shutdown) that happened to
+		// land while a deadline was also configured.
+		if errors.Is(err, context.DeadlineExceeded) && cancelTimeout != nil && job.ctx.Err() == nil {
+			job.state = StateDeadline
+			job.err = fmt.Sprintf("deadline exceeded after %dms", job.Spec.TimeoutMS)
+		} else {
+			job.state = StateCancelled
+			job.err = "cancelled while running"
+		}
 	default:
 		job.state = StateFailed
 		job.err = err.Error()
@@ -707,7 +998,15 @@ func (e *Engine) run(job *Job, solver *greedy.Solver) {
 	e2e := job.finishedAt.Sub(job.submittedAt)
 	state := job.state
 	errMsg := job.err
+	if state != StateQueued && state != StateRunning {
+		e.recordCompletionLocked(now)
+	}
+	if state == StateFailed || state == StateCancelled || state == StateDeadline {
+		// A terminal non-answer stops absorbing submissions right away.
+		e.dropKeyLocked(job)
+	}
 	e.mu.Unlock()
+	e.completeFinished(job.ID, state)
 
 	job.cancel() // release the context's resources
 	job.handle.Release()
@@ -733,14 +1032,21 @@ func (e *Engine) run(job *Job, solver *greedy.Solver) {
 	}
 }
 
-// execute runs the computation; panics in the algorithm layers are
+// execute runs the computation under ctx (the job's context, possibly
+// narrowed by its deadline); panics in the algorithm layers are
 // converted to job failures rather than taking down the daemon.
-func (e *Engine) execute(job *Job, solver *greedy.Solver) (payload ResultPayload, err error) {
+func (e *Engine) execute(ctx context.Context, job *Job, solver *greedy.Solver) (payload ResultPayload, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("service: job panicked: %v", r)
 		}
 	}()
+	// Chaos harness hook: a worker.run failpoint fails (or, in panic
+	// mode, panics inside the recover guard above) the job before any
+	// algorithm work happens.
+	if ferr := fault.Inject(fault.WorkerRun); ferr != nil {
+		return payload, ferr
+	}
 	h := job.handle
 	g := h.Graph()
 	plan := job.Spec.Plan
@@ -805,11 +1111,11 @@ func (e *Engine) execute(job *Job, solver *greedy.Solver) (payload ResultPayload
 	// ancestor version when possible, recompute (and seed a session)
 	// otherwise.
 	if plan.Dynamic {
-		return e.executeDynamic(job, payload)
+		return e.executeDynamic(ctx, job, payload)
 	}
 	switch job.Spec.Problem {
 	case ProblemMIS:
-		res, rerr := solver.MIS(job.ctx, g, opts...)
+		res, rerr := solver.MIS(ctx, g, opts...)
 		if rerr != nil {
 			return payload, rerr
 		}
@@ -822,7 +1128,7 @@ func (e *Engine) execute(job *Job, solver *greedy.Solver) (payload ResultPayload
 			payload.MembersOmitted = true
 		}
 	case ProblemMM:
-		res, rerr := solver.MM(job.ctx, h.EdgeList(), opts...)
+		res, rerr := solver.MM(ctx, h.EdgeList(), opts...)
 		if rerr != nil {
 			return payload, rerr
 		}
@@ -835,7 +1141,7 @@ func (e *Engine) execute(job *Job, solver *greedy.Solver) (payload ResultPayload
 			payload.MembersOmitted = true
 		}
 	case ProblemSF:
-		res, rerr := solver.SF(job.ctx, h.EdgeList(), opts...)
+		res, rerr := solver.SF(ctx, h.EdgeList(), opts...)
 		if rerr != nil {
 			return payload, rerr
 		}
@@ -848,7 +1154,7 @@ func (e *Engine) execute(job *Job, solver *greedy.Solver) (payload ResultPayload
 			payload.MembersOmitted = true
 		}
 	case ProblemColoring:
-		res, rerr := solver.Coloring(job.ctx, g, opts...)
+		res, rerr := solver.Coloring(ctx, g, opts...)
 		if rerr != nil {
 			return payload, rerr
 		}
@@ -864,7 +1170,7 @@ func (e *Engine) execute(job *Job, solver *greedy.Solver) (payload ResultPayload
 			payload.MembersOmitted = true
 		}
 	case ProblemHittingSet:
-		res, rerr := solver.HittingSet(job.ctx, greedy.HittingSystemFromEdges(h.EdgeList()), opts...)
+		res, rerr := solver.HittingSet(ctx, greedy.HittingSystemFromEdges(h.EdgeList()), opts...)
 		if rerr != nil {
 			return payload, rerr
 		}
@@ -955,7 +1261,7 @@ func (e *Engine) lineageSession(key sessKey) (*dynamic.Maintainer, string, [][]d
 // the flipped damage region); otherwise the job computes from scratch
 // and seeds a session for its version so later jobs on patched
 // descendants can repair.
-func (e *Engine) executeDynamic(job *Job, payload ResultPayload) (ResultPayload, error) {
+func (e *Engine) executeDynamic(ctx context.Context, job *Job, payload ResultPayload) (ResultPayload, error) {
 	h := job.handle
 	g := h.Graph()
 	plan := job.Spec.Plan
@@ -971,7 +1277,7 @@ func (e *Engine) executeDynamic(job *Job, payload ResultPayload) (ResultPayload,
 			repair := dynamic.RepairStats{}
 			advanced := prior
 			for i, batch := range chain {
-				st, err := advanced.Apply(job.ctx, batch)
+				st, err := advanced.Apply(ctx, batch)
 				repair.Add(st)
 				cost := st.MIS
 				if problem == ProblemMM {
@@ -992,7 +1298,7 @@ func (e *Engine) executeDynamic(job *Job, payload ResultPayload) (ResultPayload,
 					// or cannot accept the patch; drop it. Propagate
 					// cancellation, otherwise recompute from scratch.
 					advanced = nil
-					if cerr := job.ctx.Err(); cerr != nil {
+					if cerr := ctx.Err(); cerr != nil {
 						return payload, cerr
 					}
 					break
@@ -1018,7 +1324,7 @@ func (e *Engine) executeDynamic(job *Job, payload ResultPayload) (ResultPayload,
 	}
 	if mt == nil {
 		resolution = "scratch"
-		fresh, err := dynamic.NewMaintainer(job.ctx, g, dynamic.Config{
+		fresh, err := dynamic.NewMaintainer(ctx, g, dynamic.Config{
 			MIS:   problem == ProblemMIS,
 			MM:    problem == ProblemMM,
 			Seed:  plan.Seed,
@@ -1148,7 +1454,8 @@ func (e *Engine) janitor() {
 			reaped := 0
 			e.mu.Lock()
 			for id, j := range e.jobs {
-				finished := j.state == StateDone || j.state == StateFailed || j.state == StateCancelled
+				finished := j.state == StateDone || j.state == StateFailed ||
+					j.state == StateCancelled || j.state == StateDeadline
 				if finished && !j.finishedAt.IsZero() && j.finishedAt.Before(cutoff) {
 					delete(e.jobs, id)
 					if e.byKey[j.Spec.Key()] == j {

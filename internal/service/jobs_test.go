@@ -11,7 +11,10 @@ import (
 
 func newTestService(t *testing.T, cfg Config) *Service {
 	t.Helper()
-	svc := New(cfg)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(svc.Close)
 	return svc
 }
@@ -27,19 +30,15 @@ func addGraph(t *testing.T, svc *Service, n int, seed uint64) GraphInfo {
 
 func waitDone(t *testing.T, e *Engine, id string) JobStatus {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
-		st, err := e.Status(id)
-		if err != nil {
+	var st JobStatus
+	waitFor(t, 30*time.Second, "job "+id+" to finish", func() bool {
+		var err error
+		if st, err = e.Status(id); err != nil {
 			t.Fatal(err)
 		}
-		if st.State == StateDone || st.State == StateFailed {
-			return st
-		}
-		time.Sleep(time.Millisecond)
-	}
-	t.Fatalf("job %s did not finish", id)
-	return JobStatus{}
+		return st.State == StateDone || st.State == StateFailed
+	})
+	return st
 }
 
 func TestJobDedupSingleExecution(t *testing.T) {
@@ -239,16 +238,10 @@ func TestJobTTLReaping(t *testing.T) {
 	}
 	waitDone(t, svc.Engine(), st.ID)
 
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if _, err := svc.Engine().Status(st.ID); err != nil {
-			break // reaped
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("finished job never reaped past TTL")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, "finished job to be reaped past TTL", func() bool {
+		_, err := svc.Engine().Status(st.ID)
+		return err != nil // reaped
+	})
 	// The key is free again: a resubmission starts a fresh execution.
 	st2, deduped, err := svc.Engine().Submit(JobSpec{GraphID: info.ID, Problem: ProblemMIS, Plan: greedy.Plan{Algorithm: greedy.AlgoPrefix, Seed: 1}})
 	if err != nil {

@@ -131,12 +131,28 @@ type Metrics struct {
 	repairFlipped int64 // membership flips propagated across repaired jobs
 	jobsFailed    int64
 	jobsCancelled int64
+	jobsDeadline  int64 // jobs terminated by their own timeout_ms budget
 	jobsExpired   int64
+	jobsRecovered int64 // journaled jobs re-enqueued at boot after a crash
+
+	// Overload-control rejections: admission is the job queue saying no
+	// (HTTP 429), ingestPaused is the memory watermark refusing graph
+	// uploads (HTTP 503).
+	admissionRejected  int64
+	ingestPausedCount  int64
 
 	registryHits      int64 // Add or Acquire found an existing resident graph
 	registryMisses    int64 // Acquire of an unknown id
 	registryEvictions int64
 	registryPatches   int64 // graph versions derived via PATCH
+
+	// Disk-tier counters (all zero when persistence is off).
+	persistBlobsWritten int64
+	persistBlobBytes    int64
+	persistDemotions    int64 // warm graphs demoted to the disk tier
+	persistColdLoads    int64 // cold graphs reloaded on Acquire
+	persistRehydratedN  int64 // entries indexed from blobs at boot
+	persistErrors       int64 // persistence failures (never correctness failures)
 
 	latency map[Problem]*histogram // measured over execution (run) time
 	e2e     map[Problem]*histogram // measured from submission to completion
@@ -184,6 +200,55 @@ func (m *Metrics) jobCancelled() {
 	m.jobsCancelled++
 }
 
+func (m *Metrics) jobRecovered() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsRecovered++
+}
+
+func (m *Metrics) admissionRejectedEvent() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.admissionRejected++
+}
+
+func (m *Metrics) ingestPausedEvent() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ingestPausedCount++
+}
+
+func (m *Metrics) persistBlobWritten(bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.persistBlobsWritten++
+	m.persistBlobBytes += bytes
+}
+
+func (m *Metrics) persistDemotion() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.persistDemotions++
+}
+
+func (m *Metrics) persistColdLoad() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.persistColdLoads++
+}
+
+func (m *Metrics) persistRehydrated() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.persistRehydratedN++
+}
+
+func (m *Metrics) persistError() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.persistErrors++
+}
+
 // jobFinished records a worker-side completion. Only successful runs
 // feed the latency histograms: failed and cancelled runs would skew
 // the percentiles with truncated durations. repair is non-nil for
@@ -198,6 +263,9 @@ func (m *Metrics) jobFinished(p Problem, state JobState, adaptive bool, repair *
 		return
 	case StateCancelled:
 		m.jobsCancelled++
+		return
+	case StateDeadline:
+		m.jobsDeadline++
 		return
 	}
 	m.jobsExecuted++
@@ -263,25 +331,70 @@ type JobCounters struct {
 	RepairFlipped int64 `json:"repair_flipped"`
 	Failed        int64 `json:"failed"`
 	Cancelled     int64 `json:"cancelled"`
-	Expired       int64 `json:"expired"`
-	Queued        int64 `json:"queued"`
-	Running       int64 `json:"running"`
-	Done          int64 `json:"done"`
-	FailedNow     int64 `json:"failed_resident"`
-	CancelledNow  int64 `json:"cancelled_resident"`
+	// DeadlineExceeded counts jobs terminated by their own timeout_ms
+	// budget (the per-job overload-control deadline).
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	Expired          int64 `json:"expired"`
+	// Recovered counts journaled jobs re-enqueued at boot: acknowledged
+	// before a crash, recomputed after it.
+	Recovered int64 `json:"recovered"`
+	// AdmissionRejected counts submissions refused with 429 because the
+	// queue was full.
+	AdmissionRejected int64 `json:"admission_rejected"`
+	Queued            int64 `json:"queued"`
+	Running           int64 `json:"running"`
+	Done              int64 `json:"done"`
+	FailedNow         int64 `json:"failed_resident"`
+	CancelledNow      int64 `json:"cancelled_resident"`
+	DeadlineNow       int64 `json:"deadline_resident"`
 }
 
 // RegistryCounters is the registry section of a metrics snapshot.
 type RegistryCounters struct {
 	Graphs        int   `json:"graphs"`
 	Pinned        int   `json:"pinned"`
+	// ColdGraphs counts entries whose arrays live only in the disk tier
+	// right now (always 0 without persistence).
+	ColdGraphs    int   `json:"cold_graphs"`
 	BytesResident int64 `json:"bytes_resident"`
 	ByteBudget    int64 `json:"byte_budget"`
-	Hits          int64 `json:"hits"`
-	Misses        int64 `json:"misses"`
-	Evictions     int64 `json:"evictions"`
+	// WatermarkBytes is the resident-byte level at which graph ingest
+	// pauses (0 when the watermark is disarmed).
+	WatermarkBytes int64 `json:"watermark_bytes"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Evictions      int64 `json:"evictions"`
 	// Patches counts graph versions derived via PATCH /v1/graphs/{id}.
 	Patches int64 `json:"patches"`
+	// IngestPausedRejections counts graph uploads refused with 503 while
+	// resident bytes sat over the watermark.
+	IngestPausedRejections int64 `json:"ingest_paused_rejections"`
+}
+
+// PersistCounters is the durability section of a metrics snapshot. All
+// fields are zero when greedyd runs without -data-dir.
+type PersistCounters struct {
+	// Enabled reports whether a data directory is attached.
+	Enabled bool `json:"enabled"`
+	// BlobsWritten / BlobBytes count committed graph blobs and their
+	// payload bytes.
+	BlobsWritten int64 `json:"blobs_written"`
+	BlobBytes    int64 `json:"blob_bytes"`
+	// Demotions counts warm graphs demoted to the disk tier by the byte
+	// budget; ColdLoads counts reloads of cold graphs on Acquire.
+	Demotions int64 `json:"demotions"`
+	ColdLoads int64 `json:"cold_loads"`
+	// Rehydrated counts graph entries indexed from blobs at boot.
+	Rehydrated int64 `json:"rehydrated"`
+	// WALAppends / WALCompactions count job-journal appends and rewrite
+	// cycles; PendingJobs is the journal's current
+	// acknowledged-but-unfinished set.
+	WALAppends     int64 `json:"wal_appends"`
+	WALCompactions int64 `json:"wal_compactions"`
+	PendingJobs    int64 `json:"pending_jobs"`
+	// Errors counts persistence failures; by design these degrade
+	// durability or speed, never correctness.
+	Errors int64 `json:"errors"`
 }
 
 // RuntimeCounters is the Go-runtime section of a metrics snapshot: the
@@ -338,6 +451,7 @@ type StreamCounters struct {
 type Snapshot struct {
 	Jobs       JobCounters                   `json:"jobs"`
 	Registry   RegistryCounters              `json:"registry"`
+	Persist    PersistCounters               `json:"persist"`
 	Runtime    RuntimeCounters               `json:"runtime"`
 	HTTP       HTTPCounters                  `json:"http"`
 	RunLatency map[Problem]HistogramSnapshot `json:"run_latency"`
@@ -388,15 +502,27 @@ func (m *Metrics) snapshot() Snapshot {
 			Repaired:         m.jobsRepaired,
 			RepairVisited:    m.repairVisited,
 			RepairFlipped:    m.repairFlipped,
-			Failed:           m.jobsFailed,
-			Cancelled:        m.jobsCancelled,
-			Expired:          m.jobsExpired,
+			Failed:            m.jobsFailed,
+			Cancelled:         m.jobsCancelled,
+			DeadlineExceeded:  m.jobsDeadline,
+			Expired:           m.jobsExpired,
+			Recovered:         m.jobsRecovered,
+			AdmissionRejected: m.admissionRejected,
 		},
 		Registry: RegistryCounters{
-			Hits:      m.registryHits,
-			Misses:    m.registryMisses,
-			Evictions: m.registryEvictions,
-			Patches:   m.registryPatches,
+			Hits:                   m.registryHits,
+			Misses:                 m.registryMisses,
+			Evictions:              m.registryEvictions,
+			Patches:                m.registryPatches,
+			IngestPausedRejections: m.ingestPausedCount,
+		},
+		Persist: PersistCounters{
+			BlobsWritten: m.persistBlobsWritten,
+			BlobBytes:    m.persistBlobBytes,
+			Demotions:    m.persistDemotions,
+			ColdLoads:    m.persistColdLoads,
+			Rehydrated:   m.persistRehydratedN,
+			Errors:       m.persistErrors,
 		},
 		RunLatency: make(map[Problem]HistogramSnapshot, len(m.latency)),
 		E2ELatency: make(map[Problem]HistogramSnapshot, len(m.e2e)),

@@ -517,7 +517,10 @@ func TestPrometheusExposition(t *testing.T) {
 // snapshot-to-bytes, which is what a diff-based alerting pipeline or a
 // golden-file test downstream would rely on.)
 func TestPrometheusScrapeDeterministic(t *testing.T) {
-	svc := New(Config{Workers: 1, TraceRoundSample: 1})
+	svc, err := New(Config{Workers: 1, TraceRoundSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		srv.Close()

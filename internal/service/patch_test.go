@@ -245,7 +245,10 @@ func TestDynamicJobRepairAcrossVersions(t *testing.T) {
 // TestDynamicJobsWithSessionsDisabled: a negative session cap turns
 // every dynamic job into a recompute; answers stay correct.
 func TestDynamicJobsWithSessionsDisabled(t *testing.T) {
-	svc := New(Config{Workers: 1, DynamicSessions: -1})
+	svc, err := New(Config{Workers: 1, DynamicSessions: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(svc.Close)
 	info, _, err := svc.Generate(GenSpec{Generator: "random", N: 300, M: 900, Seed: 8})
 	if err != nil {
@@ -264,23 +267,16 @@ func TestDynamicJobsWithSessionsDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	waitFor(t, 10*time.Second, "job "+st.ID+" to finish", func() bool {
 		cur, err := svc.Engine().Status(st.ID)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if cur.State == StateDone {
-			break
-		}
 		if cur.State == StateFailed || cur.State == StateCancelled {
 			t.Fatalf("job ended %s: %s", cur.State, cur.Error)
 		}
-		if time.Now().After(deadline) {
-			t.Fatal("job never finished")
-		}
-		time.Sleep(time.Millisecond)
-	}
+		return cur.State == StateDone
+	})
 	raw, _, err := svc.Engine().Result(st.ID)
 	if err != nil {
 		t.Fatal(err)

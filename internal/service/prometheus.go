@@ -60,6 +60,13 @@ func (p *promWriter) sample(name, labels string, value string) {
 func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 func promInt(v int64) string     { return strconv.FormatInt(v, 10) }
 
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // counter declares and emits a single unlabeled counter.
 func (p *promWriter) counter(name, help string, v int64) {
 	p.family(name, help, "counter")
@@ -172,12 +179,20 @@ func WritePrometheus(w io.Writer, snap Snapshot) error {
 	p.counter("greedyd_jobs_cancelled_total", "Jobs cancelled while queued or running.", snap.Jobs.Cancelled)
 	p.counter("greedyd_jobs_expired_total", "Finished jobs reaped after the result TTL.", snap.Jobs.Expired)
 
+	// Overload control. The deadline family is emitted even at zero so
+	// dashboards and the CI smoke assertions can rely on its presence.
+	p.counter("greedyd_deadline_exceeded_total", "Jobs terminated by their per-job timeout_ms budget.", snap.Jobs.DeadlineExceeded)
+	p.counter("greedyd_jobs_recovered_total", "Journaled jobs re-enqueued at boot after a crash.", snap.Jobs.Recovered)
+	p.counter("greedyd_admission_rejected_total", "Job submissions refused with 429 (queue full).", snap.Jobs.AdmissionRejected)
+	p.counter("greedyd_ingest_paused_total", "Graph uploads refused with 503 (memory watermark).", snap.Registry.IngestPausedRejections)
+
 	// Resident job-state gauges.
 	p.gauge("greedyd_jobs_queued", "Jobs currently queued.", float64(snap.Jobs.Queued))
 	p.gauge("greedyd_jobs_running", "Jobs currently running.", float64(snap.Jobs.Running))
 	p.gauge("greedyd_jobs_done_resident", "Done jobs retained in the result store.", float64(snap.Jobs.Done))
 	p.gauge("greedyd_jobs_failed_resident", "Failed jobs retained in the result store.", float64(snap.Jobs.FailedNow))
 	p.gauge("greedyd_jobs_cancelled_resident", "Cancelled jobs retained in the result store.", float64(snap.Jobs.CancelledNow))
+	p.gauge("greedyd_jobs_deadline_resident", "Deadline-exceeded jobs retained in the result store.", float64(snap.Jobs.DeadlineNow))
 
 	// Registry.
 	p.gauge("greedyd_registry_graphs", "Graphs resident in the registry.", float64(snap.Registry.Graphs))
@@ -188,6 +203,21 @@ func WritePrometheus(w io.Writer, snap Snapshot) error {
 	p.counter("greedyd_registry_misses_total", "Registry lookups of unknown graph ids.", snap.Registry.Misses)
 	p.counter("greedyd_registry_evictions_total", "Graphs evicted by the byte-budget LRU.", snap.Registry.Evictions)
 	p.counter("greedyd_registry_patches_total", "Graph versions derived via PATCH.", snap.Registry.Patches)
+	p.gauge("greedyd_registry_cold_graphs", "Graphs currently resident only in the disk tier.", float64(snap.Registry.ColdGraphs))
+	p.gauge("greedyd_registry_watermark_bytes", "Resident-byte level that pauses graph ingest (0 = disarmed).", float64(snap.Registry.WatermarkBytes))
+
+	// Durability tier. Families are emitted even when persistence is
+	// off (all zeros) so their presence is scrape-stable.
+	p.gauge("greedyd_persist_enabled", "1 when a data directory is attached, else 0.", boolGauge(snap.Persist.Enabled))
+	p.counter("greedyd_persist_blobs_written_total", "Graph blobs committed to the disk tier.", snap.Persist.BlobsWritten)
+	p.counter("greedyd_persist_blob_bytes_total", "Payload bytes of committed graph blobs.", snap.Persist.BlobBytes)
+	p.counter("greedyd_persist_demotions_total", "Warm graphs demoted to the disk tier by the byte budget.", snap.Persist.Demotions)
+	p.counter("greedyd_persist_cold_loads_total", "Cold graphs reloaded from the disk tier on acquire.", snap.Persist.ColdLoads)
+	p.counter("greedyd_persist_rehydrated_total", "Graph entries indexed from blobs at boot.", snap.Persist.Rehydrated)
+	p.counter("greedyd_persist_wal_appends_total", "Job-journal accept records appended.", snap.Persist.WALAppends)
+	p.counter("greedyd_persist_wal_compactions_total", "Job-journal compaction rewrites.", snap.Persist.WALCompactions)
+	p.gauge("greedyd_persist_pending_jobs", "Acknowledged-but-unfinished jobs the journal currently owes.", float64(snap.Persist.PendingJobs))
+	p.counter("greedyd_persist_errors_total", "Persistence failures (degrade durability or speed, never correctness).", snap.Persist.Errors)
 
 	// Go runtime.
 	p.gauge("greedyd_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", float64(snap.Runtime.HeapAllocBytes))

@@ -14,14 +14,17 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
+	"repro/internal/persist"
 	"repro/internal/trace"
 )
 
@@ -77,6 +80,17 @@ type Config struct {
 	// discards them (the default for embedded/test use — greedyd
 	// installs a real handler).
 	Logger *slog.Logger
+	// DataDir, when non-empty, enables the durability tier: graph blobs
+	// and the job journal live under it, acknowledged jobs survive
+	// kill -9 (recomputed at boot), and the registry demotes cold
+	// graphs to disk instead of evicting them. Empty means memory-only
+	// — the hot path then performs no persistence work at all.
+	DataDir string
+	// IngestWatermark is the fraction of the registry byte budget at
+	// which graph ingest pauses (503) to protect running jobs; only
+	// meaningful with DataDir set and a positive CacheBytes. 0 means
+	// 0.9; negative disables the watermark.
+	IngestWatermark float64
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +127,12 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if c.IngestWatermark == 0 {
+		c.IngestWatermark = 0.9
+	}
+	if c.IngestWatermark < 0 {
+		c.IngestWatermark = 0 // disabled
+	}
 	return c
 }
 
@@ -123,13 +143,25 @@ type Service struct {
 	metrics  *Metrics
 	registry *Registry
 	engine   *Engine
+	store    *persist.Store     // nil when persistence is disabled
 	trace    *trace.Recorder    // nil when tracing is disabled
 	bcast    *trace.Broadcaster // nil when streaming is disabled
 	log      *slog.Logger
+
+	// shutdownCh closes when Shutdown begins; the SSE handlers select
+	// on it to send their terminal frame before the listener dies.
+	shutdownCh   chan struct{}
+	shutdownOnce sync.Once
 }
 
-// New starts a service.
-func New(cfg Config) *Service {
+// New starts a service. With DataDir set it opens the durability tier
+// and replays its debts: blob metadata rehydrates the registry index,
+// the lineage log rebuilds the patch-derivation index, and every
+// acknowledged-but-unfinished job in the journal is re-enqueued for
+// recomputation under its original id. Opening a damaged or
+// unwritable data directory is an error — silently running without
+// durability the caller asked for is not an option.
+func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
 	rec := trace.NewRecorder(cfg.TraceCapacity, cfg.TraceRoundSample)
@@ -142,15 +174,50 @@ func New(cfg Config) *Service {
 		rec.SetBroadcaster(bcast)
 	}
 	reg := NewRegistry(cfg.CacheBytes, m)
-	eng := NewEngine(reg, m, EngineConfig{
+	reg.SetWatermarkFrac(cfg.IngestWatermark)
+
+	var store *persist.Store
+	var pending []persist.PendingJob
+	if cfg.DataDir != "" {
+		var recs []persist.LineageRecord
+		var err error
+		store, pending, recs, err = persist.Open(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		reg.AttachStore(store, recs)
+	}
+
+	ecfg := EngineConfig{
 		Workers:         cfg.Workers,
 		QueueDepth:      cfg.QueueDepth,
 		ResultTTL:       cfg.ResultTTL,
 		DynamicSessions: cfg.DynamicSessions,
 		Trace:           rec,
 		Logger:          cfg.Logger,
-	})
-	return &Service{cfg: cfg, metrics: m, registry: reg, engine: eng, trace: rec, bcast: bcast, log: cfg.Logger}
+	}
+	if store != nil {
+		ecfg.Journal = store.Journal()
+	}
+	eng := NewEngine(reg, m, ecfg)
+	s := &Service{cfg: cfg, metrics: m, registry: reg, engine: eng, store: store,
+		trace: rec, bcast: bcast, log: cfg.Logger, shutdownCh: make(chan struct{})}
+
+	// Re-enqueue what the journal owes. Recomputation — not output
+	// replay — serves these: determinism makes the recomputed bytes
+	// identical to what the dead process would have produced.
+	for _, p := range pending {
+		var spec JobSpec
+		if err := json.Unmarshal(p.Spec, &spec); err != nil {
+			s.log.Warn("unrecoverable journaled job: bad spec", "job", p.ID, "error", err)
+			eng.Recover(p.ID, JobSpec{}) // registers a failed job, completes the debt
+			continue
+		}
+		if err := eng.Recover(p.ID, spec); err != nil {
+			s.log.Warn("journaled job not recovered", "job", p.ID, "error", err)
+		}
+	}
+	return s, nil
 }
 
 // Registry exposes the graph registry (used by tests and embedders).
@@ -166,16 +233,42 @@ func (s *Service) Trace() *trace.Recorder { return s.trace }
 // disabled).
 func (s *Service) Broadcaster() *trace.Broadcaster { return s.bcast }
 
-// Close stops the worker pool and janitor.
-func (s *Service) Close() { s.engine.Close() }
+// Close stops the service immediately: equivalent to Shutdown(0).
+func (s *Service) Close() { s.Shutdown(0) }
+
+// Shutdown drains the service gracefully: new work is refused at once,
+// event-stream subscribers get a terminal shutdown frame, in-flight
+// jobs get up to window to finish, and the durability tier is closed
+// last so every completion marker lands. Journaled jobs the window
+// could not drain stay owed — the next boot re-serves them. Safe to
+// call more than once.
+func (s *Service) Shutdown(window time.Duration) {
+	s.shutdownOnce.Do(func() {
+		close(s.shutdownCh)
+		s.engine.Drain(window)
+		if s.store != nil {
+			if err := s.store.Close(); err != nil {
+				s.log.Warn("closing data dir", "error", err)
+			}
+		}
+	})
+}
+
+// ShutdownCh closes when Shutdown begins (used by the SSE handlers to
+// emit their terminal frame).
+func (s *Service) ShutdownCh() <-chan struct{} { return s.shutdownCh }
+
+// Store exposes the durability tier (nil when persistence is off).
+func (s *Service) Store() *persist.Store { return s.store }
 
 // Snapshot assembles the full metrics view, including the state gauges
 // owned by the engine and registry and the Go runtime's allocation
 // counters (which make per-worker Solver reuse observable externally).
 func (s *Service) Snapshot() Snapshot {
 	snap := s.metrics.snapshot()
-	q, r, d, f, c := s.engine.stateCounts()
+	q, r, d, f, c, dl := s.engine.stateCounts()
 	snap.Jobs.Queued, snap.Jobs.Running, snap.Jobs.Done, snap.Jobs.FailedNow, snap.Jobs.CancelledNow = q, r, d, f, c
+	snap.Jobs.DeadlineNow = dl
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	snap.Runtime = RuntimeCounters{
@@ -192,7 +285,15 @@ func (s *Service) Snapshot() Snapshot {
 	reg.Misses = snap.Registry.Misses
 	reg.Evictions = snap.Registry.Evictions
 	reg.Patches = snap.Registry.Patches
+	reg.IngestPausedRejections = snap.Registry.IngestPausedRejections
 	snap.Registry = reg
+	if s.store != nil {
+		snap.Persist.Enabled = true
+		appends, compactions := s.store.Journal().Counters()
+		snap.Persist.WALAppends = appends
+		snap.Persist.WALCompactions = compactions
+		snap.Persist.PendingJobs = int64(s.store.Journal().PendingCount())
+	}
 	snap.TraceEvents = s.trace.Total()
 	if s.bcast.Enabled() {
 		st := s.bcast.Stats()

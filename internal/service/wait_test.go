@@ -1,0 +1,23 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// waitFor is the one polling loop the test suite is allowed: it spins
+// cond at millisecond granularity until it reports true, and fails the
+// test with what after timeout. Every hand-rolled
+// deadline/time.Now()/Sleep loop should go through here so the poll
+// cadence, the timeout discipline, and the failure wording live in one
+// place.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", timeout, what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
